@@ -1,0 +1,104 @@
+//! Fairness metrics: Jain's Fairness Index and throughput shares.
+//!
+//! JFI (Jain, Chiu, Hawe 1984) over allocations `x_1..x_n`:
+//!
+//! ```text
+//!           (Σ x_i)²
+//! JFI = ──────────────
+//!         n · Σ x_i²
+//! ```
+//!
+//! Ranges from `1/n` (one flow takes everything) to `1` (perfect equality).
+//! The paper's intra-CCA fairness findings (Figure 4, Finding 4/5) are all
+//! JFI values; its inter-CCA findings (Figures 5–8) are aggregate
+//! throughput shares, computed here by [`group_share`].
+
+/// Jain's Fairness Index of `xs`. `None` for an empty slice or when every
+/// allocation is zero (the index is undefined there).
+pub fn jain_fairness_index(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    debug_assert!(xs.iter().all(|&x| x >= 0.0), "negative allocation");
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (xs.len() as f64 * sum_sq))
+}
+
+/// Fraction of total allocation held by the group selected by `in_group`.
+/// `None` when the total is zero.
+pub fn group_share<F: Fn(usize) -> bool>(xs: &[f64], in_group: F) -> Option<f64> {
+    let total: f64 = xs.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let group: f64 = xs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| in_group(*i))
+        .map(|(_, &x)| x)
+        .sum();
+    Some(group / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocations_are_perfectly_fair() {
+        let xs = [5.0; 100];
+        let jfi = jain_fairness_index(&xs).unwrap();
+        assert!((jfi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_gives_one_over_n() {
+        let mut xs = vec![0.0; 10];
+        xs[3] = 100.0;
+        let jfi = jain_fairness_index(&xs).unwrap();
+        assert!((jfi - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_intermediate_value() {
+        // Classic example: allocations (1,1,1,3) among 4 users.
+        // JFI = 36 / (4 * 12) = 0.75.
+        let jfi = jain_fairness_index(&[1.0, 1.0, 1.0, 3.0]).unwrap();
+        assert!((jfi - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_fairness_index(&[]), None);
+        assert_eq!(jain_fairness_index(&[0.0, 0.0]), None);
+        assert_eq!(jain_fairness_index(&[7.0]), Some(1.0));
+    }
+
+    #[test]
+    fn jfi_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let ja = jain_fairness_index(&a).unwrap();
+        let jb = jain_fairness_index(&b).unwrap();
+        assert!((ja - jb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_share_partitions() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        let even = group_share(&xs, |i| i % 2 == 0).unwrap();
+        let odd = group_share(&xs, |i| i % 2 == 1).unwrap();
+        assert!((even - 0.4).abs() < 1e-12);
+        assert!((even + odd - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_share_of_zero_total_is_none() {
+        assert_eq!(group_share(&[0.0, 0.0], |_| true), None);
+        assert_eq!(group_share(&[], |_| true), None);
+    }
+}

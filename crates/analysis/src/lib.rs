@@ -1,0 +1,23 @@
+//! # ccsim-analysis — the measurement-study analysis toolkit
+//!
+//! Pure-math implementations of every metric the paper reports:
+//!
+//! * [`stats`] — descriptive statistics (mean, std-dev, quantiles).
+//! * [`fairness`] — Jain's Fairness Index and group throughput shares
+//!   (Figures 4–8).
+//! * [`mathis`] — the Mathis throughput model, least-squares constant
+//!   fitting, and prediction-error evaluation (Table 1, Figure 2).
+//! * [`burstiness`] — the Goh–Barabási burstiness score applied to queue
+//!   drop trains (Finding 3's corroboration).
+
+pub mod burstiness;
+pub mod fairness;
+pub mod mathis;
+pub mod stats;
+pub mod sync;
+
+pub use burstiness::{burstiness, burstiness_of_intervals};
+pub use fairness::{group_share, jain_fairness_index};
+pub use mathis::{errors_under_constant, fit_constant, mathis_throughput, FlowObservation, MathisFit};
+pub use stats::{mean, median, quantile, std_dev, Summary};
+pub use sync::synchronization_index;

@@ -1,0 +1,155 @@
+//! Descriptive statistics over `f64` samples.
+//!
+//! Small, dependency-free helpers the experiment harness uses everywhere:
+//! mean, standard deviation (population), median, and arbitrary quantiles
+//! (linear interpolation, the same convention as numpy's default).
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Quantile `q ∈ [0, 1]` with linear interpolation between order statistics.
+/// `None` for an empty slice or out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Minimum; `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum; `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// A one-pass summary of a sample set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize `xs`; `None` when empty.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        Some(Summary {
+            n: xs.len(),
+            mean: mean(xs)?,
+            std_dev: std_dev(xs)?,
+            min: min(xs)?,
+            p25: quantile(xs, 0.25)?,
+            median: median(xs)?,
+            p75: quantile(xs, 0.75)?,
+            max: max(xs)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slices_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert_eq!(std_dev(&xs), Some(2.0)); // classic textbook example
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[42.0]), Some(42.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [0.0, 10.0, 20.0, 30.0];
+        assert_eq!(quantile(&xs, 0.0), Some(0.0));
+        assert_eq!(quantile(&xs, 1.0), Some(30.0));
+        assert_eq!(quantile(&xs, 0.5), Some(15.0));
+        assert_eq!(quantile(&xs, 0.25), Some(7.5));
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+        assert_eq!(quantile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread() {
+        let xs = [7.0; 10];
+        assert_eq!(std_dev(&xs), Some(0.0));
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.min, s.max);
+    }
+}

@@ -1,0 +1,154 @@
+//! Loss-event synchronization across flows.
+//!
+//! Appenzeller et al. (cited by the paper, §2) showed that *thousands* of
+//! NewReno flows desynchronize their loss events, which is why core routers
+//! can use small buffers; the paper hypothesizes the same desynchronization
+//! drives BBR's fairness collapse at scale (Finding 5 discussion). This
+//! module quantifies it.
+//!
+//! The **synchronization index** partitions the measurement window into
+//! bins of width `w` (≈ one RTT) and, for each bin containing at least one
+//! congestion event, computes the fraction of flows that experienced an
+//! event in that bin. The index is the event-weighted mean of those
+//! fractions:
+//!
+//! * fully synchronized flows (everyone halves together) → index ≈ 1;
+//! * independent (Poisson-like) loss events → index ≈ per-bin event
+//!   probability, → 0 as flows desynchronize.
+
+use ccsim_sim::{SimDuration, SimTime};
+
+/// Synchronization index of per-flow event trains over `[start, end)` with
+/// bin width `bin`. `None` when there are no events, no flows, or a
+/// degenerate window.
+pub fn synchronization_index(
+    per_flow_events: &[Vec<SimTime>],
+    start: SimTime,
+    end: SimTime,
+    bin: SimDuration,
+) -> Option<f64> {
+    let n_flows = per_flow_events.len();
+    if n_flows == 0 || end <= start || bin.is_zero() {
+        return None;
+    }
+    let span = (end - start).as_nanos();
+    let n_bins = span.div_ceil(bin.as_nanos()) as usize;
+    if n_bins == 0 {
+        return None;
+    }
+    // flows_in_bin[b] = number of distinct flows with >= 1 event in bin b.
+    let mut flows_in_bin = vec![0u32; n_bins];
+    let mut total_flows_with_events = 0usize;
+    for events in per_flow_events {
+        let mut seen = vec![false; n_bins];
+        let mut any = false;
+        for &t in events {
+            if t < start || t >= end {
+                continue;
+            }
+            let b = ((t - start).as_nanos() / bin.as_nanos()) as usize;
+            if !seen[b] {
+                seen[b] = true;
+                flows_in_bin[b] += 1;
+                any = true;
+            }
+        }
+        if any {
+            total_flows_with_events += 1;
+        }
+    }
+    if total_flows_with_events == 0 {
+        return None;
+    }
+    // Event-weighted mean of per-bin participation fractions.
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    for &count in &flows_in_bin {
+        if count > 0 {
+            let frac = count as f64 / n_flows as f64;
+            weighted += frac * count as f64;
+            weight += count as f64;
+        }
+    }
+    Some(weighted / weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn fully_synchronized_flows_score_one() {
+        // Every flow halves at t = 100, 200, 300 ms.
+        let events: Vec<Vec<SimTime>> = (0..10)
+            .map(|_| vec![t(100), t(200), t(300)])
+            .collect();
+        let idx =
+            synchronization_index(&events, t(0), t(400), SimDuration::from_millis(20)).unwrap();
+        assert!((idx - 1.0).abs() < 1e-12, "idx = {idx}");
+    }
+
+    #[test]
+    fn staggered_flows_score_low() {
+        // Each flow's single event lands in its own bin.
+        let events: Vec<Vec<SimTime>> = (0..10u64).map(|i| vec![t(10 + i * 30)]).collect();
+        let idx =
+            synchronization_index(&events, t(0), t(400), SimDuration::from_millis(20)).unwrap();
+        assert!((idx - 0.1).abs() < 1e-12, "idx = {idx}");
+    }
+
+    #[test]
+    fn half_synchronized_scores_between() {
+        // Flows 0-4 share one epoch; flows 5-9 each alone.
+        let mut events: Vec<Vec<SimTime>> = (0..5).map(|_| vec![t(50)]).collect();
+        events.extend((0..5u64).map(|i| vec![t(150 + i * 40)]));
+        let idx =
+            synchronization_index(&events, t(0), t(400), SimDuration::from_millis(20)).unwrap();
+        assert!(idx > 0.1 && idx < 1.0, "idx = {idx}");
+    }
+
+    #[test]
+    fn events_outside_window_are_ignored() {
+        let events = vec![vec![t(5), t(500)], vec![t(5), t(500)]];
+        let idx =
+            synchronization_index(&events, t(0), t(100), SimDuration::from_millis(10)).unwrap();
+        // Only the t=5 events count; both flows share that bin.
+        assert!((idx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert_eq!(
+            synchronization_index(&[], t(0), t(100), SimDuration::from_millis(10)),
+            None
+        );
+        let e = vec![vec![t(10)]];
+        assert_eq!(
+            synchronization_index(&e, t(100), t(100), SimDuration::from_millis(10)),
+            None
+        );
+        assert_eq!(
+            synchronization_index(&e, t(0), t(100), SimDuration::ZERO),
+            None
+        );
+        let empty = vec![Vec::new(), Vec::new()];
+        assert_eq!(
+            synchronization_index(&empty, t(0), t(100), SimDuration::from_millis(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn index_shrinks_as_population_desynchronizes() {
+        // Same event count, increasingly spread over bins.
+        let synced: Vec<Vec<SimTime>> = (0..20).map(|_| vec![t(100)]).collect();
+        let spread: Vec<Vec<SimTime>> = (0..20u64).map(|i| vec![t(10 + i * 15)]).collect();
+        let a = synchronization_index(&synced, t(0), t(400), SimDuration::from_millis(15)).unwrap();
+        let b = synchronization_index(&spread, t(0), t(400), SimDuration::from_millis(15)).unwrap();
+        assert!(a > 5.0 * b, "synced {a} vs spread {b}");
+    }
+}

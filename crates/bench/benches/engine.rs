@@ -1,0 +1,83 @@
+//! Engine micro-benchmarks: event-queue operations and dispatch rate.
+//!
+//! The DESIGN.md performance budget assumes the engine sustains millions of
+//! events per second; this bench tracks that number (decision D2).
+
+use ccsim_sim::{Component, ComponentId, Ctx, EventQueue, SimDuration, SimTime, Simulator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k_fifo", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                let t = SimTime::from_millis(1);
+                for i in 0..10_000u64 {
+                    q.schedule(t, ComponentId::from_raw(0), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("schedule_pop_10k_interleaved", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                // Timer-wheel-ish workload: interleaved near/far deadlines.
+                for i in 0..10_000u64 {
+                    let t = SimTime::from_nanos((i * 7919) % 1_000_000);
+                    q.schedule(t, ComponentId::from_raw(0), i);
+                    if i % 2 == 0 {
+                        q.pop();
+                    }
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// A component that reschedules itself `n` times: measures raw dispatch.
+struct Relay {
+    remaining: u64,
+}
+
+impl Component<u64> for Relay {
+    fn on_event(&mut self, _now: SimTime, _msg: u64, ctx: &mut Ctx<'_, u64>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_self(SimDuration::from_nanos(100), 0);
+        }
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("self_timer_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new(0);
+                let id = sim.add_component(Relay { remaining: 100_000 });
+                sim.schedule(SimTime::ZERO, id, 0);
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Windowed min/max filter benchmark (BBR runs one per flow, updated on
+//! every delivery-rate sample).
+
+use ccsim_cca::WindowedMax;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn bench_windowed_max(c: &mut Criterion) {
+    let mut g = c.benchmark_group("windowed_max");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("update_100k_noisy", |b| {
+        b.iter_batched(
+            WindowedMax::new,
+            |mut f| {
+                for t in 0..100_000u64 {
+                    // Pseudo-noisy bandwidth samples around 1e6.
+                    let v = 1_000_000 + ((t.wrapping_mul(2654435761)) % 200_000);
+                    f.update(10, t / 100, v);
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("update_100k_decaying", |b| {
+        b.iter_batched(
+            WindowedMax::new,
+            |mut f| {
+                for t in 0..100_000u64 {
+                    let v = 2_000_000u64.saturating_sub(t * 10);
+                    f.update(10, t / 100, v);
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_windowed_max);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bottleneck-link micro-benchmark: packets through a saturated drop-tail
+//! queue (the hot path of every CoreScale experiment).
+
+use ccsim_net::link::{Link, NextHop};
+use ccsim_net::msg::Msg;
+use ccsim_net::packet::{FlowId, Packet};
+use ccsim_sim::{Bandwidth, Component, Ctx, SimDuration, SimTime, Simulator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+/// Swallows every packet.
+struct Blackhole;
+
+impl Component<Msg> for Blackhole {
+    fn on_event(&mut self, _now: SimTime, _msg: Msg, _ctx: &mut Ctx<'_, Msg>) {}
+}
+
+fn saturated_link(pkts: u64, buffer: u64) -> Simulator<Msg> {
+    let mut sim = Simulator::new(0);
+    let sink = sim.add_component(Blackhole);
+    let link = sim.add_component(Link::new(
+        Bandwidth::from_gbps(10),
+        SimDuration::ZERO,
+        buffer,
+        NextHop::ToPacketDst,
+    ));
+    // A storm of packets from 100 flows, arriving faster than line rate.
+    for i in 0..pkts {
+        let p = Packet::data(FlowId((i % 100) as u32), sink, 0, 1448, SimTime::ZERO);
+        sim.schedule(SimTime::from_nanos(i * 500), link, Msg::Packet(p));
+    }
+    sim
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link");
+    g.throughput(Throughput::Elements(50_000));
+    // Large buffer: everything queues and drains (no drops).
+    g.bench_function("50k_pkts_no_drops", |b| {
+        b.iter_batched(
+            || saturated_link(50_000, u64::MAX),
+            |mut sim| {
+                sim.run();
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Tiny buffer: the drop path dominates.
+    g.bench_function("50k_pkts_heavy_drops", |b| {
+        b.iter_batched(
+            || saturated_link(50_000, 64 * 1500),
+            |mut sim| {
+                sim.run();
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_link);
+criterion_main!(benches);

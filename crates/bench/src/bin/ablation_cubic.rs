@@ -1,0 +1,80 @@
+//! Ablation: CUBIC's optional mechanisms (HyStart, fast convergence).
+//!
+//! DESIGN.md lists the CCA feature set as a fidelity decision; this binary
+//! quantifies how much each Linux-default mechanism matters in the paper's
+//! two settings via all-Cubic same-RTT runs (Figure-4 style metrics).
+
+use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_core::build::BuiltNetwork;
+use ccsim_core::report::render_table;
+use ccsim_core::FlowGroup;
+use ccsim_core::Scenario;
+use ccsim_net::link::Link;
+use ccsim_sim::{SimDuration, SimTime};
+
+/// Run an all-Cubic scenario with explicit feature switches; returns
+/// (JFI, utilization, loss rate).
+fn run_variant(
+    skeleton: Scenario,
+    count: u32,
+    fast_convergence: bool,
+    hystart: bool,
+) -> (f64, f64, f64) {
+    let mut s = skeleton.flows(vec![FlowGroup::new(
+        ccsim_cca::CcaKind::Cubic,
+        count,
+        SimDuration::from_millis(20),
+    )]);
+    s.convergence = None;
+    let mut net = BuiltNetwork::build_with_factory(&s, &|_, _, mss, _| {
+        Box::new(ccsim_cca::Cubic::with_options(mss, fast_convergence, hystart))
+    });
+    let warmup_end = SimTime::ZERO + s.warmup;
+    net.sim.run_until(warmup_end);
+    net.sim.component_mut::<Link>(net.link).reset_stats();
+    let base = net.per_flow_delivered();
+    net.sim.run_until(warmup_end + s.duration);
+    let fin = net.per_flow_delivered();
+    let secs = s.duration.as_secs_f64();
+    let rates: Vec<f64> = fin
+        .iter()
+        .zip(&base)
+        .map(|(&b, &a)| (b - a) as f64 / secs)
+        .collect();
+    let jfi = ccsim_analysis::jain_fairness_index(&rates).unwrap_or(0.0);
+    let util = rates.iter().sum::<f64>() / s.bottleneck.as_bytes_per_sec();
+    let loss = net.sim.component::<Link>(net.link).stats().loss_rate();
+    (jfi, util, loss)
+}
+
+fn main() {
+    let opts = parse_args();
+    let sw = Stopwatch::new();
+    let mut rows = Vec::new();
+    let core_count = *opts.config.core_counts.first().unwrap_or(&200);
+    for (label, skeleton, count) in [
+        ("EdgeScale", opts.config.edge(), 30u32),
+        ("CoreScale", opts.config.core(), core_count),
+    ] {
+        for (fc, hs) in [(true, true), (true, false), (false, true), (false, false)] {
+            let (jfi, util, loss) = run_variant(skeleton.clone(), count, fc, hs);
+            rows.push(vec![
+                label.to_string(),
+                count.to_string(),
+                if fc { "on" } else { "off" }.into(),
+                if hs { "on" } else { "off" }.into(),
+                format!("{jfi:.3}"),
+                format!("{:.1}%", util * 100.0),
+                format!("{:.3}%", loss * 100.0),
+            ]);
+        }
+    }
+    section(
+        "Ablation — CUBIC fast convergence × HyStart (all-Cubic, 20 ms)",
+        &render_table(
+            &["setting", "flows", "fast-conv", "hystart", "JFI", "util", "loss"],
+            &rows,
+        ),
+    );
+    println!("\n[{:.1}s]", sw.secs());
+}

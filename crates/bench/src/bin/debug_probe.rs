@@ -1,0 +1,50 @@
+//! Temporary diagnostic: CoreScale-like cell with per-slice dump of the
+//! highest-retransmit sender.
+
+use ccsim_cca::CcaKind;
+use ccsim_core::{BuiltNetwork, FlowGroup, Scenario};
+use ccsim_sim::{Bandwidth, SimDuration, SimTime};
+
+fn main() {
+    let mut s = Scenario::core_scale()
+        .named("debug")
+        .flows(vec![FlowGroup::new(CcaKind::Reno, 100, SimDuration::from_millis(20))])
+        .seed(1);
+    s.bottleneck = Bandwidth::from_gbps(1);
+    s.buffer_bytes = 25_000_000;
+    s.start_jitter = SimDuration::from_millis(500);
+
+    let mut net = BuiltNetwork::build(&s);
+    let t0 = std::time::Instant::now();
+    for slice in 1..=30u64 {
+        net.sim.run_until(SimTime::from_millis(slice * 100));
+        // Find the worst sender by retransmit count.
+        let mut worst = 0usize;
+        let mut worst_rtx = 0u64;
+        for (i, &id) in net.senders.iter().enumerate() {
+            let st = net.sim.component::<ccsim_tcp::Sender>(id).stats();
+            if st.retransmits > worst_rtx {
+                worst_rtx = st.retransmits;
+                worst = i;
+            }
+        }
+        let snd = net.sim.component::<ccsim_tcp::Sender>(net.senders[worst]);
+        let st = snd.stats();
+        eprintln!(
+            "t={:>5}ms ev={:>10} | flow{} pkts={} rtx={} acks={} rtos={} recov={} | {}",
+            slice * 100,
+            net.sim.events_processed(),
+            worst,
+            st.data_pkts_sent,
+            st.retransmits,
+            st.acks_received,
+            st.rtos,
+            st.fast_recoveries,
+            snd.debug_state()
+        );
+        if t0.elapsed().as_secs_f64() > 45.0 {
+            eprintln!("aborting: too slow");
+            break;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerate **Finding 4** (figure not shown in the paper): NewReno and
+//! Cubic keep intra-CCA JFI > 0.99 even in CoreScale.
+
+use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_cca::CcaKind;
+use ccsim_core::experiments::intra;
+
+fn main() {
+    let opts = parse_args();
+    let sw = Stopwatch::new();
+    let reno = intra::run_grid(&opts.config, CcaKind::Reno);
+    section("Finding 4 — NewReno intra-CCA fairness", &intra::render(&reno));
+    let cubic = intra::run_grid(&opts.config, CcaKind::Cubic);
+    section("Finding 4 — Cubic intra-CCA fairness", &intra::render(&cubic));
+    println!("\npaper: JFI > 0.99 for both, at every scale.  [{:.1}s]", sw.secs());
+}

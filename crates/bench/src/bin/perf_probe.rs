@@ -1,0 +1,68 @@
+//! Engine-throughput probe with progress reporting: runs one cell slice by
+//! slice and prints events/slice — the tool for calibrating horizons and
+//! spotting runaway event generation.
+
+use ccsim_cca::CcaKind;
+use ccsim_core::{BuiltNetwork, FlowGroup, Scenario};
+use ccsim_sim::{Bandwidth, SimDuration, SimTime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gbps: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let flows: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let cca: CcaKind = args
+        .get(3)
+        .map(|s| s.parse().expect("cca"))
+        .unwrap_or(CcaKind::Reno);
+
+    let mut s = Scenario::core_scale()
+        .named("probe")
+        .flows(vec![FlowGroup::new(cca, flows, SimDuration::from_millis(20))])
+        .seed(1);
+    s.bottleneck = Bandwidth::from_gbps(gbps);
+    s.buffer_bytes = (gbps * 25_000_000).max(1_000_000); // 1 BDP @ 200ms
+    s.start_jitter = SimDuration::from_millis(500);
+
+    let mut net = BuiltNetwork::build(&s);
+    let t0 = std::time::Instant::now();
+    let mut last_events = 0u64;
+    for slice in 1..=(secs * 10) {
+        let until = SimTime::from_millis(slice * 100);
+        net.sim.run_until(until);
+        let ev = net.sim.events_processed();
+        let mut pkts = 0u64;
+        let mut acks = 0u64;
+        let mut rtx = 0u64;
+        let mut rtos = 0u64;
+        let mut recov = 0u64;
+        for &id in &net.senders {
+            let st = net.sim.component::<ccsim_tcp::Sender>(id).stats();
+            pkts += st.data_pkts_sent;
+            acks += st.acks_received;
+            rtx += st.retransmits;
+            rtos += st.rtos;
+            recov += st.fast_recoveries;
+        }
+        eprintln!(
+            "sim {:>6}ms wall {:>6.1}s events {:>12} (+{:>10}) pending {:>8} pkts {} acks {} rtx {} rtos {} recov {}",
+            slice * 100,
+            t0.elapsed().as_secs_f64(),
+            ev,
+            ev - last_events,
+            net.sim.events_pending(),
+            pkts, acks, rtx, rtos, recov
+        );
+        last_events = ev;
+        if t0.elapsed().as_secs_f64() > 60.0 {
+            eprintln!("aborting: too slow");
+            break;
+        }
+    }
+    let delivered: u64 = net.per_flow_delivered().iter().sum();
+    eprintln!(
+        "total delivered {:.1} MB, rate {:.2}M ev/s",
+        delivered as f64 / 1e6,
+        net.sim.events_processed() as f64 / t0.elapsed().as_secs_f64() / 1e6
+    );
+}

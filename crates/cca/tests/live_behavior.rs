@@ -1,0 +1,198 @@
+//! CCA behavior over a live simulated path: these tests drive each
+//! algorithm through a real sender/receiver/link assembly (no synthetic
+//! ACK streams) and check the macroscopic signatures that distinguish the
+//! three algorithms.
+
+use ccsim_cca::{make_cca, Bbr, BbrMode, CcaKind};
+use ccsim_net::link::{Link, NextHop};
+use ccsim_net::msg::Msg;
+use ccsim_net::packet::FlowId;
+use ccsim_sim::{Bandwidth, ComponentId, SimDuration, SimTime, Simulator};
+use ccsim_tcp::receiver::Receiver;
+use ccsim_tcp::sender::{start_msg, Sender, SenderConfig};
+
+const MSS: u32 = 1448;
+
+fn one_flow(
+    cca: CcaKind,
+    rate: Bandwidth,
+    buffer: u64,
+    rtt_ms: u64,
+) -> (Simulator<Msg>, ComponentId, ComponentId, ComponentId) {
+    let mut sim = Simulator::new(1);
+    let link = sim.add_component(Link::new(
+        rate,
+        SimDuration::ZERO,
+        buffer,
+        NextHop::ToPacketDst,
+    ));
+    let sender_id = ComponentId::from_raw(1);
+    let receiver_id = ComponentId::from_raw(2);
+    let cfg = SenderConfig {
+        flow: FlowId(0),
+        mss: MSS,
+        receiver: receiver_id,
+        first_hop: link,
+        data_limit: None,
+    };
+    let s = sim.add_component(Sender::new(cfg, make_cca(cca, MSS, 7)));
+    assert_eq!(s, sender_id);
+    let r = sim.add_component(Receiver::new(
+        FlowId(0),
+        sender_id,
+        SimDuration::from_millis(rtt_ms),
+        MSS,
+    ));
+    assert_eq!(r, receiver_id);
+    sim.schedule(SimTime::ZERO, sender_id, start_msg());
+    (sim, sender_id, receiver_id, link)
+}
+
+fn goodput_mbps(sim: &Simulator<Msg>, receiver: ComponentId, secs: f64) -> f64 {
+    sim.component::<Receiver>(receiver).delivered_bytes() as f64 * 8.0 / 1e6 / secs
+}
+
+#[test]
+fn each_cca_saturates_a_clean_bdp_buffered_link() {
+    for cca in [CcaKind::Reno, CcaKind::Cubic, CcaKind::Bbr] {
+        let (mut sim, _, receiver, _) = one_flow(
+            cca,
+            Bandwidth::from_mbps(50),
+            1_250_000, // 1 BDP at 200 ms
+            40,
+        );
+        sim.run_until(SimTime::from_secs(20));
+        let rate = goodput_mbps(&sim, receiver, 20.0);
+        assert!(rate > 42.0, "{cca}: goodput {rate:.1} Mbps of 50");
+    }
+}
+
+#[test]
+fn bbr_reaches_probe_bw_and_tracks_the_bottleneck() {
+    let (mut sim, sender, _, _) = one_flow(
+        CcaKind::Bbr,
+        Bandwidth::from_mbps(40),
+        1_000_000,
+        30,
+    );
+    sim.run_until(SimTime::from_secs(8));
+    let snd = sim.component::<Sender>(sender);
+    let cca: &dyn std::any::Any = snd.cca() as &dyn std::any::Any;
+    // Downcasting through Any requires the concrete type; Sender::cca
+    // returns &dyn CongestionControl, which is also Any via upcast.
+    let bbr = cca.downcast_ref::<Bbr>().expect("cca is Bbr");
+    assert_eq!(bbr.mode(), BbrMode::ProbeBw, "BBR should settle in ProbeBW");
+    // Bandwidth estimate within 25% of the true bottleneck.
+    let est = bbr.max_bw_bytes_per_sec() as f64 * 8.0 / 1e6;
+    assert!(
+        (30.0..=50.0).contains(&est),
+        "bw estimate {est:.1} Mbps vs true 40"
+    );
+}
+
+#[test]
+fn bbr_bounds_queueing_delay_near_two_bdp() {
+    // A solo BBR flow's steady-state in-flight caps near 2×BDP, so the
+    // standing queue stays near/below one BDP; loss-based CCAs eventually
+    // fill the whole buffer instead. (CUBIC's convex region needs tens of
+    // seconds to climb W(t)=0.4·t³ past the buffer; give it time.)
+    // Startup/slow-start overshoot fills any buffer under both CCAs, so
+    // compare *steady-state* queues: reset counters after 15 s.
+    let buffer = 1_500_000u64; // 1.5x the 80 ms BDP of 1 MB
+    let steady_queue = |cca: CcaKind| {
+        let (mut sim, _, _, link) = one_flow(cca, Bandwidth::from_mbps(100), buffer, 80);
+        sim.run_until(SimTime::from_secs(15));
+        sim.component_mut::<Link>(link).reset_stats();
+        sim.run_until(SimTime::from_secs(45));
+        sim.component::<Link>(link).stats().max_queue_bytes
+    };
+    let bbr_queue = steady_queue(CcaKind::Bbr);
+    let cubic_queue = steady_queue(CcaKind::Cubic);
+
+    assert!(
+        cubic_queue >= buffer - 100_000,
+        "cubic should fill the buffer, got {cubic_queue}"
+    );
+    assert!(
+        bbr_queue < cubic_queue / 2 + 200_000,
+        "bbr queue {bbr_queue} not far below cubic {cubic_queue}"
+    );
+}
+
+#[test]
+fn cubic_recovers_to_w_max_faster_than_reno() {
+    // After a loss at the same operating point, CUBIC's concave rush back
+    // toward W_max gives it higher average throughput than Reno's linear
+    // climb on a long-RTT path.
+    let run = |cca: CcaKind| {
+        let (mut sim, _, receiver, _) = one_flow(
+            cca,
+            Bandwidth::from_mbps(80),
+            2_000_000, // 1 BDP at 200 ms
+            100,       // long RTT: AIMD is slow here
+        );
+        sim.run_until(SimTime::from_secs(60));
+        goodput_mbps(&sim, receiver, 60.0)
+    };
+    let cubic = run(CcaKind::Cubic);
+    let reno = run(CcaKind::Reno);
+    assert!(
+        cubic > reno * 0.98,
+        "cubic {cubic:.1} Mbps should be at least on par with reno {reno:.1}"
+    );
+}
+
+#[test]
+fn bbr_probe_rtt_triggers_under_competition() {
+    // A solo BBR flow on a noiseless path keeps refreshing its min-RTT
+    // every drain phase and legitimately never needs ProbeRTT. Under
+    // competition the standing queue never empties, the 10 s filter
+    // expires, and ProbeRTT must fire. Wire four BBR flows onto one link.
+    let mut sim = Simulator::new(3);
+    let link = sim.add_component(Link::new(
+        Bandwidth::from_mbps(40),
+        SimDuration::ZERO,
+        1_000_000,
+        NextHop::ToPacketDst,
+    ));
+    let mut senders = Vec::new();
+    for flow in 0..4u32 {
+        let sender_id = ComponentId::from_raw(1 + 2 * flow as usize);
+        let receiver_id = ComponentId::from_raw(2 + 2 * flow as usize);
+        let cfg = SenderConfig {
+            flow: FlowId(flow),
+            mss: MSS,
+            receiver: receiver_id,
+            first_hop: link,
+            data_limit: None,
+        };
+        assert_eq!(
+            sim.add_component(Sender::new(cfg, ccsim_cca::make_cca(CcaKind::Bbr, MSS, flow as u64))),
+            sender_id
+        );
+        assert_eq!(
+            sim.add_component(Receiver::new(
+                FlowId(flow),
+                sender_id,
+                SimDuration::from_millis(20),
+                MSS
+            )),
+            receiver_id
+        );
+        sim.schedule(SimTime::from_millis(flow as u64 * 50), sender_id, start_msg());
+        senders.push(sender_id);
+    }
+    let mut saw_probe_rtt = false;
+    'outer: for slice in 1..=350u64 {
+        sim.run_until(SimTime::from_millis(slice * 100));
+        for &id in &senders {
+            let snd = sim.component::<Sender>(id);
+            let cca: &dyn std::any::Any = snd.cca() as &dyn std::any::Any;
+            if cca.downcast_ref::<Bbr>().unwrap().mode() == BbrMode::ProbeRtt {
+                saw_probe_rtt = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(saw_probe_rtt, "no BBR flow entered ProbeRTT in 35 s of competition");
+}

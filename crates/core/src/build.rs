@@ -1,0 +1,211 @@
+//! Topology construction: wire a [`Scenario`] into a live simulator.
+//!
+//! The modeled topology is the paper's dumbbell reduced to its essential
+//! elements (DESIGN.md, decision D5): every sender feeds the shared
+//! bottleneck [`Link`] directly (the 25 Gbps access links never congest and
+//! are therefore elided by default), the link forwards to each packet's
+//! receiver, and receivers return ACKs straight to their senders delayed by
+//! the flow's base RTT (the netem substitution).
+//!
+//! Senders and receivers are interleaved in the component arena right after
+//! the bottleneck link; ids are pre-computed and cross-checked so the
+//! circular sender↔receiver references resolve without post-construction
+//! mutation.
+
+use crate::scenario::Scenario;
+use ccsim_cca::{make_cca, CcaKind};
+use ccsim_tcp::CongestionControl;
+use ccsim_net::link::{Link, NextHop};
+use ccsim_net::msg::Msg;
+use ccsim_net::packet::FlowId;
+use ccsim_sim::{ComponentId, SimDuration, SimTime, Simulator};
+use ccsim_tcp::receiver::Receiver;
+use ccsim_tcp::sender::{start_msg, Sender, SenderConfig};
+use rand::Rng;
+
+/// A scenario wired into a simulator, ready to run.
+pub struct BuiltNetwork {
+    /// The simulator holding all components.
+    pub sim: Simulator<Msg>,
+    /// The bottleneck link.
+    pub link: ComponentId,
+    /// Per-flow sender component ids (index = flow id).
+    pub senders: Vec<ComponentId>,
+    /// Per-flow receiver component ids.
+    pub receivers: Vec<ComponentId>,
+    /// Per-flow CCA kinds.
+    pub flow_cca: Vec<CcaKind>,
+    /// Per-flow base RTTs.
+    pub flow_rtt: Vec<SimDuration>,
+    /// Per-flow start instants (after jitter).
+    pub start_times: Vec<SimTime>,
+}
+
+/// Per-flow CCA construction: `(flow_index, kind, mss, seed)` → instance.
+pub type CcaFactory<'a> = dyn Fn(u32, CcaKind, u32, u64) -> Box<dyn CongestionControl> + 'a;
+
+impl BuiltNetwork {
+    /// Construct the network for `scenario` and schedule all flow starts,
+    /// using the stock CCA implementations.
+    pub fn build(scenario: &Scenario) -> BuiltNetwork {
+        BuiltNetwork::build_with_factory(scenario, &|_, kind, mss, seed| {
+            make_cca(kind, mss, seed)
+        })
+    }
+
+    /// Like [`BuiltNetwork::build`], but with a custom CCA factory —
+    /// the hook ablations use to instantiate variant algorithm
+    /// configurations (e.g. CUBIC without HyStart).
+    pub fn build_with_factory(scenario: &Scenario, factory: &CcaFactory<'_>) -> BuiltNetwork {
+        scenario.validate();
+        let mut sim = Simulator::new(scenario.seed);
+        let rng_factory = sim.rng();
+
+        let link = sim.add_component(Link::new(
+            scenario.bottleneck,
+            SimDuration::ZERO,
+            scenario.buffer_bytes,
+            NextHop::ToPacketDst,
+        ));
+
+        let n = scenario.flow_count() as usize;
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        let mut flow_cca = Vec::with_capacity(n);
+        let mut flow_rtt = Vec::with_capacity(n);
+        let mut start_times = Vec::with_capacity(n);
+
+        let mut flow: u32 = 0;
+        for group in &scenario.flows {
+            for _ in 0..group.count {
+                // Ids are sequential: sender then receiver for each flow.
+                let sender_id = ComponentId::from_raw(1 + 2 * flow as usize);
+                let receiver_id = ComponentId::from_raw(2 + 2 * flow as usize);
+
+                let seed = rng_factory.derive_seed("cca", flow as u64);
+                let cca = factory(flow, group.cca, scenario.mss, seed);
+                let cfg = SenderConfig {
+                    flow: FlowId(flow),
+                    mss: scenario.mss,
+                    receiver: receiver_id,
+                    first_hop: link,
+                    data_limit: None, // infinite sources, as in the paper
+                };
+                let actual_sender = sim.add_component(Sender::new(cfg, cca));
+                assert_eq!(actual_sender, sender_id, "sender id prediction");
+                let actual_receiver = sim.add_component(Receiver::new(
+                    FlowId(flow),
+                    sender_id,
+                    group.base_rtt,
+                    scenario.mss,
+                ));
+                assert_eq!(actual_receiver, receiver_id, "receiver id prediction");
+
+                // Start jitter: uniform in [0, start_jitter).
+                let start = if scenario.start_jitter.is_zero() {
+                    SimTime::ZERO
+                } else {
+                    let mut rng = rng_factory.stream("start", flow as u64);
+                    SimTime::from_nanos(rng.gen_range(0..scenario.start_jitter.as_nanos()))
+                };
+                sim.schedule(start, sender_id, start_msg());
+
+                senders.push(sender_id);
+                receivers.push(receiver_id);
+                flow_cca.push(group.cca);
+                flow_rtt.push(group.base_rtt);
+                start_times.push(start);
+                flow += 1;
+            }
+        }
+
+        BuiltNetwork {
+            sim,
+            link,
+            senders,
+            receivers,
+            flow_cca,
+            flow_rtt,
+            start_times,
+        }
+    }
+
+    /// Number of flows.
+    pub fn flow_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Cumulative delivered bytes for every flow (receiver-side).
+    pub fn per_flow_delivered(&self) -> Vec<u64> {
+        self.receivers
+            .iter()
+            .map(|&id| self.sim.component::<Receiver>(id).delivered_bytes())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::FlowGroup;
+    use ccsim_sim::SimDuration;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::edge_scale()
+            .flows(vec![
+                FlowGroup::new(CcaKind::Reno, 3, SimDuration::from_millis(20)),
+                FlowGroup::new(CcaKind::Bbr, 2, SimDuration::from_millis(100)),
+            ])
+            .seed(7)
+    }
+
+    #[test]
+    fn builds_expected_component_layout() {
+        let net = BuiltNetwork::build(&tiny_scenario());
+        assert_eq!(net.flow_count(), 5);
+        assert_eq!(net.link, ComponentId::from_raw(0));
+        assert_eq!(net.senders[0], ComponentId::from_raw(1));
+        assert_eq!(net.receivers[0], ComponentId::from_raw(2));
+        assert_eq!(net.senders[4], ComponentId::from_raw(9));
+        assert_eq!(net.flow_cca[3], CcaKind::Bbr);
+        assert_eq!(net.flow_rtt[0], SimDuration::from_millis(20));
+        assert_eq!(net.flow_rtt[4], SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn start_times_fall_within_jitter_window() {
+        let s = tiny_scenario();
+        let net = BuiltNetwork::build(&s);
+        for &t in &net.start_times {
+            assert!(t < SimTime::ZERO + s.start_jitter);
+        }
+        // With 5 flows and a 2 s window, starts should not all collide.
+        let distinct: std::collections::BTreeSet<_> = net.start_times.iter().collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn same_seed_same_start_times() {
+        let a = BuiltNetwork::build(&tiny_scenario());
+        let b = BuiltNetwork::build(&tiny_scenario());
+        assert_eq!(a.start_times, b.start_times);
+        let c = BuiltNetwork::build(&tiny_scenario().seed(8));
+        assert_ne!(a.start_times, c.start_times);
+    }
+
+    #[test]
+    fn delivered_counts_start_at_zero() {
+        let net = BuiltNetwork::build(&tiny_scenario());
+        assert_eq!(net.per_flow_delivered(), vec![0; 5]);
+    }
+
+    #[test]
+    fn flows_actually_transfer_data() {
+        let mut net = BuiltNetwork::build(&tiny_scenario());
+        net.sim.run_until(SimTime::from_secs(5));
+        let delivered = net.per_flow_delivered();
+        for (i, &d) in delivered.iter().enumerate() {
+            assert!(d > 0, "flow {i} delivered nothing");
+        }
+    }
+}

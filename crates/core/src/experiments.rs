@@ -1,0 +1,21 @@
+//! One module per paper artifact (see DESIGN.md §4 for the index):
+//!
+//! * [`mathis`] — Table 1, Figure 2, Figure 3, and the drop-burstiness
+//!   corroboration of Finding 3.
+//! * [`intra`] — Figure 4 (BBR intra-CCA fairness) and Finding 4
+//!   (NewReno/Cubic intra-CCA fairness).
+//! * [`inter`] — Figure 5 (Cubic vs NewReno) and Figure 8 (N BBR vs N
+//!   loss-based).
+//! * [`single_bbr`] — Figures 6 and 7 (one BBR flow vs thousands).
+//!
+//! All experiment functions take an [`ExperimentConfig`] so tests and CI
+//! can run reduced grids while the bench binaries run the paper's full
+//! parameter sweep.
+
+pub mod grid;
+pub mod inter;
+pub mod intra;
+pub mod mathis;
+pub mod single_bbr;
+
+pub use grid::ExperimentConfig;

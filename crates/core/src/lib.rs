@@ -1,0 +1,60 @@
+//! # ccsim-core — the at-scale CCA measurement harness
+//!
+//! The paper's experimental apparatus as a library:
+//!
+//! * [`scenario`] — EdgeScale/CoreScale settings and flow-group builders.
+//! * [`build`] — dumbbell topology wiring.
+//! * [`runner`] — warm-up, snapshotting, the convergence stopping rule,
+//!   and window-scoped metric collection.
+//! * [`outcome`] — run results with the paper's derived quantities (JFI,
+//!   group shares, Mathis observations, loss-to-halving ratios).
+//! * [`experiments`] — one function per table/figure of the paper, plus
+//!   the parameter grids they sweep.
+//! * [`report`] — plain-text table rendering for the bench binaries and
+//!   EXPERIMENTS.md.
+
+pub mod build;
+pub mod experiments;
+pub mod outcome;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use build::BuiltNetwork;
+pub use outcome::{PInterpretation, RunOutcome};
+pub use runner::run;
+pub use scenario::{ConvergenceRule, Fidelity, FlowGroup, Scenario, DEFAULT_MSS};
+
+/// Run several scenarios in parallel, preserving input order.
+///
+/// Each scenario gets its own simulator on its own thread (the simulator is
+/// single-threaded by design; experiments parallelize across runs).
+pub fn run_all(scenarios: &[Scenario]) -> Vec<RunOutcome> {
+    if scenarios.len() <= 1 {
+        return scenarios.iter().map(run).collect();
+    }
+    let mut results: Vec<Option<RunOutcome>> = Vec::new();
+    results.resize_with(scenarios.len(), || None);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(scenarios.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let outcome = run(&scenarios[i]);
+                results_mutex.lock().unwrap()[i] = Some(outcome);
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    results
+        .into_iter()
+        .map(|o| o.expect("every scenario produced an outcome"))
+        .collect()
+}

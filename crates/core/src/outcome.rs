@@ -1,0 +1,234 @@
+//! Experiment results and the derived quantities the paper reports.
+
+use ccsim_analysis::mathis::FlowObservation;
+use ccsim_analysis::{group_share, jain_fairness_index};
+use ccsim_cca::CcaKind;
+use ccsim_sim::{Bandwidth, SimDuration, SimTime};
+use ccsim_telemetry::FlowMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Which interpretation of the Mathis `p` parameter to evaluate (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PInterpretation {
+    /// `p` = packet loss rate measured at the bottleneck queue.
+    PacketLoss,
+    /// `p` = CWND halving (congestion event) rate from end-host state.
+    CwndHalving,
+}
+
+/// The complete result of one scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Scenario label.
+    pub scenario: String,
+    /// Master seed.
+    pub seed: u64,
+    /// MSS used.
+    pub mss: u32,
+    /// Bottleneck bandwidth.
+    pub bottleneck: Bandwidth,
+    /// Per-flow measurement records (window-scoped).
+    pub flows: Vec<FlowMetrics>,
+    /// Per-flow CCA kinds.
+    pub flow_cca: Vec<CcaKind>,
+    /// Length of the measurement window.
+    pub measured_for: SimDuration,
+    /// Whether the convergence rule stopped the run early.
+    pub converged: bool,
+    /// Final simulated instant.
+    pub ended_at: SimTime,
+    /// Aggregate packet loss rate at the bottleneck over the window.
+    pub aggregate_loss_rate: f64,
+    /// Goh–Barabási burstiness of the window's drop train, if computable.
+    pub drop_burstiness: Option<f64>,
+    /// Peak queue occupancy observed in the window (bytes).
+    pub max_queue_bytes: u64,
+    /// Total engine events processed (performance diagnostics).
+    pub events_processed: u64,
+}
+
+impl RunOutcome {
+    /// Per-flow throughputs in bytes/sec.
+    pub fn throughputs(&self) -> Vec<f64> {
+        self.flows
+            .iter()
+            .map(|f| f.throughput_bytes_per_sec)
+            .collect()
+    }
+
+    /// Aggregate throughput in Mbps.
+    pub fn aggregate_throughput_mbps(&self) -> f64 {
+        self.flows.iter().map(|f| f.throughput_mbps()).sum()
+    }
+
+    /// Bottleneck utilization in the window (aggregate goodput / capacity).
+    pub fn utilization(&self) -> f64 {
+        let total: f64 = self
+            .flows
+            .iter()
+            .map(|f| f.throughput_bytes_per_sec)
+            .sum();
+        total / self.bottleneck.as_bytes_per_sec()
+    }
+
+    /// Jain's Fairness Index across all flows.
+    pub fn jain_index(&self) -> Option<f64> {
+        jain_fairness_index(&self.throughputs())
+    }
+
+    /// Jain's Fairness Index across the flows of one CCA.
+    pub fn jain_index_for(&self, cca: CcaKind) -> Option<f64> {
+        let xs: Vec<f64> = self
+            .flows
+            .iter()
+            .zip(&self.flow_cca)
+            .filter(|(_, &k)| k == cca)
+            .map(|(f, _)| f.throughput_bytes_per_sec)
+            .collect();
+        jain_fairness_index(&xs)
+    }
+
+    /// Fraction of total throughput taken by the flows of one CCA
+    /// (the Figures 5–8 metric).
+    pub fn share_of(&self, cca: CcaKind) -> Option<f64> {
+        group_share(&self.throughputs(), |i| self.flow_cca[i] == cca)
+    }
+
+    /// Number of flows of `cca`.
+    pub fn count_of(&self, cca: CcaKind) -> usize {
+        self.flow_cca.iter().filter(|&&k| k == cca).count()
+    }
+
+    /// Mathis-model observations for the flows of `cca` under the given
+    /// `p` interpretation. Flows that recorded no events under the chosen
+    /// interpretation produce `p = 0` and are skipped by the fitter.
+    pub fn mathis_observations(
+        &self,
+        cca: CcaKind,
+        p: PInterpretation,
+    ) -> Vec<FlowObservation> {
+        self.flows
+            .iter()
+            .zip(&self.flow_cca)
+            .filter(|(_, &k)| k == cca)
+            .map(|(f, _)| FlowObservation {
+                throughput_bytes_per_sec: f.throughput_bytes_per_sec,
+                rtt_secs: f.base_rtt_secs,
+                p: match p {
+                    PInterpretation::PacketLoss => f.loss_rate(),
+                    PInterpretation::CwndHalving => f.halving_rate(self.mss),
+                },
+                mss_bytes: self.mss as f64,
+            })
+            .collect()
+    }
+
+    /// Aggregate packet-loss to CWND-halving ratio (the Figure 3 metric):
+    /// total window drops at the queue over total congestion events.
+    pub fn loss_to_halving_ratio(&self) -> Option<f64> {
+        let drops: u64 = self.flows.iter().map(|f| f.queue_drops).sum();
+        let halvings: u64 = self.flows.iter().map(|f| f.congestion_events).sum();
+        if halvings == 0 {
+            return None;
+        }
+        Some(drops as f64 / halvings as f64)
+    }
+
+    /// Mean per-flow throughput in Mbps.
+    pub fn mean_throughput_mbps(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        self.aggregate_throughput_mbps() / self.flows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(cca: &str, tput: f64, drops: u64, events: u64) -> FlowMetrics {
+        FlowMetrics {
+            flow: 0,
+            cca: cca.into(),
+            base_rtt_secs: 0.02,
+            throughput_bytes_per_sec: tput,
+            delivered_bytes: (tput * 10.0) as u64,
+            data_pkts_sent: 1000,
+            retransmits: 10,
+            congestion_events: events,
+            rtos: 0,
+            queue_drops: drops,
+            queue_arrivals: 1000,
+        }
+    }
+
+    fn outcome() -> RunOutcome {
+        RunOutcome {
+            scenario: "test".into(),
+            seed: 0,
+            mss: 1448,
+            bottleneck: Bandwidth::from_mbps(100),
+            flows: vec![
+                flow("reno", 4_000_000.0, 20, 5),
+                flow("reno", 4_000_000.0, 20, 5),
+                flow("cubic", 2_000_000.0, 10, 2),
+                flow("cubic", 2_000_000.0, 10, 3),
+            ],
+            flow_cca: vec![CcaKind::Reno, CcaKind::Reno, CcaKind::Cubic, CcaKind::Cubic],
+            measured_for: SimDuration::from_secs(10),
+            converged: true,
+            ended_at: SimTime::from_secs(30),
+            aggregate_loss_rate: 0.015,
+            drop_burstiness: Some(0.3),
+            max_queue_bytes: 1_000_000,
+            events_processed: 12345,
+        }
+    }
+
+    #[test]
+    fn shares_and_counts() {
+        let o = outcome();
+        assert!((o.share_of(CcaKind::Reno).unwrap() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((o.share_of(CcaKind::Cubic).unwrap() - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(o.count_of(CcaKind::Reno), 2);
+        assert_eq!(o.count_of(CcaKind::Bbr), 0);
+    }
+
+    #[test]
+    fn jain_indices() {
+        let o = outcome();
+        // Within each CCA, flows are equal: JFI = 1.
+        assert!((o.jain_index_for(CcaKind::Reno).unwrap() - 1.0).abs() < 1e-12);
+        // Across all four (4,4,2,2 M): JFI = 144/(4*40) = 0.9.
+        assert!((o.jain_index().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_and_aggregates() {
+        let o = outcome();
+        // 12 MB/s over 12.5 MB/s capacity.
+        assert!((o.utilization() - 0.96).abs() < 1e-12);
+        assert!((o.aggregate_throughput_mbps() - 96.0).abs() < 1e-9);
+        assert!((o.mean_throughput_mbps() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mathis_observations_pick_interpretation() {
+        let o = outcome();
+        let loss = o.mathis_observations(CcaKind::Reno, PInterpretation::PacketLoss);
+        assert_eq!(loss.len(), 2);
+        assert!((loss[0].p - 0.02).abs() < 1e-12); // 20/1000
+        let halving = o.mathis_observations(CcaKind::Reno, PInterpretation::CwndHalving);
+        // 5 events / (40 MB / 1448 B) packets.
+        let expected = 5.0 / (4_000_000.0 * 10.0 / 1448.0);
+        assert!((halving[0].p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_to_halving_ratio() {
+        let o = outcome();
+        // (20+20+10+10) / (5+5+2+3) = 60/15 = 4.
+        assert!((o.loss_to_halving_ratio().unwrap() - 4.0).abs() < 1e-12);
+    }
+}

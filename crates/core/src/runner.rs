@@ -1,0 +1,232 @@
+//! The experiment runner: warm-up, snapshotting, convergence, collection.
+//!
+//! Follows the paper's methodology (§3.2):
+//!
+//! 1. flows start at jittered times, all before the warm-up boundary;
+//! 2. everything before the warm-up boundary is excluded — queue counters
+//!    are reset and per-flow counter baselines snapshotted there;
+//! 3. the simulation advances in snapshot slices; after each slice the
+//!    tracker records cumulative per-flow delivered bytes;
+//! 4. the run stops at the horizon, or earlier once the headline metrics
+//!    (aggregate throughput *and* JFI) change < tolerance between
+//!    consecutive windows — the paper's "< 1% over 20 minutes" rule.
+
+use crate::build::BuiltNetwork;
+use crate::outcome::RunOutcome;
+use crate::scenario::Scenario;
+use ccsim_analysis::jain_fairness_index;
+use ccsim_net::link::Link;
+use ccsim_sim::SimTime;
+use ccsim_tcp::sender::Sender;
+use ccsim_telemetry::{FlowMetrics, ThroughputTracker};
+
+/// Numeric sender-counter baseline captured at the warm-up boundary.
+#[derive(Clone, Copy, Default)]
+struct SenderBaseline {
+    data_pkts_sent: u64,
+    retransmits: u64,
+    rtos: u64,
+    delivered_bytes: u64,
+}
+
+impl Scenario {
+    /// Convenience: run this scenario to completion (see [`run`]).
+    pub fn run(&self) -> RunOutcome {
+        run(self)
+    }
+}
+
+/// Run a scenario to completion and collect its outcome.
+pub fn run(scenario: &Scenario) -> RunOutcome {
+    let mut net = BuiltNetwork::build(scenario);
+    let warmup_end = SimTime::ZERO + scenario.warmup;
+    net.sim.run_until(warmup_end);
+
+    // Warm-up boundary: reset queue counters, snapshot per-flow baselines.
+    net.sim.component_mut::<Link>(net.link).reset_stats();
+    let sender_base: Vec<SenderBaseline> = net
+        .senders
+        .iter()
+        .map(|&id| {
+            let s = net.sim.component::<Sender>(id).stats();
+            SenderBaseline {
+                data_pkts_sent: s.data_pkts_sent,
+                retransmits: s.retransmits,
+                rtos: s.rtos,
+                delivered_bytes: 0, // filled from receivers below
+            }
+        })
+        .collect();
+    let delivered_base = net.per_flow_delivered();
+    let sender_base: Vec<SenderBaseline> = sender_base
+        .into_iter()
+        .zip(&delivered_base)
+        .map(|(mut b, &d)| {
+            b.delivered_bytes = d;
+            b
+        })
+        .collect();
+
+    let mut tracker = ThroughputTracker::new();
+    tracker.record(warmup_end, delivered_base.clone());
+
+    let deadline = warmup_end + scenario.duration;
+    let mut now = warmup_end;
+    let mut converged = false;
+    while now < deadline {
+        let next = (now + scenario.snapshot_interval).min(deadline);
+        net.sim.run_until(next);
+        now = next;
+        tracker.record(now, net.per_flow_delivered());
+        if let Some(rule) = &scenario.convergence {
+            let agg = tracker
+                .relative_change(rule.window_snapshots, |r| Some(r.iter().sum::<f64>()));
+            let jfi = tracker.relative_change(rule.window_snapshots, jain_fairness_index);
+            if let (Some(a), Some(j)) = (agg, jfi) {
+                if a < rule.tolerance && j < rule.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // ----- collection ----------------------------------------------------
+    let measured_for = now - warmup_end;
+    let secs = measured_for.as_secs_f64();
+    assert!(secs > 0.0, "empty measurement window");
+    let delivered_end = net.per_flow_delivered();
+
+    let link = net.sim.component::<Link>(net.link);
+    let link_stats = link.stats().clone();
+    let drop_burstiness = ccsim_analysis::burstiness(link.drop_log());
+
+    let mut flows = Vec::with_capacity(net.flow_count());
+    for i in 0..net.flow_count() {
+        let stats = net.sim.component::<Sender>(net.senders[i]).stats();
+        let base = sender_base[i];
+        let window_delivered = delivered_end[i] - base.delivered_bytes;
+        let window_events = stats
+            .congestion_event_log
+            .iter()
+            .filter(|&&t| t >= warmup_end)
+            .count() as u64;
+        flows.push(FlowMetrics {
+            flow: i as u32,
+            cca: net.flow_cca[i].name().to_string(),
+            base_rtt_secs: net.flow_rtt[i].as_secs_f64(),
+            throughput_bytes_per_sec: window_delivered as f64 / secs,
+            delivered_bytes: window_delivered,
+            data_pkts_sent: stats.data_pkts_sent - base.data_pkts_sent,
+            retransmits: stats.retransmits - base.retransmits,
+            congestion_events: window_events,
+            rtos: stats.rtos - base.rtos,
+            queue_drops: link_stats.per_flow_dropped.get(i).copied().unwrap_or(0),
+            queue_arrivals: link_stats.per_flow_arrived.get(i).copied().unwrap_or(0),
+        });
+    }
+
+    RunOutcome {
+        scenario: scenario.name.clone(),
+        seed: scenario.seed,
+        mss: scenario.mss,
+        bottleneck: scenario.bottleneck,
+        flows,
+        flow_cca: net.flow_cca.clone(),
+        measured_for,
+        converged,
+        ended_at: now,
+        aggregate_loss_rate: link_stats.loss_rate(),
+        drop_burstiness,
+        max_queue_bytes: link_stats.max_queue_bytes,
+        events_processed: net.sim.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::FlowGroup;
+    use ccsim_cca::CcaKind;
+    use ccsim_sim::{Bandwidth, SimDuration};
+
+    /// A small, fast scenario: 4 reno flows on a 20 Mbps link.
+    fn small(seed: u64) -> Scenario {
+        let mut s = Scenario::edge_scale()
+            .named("small")
+            .flows(vec![FlowGroup::new(
+                CcaKind::Reno,
+                4,
+                SimDuration::from_millis(20),
+            )])
+            .seed(seed);
+        s.bottleneck = Bandwidth::from_mbps(20);
+        s.buffer_bytes = 500_000; // ~1 BDP at 200 ms
+        s.start_jitter = SimDuration::from_millis(300);
+        s.warmup = SimDuration::from_secs(3);
+        s.duration = SimDuration::from_secs(10);
+        s.convergence = None;
+        s
+    }
+
+    #[test]
+    fn reno_flows_fill_the_link_and_share_fairly() {
+        let o = run(&small(1));
+        // High utilization: loss-based flows with a 1-BDP buffer.
+        assert!(o.utilization() > 0.85, "utilization = {}", o.utilization());
+        assert!(o.utilization() <= 1.01);
+        // Same-RTT reno is fair.
+        let jfi = o.jain_index().unwrap();
+        assert!(jfi > 0.9, "jfi = {jfi}");
+        // Losses occurred (window is congestion-limited) and were counted.
+        assert!(o.aggregate_loss_rate > 0.0);
+        let events: u64 = o.flows.iter().map(|f| f.congestion_events).sum();
+        assert!(events > 0, "no congestion events recorded");
+    }
+
+    #[test]
+    fn outcome_is_deterministic_for_a_seed() {
+        let a = run(&small(7));
+        let b = run(&small(7));
+        assert_eq!(a.throughputs(), b.throughputs());
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.aggregate_loss_rate, b.aggregate_loss_rate);
+    }
+
+    #[test]
+    fn different_seeds_differ_but_agree_in_aggregate() {
+        let a = run(&small(1));
+        let b = run(&small(2));
+        assert_ne!(a.events_processed, b.events_processed);
+        // Aggregate throughput is a physical property: within a few %.
+        let ra = a.aggregate_throughput_mbps();
+        let rb = b.aggregate_throughput_mbps();
+        assert!((ra - rb).abs() / ra < 0.05, "{ra} vs {rb}");
+    }
+
+    #[test]
+    fn convergence_rule_stops_early() {
+        let mut s = small(3);
+        s.duration = SimDuration::from_secs(60);
+        s.convergence = Some(crate::scenario::ConvergenceRule {
+            window_snapshots: 5,
+            tolerance: 0.05,
+        });
+        let o = run(&s);
+        assert!(o.converged, "steady flows should converge");
+        assert!(o.ended_at < SimTime::ZERO + s.warmup + s.duration);
+    }
+
+    #[test]
+    fn window_counters_exclude_warmup() {
+        let o = run(&small(4));
+        for f in &o.flows {
+            // Throughput implied by delivered bytes must match the field.
+            let implied = f.delivered_bytes as f64 / o.measured_for.as_secs_f64();
+            assert!((implied - f.throughput_bytes_per_sec).abs() < 1.0);
+            // Queue arrivals were reset at warm-up: they cannot exceed what
+            // the whole run could have sent in the window.
+            assert!(f.queue_arrivals > 0);
+        }
+    }
+}

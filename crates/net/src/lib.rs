@@ -1,0 +1,25 @@
+//! # ccsim-net — network elements
+//!
+//! The building blocks of simulated topologies:
+//!
+//! * [`packet`] — the `Copy` packet representation (data segments, ACKs with
+//!   SACK blocks) and the workspace-wide size constants.
+//! * [`msg`] — the single message type ([`Msg`]) exchanged by all components,
+//!   and timer tokens with generation-based lazy cancellation.
+//! * [`link`] — rate-limited links with drop-tail byte-capacity queues and
+//!   full drop instrumentation: the equivalent of the paper's BESS switch
+//!   port.
+//! * [`delay`] — a pure constant-delay element (the `netem` equivalent).
+//!
+//! Topology *construction* (the dumbbell) lives in `ccsim-core`, which also
+//! owns the TCP endpoints that terminate these links.
+
+pub mod delay;
+pub mod link;
+pub mod msg;
+pub mod packet;
+
+pub use delay::{DelayLine, DelayNext};
+pub use link::{Link, LinkStats, NextHop};
+pub use msg::{Msg, TimerToken};
+pub use packet::{FlowId, Packet, PacketKind, SackBlock, SackBlocks, DEFAULT_MSS, HEADER_BYTES};

@@ -1,0 +1,273 @@
+//! Packet representation.
+//!
+//! Packets are small `Copy` values: the study never inspects payload bits,
+//! only sizes and timing, so a packet is metadata — flow id, sequence range,
+//! wire size, ACK state — plus the destination component. Keeping packets
+//! `Copy` (no heap payload) is what lets the simulator move tens of millions
+//! of them per wall-clock second.
+//!
+//! Sequence numbers are 64-bit byte offsets that never wrap. Real TCP uses a
+//! 32-bit wrapping space; wrap handling is irrelevant to every phenomenon the
+//! paper measures, and 64 bits cannot wrap within any feasible experiment
+//! (2^64 bytes at 10 Gbps is ~460 years).
+
+use ccsim_sim::{ComponentId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one TCP flow (one sender/receiver pair) within an experiment.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The flow index as a `usize`, for indexing per-flow tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// Maximum number of SACK blocks carried per ACK.
+///
+/// Linux advertises at most 3 when the timestamp option is present (RFC 2018
+/// allows 4 without); 3 matches the stacks the paper measured.
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// A half-open `[start, end)` range of SACKed bytes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct SackBlock {
+    /// First byte covered.
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+}
+
+impl SackBlock {
+    /// Number of bytes covered.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True iff the block covers no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// A fixed-capacity, allocation-free list of SACK blocks.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct SackBlocks {
+    blocks: [SackBlock; MAX_SACK_BLOCKS],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// The empty list.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [SackBlock { start: 0, end: 0 }; MAX_SACK_BLOCKS],
+        len: 0,
+    };
+
+    /// Append a block; silently ignored once full (mirrors the wire-format
+    /// truncation of real SACK options).
+    #[inline]
+    pub fn push(&mut self, b: SackBlock) {
+        if (self.len as usize) < MAX_SACK_BLOCKS && !b.is_empty() {
+            self.blocks[self.len as usize] = b;
+            self.len += 1;
+        }
+    }
+
+    /// The populated blocks.
+    #[inline]
+    pub fn as_slice(&self) -> &[SackBlock] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// Number of populated blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True iff no blocks are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// What a packet is.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// A data segment carrying `[seq, end_seq)`.
+    Data,
+    /// A (possibly selective) acknowledgment. `ack_seq` is the cumulative
+    /// ACK; `sack` lists out-of-order ranges held by the receiver.
+    Ack,
+}
+
+/// A simulated packet.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Data segment or ACK.
+    pub kind: PacketKind,
+    /// Final destination endpoint (used by links with
+    /// [`NextHop::ToPacketDst`](crate::link::NextHop::ToPacketDst)).
+    #[serde(skip, default = "zero_component")]
+    pub dst: ComponentId,
+    /// Total size on the wire, headers included, in bytes.
+    pub wire_bytes: u32,
+    /// Data: first payload byte. Ack: unused (0).
+    pub seq: u64,
+    /// Data: one past the last payload byte. Ack: unused (0).
+    pub end_seq: u64,
+    /// Ack: cumulative acknowledgment (next byte expected). Data: unused.
+    pub ack_seq: u64,
+    /// Ack: selective acknowledgment blocks.
+    pub sack: SackBlocks,
+    /// When the packet left its origin endpoint (diagnostics; senders keep
+    /// their own authoritative per-segment timestamps).
+    pub sent_at: SimTime,
+    /// Data: true iff this is a retransmission (diagnostics/telemetry).
+    pub retransmit: bool,
+}
+
+fn zero_component() -> ComponentId {
+    ComponentId::from_raw(0)
+}
+
+/// Header overhead added to every segment: IPv4 (20) + TCP (20) +
+/// options (timestamp 12) = 52 bytes. Ethernet framing is excluded, as in
+/// the paper's BESS byte counting.
+pub const HEADER_BYTES: u32 = 52;
+
+/// The paper's fixed maximum segment size (payload bytes per segment).
+pub const DEFAULT_MSS: u32 = 1448;
+
+impl Packet {
+    /// Build a data segment covering `[seq, end_seq)`.
+    pub fn data(flow: FlowId, dst: ComponentId, seq: u64, end_seq: u64, now: SimTime) -> Packet {
+        debug_assert!(end_seq > seq, "empty data segment");
+        Packet {
+            flow,
+            kind: PacketKind::Data,
+            dst,
+            wire_bytes: (end_seq - seq) as u32 + HEADER_BYTES,
+            seq,
+            end_seq,
+            ack_seq: 0,
+            sack: SackBlocks::EMPTY,
+            sent_at: now,
+            retransmit: false,
+        }
+    }
+
+    /// Build a pure ACK.
+    pub fn ack(flow: FlowId, dst: ComponentId, ack_seq: u64, sack: SackBlocks, now: SimTime) -> Packet {
+        Packet {
+            flow,
+            kind: PacketKind::Ack,
+            dst,
+            wire_bytes: HEADER_BYTES + 12, // SACK option space, approximate
+            seq: 0,
+            end_seq: 0,
+            ack_seq,
+            sack,
+            sent_at: now,
+            retransmit: false,
+        }
+    }
+
+    /// Payload length (0 for ACKs).
+    #[inline]
+    pub fn payload_len(&self) -> u64 {
+        self.end_seq - self.seq
+    }
+
+    /// True iff this is a data segment.
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, PacketKind::Data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid() -> ComponentId {
+        ComponentId::from_raw(9)
+    }
+
+    #[test]
+    fn data_packet_sizes() {
+        let p = Packet::data(FlowId(1), cid(), 0, 1448, SimTime::ZERO);
+        assert_eq!(p.payload_len(), 1448);
+        assert_eq!(p.wire_bytes, 1500);
+        assert!(p.is_data());
+    }
+
+    #[test]
+    fn ack_packet_shape() {
+        let p = Packet::ack(FlowId(1), cid(), 4344, SackBlocks::EMPTY, SimTime::ZERO);
+        assert!(!p.is_data());
+        assert_eq!(p.payload_len(), 0);
+        assert_eq!(p.ack_seq, 4344);
+        assert!(p.wire_bytes < 100);
+    }
+
+    #[test]
+    fn sack_blocks_capacity() {
+        let mut s = SackBlocks::EMPTY;
+        assert!(s.is_empty());
+        for i in 0..5u64 {
+            s.push(SackBlock {
+                start: i * 1000,
+                end: i * 1000 + 500,
+            });
+        }
+        // Only the first MAX_SACK_BLOCKS survive.
+        assert_eq!(s.len(), MAX_SACK_BLOCKS);
+        assert_eq!(s.as_slice()[0].start, 0);
+        assert_eq!(s.as_slice()[2].start, 2000);
+    }
+
+    #[test]
+    fn sack_blocks_reject_empty_ranges() {
+        let mut s = SackBlocks::EMPTY;
+        s.push(SackBlock { start: 5, end: 5 });
+        s.push(SackBlock { start: 9, end: 4 });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sack_block_len() {
+        let b = SackBlock { start: 10, end: 25 };
+        assert_eq!(b.len(), 15);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "empty data segment")]
+    fn empty_data_segment_panics() {
+        let _ = Packet::data(FlowId(0), cid(), 10, 10, SimTime::ZERO);
+    }
+
+    #[test]
+    fn packet_is_small() {
+        // The hot path copies packets by value; keep them cache-friendly.
+        assert!(std::mem::size_of::<Packet>() <= 136);
+    }
+}

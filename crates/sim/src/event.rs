@@ -1,0 +1,204 @@
+//! The pending-event set: a binary heap keyed on (time, insertion sequence).
+//!
+//! The insertion-sequence tiebreak gives same-timestamp events FIFO order,
+//! which is what makes whole-simulation runs deterministic: two events
+//! scheduled for the same nanosecond always fire in the order they were
+//! scheduled, independent of heap internals.
+
+use crate::engine::ComponentId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: deliver `msg` to component `dst` at instant `time`.
+#[derive(Debug, Clone)]
+pub struct Event<M> {
+    /// Delivery instant.
+    pub time: SimTime,
+    /// Destination component.
+    pub dst: ComponentId,
+    /// The message payload.
+    pub msg: M,
+}
+
+struct HeapEntry<M> {
+    time: SimTime,
+    seq: u64,
+    dst: ComponentId,
+    msg: M,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of pending events, earliest first, FIFO within a timestamp.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<HeapEntry<M>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Pre-allocate capacity for `n` simultaneous pending events.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedule `msg` for delivery to `dst` at absolute instant `time`.
+    #[inline]
+    pub fn schedule(&mut self, time: SimTime, dst: ComponentId, msg: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq,
+            dst,
+            msg,
+        });
+    }
+
+    /// Remove and return the earliest pending event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop().map(|e| Event {
+            time: e.time,
+            dst: e.dst,
+            msg: e.msg,
+        })
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (monotonic counter; useful for
+    /// engine-throughput benchmarks).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> ComponentId {
+        ComponentId::from_raw(i)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), id(0), "c");
+        q.schedule(SimTime::from_millis(1), id(0), "a");
+        q.schedule(SimTime::from_millis(2), id(0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100 {
+            q.schedule(t, id(0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_millis(7), id(1), ());
+        q.schedule(SimTime::from_millis(4), id(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(4)));
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_millis(4));
+        assert_eq!(e.dst, id(2));
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, id(0), ());
+        q.schedule(SimTime::ZERO, id(0), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stay_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), id(0), 10);
+        q.schedule(SimTime::from_millis(5), id(0), 5);
+        assert_eq!(q.pop().unwrap().msg, 5);
+        q.schedule(SimTime::from_millis(1), id(0), 1);
+        q.schedule(SimTime::from_millis(20), id(0), 20);
+        assert_eq!(q.pop().unwrap().msg, 1);
+        assert_eq!(q.pop().unwrap().msg, 10);
+        assert_eq!(q.pop().unwrap().msg, 20);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,365 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+//!
+//! `SimTime` is an absolute instant on the simulation clock (nanoseconds
+//! since simulation start); `SimDuration` is a span between instants. Both
+//! wrap a `u64`, giving ~584 simulated years of range — far beyond any
+//! experiment horizon — while staying `Copy` and trivially comparable.
+//!
+//! Arithmetic is checked in debug builds (standard Rust overflow semantics);
+//! saturating helpers are provided where wraparound would otherwise be a
+//! plausible hazard (e.g. subtracting a warm-up offset from an early event).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Nanoseconds in one microsecond.
+pub const NANOS_PER_MICRO: u64 = 1_000;
+/// Nanoseconds in one millisecond.
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds in one second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// An absolute instant on the simulation clock, in nanoseconds since start.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far away"
+    /// sentinel for disarmed timers.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * NANOS_PER_MICRO)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * NANOS_PER_MILLI)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (rounds to nearest nanosecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite(), "negative or non-finite time");
+        SimTime((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as `f64` (lossy beyond ~2^53 ns).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is actually later (e.g. comparing against a warm-up boundary).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of two instants.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// Add a duration, saturating at [`SimTime::MAX`].
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span; used as an "infinite" timeout.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * NANOS_PER_MICRO)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * NANOS_PER_MILLI)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * NANOS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (rounds to nearest nanosecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite(), "negative or non-finite duration");
+        SimDuration((s * NANOS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / NANOS_PER_MILLI
+    }
+
+    /// Seconds as `f64`.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// True iff this is the zero-length span.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by a non-negative float, rounding to nearest nanosecond.
+    /// Saturates at `SimDuration::MAX`.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0 && k.is_finite(), "negative or non-finite factor");
+        let ns = self.0 as f64 * k;
+        if ns >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns.round() as u64)
+        }
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+/// Human-readable rendering with an adaptive unit.
+fn format_ns(ns: u64) -> String {
+    if ns == u64::MAX {
+        "inf".to_owned()
+    } else if ns >= NANOS_PER_SEC {
+        format!("{:.6}s", ns as f64 / NANOS_PER_SEC as f64)
+    } else if ns >= NANOS_PER_MILLI {
+        format!("{:.3}ms", ns as f64 / NANOS_PER_MILLI as f64)
+    } else if ns >= NANOS_PER_MICRO {
+        format!("{:.3}us", ns as f64 / NANOS_PER_MICRO as f64)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2 * NANOS_PER_SEC);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3 * NANOS_PER_MILLI);
+        assert_eq!(SimTime::from_micros(4).as_nanos(), 4 * NANOS_PER_MICRO);
+        assert_eq!(SimDuration::from_secs(1).as_millis(), 1000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10);
+        let d = SimDuration::from_millis(5);
+        assert_eq!(t + d, SimTime::from_millis(15));
+        assert_eq!(t - d, SimTime::from_millis(5));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 3, SimDuration::from_millis(15));
+        assert_eq!(d / 5, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(9);
+        assert_eq!(late.saturating_since(early), SimDuration::from_millis(8));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(early.checked_since(late), None);
+    }
+
+    #[test]
+    fn float_conversions() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        let d = SimDuration::from_secs_f64(0.25).mul_f64(2.0);
+        assert_eq!(d, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn mul_f64_saturates() {
+        assert_eq!(SimDuration::MAX.mul_f64(2.0), SimDuration::MAX);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(5)), "5.000000s");
+        assert_eq!(format!("{}", SimDuration::MAX), "inf");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+        assert!(SimDuration::ZERO < SimDuration::from_nanos(1));
+    }
+}

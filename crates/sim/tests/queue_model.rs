@@ -1,0 +1,49 @@
+//! Model-based property test: the event queue must behave exactly like a
+//! sorted-by-(time, insertion-order) reference implementation.
+
+use ccsim_sim::{ComponentId, EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_reference_model(
+        ops in prop::collection::vec((0u8..4, 0u64..1_000), 1..400),
+    ) {
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        // Reference: Vec kept sorted by (time, seq).
+        let mut model: Vec<(u64, u64, u64)> = Vec::new(); // (time, seq, payload)
+        let mut seq = 0u64;
+        let mut payload = 0u64;
+        for (op, t) in ops {
+            if op == 0 && !model.is_empty() {
+                // Pop from both; compare.
+                let got = queue.pop().expect("queue non-empty");
+                let idx = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(time, s, _))| (time, s))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let (mt, _, mp) = model.remove(idx);
+                prop_assert_eq!(got.time, SimTime::from_nanos(mt));
+                prop_assert_eq!(got.msg, mp);
+            } else {
+                queue.schedule(SimTime::from_nanos(t), ComponentId::from_raw(0), payload);
+                model.push((t, seq, payload));
+                seq += 1;
+                payload += 1;
+            }
+            prop_assert_eq!(queue.len(), model.len());
+        }
+        // Drain: remaining pops must match the model order exactly.
+        model.sort_by_key(|&(time, s, _)| (time, s));
+        for &(mt, _, mp) in &model {
+            let got = queue.pop().unwrap();
+            prop_assert_eq!(got.time, SimTime::from_nanos(mt));
+            prop_assert_eq!(got.msg, mp);
+        }
+        prop_assert!(queue.pop().is_none());
+    }
+}

@@ -1,0 +1,86 @@
+//! Endpoint counters exposed to the experiment harness and telemetry.
+//!
+//! These are the simulator's equivalent of `ss -i` / `tcpprobe` state: the
+//! sender side counts transmissions, retransmissions, and — crucially for
+//! the paper — *congestion events* (CWND reductions), split into fast
+//! recoveries and RTOs. The harness derives the "CWND halving rate" from
+//! these and the packet counts.
+
+use ccsim_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Sender-side counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SenderStats {
+    /// Data segments transmitted (including retransmissions).
+    pub data_pkts_sent: u64,
+    /// Data bytes transmitted (including retransmissions).
+    pub bytes_sent: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// ACK packets processed.
+    pub acks_received: u64,
+    /// Entries into fast recovery (multiplicative-decrease events).
+    pub fast_recoveries: u64,
+    /// Retransmission timeouts fired.
+    pub rtos: u64,
+    /// Timestamps of congestion events (fast-recovery entries + RTOs) —
+    /// the tcpprobe-equivalent CWND-halving log.
+    pub congestion_event_log: Vec<SimTime>,
+    /// Total bytes delivered (cumulatively or selectively ACKed).
+    pub delivered_bytes: u64,
+    /// Segments declared lost by loss detection or RTO.
+    pub segments_marked_lost: u64,
+}
+
+impl SenderStats {
+    /// Total congestion events: fast recoveries + RTOs. This is the event
+    /// count whose per-packet rate feeds the Mathis model's
+    /// "CWND halving rate" interpretation of `p`.
+    pub fn congestion_events(&self) -> u64 {
+        self.fast_recoveries + self.rtos
+    }
+}
+
+/// Receiver-side counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReceiverStats {
+    /// Data segments received (any order, including duplicates).
+    pub data_pkts_received: u64,
+    /// Payload bytes received (including duplicates).
+    pub bytes_received: u64,
+    /// Out-of-order arrivals buffered.
+    pub ooo_pkts: u64,
+    /// Entirely duplicate segments (spurious retransmissions).
+    pub duplicate_pkts: u64,
+    /// Segments observed with the retransmit flag.
+    pub retransmits_received: u64,
+    /// ACKs emitted.
+    pub acks_sent: u64,
+    /// ACKs emitted carrying SACK blocks.
+    pub sack_acks_sent: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congestion_events_sum_recoveries_and_rtos() {
+        let s = SenderStats {
+            fast_recoveries: 7,
+            rtos: 2,
+            ..SenderStats::default()
+        };
+        assert_eq!(s.congestion_events(), 9);
+    }
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = SenderStats::default();
+        assert_eq!(s.congestion_events(), 0);
+        assert!(s.congestion_event_log.is_empty());
+        let r = ReceiverStats::default();
+        assert_eq!(r.acks_sent, 0);
+    }
+}

@@ -1,0 +1,605 @@
+//! The sender's SACK scoreboard (RFC 2018 / RFC 6675).
+//!
+//! Tracks every outstanding segment with its (re)transmission snapshot and
+//! SACK/loss state, maintains the in-flight ("pipe") estimate, performs
+//! RFC 6675-style loss detection, and produces Karn-filtered RTT samples
+//! plus the [`TxRecord`] needed for delivery-rate estimation.
+//!
+//! Segments are fixed-size (one MSS) except possibly the last of a burst,
+//! and all ACKs fall on segment boundaries (receivers acknowledge whole
+//! segments); both properties are asserted in debug builds.
+
+use crate::rate::TxRecord;
+use ccsim_net::packet::SackBlocks;
+use ccsim_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One outstanding segment.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// First byte.
+    pub seq: u64,
+    /// One past the last byte.
+    pub end: u64,
+    /// Delivery snapshot from the most recent (re)transmission.
+    pub tx: TxRecord,
+    /// Selectively acknowledged.
+    pub sacked: bool,
+    /// Declared lost (and not since retransmitted).
+    pub lost: bool,
+    /// Ever retransmitted (Karn's rule: no RTT samples from these).
+    pub retransmitted: bool,
+}
+
+impl Segment {
+    #[inline]
+    fn len(&self) -> u64 {
+        self.end - self.seq
+    }
+}
+
+/// Outcome of processing one ACK against the scoreboard.
+#[derive(Debug, Clone, Copy)]
+pub struct AckResult {
+    /// Bytes newly delivered by this ACK (cumulative + selective), i.e.
+    /// bytes that had never been cum-ACKed nor SACKed before.
+    pub newly_acked: u64,
+    /// Of `newly_acked`, bytes newly covered by SACK blocks (not cumulative).
+    pub newly_sacked: u64,
+    /// Whether `snd_una` advanced.
+    pub snd_una_advanced: bool,
+    /// Karn-filtered RTT sample: `now - sent_time` of the newest
+    /// never-retransmitted segment this ACK newly covered.
+    pub rtt_sample: Option<SimDuration>,
+    /// TxRecord of the most recently sent segment this ACK newly covered
+    /// (retransmitted or not) — input to the rate estimator.
+    pub latest_tx: Option<TxRecord>,
+}
+
+/// The scoreboard proper.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    segs: VecDeque<Segment>,
+    snd_una: u64,
+    snd_nxt: u64,
+    sacked_bytes: u64,
+    /// Count of currently SACKed segments (kept incrementally for O(1)
+    /// loss-detection thresholds).
+    sacked_segs: u32,
+    lost_bytes: u64,
+    /// Highest sequence covered by any SACK so far ("FACK" point).
+    high_sacked: u64,
+    /// Send time of the most recently *sent* segment known delivered —
+    /// the RACK anchor: only segments sent before this instant may be
+    /// declared lost (prevents re-marking fresh retransmissions whose
+    /// SACK evidence predates them).
+    delivered_latest_sent: SimTime,
+    mss: u32,
+    dupthresh: u32,
+}
+
+impl Scoreboard {
+    /// Fresh scoreboard starting at sequence 0.
+    pub fn new(mss: u32) -> Scoreboard {
+        Scoreboard {
+            segs: VecDeque::new(),
+            snd_una: 0,
+            snd_nxt: 0,
+            sacked_bytes: 0,
+            sacked_segs: 0,
+            lost_bytes: 0,
+            high_sacked: 0,
+            delivered_latest_sent: SimTime::ZERO,
+            mss,
+            dupthresh: 3,
+        }
+    }
+
+    /// First unacknowledged byte.
+    #[inline]
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Next new byte to transmit.
+    #[inline]
+    pub fn snd_nxt(&self) -> u64 {
+        self.snd_nxt
+    }
+
+    /// RFC 6675 "pipe": bytes considered in flight.
+    #[inline]
+    pub fn in_flight(&self) -> u64 {
+        (self.snd_nxt - self.snd_una) - self.sacked_bytes - self.lost_bytes
+    }
+
+    /// Bytes currently marked lost and awaiting retransmission.
+    #[inline]
+    pub fn lost_bytes(&self) -> u64 {
+        self.lost_bytes
+    }
+
+    /// Bytes currently SACKed (below `snd_nxt`, above `snd_una`).
+    #[inline]
+    pub fn sacked_bytes(&self) -> u64 {
+        self.sacked_bytes
+    }
+
+    /// Number of outstanding segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True iff nothing is outstanding.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Record transmission of new data `[snd_nxt, snd_nxt + len)`.
+    pub fn on_send_new(&mut self, len: u64, tx: TxRecord) {
+        debug_assert!(len > 0);
+        let seq = self.snd_nxt;
+        self.snd_nxt += len;
+        self.segs.push_back(Segment {
+            seq,
+            end: seq + len,
+            tx,
+            sacked: false,
+            lost: false,
+            retransmitted: false,
+        });
+    }
+
+    /// Process the cumulative-ACK and SACK content of one incoming ACK.
+    pub fn process_ack(&mut self, now: SimTime, ack_seq: u64, sack: &SackBlocks) -> AckResult {
+        let mut res = AckResult {
+            newly_acked: 0,
+            newly_sacked: 0,
+            snd_una_advanced: false,
+            rtt_sample: None,
+            latest_tx: None,
+        };
+        let mut latest_sent = SimTime::ZERO;
+        let mut latest_clean_sent: Option<SimTime> = None;
+
+        // 1. Cumulative ACK: retire fully covered segments.
+        if ack_seq > self.snd_una {
+            debug_assert!(ack_seq <= self.snd_nxt, "ACK beyond snd_nxt");
+            res.snd_una_advanced = true;
+            while let Some(front) = self.segs.front() {
+                if front.end > ack_seq {
+                    break;
+                }
+                let seg = self.segs.pop_front().expect("front exists");
+                debug_assert!(seg.end <= ack_seq);
+                if seg.sacked {
+                    self.sacked_bytes -= seg.len();
+                    self.sacked_segs -= 1;
+                } else {
+                    res.newly_acked += seg.len();
+                    if seg.lost {
+                        // Cumulative ACK of a segment still marked lost
+                        // (e.g. the retransmission we never saw SACKed).
+                        self.lost_bytes -= seg.len();
+                    }
+                    Self::note_covered(&seg, &mut latest_sent, &mut latest_clean_sent, &mut res);
+                }
+            }
+            debug_assert!(
+                self.segs.front().map_or(true, |s| s.seq >= ack_seq),
+                "cumulative ACK inside a segment"
+            );
+            self.snd_una = ack_seq;
+        }
+
+        // 2. SACK blocks: mark newly covered segments.
+        for block in sack.as_slice() {
+            if block.end <= self.snd_una {
+                continue;
+            }
+            self.high_sacked = self.high_sacked.max(block.end);
+            // Segments are seq-sorted and contiguous: binary-search the
+            // first one the block touches instead of scanning from the
+            // front (SACK blocks arrive on every dup-ACK).
+            let start_idx = self.segs.partition_point(|s| s.end <= block.start);
+            for seg in self.segs.range_mut(start_idx..) {
+                if seg.seq >= block.end {
+                    break;
+                }
+                // Segment overlaps the block; receivers SACK whole
+                // segments, so overlap means containment.
+                debug_assert!(
+                    seg.seq >= block.start && seg.end <= block.end,
+                    "SACK block splits a segment"
+                );
+                if !seg.sacked {
+                    seg.sacked = true;
+                    self.sacked_bytes += seg.len();
+                    self.sacked_segs += 1;
+                    if seg.lost {
+                        seg.lost = false;
+                        self.lost_bytes -= seg.len();
+                    }
+                    res.newly_acked += seg.len();
+                    res.newly_sacked += seg.len();
+                    Self::note_covered(seg, &mut latest_sent, &mut latest_clean_sent, &mut res);
+                }
+            }
+        }
+
+        if let Some(sent) = latest_clean_sent {
+            res.rtt_sample = Some(now.saturating_since(sent));
+        }
+        if let Some(tx) = &res.latest_tx {
+            self.delivered_latest_sent = self.delivered_latest_sent.max(tx.sent_time);
+        }
+        self.debug_check();
+        res
+    }
+
+    fn note_covered(
+        seg: &Segment,
+        latest_sent: &mut SimTime,
+        latest_clean_sent: &mut Option<SimTime>,
+        res: &mut AckResult,
+    ) {
+        if res.latest_tx.is_none() || seg.tx.sent_time >= *latest_sent {
+            *latest_sent = seg.tx.sent_time;
+            res.latest_tx = Some(seg.tx);
+        }
+        if !seg.retransmitted && latest_clean_sent.map_or(true, |t| seg.tx.sent_time >= t) {
+            *latest_clean_sent = Some(seg.tx.sent_time);
+        }
+    }
+
+    /// RFC 6675-style loss detection. A segment is declared lost when at
+    /// least `dupthresh` later segments have been SACKed, or when the
+    /// highest SACKed sequence is at least `dupthresh * MSS` bytes past its
+    /// end. Returns bytes newly marked lost.
+    pub fn detect_losses(&mut self) -> u64 {
+        if self.sacked_bytes == 0 {
+            return 0;
+        }
+        // Both rules are monotone along the scoreboard: the count of SACKed
+        // segments above position i is non-increasing in i, and the FACK
+        // byte gap shrinks as `end` grows. So losses form a prefix of the
+        // unmarked segments and the walk stops at the first survivor —
+        // no per-ACK allocation, O(marked prefix + 1).
+        let total_sacked_segs = self.sacked_segs;
+        let mut sacked_seen: u32 = 0;
+        let mut newly_lost = 0;
+        let fack_margin = self.dupthresh as u64 * self.mss as u64;
+        for seg in self.segs.iter_mut() {
+            if seg.seq >= self.high_sacked {
+                break; // nothing SACKed above; later segs can't be lost yet
+            }
+            if seg.sacked {
+                sacked_seen += 1;
+                continue;
+            }
+            if seg.lost {
+                continue;
+            }
+            let by_count = total_sacked_segs - sacked_seen >= self.dupthresh;
+            let by_bytes = self.high_sacked >= seg.end + fack_margin;
+            if !(by_count || by_bytes) {
+                // The dupthresh rules are monotone along the scoreboard:
+                // once they fail, they fail for everything later too.
+                break;
+            }
+            // RACK anchor: evidence must STRICTLY postdate this
+            // transmission. Same-instant comparisons matter: a batch of
+            // retransmissions shares one timestamp, and the delivery of one
+            // must not condemn its batch-mates (that caused an unbounded
+            // retransmit storm; see dup_acks_do_not_storm_retransmissions).
+            if seg.tx.sent_time >= self.delivered_latest_sent {
+                continue;
+            }
+            seg.lost = true;
+            newly_lost += seg.len();
+        }
+        self.lost_bytes += newly_lost;
+        self.debug_check();
+        newly_lost
+    }
+
+    /// On RTO: everything outstanding and un-SACKed is presumed lost.
+    /// Returns bytes newly marked lost.
+    pub fn mark_all_lost(&mut self) -> u64 {
+        let mut newly_lost = 0;
+        for seg in self.segs.iter_mut() {
+            if !seg.sacked && !seg.lost {
+                seg.lost = true;
+                newly_lost += seg.len();
+            }
+        }
+        self.lost_bytes += newly_lost;
+        self.debug_check();
+        newly_lost
+    }
+
+    /// The first lost, un-SACKed segment with `seq < limit`, if any —
+    /// the next retransmission candidate (RFC 6675 NextSeg rule 1).
+    ///
+    /// O(1) when nothing is marked lost (the overwhelmingly common case on
+    /// the transmission path); otherwise O(prefix up to the first loss).
+    pub fn next_lost_below(&self, limit: u64) -> Option<(u64, u64)> {
+        if self.lost_bytes == 0 {
+            return None;
+        }
+        self.segs
+            .iter()
+            .find(|s| s.lost && !s.sacked && s.seq < limit)
+            .map(|s| (s.seq, s.end))
+    }
+
+    /// Record retransmission of the segment starting at `seq`: it returns
+    /// to flight with a fresh delivery snapshot.
+    ///
+    /// # Panics
+    /// Panics if no lost segment starts at `seq`.
+    pub fn mark_retransmitted(&mut self, seq: u64, tx: TxRecord) {
+        let seg = self
+            .segs
+            .iter_mut()
+            .find(|s| s.seq == seq)
+            .expect("retransmitting unknown segment");
+        debug_assert!(seg.lost && !seg.sacked, "retransmitting a live segment");
+        seg.lost = false;
+        seg.retransmitted = true;
+        seg.tx = tx;
+        self.lost_bytes -= seg.len();
+        self.debug_check();
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check(&self) {
+        let mut sacked = 0;
+        let mut lost = 0;
+        let mut prev_end = self.snd_una;
+        for seg in &self.segs {
+            assert_eq!(seg.seq, prev_end, "scoreboard gap");
+            assert!(!(seg.sacked && seg.lost), "segment both sacked and lost");
+            prev_end = seg.end;
+            if seg.sacked {
+                sacked += seg.len();
+            }
+            if seg.lost {
+                lost += seg.len();
+            }
+        }
+        assert_eq!(prev_end, self.snd_nxt, "snd_nxt mismatch");
+        assert_eq!(sacked, self.sacked_bytes, "sacked_bytes drift");
+        assert_eq!(
+            self.segs.iter().filter(|s| s.sacked).count() as u32,
+            self.sacked_segs,
+            "sacked_segs drift"
+        );
+        assert_eq!(lost, self.lost_bytes, "lost_bytes drift");
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_net::packet::SackBlock;
+
+    const MSS: u64 = 1000;
+
+    fn tx_at(ms: u64) -> TxRecord {
+        TxRecord {
+            sent_time: SimTime::from_millis(ms),
+            delivered: 0,
+            delivered_time: SimTime::ZERO,
+            first_tx_time: SimTime::ZERO,
+            app_limited: false,
+        }
+    }
+
+    fn board_with(n: u64) -> Scoreboard {
+        let mut b = Scoreboard::new(MSS as u32);
+        for i in 0..n {
+            b.on_send_new(MSS, tx_at(i));
+        }
+        b
+    }
+
+    fn sack(blocks: &[(u64, u64)]) -> SackBlocks {
+        let mut s = SackBlocks::EMPTY;
+        for &(start, end) in blocks {
+            s.push(SackBlock { start, end });
+        }
+        s
+    }
+
+    #[test]
+    fn send_tracks_snd_nxt_and_flight() {
+        let b = board_with(5);
+        assert_eq!(b.snd_nxt(), 5 * MSS);
+        assert_eq!(b.snd_una(), 0);
+        assert_eq!(b.in_flight(), 5 * MSS);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn cumulative_ack_retires_segments() {
+        let mut b = board_with(5);
+        let r = b.process_ack(SimTime::from_millis(100), 3 * MSS, &SackBlocks::EMPTY);
+        assert_eq!(r.newly_acked, 3 * MSS);
+        assert_eq!(r.newly_sacked, 0);
+        assert!(r.snd_una_advanced);
+        assert_eq!(b.snd_una(), 3 * MSS);
+        assert_eq!(b.in_flight(), 2 * MSS);
+        // RTT from the newest covered segment (sent at t=2 ms).
+        assert_eq!(r.rtt_sample, Some(SimDuration::from_millis(98)));
+    }
+
+    #[test]
+    fn duplicate_ack_is_inert() {
+        let mut b = board_with(3);
+        b.process_ack(SimTime::from_millis(10), MSS, &SackBlocks::EMPTY);
+        let r = b.process_ack(SimTime::from_millis(11), MSS, &SackBlocks::EMPTY);
+        assert_eq!(r.newly_acked, 0);
+        assert!(!r.snd_una_advanced);
+        assert!(r.rtt_sample.is_none());
+        assert!(r.latest_tx.is_none());
+    }
+
+    #[test]
+    fn sack_marks_segments_and_reduces_pipe() {
+        let mut b = board_with(5);
+        // SACK segments 2 and 3 (bytes 2000..4000).
+        let r = b.process_ack(
+            SimTime::from_millis(50),
+            0,
+            &sack(&[(2 * MSS, 4 * MSS)]),
+        );
+        assert_eq!(r.newly_sacked, 2 * MSS);
+        assert_eq!(r.newly_acked, 2 * MSS);
+        assert_eq!(b.sacked_bytes(), 2 * MSS);
+        assert_eq!(b.in_flight(), 3 * MSS);
+        // Re-delivering the same SACK is idempotent.
+        let r2 = b.process_ack(
+            SimTime::from_millis(51),
+            0,
+            &sack(&[(2 * MSS, 4 * MSS)]),
+        );
+        assert_eq!(r2.newly_acked, 0);
+    }
+
+    #[test]
+    fn cumulative_ack_over_sacked_does_not_double_count() {
+        let mut b = board_with(4);
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(MSS, 2 * MSS)]));
+        // Now cum-ACK everything: segment 1 was already counted as sacked.
+        let r = b.process_ack(SimTime::from_millis(2), 4 * MSS, &SackBlocks::EMPTY);
+        assert_eq!(r.newly_acked, 3 * MSS);
+        assert_eq!(b.in_flight(), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn loss_detection_by_sacked_segment_count() {
+        let mut b = board_with(6);
+        // Segment 0 missing; 1, 2, 3 SACKed => dupthresh(3) reached.
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(MSS, 4 * MSS)]));
+        let lost = b.detect_losses();
+        assert_eq!(lost, MSS);
+        assert_eq!(b.lost_bytes(), MSS);
+        // Pipe: 6 outstanding - 3 sacked - 1 lost = 2.
+        assert_eq!(b.in_flight(), 2 * MSS);
+        assert_eq!(b.next_lost_below(u64::MAX), Some((0, MSS)));
+    }
+
+    #[test]
+    fn loss_detection_below_threshold_holds_off() {
+        let mut b = board_with(6);
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(MSS, 3 * MSS)]));
+        // Only 2 segments SACKed above segment 0; FACK gap is 2 MSS < 3 MSS.
+        assert_eq!(b.detect_losses(), 0);
+    }
+
+    #[test]
+    fn loss_detection_by_fack_bytes() {
+        let mut b = board_with(10);
+        // One far-ahead SACK: segment 9 only.
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(9 * MSS, 10 * MSS)]));
+        // Segment k is lost iff high_sacked(10000) >= end + 3*MSS, i.e.
+        // (k+1)*1000 + 3000 <= 10000: segments 0..=6 (seven of them).
+        let lost = b.detect_losses();
+        assert_eq!(lost, 7 * MSS);
+    }
+
+    #[test]
+    fn retransmission_returns_segment_to_flight() {
+        let mut b = board_with(5);
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(MSS, 4 * MSS)]));
+        b.detect_losses();
+        assert_eq!(b.lost_bytes(), MSS);
+        let (seq, end) = b.next_lost_below(u64::MAX).unwrap();
+        assert_eq!((seq, end), (0, MSS));
+        b.mark_retransmitted(seq, tx_at(100));
+        assert_eq!(b.lost_bytes(), 0);
+        // 5 outstanding - 3 sacked = 2 in flight (seg 0 rtx + seg 4).
+        assert_eq!(b.in_flight(), 2 * MSS);
+        assert!(b.next_lost_below(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn karn_rtt_skips_retransmitted_segments() {
+        let mut b = board_with(5);
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(MSS, 4 * MSS)]));
+        b.detect_losses();
+        b.mark_retransmitted(0, tx_at(100));
+        // Cum-ACK through seg 0 only (the retransmitted one): no RTT sample,
+        // but latest_tx still reported for rate sampling.
+        let r = b.process_ack(SimTime::from_millis(150), MSS, &SackBlocks::EMPTY);
+        assert!(r.rtt_sample.is_none());
+        assert_eq!(r.latest_tx.unwrap().sent_time, SimTime::from_millis(100));
+        assert_eq!(r.newly_acked, MSS);
+    }
+
+    #[test]
+    fn mark_all_lost_on_rto() {
+        let mut b = board_with(4);
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(2 * MSS, 3 * MSS)]));
+        let lost = b.mark_all_lost();
+        assert_eq!(lost, 3 * MSS); // all but the sacked one
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn retransmitted_segment_can_be_lost_again_with_fresh_evidence() {
+        let mut b = board_with(8);
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(MSS, 4 * MSS)]));
+        b.detect_losses();
+        b.mark_retransmitted(0, tx_at(50));
+        // Stale evidence: SACKs of segments sent *before* the rtx (t=4..7)
+        // must NOT re-mark the rtx lost (RACK anchor).
+        b.process_ack(SimTime::from_millis(60), 0, &sack(&[(4 * MSS, 8 * MSS)]));
+        assert_eq!(b.detect_losses(), 0);
+        // Fresh evidence: new data sent after the rtx gets SACKed; now the
+        // rtx itself is evidently lost.
+        b.on_send_new(MSS, tx_at(70)); // seq 8000..9000
+        b.on_send_new(MSS, tx_at(71)); // seq 9000..10000
+        b.process_ack(SimTime::from_millis(90), 0, &sack(&[(8 * MSS, 10 * MSS)]));
+        let lost = b.detect_losses();
+        assert_eq!(lost, MSS);
+        assert_eq!(b.next_lost_below(u64::MAX), Some((0, MSS)));
+    }
+
+    #[test]
+    fn dup_acks_do_not_storm_retransmissions() {
+        // Regression test for the retransmit-storm bug: repeated dup-ACKs
+        // carrying the same SACK blocks must not repeatedly re-mark the
+        // retransmission lost.
+        let mut b = board_with(8);
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(MSS, 4 * MSS)]));
+        b.detect_losses();
+        b.mark_retransmitted(0, tx_at(50));
+        for i in 0..100 {
+            b.process_ack(SimTime::from_millis(60 + i), 0, &sack(&[(MSS, 4 * MSS)]));
+            assert_eq!(b.detect_losses(), 0, "re-marked on dup-ack {i}");
+            assert!(b.next_lost_below(u64::MAX).is_none());
+        }
+    }
+
+    #[test]
+    fn cum_ack_of_lost_segment_clears_lost_bytes() {
+        let mut b = board_with(5);
+        b.process_ack(SimTime::from_millis(1), 0, &sack(&[(MSS, 4 * MSS)]));
+        b.detect_losses();
+        assert_eq!(b.lost_bytes(), MSS);
+        // The "lost" segment's original copy arrives after all (late, not
+        // dropped): receiver cum-ACKs through it.
+        let r = b.process_ack(SimTime::from_millis(5), 4 * MSS, &SackBlocks::EMPTY);
+        assert_eq!(b.lost_bytes(), 0);
+        assert_eq!(r.newly_acked, MSS); // only seg 0 was unsacked
+        assert_eq!(b.in_flight(), MSS); // seg 4
+    }
+}

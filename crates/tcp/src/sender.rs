@@ -1,0 +1,530 @@
+//! The TCP sender endpoint: reliability, loss recovery, and the
+//! transmission loop.
+//!
+//! State machine mirrors Linux's `tcp_ca_state` reduced to the three states
+//! that matter for long-lived bulk flows:
+//!
+//! * **Open** — normal operation.
+//! * **Recovery** — fast recovery after SACK-based loss detection. For
+//!   loss-based CCAs the in-flight target is governed by Proportional Rate
+//!   Reduction (RFC 6937, with SSRB); BBR manages its own window.
+//! * **Loss** — after a retransmission timeout: everything outstanding is
+//!   presumed lost and the flow slow-starts from the CCA's post-RTO window.
+//!
+//! Congestion events (fast-recovery entries + RTOs) are logged with
+//! timestamps — the tcpprobe-equivalent CWND-halving record at the heart of
+//! the paper's Mathis-model analysis.
+//!
+//! ## Simplifications (documented in DESIGN.md)
+//!
+//! No handshake (flows start in established state), no receive-window limit
+//! (the paper tuned host buffers so flows are congestion-limited), no TLP,
+//! and no undo/D-SACK heuristics. Loss detection is RFC 6675 dupthresh +
+//! FACK byte rule, gated by a RACK-style send-time anchor (see
+//! `scoreboard.rs`).
+
+use crate::cc::{AckSample, CongestionControl};
+use crate::endpoint_stats::SenderStats;
+use crate::rate::RateEstimator;
+use crate::rtt::RttEstimator;
+use crate::scoreboard::Scoreboard;
+use ccsim_net::msg::{Msg, TimerToken};
+use ccsim_net::packet::{FlowId, Packet};
+use ccsim_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
+
+/// Timer kind: flow start.
+pub const TIMER_START: u16 = 1;
+/// Timer kind: retransmission timeout.
+pub const TIMER_RTO: u16 = 2;
+/// Timer kind: pacing release.
+pub const TIMER_PACE: u16 = 3;
+
+/// The message that opens a flow; schedule it at the flow's start time.
+pub fn start_msg() -> Msg {
+    Msg::Timer(TimerToken::pack(TIMER_START, 0))
+}
+
+/// Loss-recovery state (Linux `tcp_ca_state`, reduced).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CaState {
+    /// Normal operation.
+    Open,
+    /// SACK-triggered fast recovery.
+    Recovery,
+    /// Post-RTO loss state.
+    Loss,
+}
+
+/// Static sender configuration.
+#[derive(Debug, Clone)]
+pub struct SenderConfig {
+    /// Flow identity.
+    pub flow: FlowId,
+    /// Maximum segment size (payload bytes).
+    pub mss: u32,
+    /// The receiver endpoint (packets' final destination).
+    pub receiver: ComponentId,
+    /// First hop for data packets (typically the bottleneck link).
+    pub first_hop: ComponentId,
+    /// Stop offering new data beyond this many bytes (`None` = infinite
+    /// source, as in the paper).
+    pub data_limit: Option<u64>,
+}
+
+/// The sender component.
+pub struct Sender {
+    cfg: SenderConfig,
+    cca: Box<dyn CongestionControl>,
+    board: Scoreboard,
+    rtt: RttEstimator,
+    rate: RateEstimator,
+    state: CaState,
+    /// `snd_nxt` when the current loss episode began (`high_seq`).
+    recovery_point: u64,
+    /// PRR state (RFC 6937), valid while in Recovery for PRR-using CCAs.
+    prr_delivered: u64,
+    prr_out: u64,
+    prr_recover_fs: u64,
+    prr_ssthresh: u64,
+    last_newly_acked: u64,
+    /// Entry into recovery always permits the one fast retransmission.
+    force_rtx: bool,
+    /// Pacing: earliest instant the next segment may leave.
+    pacing_next: SimTime,
+    pace_pending: bool,
+    /// Lazy RTO timer: the scheduled event checks this deadline.
+    rto_deadline: SimTime,
+    rto_pending: bool,
+    started: bool,
+    stats: SenderStats,
+    /// Optional cwnd trace `(time, cwnd_bytes)`, sampled per ACK when
+    /// enabled (for examples/diagnostics; off in large experiments).
+    cwnd_trace: Option<Vec<(SimTime, u64)>>,
+}
+
+impl Sender {
+    /// Build a sender with the given CCA instance.
+    pub fn new(cfg: SenderConfig, cca: Box<dyn CongestionControl>) -> Sender {
+        let mss = cfg.mss;
+        Sender {
+            cfg,
+            cca,
+            board: Scoreboard::new(mss),
+            rtt: RttEstimator::default(),
+            rate: RateEstimator::new(),
+            state: CaState::Open,
+            recovery_point: 0,
+            prr_delivered: 0,
+            prr_out: 0,
+            prr_recover_fs: 0,
+            prr_ssthresh: 0,
+            last_newly_acked: 0,
+            force_rtx: false,
+            pacing_next: SimTime::ZERO,
+            pace_pending: false,
+            rto_deadline: SimTime::MAX,
+            rto_pending: false,
+            started: false,
+            stats: SenderStats::default(),
+            cwnd_trace: None,
+        }
+    }
+
+    /// Enable per-ACK cwnd tracing.
+    pub fn enable_cwnd_trace(&mut self) {
+        self.cwnd_trace = Some(Vec::new());
+    }
+
+    /// The recorded cwnd trace, if enabled.
+    pub fn cwnd_trace(&self) -> Option<&[(SimTime, u64)]> {
+        self.cwnd_trace.as_deref()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &SenderStats {
+        &self.stats
+    }
+
+    /// The congestion controller (for cwnd/pacing inspection).
+    pub fn cca(&self) -> &dyn CongestionControl {
+        self.cca.as_ref()
+    }
+
+    /// Current smoothed RTT.
+    pub fn srtt(&self) -> SimDuration {
+        self.rtt.srtt()
+    }
+
+    /// Connection-lifetime minimum RTT.
+    pub fn min_rtt(&self) -> SimDuration {
+        self.rtt.min_rtt()
+    }
+
+    /// Current recovery state.
+    pub fn ca_state(&self) -> CaState {
+        self.state
+    }
+
+    /// Bytes currently considered in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.board.in_flight()
+    }
+
+    /// Total bytes delivered (ACKed) on this flow.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.rate.delivered()
+    }
+
+    /// The flow this sender drives.
+    pub fn flow(&self) -> FlowId {
+        self.cfg.flow
+    }
+
+    /// One-line internal-state dump for diagnostics.
+    pub fn debug_state(&self) -> String {
+        format!(
+            "state={:?} cwnd={} ssthresh={} inflight={} lost={} sacked={} segs={} snd_nxt={} prr(d={},o={},fs={},ss={}) rto_at={:?}",
+            self.state,
+            self.cca.cwnd(),
+            self.cca.ssthresh(),
+            self.board.in_flight(),
+            self.board.lost_bytes(),
+            self.board.sacked_bytes(),
+            self.board.len(),
+            self.board.snd_nxt(),
+            self.prr_delivered,
+            self.prr_out,
+            self.prr_recover_fs,
+            self.prr_ssthresh,
+            self.rto_deadline,
+        )
+    }
+
+    // ----- transmission -------------------------------------------------
+
+    /// Whether new data remains to be offered.
+    fn new_data_available(&self) -> bool {
+        self.cfg
+            .data_limit
+            .map_or(true, |limit| self.board.snd_nxt() < limit)
+    }
+
+    /// RFC 6937 PRR sndcnt: bytes this ACK permits us to (re)transmit.
+    fn prr_allowance(&self) -> u64 {
+        let pipe = self.board.in_flight();
+        if pipe > self.prr_ssthresh {
+            // Rate-reduction phase.
+            let target = (self.prr_delivered * self.prr_ssthresh)
+                .div_ceil(self.prr_recover_fs.max(1));
+            target.saturating_sub(self.prr_out)
+        } else {
+            // Slow-start reduction bound (PRR-SSRB).
+            let limit = self
+                .prr_delivered
+                .saturating_sub(self.prr_out)
+                .max(self.last_newly_acked)
+                + self.cfg.mss as u64;
+            limit.min(self.prr_ssthresh.saturating_sub(pipe))
+        }
+    }
+
+    /// Whether the window (cwnd or PRR) permits sending one MSS now.
+    fn window_permits(&self) -> bool {
+        if self.force_rtx {
+            return true;
+        }
+        let mss = self.cfg.mss as u64;
+        if self.state == CaState::Recovery && self.cca.uses_prr() {
+            self.prr_allowance() >= mss
+        } else {
+            self.board.in_flight() + mss <= self.cca.cwnd()
+        }
+    }
+
+    fn arm_pace_timer(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.pace_pending {
+            self.pace_pending = true;
+            ctx.schedule_at(
+                self.pacing_next,
+                ctx.self_id(),
+                Msg::Timer(TimerToken::pack(TIMER_PACE, 0)),
+            );
+        }
+    }
+
+    /// Arm (or push forward) the lazy RTO deadline.
+    fn rearm_rto(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
+        self.rto_deadline = now + self.rtt.rto();
+        if !self.rto_pending {
+            self.rto_pending = true;
+            ctx.schedule_at(
+                self.rto_deadline,
+                ctx.self_id(),
+                Msg::Timer(TimerToken::pack(TIMER_RTO, 0)),
+            );
+        }
+    }
+
+    fn send_segment(&mut self, now: SimTime, seq: u64, end: u64, is_rtx: bool, ctx: &mut Ctx<'_, Msg>) {
+        let flight_was_empty = self.board.is_empty();
+        let tx = self.rate.on_send(now, flight_was_empty);
+        if is_rtx {
+            self.board.mark_retransmitted(seq, tx);
+            self.stats.retransmits += 1;
+        } else {
+            self.board.on_send_new(end - seq, tx);
+        }
+        let mut p = Packet::data(self.cfg.flow, self.cfg.receiver, seq, end, now);
+        p.retransmit = is_rtx;
+        ctx.send(self.cfg.first_hop, Msg::Packet(p));
+        self.stats.data_pkts_sent += 1;
+        self.stats.bytes_sent += end - seq;
+        if self.state == CaState::Recovery {
+            self.prr_out += end - seq;
+        }
+        if let Some(rate) = self.cca.pacing_rate() {
+            let gap = rate.serialization_time(p.wire_bytes as u64);
+            self.pacing_next = self.pacing_next.max(now) + gap;
+        }
+        if !self.rto_pending {
+            self.rearm_rto(now, ctx);
+        }
+    }
+
+    /// Transmit as much as the window, pacing, and data availability allow.
+    fn try_transmit(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
+        let mss = self.cfg.mss as u64;
+        loop {
+            // Pacing gate.
+            if self.cca.pacing_rate().is_some() && now < self.pacing_next {
+                self.arm_pace_timer(ctx);
+                return;
+            }
+            // Choose the next segment: retransmissions first (RFC 6675
+            // NextSeg rule 1), then new data.
+            let candidate = match self.board.next_lost_below(u64::MAX) {
+                Some((seq, end)) => Some((seq, end, true)),
+                None => {
+                    if self.new_data_available() {
+                        let seq = self.board.snd_nxt();
+                        let end = match self.cfg.data_limit {
+                            Some(limit) => (seq + mss).min(limit),
+                            None => seq + mss,
+                        };
+                        Some((seq, end, false))
+                    } else {
+                        None
+                    }
+                }
+            };
+            let Some((seq, end, is_rtx)) = candidate else {
+                // Source exhausted: future rate samples are app-limited.
+                self.rate.set_app_limited(self.board.in_flight());
+                return;
+            };
+            if !self.window_permits() {
+                return;
+            }
+            self.force_rtx = false;
+            self.send_segment(now, seq, end, is_rtx, ctx);
+        }
+    }
+
+    // ----- ACK processing -----------------------------------------------
+
+    fn build_sample(
+        &self,
+        now: SimTime,
+        rtt_sample: Option<SimDuration>,
+        newly_acked: u64,
+        newly_lost: u64,
+        prior_delivered: u64,
+        prior_in_flight: u64,
+        delivery_rate: Option<ccsim_sim::Bandwidth>,
+        interval: SimDuration,
+        is_app_limited: bool,
+        cumulative_ack: u64,
+    ) -> AckSample {
+        AckSample {
+            now,
+            rtt: rtt_sample,
+            srtt: self.rtt.srtt(),
+            min_rtt: self.rtt.min_rtt(),
+            newly_acked,
+            newly_lost,
+            delivered: self.rate.delivered(),
+            prior_delivered,
+            prior_in_flight,
+            in_flight: self.board.in_flight(),
+            delivery_rate,
+            interval,
+            is_app_limited,
+            in_recovery: self.state == CaState::Recovery,
+            mss: self.cfg.mss,
+            cumulative_ack,
+        }
+    }
+
+    fn on_ack_packet(&mut self, now: SimTime, p: Packet, ctx: &mut Ctx<'_, Msg>) {
+        self.stats.acks_received += 1;
+        let prior_in_flight = self.board.in_flight();
+        let res = self.board.process_ack(now, p.ack_seq, &p.sack);
+        if let Some(rtt) = res.rtt_sample {
+            self.rtt.on_sample(rtt);
+        }
+        let newly_lost = self.board.detect_losses();
+        self.stats.segments_marked_lost += newly_lost / self.cfg.mss as u64;
+
+        // Delivery-rate sample.
+        let (delivery_rate, interval, prior_delivered, app_limited) =
+            match (res.newly_acked > 0, res.latest_tx) {
+                (true, Some(tx)) => {
+                    let rs = self.rate.on_ack(now, res.newly_acked, &tx);
+                    (
+                        rs.delivery_rate,
+                        rs.interval,
+                        rs.prior_delivered,
+                        rs.is_app_limited,
+                    )
+                }
+                _ => (None, SimDuration::ZERO, self.rate.delivered(), false),
+            };
+        self.stats.delivered_bytes = self.rate.delivered();
+
+        let mut sample = self.build_sample(
+            now,
+            res.rtt_sample,
+            res.newly_acked,
+            newly_lost,
+            prior_delivered,
+            prior_in_flight,
+            delivery_rate,
+            interval,
+            app_limited,
+            p.ack_seq,
+        );
+
+        // Episode exit: the recovery point has been cumulatively ACKed.
+        if self.state != CaState::Open && p.ack_seq >= self.recovery_point {
+            let after_rto = self.state == CaState::Loss;
+            self.state = CaState::Open;
+            sample.in_recovery = false;
+            self.cca.on_exit_recovery(&sample, after_rto);
+        }
+
+        // Episode entry: lost data while Open (Linux `tcp_time_to_recover`).
+        if self.state == CaState::Open && self.board.lost_bytes() > 0 {
+            self.state = CaState::Recovery;
+            self.recovery_point = self.board.snd_nxt();
+            self.prr_delivered = 0;
+            self.prr_out = 0;
+            self.prr_recover_fs = (self.board.snd_nxt() - self.board.snd_una()).max(1);
+            self.force_rtx = true;
+            self.stats.fast_recoveries += 1;
+            self.stats.congestion_event_log.push(now);
+            sample.in_recovery = true;
+            self.cca.on_enter_recovery(&sample);
+            self.prr_ssthresh = self.cca.ssthresh();
+        }
+
+        if self.state == CaState::Recovery {
+            self.prr_delivered += res.newly_acked;
+            self.last_newly_acked = res.newly_acked;
+        }
+
+        sample.in_recovery = self.state == CaState::Recovery;
+        sample.in_flight = self.board.in_flight();
+        self.cca.on_ack(&sample);
+
+        if let Some(trace) = &mut self.cwnd_trace {
+            trace.push((now, self.cca.cwnd()));
+        }
+
+        // RTO maintenance: push the deadline out while data is outstanding.
+        if self.board.is_empty() {
+            self.rto_deadline = SimTime::MAX;
+        } else {
+            self.rto_deadline = now + self.rtt.rto();
+            if !self.rto_pending {
+                self.rearm_rto(now, ctx);
+            }
+        }
+
+        self.try_transmit(now, ctx);
+    }
+
+    // ----- timers ---------------------------------------------------------
+
+    fn on_rto_fire(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
+        self.rto_pending = false;
+        if self.board.is_empty() || self.rto_deadline == SimTime::MAX {
+            return; // nothing outstanding
+        }
+        if now < self.rto_deadline {
+            // Deadline was pushed forward by ACK activity; re-sleep.
+            self.rto_pending = true;
+            ctx.schedule_at(
+                self.rto_deadline,
+                ctx.self_id(),
+                Msg::Timer(TimerToken::pack(TIMER_RTO, 0)),
+            );
+            return;
+        }
+        // Genuine timeout.
+        self.stats.rtos += 1;
+        self.stats.congestion_event_log.push(now);
+        self.state = CaState::Loss;
+        self.recovery_point = self.board.snd_nxt();
+        let newly_lost = self.board.mark_all_lost();
+        self.stats.segments_marked_lost += newly_lost / self.cfg.mss as u64;
+        self.rtt.backoff();
+        let sample = self.build_sample(
+            now,
+            None,
+            0,
+            newly_lost,
+            self.rate.delivered(),
+            self.board.in_flight(),
+            None,
+            SimDuration::ZERO,
+            false,
+            self.board.snd_una(),
+        );
+        self.cca.on_rto(&sample);
+        // Pacing must not gate the timeout retransmission.
+        self.pacing_next = now;
+        self.rearm_rto(now, ctx);
+        self.try_transmit(now, ctx);
+    }
+
+    fn on_start(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.pacing_next = now;
+        self.try_transmit(now, ctx);
+    }
+}
+
+impl Component<Msg> for Sender {
+    fn on_event(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Packet(p) => {
+                debug_assert!(!p.is_data(), "sender received a data packet");
+                self.on_ack_packet(now, p, ctx);
+            }
+            Msg::Timer(t) => match t.kind() {
+                TIMER_START => self.on_start(now, ctx),
+                TIMER_RTO => self.on_rto_fire(now, ctx),
+                TIMER_PACE => {
+                    self.pace_pending = false;
+                    if self.started {
+                        self.try_transmit(now, ctx);
+                    }
+                }
+                other => unreachable!("unknown sender timer kind {other}"),
+            },
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # ccsim-telemetry — measurement glue
+//!
+//! The instrumentation layer between raw component counters (senders,
+//! receivers, the bottleneck link) and the analysis crate:
+//!
+//! * [`FlowMetrics`] — one flow's complete measurement record, combining
+//!   endpoint and queue counters into the quantities the paper's analysis
+//!   consumes (throughput, per-flow loss rate, CWND-halving rate).
+//! * [`ThroughputTracker`] — periodic snapshots of per-flow delivered
+//!   bytes, supporting warm-up exclusion, windowed rate computation, and
+//!   the paper's convergence rule ("metric changes < 1% over a window").
+
+pub mod metrics;
+pub mod tracker;
+
+pub use metrics::FlowMetrics;
+pub use tracker::ThroughputTracker;

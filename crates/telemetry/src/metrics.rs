@@ -1,0 +1,117 @@
+//! Per-flow measurement records.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the analysis needs to know about one flow after a run.
+///
+/// Rates are computed over the measurement window (after warm-up
+/// exclusion), matching the paper's methodology of discarding the first
+/// minutes of each experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowMetrics {
+    /// Flow index.
+    pub flow: u32,
+    /// CCA name ("reno", "cubic", "bbr").
+    pub cca: String,
+    /// Configured base RTT in seconds.
+    pub base_rtt_secs: f64,
+    /// Goodput over the measurement window, bytes/sec (receiver-side).
+    pub throughput_bytes_per_sec: f64,
+    /// Bytes delivered in the measurement window.
+    pub delivered_bytes: u64,
+    /// Data segments sent in the window (including retransmissions).
+    pub data_pkts_sent: u64,
+    /// Retransmitted segments in the window.
+    pub retransmits: u64,
+    /// Congestion events (fast recoveries + RTOs) in the window — the
+    /// CWND-halving count.
+    pub congestion_events: u64,
+    /// RTOs in the window.
+    pub rtos: u64,
+    /// This flow's packets dropped at the bottleneck queue in the window.
+    pub queue_drops: u64,
+    /// This flow's packets that arrived at the bottleneck queue in the
+    /// window.
+    pub queue_arrivals: u64,
+}
+
+impl FlowMetrics {
+    /// Packet loss rate at the bottleneck: drops / arrivals.
+    pub fn loss_rate(&self) -> f64 {
+        if self.queue_arrivals == 0 {
+            0.0
+        } else {
+            self.queue_drops as f64 / self.queue_arrivals as f64
+        }
+    }
+
+    /// CWND-halving rate: congestion events per *delivered* packet, the
+    /// `p` interpretation the original Mathis paper prescribes for
+    /// SACK-enabled TCP.
+    pub fn halving_rate(&self, mss_bytes: u32) -> f64 {
+        let delivered_pkts = self.delivered_bytes as f64 / mss_bytes as f64;
+        if delivered_pkts <= 0.0 {
+            0.0
+        } else {
+            self.congestion_events as f64 / delivered_pkts
+        }
+    }
+
+    /// Throughput in Mbits/sec (for report tables).
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_bytes_per_sec * 8.0 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> FlowMetrics {
+        FlowMetrics {
+            flow: 0,
+            cca: "reno".into(),
+            base_rtt_secs: 0.02,
+            throughput_bytes_per_sec: 1_250_000.0,
+            delivered_bytes: 14_480_000,
+            data_pkts_sent: 10_100,
+            retransmits: 100,
+            congestion_events: 20,
+            rtos: 1,
+            queue_drops: 120,
+            queue_arrivals: 10_100,
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_drops_over_arrivals() {
+        let metrics = m();
+        assert!((metrics.loss_rate() - 120.0 / 10_100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_without_arrivals_is_zero() {
+        let mut metrics = m();
+        metrics.queue_arrivals = 0;
+        assert_eq!(metrics.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn halving_rate_is_events_per_delivered_packet() {
+        let metrics = m();
+        // 14_480_000 / 1448 = 10_000 delivered packets; 20 events.
+        assert!((metrics.halving_rate(1448) - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halving_rate_without_delivery_is_zero() {
+        let mut metrics = m();
+        metrics.delivered_bytes = 0;
+        assert_eq!(metrics.halving_rate(1448), 0.0);
+    }
+
+    #[test]
+    fn mbps_conversion() {
+        assert!((m().throughput_mbps() - 10.0).abs() < 1e-12);
+    }
+}

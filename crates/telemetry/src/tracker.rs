@@ -1,0 +1,206 @@
+//! Per-flow delivered-bytes snapshots over time.
+//!
+//! The experiment runner advances the simulation in slices and records a
+//! snapshot of every flow's cumulative delivered bytes after each slice.
+//! From these the tracker derives windowed throughputs (excluding warm-up)
+//! and implements the paper's stopping rule: *run until the metric changes
+//! by less than 1% over a window* (§3.2; 20 minutes in the paper,
+//! configurable here because the harness scales time).
+
+use ccsim_sim::SimTime;
+
+/// Snapshots of cumulative per-flow delivered bytes.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputTracker {
+    times: Vec<SimTime>,
+    /// `snapshots[i][f]` = flow f's cumulative delivered bytes at `times[i]`.
+    snapshots: Vec<Vec<u64>>,
+}
+
+impl ThroughputTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a snapshot. `per_flow_delivered[f]` is flow f's cumulative
+    /// delivered byte count at `time`. Snapshots must arrive in time order.
+    pub fn record(&mut self, time: SimTime, per_flow_delivered: Vec<u64>) {
+        if let Some(&last) = self.times.last() {
+            assert!(time >= last, "snapshots must be time-ordered");
+            assert_eq!(
+                self.snapshots[0].len(),
+                per_flow_delivered.len(),
+                "flow count changed between snapshots"
+            );
+        }
+        self.times.push(time);
+        self.snapshots.push(per_flow_delivered);
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True iff no snapshots recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Snapshot times.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Index of the first snapshot at or after `t`, if any.
+    fn index_at_or_after(&self, t: SimTime) -> Option<usize> {
+        self.times.iter().position(|&x| x >= t)
+    }
+
+    /// Per-flow throughput (bytes/sec) between the first snapshot at or
+    /// after `from` and the last snapshot. `None` if fewer than two
+    /// snapshots span the window.
+    pub fn window_throughputs(&self, from: SimTime) -> Option<Vec<f64>> {
+        let i = self.index_at_or_after(from)?;
+        let j = self.times.len() - 1;
+        if j <= i {
+            return None;
+        }
+        self.throughputs_between(i, j)
+    }
+
+    /// Per-flow throughput between snapshot indices `i < j`.
+    pub fn throughputs_between(&self, i: usize, j: usize) -> Option<Vec<f64>> {
+        if i >= j || j >= self.times.len() {
+            return None;
+        }
+        let dt = (self.times[j] - self.times[i]).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        Some(
+            self.snapshots[i]
+                .iter()
+                .zip(&self.snapshots[j])
+                .map(|(&a, &b)| (b.saturating_sub(a)) as f64 / dt)
+                .collect(),
+        )
+    }
+
+    /// Aggregate throughput (bytes/sec) over the window starting at `from`.
+    pub fn aggregate_throughput(&self, from: SimTime) -> Option<f64> {
+        Some(self.window_throughputs(from)?.iter().sum())
+    }
+
+    /// The paper's convergence rule: compare `metric` over the last
+    /// `window_snapshots` against the preceding equal-length window and
+    /// report the relative change. `None` until enough snapshots exist or
+    /// when the earlier value is zero.
+    pub fn relative_change<F>(&self, window_snapshots: usize, metric: F) -> Option<f64>
+    where
+        F: Fn(&[f64]) -> Option<f64>,
+    {
+        let n = self.times.len();
+        if window_snapshots == 0 || n < 2 * window_snapshots + 1 {
+            return None;
+        }
+        let recent = metric(&self.throughputs_between(n - 1 - window_snapshots, n - 1)?)?;
+        let earlier = metric(&self.throughputs_between(
+            n - 1 - 2 * window_snapshots,
+            n - 1 - window_snapshots,
+        )?)?;
+        if earlier == 0.0 {
+            return None;
+        }
+        Some(((recent - earlier) / earlier).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Two flows: one at 1000 B/s, one at 500 B/s, snapshots each second.
+    fn steady(n: u64) -> ThroughputTracker {
+        let mut tr = ThroughputTracker::new();
+        for i in 0..n {
+            tr.record(t(i), vec![i * 1000, i * 500]);
+        }
+        tr
+    }
+
+    #[test]
+    fn window_throughputs_are_rates() {
+        let tr = steady(11);
+        let rates = tr.window_throughputs(t(5)).unwrap();
+        assert_eq!(rates, vec![1000.0, 500.0]);
+        assert_eq!(tr.aggregate_throughput(t(5)), Some(1500.0));
+    }
+
+    #[test]
+    fn warmup_exclusion_changes_nothing_for_steady_flows() {
+        let tr = steady(20);
+        assert_eq!(
+            tr.window_throughputs(t(0)).unwrap(),
+            tr.window_throughputs(t(10)).unwrap()
+        );
+    }
+
+    #[test]
+    fn insufficient_span_yields_none() {
+        let tr = steady(3);
+        assert!(tr.window_throughputs(t(2)).is_none()); // only last snapshot
+        assert!(tr.window_throughputs(t(99)).is_none()); // beyond range
+        assert!(ThroughputTracker::new().window_throughputs(t(0)).is_none());
+    }
+
+    #[test]
+    fn convergence_detects_steady_state() {
+        let tr = steady(21);
+        let change = tr
+            .relative_change(5, |rates| Some(rates.iter().sum()))
+            .unwrap();
+        assert!(change < 1e-12);
+    }
+
+    #[test]
+    fn convergence_detects_ramping_flows() {
+        // Quadratic delivery = linearly growing rate: windows differ.
+        let mut tr = ThroughputTracker::new();
+        for i in 0..21u64 {
+            tr.record(t(i), vec![i * i * 100]);
+        }
+        let change = tr
+            .relative_change(5, |rates| Some(rates.iter().sum()))
+            .unwrap();
+        assert!(change > 0.2, "change = {change}");
+    }
+
+    #[test]
+    fn convergence_needs_enough_snapshots() {
+        let tr = steady(10);
+        assert!(tr.relative_change(5, |r| Some(r.iter().sum())).is_none());
+        assert!(tr.relative_change(0, |r| Some(r.iter().sum())).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_snapshots_panic() {
+        let mut tr = ThroughputTracker::new();
+        tr.record(t(5), vec![0]);
+        tr.record(t(4), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow count changed")]
+    fn flow_count_change_panics() {
+        let mut tr = ThroughputTracker::new();
+        tr.record(t(1), vec![0, 0]);
+        tr.record(t(2), vec![0]);
+    }
+}

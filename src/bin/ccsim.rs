@@ -1,0 +1,189 @@
+//! `ccsim` — run ad-hoc congestion-control experiments from the shell.
+//!
+//! ```text
+//! ccsim run [--setting edge|core] [--bw <mbps>] [--buffer <bytes>]
+//!           [--flows <cca>:<count>:<rtt_ms> ...] [--seed N]
+//!           [--warmup <s>] [--duration <s>] [--jitter <s>] [--json]
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! # The paper's Figure 5 in one line: 25 cubic vs 25 reno on EdgeScale.
+//! ccsim run --setting edge --flows cubic:25:20 --flows reno:25:20
+//!
+//! # A mini-CoreScale BBR fairness probe.
+//! ccsim run --setting core --bw 1000 --flows bbr:100:20 --duration 20
+//! ```
+
+use ccsim::cca::CcaKind;
+use ccsim::experiments::{FlowGroup, RunOutcome, Scenario};
+use ccsim::sim::{Bandwidth, SimDuration};
+
+fn usage(err: &str) -> ! {
+    eprintln!(
+        "{err}\n\nusage: ccsim run [--setting edge|core] [--bw <mbps>] \
+         [--buffer <bytes>] --flows <cca>:<count>:<rtt_ms> [--flows ...] \
+         [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] [--json]\n\
+         ccas: reno, cubic, bbr, vegas"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flows(spec: &str) -> FlowGroup {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        usage(&format!("bad --flows spec '{spec}' (want cca:count:rtt_ms)"));
+    }
+    let cca: CcaKind = parts[0]
+        .parse()
+        .unwrap_or_else(|e| usage(&format!("bad CCA in '{spec}': {e}")));
+    let count: u32 = parts[1]
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("bad count in '{spec}'")));
+    let rtt_ms: u64 = parts[2]
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("bad rtt in '{spec}'")));
+    FlowGroup::new(cca, count, SimDuration::from_millis(rtt_ms))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("run") {
+        usage("expected subcommand 'run'");
+    }
+    let mut scenario = Scenario::edge_scale().named("cli");
+    let mut flows = Vec::new();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: &mut usize| -> &String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| usage("missing value"))
+        };
+        match args[i].as_str() {
+            "--setting" => {
+                scenario = match take(&mut i).as_str() {
+                    "edge" => Scenario::edge_scale(),
+                    "core" => Scenario::core_scale(),
+                    other => usage(&format!("bad --setting {other}")),
+                }
+                .named("cli");
+            }
+            "--bw" => {
+                let mbps: u64 = take(&mut i).parse().unwrap_or_else(|_| usage("bad --bw"));
+                scenario.bottleneck = Bandwidth::from_mbps(mbps);
+            }
+            "--buffer" => {
+                scenario.buffer_bytes =
+                    take(&mut i).parse().unwrap_or_else(|_| usage("bad --buffer"));
+            }
+            "--flows" => flows.push(parse_flows(take(&mut i))),
+            "--seed" => {
+                scenario.seed = take(&mut i).parse().unwrap_or_else(|_| usage("bad --seed"));
+            }
+            "--warmup" => {
+                scenario.warmup =
+                    SimDuration::from_secs(take(&mut i).parse().unwrap_or_else(|_| usage("bad --warmup")));
+            }
+            "--duration" => {
+                scenario.duration = SimDuration::from_secs(
+                    take(&mut i).parse().unwrap_or_else(|_| usage("bad --duration")),
+                );
+            }
+            "--jitter" => {
+                scenario.start_jitter = SimDuration::from_secs(
+                    take(&mut i).parse().unwrap_or_else(|_| usage("bad --jitter")),
+                );
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage("help"),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if flows.is_empty() {
+        usage("at least one --flows group required");
+    }
+    scenario = scenario.flows(flows);
+    if scenario.warmup < scenario.start_jitter {
+        scenario.start_jitter = scenario.warmup;
+    }
+
+    eprintln!(
+        "running {} flows on {} (buffer {:.2} MB, warmup {}, duration {})...",
+        scenario.flow_count(),
+        scenario.bottleneck,
+        scenario.buffer_bytes as f64 / 1e6,
+        scenario.warmup,
+        scenario.duration
+    );
+    let t0 = std::time::Instant::now();
+    let outcome = scenario.run();
+    eprintln!("[{:.1}s wall]", t0.elapsed().as_secs_f64());
+
+    if json {
+        print_json(&outcome);
+    } else {
+        print_human(&outcome);
+    }
+}
+
+fn print_human(o: &RunOutcome) {
+    println!("measured window : {}", o.measured_for);
+    println!("aggregate       : {:.2} Mbps", o.aggregate_throughput_mbps());
+    println!("utilization     : {:.1}%", o.utilization() * 100.0);
+    println!("loss rate       : {:.4}%", o.aggregate_loss_rate * 100.0);
+    println!(
+        "JFI (all flows) : {:.4}",
+        o.jain_index().unwrap_or(f64::NAN)
+    );
+    if let Some(b) = o.drop_burstiness {
+        println!("drop burstiness : {b:.3}");
+    }
+    // Per-CCA aggregates.
+    let mut kinds: Vec<CcaKind> = o.flow_cca.clone();
+    kinds.sort_by_key(|k| k.name());
+    kinds.dedup();
+    for k in kinds {
+        let share = o.share_of(k).unwrap_or(0.0);
+        let jfi = o.jain_index_for(k).unwrap_or(f64::NAN);
+        println!(
+            "  {:<5} x{:<5} share {:>5.1}%   intra-JFI {:.4}",
+            k.name(),
+            o.count_of(k),
+            share * 100.0,
+            jfi
+        );
+    }
+}
+
+/// Minimal hand-rolled JSON (keeps the facade free of a serializer dep).
+fn print_json(o: &RunOutcome) {
+    let per_flow: Vec<String> = o
+        .flows
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"flow\":{},\"cca\":\"{}\",\"mbps\":{:.4},\"events\":{},\"rtx\":{},\"drops\":{}}}",
+                f.flow,
+                f.cca,
+                f.throughput_mbps(),
+                f.congestion_events,
+                f.retransmits,
+                f.queue_drops
+            )
+        })
+        .collect();
+    println!(
+        "{{\"scenario\":\"{}\",\"seed\":{},\"aggregate_mbps\":{:.4},\"utilization\":{:.6},\"loss_rate\":{:.8},\"jfi\":{},\"burstiness\":{},\"flows\":[{}]}}",
+        o.scenario,
+        o.seed,
+        o.aggregate_throughput_mbps(),
+        o.utilization(),
+        o.aggregate_loss_rate,
+        o.jain_index().map_or("null".into(), |v| format!("{v:.6}")),
+        o.drop_burstiness.map_or("null".into(), |v| format!("{v:.4}")),
+        per_flow.join(",")
+    );
+}

@@ -1,0 +1,41 @@
+//! # ccsim — congestion control at scale
+//!
+//! A packet-level congestion-control simulator and measurement harness
+//! reproducing *"Revisiting TCP Congestion Control Throughput Models &
+//! Fairness Properties At Scale"* (Philip, Ware, Athapathu, Sherry, Sekar —
+//! ACM IMC 2021).
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`sim`] — deterministic discrete-event engine.
+//! * [`net`] — packets, links, drop-tail queues.
+//! * [`tcp`] — the TCP endpoint model (SACK, PRR, RTO, pacing).
+//! * [`cca`] — NewReno, CUBIC, BBRv1.
+//! * [`telemetry`] — flow metrics and throughput tracking.
+//! * [`analysis`] — Mathis fitting, JFI, burstiness, statistics.
+//! * [`experiments`] — the paper's EdgeScale/CoreScale scenarios and the
+//!   per-figure experiment functions.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use ccsim::experiments::{Scenario, FlowGroup};
+//! use ccsim::cca::CcaKind;
+//! use ccsim_sim::SimDuration;
+//!
+//! // 20 NewReno flows on an EdgeScale (100 Mbps) bottleneck, 20 ms RTT.
+//! let scenario = Scenario::edge_scale()
+//!     .flows(vec![FlowGroup::new(CcaKind::Reno, 20, SimDuration::from_millis(20))])
+//!     .seed(1);
+//! let outcome = scenario.run();
+//! println!("aggregate throughput: {:.1} Mbps", outcome.aggregate_throughput_mbps());
+//! println!("JFI: {:.3}", outcome.jain_index().unwrap());
+//! ```
+
+pub use ccsim_analysis as analysis;
+pub use ccsim_cca as cca;
+pub use ccsim_core as experiments;
+pub use ccsim_net as net;
+pub use ccsim_sim as sim;
+pub use ccsim_tcp as tcp;
+pub use ccsim_telemetry as telemetry;

@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: TCP endpoints + CCAs + network elements
+//! assembled through the public facade, checked for transport-level
+//! correctness (the properties any reviewer of the reproduction would
+//! probe first).
+
+use ccsim::cca::CcaKind;
+use ccsim::experiments::{run, FlowGroup, Scenario};
+use ccsim::sim::{Bandwidth, SimDuration};
+
+/// One flow on a slow link must saturate it (minus header overhead).
+#[test]
+fn single_reno_flow_saturates_a_slow_link() {
+    let mut s = Scenario::edge_scale()
+        .named("single-flow")
+        .flows(vec![FlowGroup::new(
+            CcaKind::Reno,
+            1,
+            SimDuration::from_millis(20),
+        )])
+        .seed(1);
+    s.bottleneck = Bandwidth::from_mbps(10);
+    s.buffer_bytes = 250_000; // 1 BDP at 200 ms
+    s.start_jitter = SimDuration::from_millis(100);
+    s.warmup = SimDuration::from_secs(2);
+    s.duration = SimDuration::from_secs(8);
+    s.convergence = None;
+    let o = run(&s);
+    // Goodput ≥ 90% of line rate (headers cost ~3.5%, sawtooth the rest).
+    assert!(o.utilization() > 0.90, "utilization = {}", o.utilization());
+    assert!(o.utilization() <= 1.0 + 1e-9);
+}
+
+/// Each CCA must drive a lossy bottleneck without collapse or runaway.
+#[test]
+fn every_cca_survives_a_tiny_buffer() {
+    for cca in [CcaKind::Reno, CcaKind::Cubic, CcaKind::Bbr] {
+        let mut s = Scenario::edge_scale()
+            .named("tiny-buffer")
+            .flows(vec![FlowGroup::new(cca, 4, SimDuration::from_millis(20))])
+            .seed(2);
+        s.bottleneck = Bandwidth::from_mbps(20);
+        s.buffer_bytes = 20 * 1500; // ~20 packets: heavy loss
+        s.start_jitter = SimDuration::from_millis(100);
+        s.warmup = SimDuration::from_secs(2);
+        s.duration = SimDuration::from_secs(8);
+        s.convergence = None;
+        let o = run(&s);
+        assert!(
+            o.utilization() > 0.5,
+            "{cca}: utilization collapsed to {}",
+            o.utilization()
+        );
+        assert!(
+            o.aggregate_loss_rate > 0.0,
+            "{cca}: a 20-packet buffer must drop"
+        );
+        // Retransmissions happened and the connections kept delivering.
+        let rtx: u64 = o.flows.iter().map(|f| f.retransmits).sum();
+        assert!(rtx > 0, "{cca}: no retransmissions despite loss");
+    }
+}
+
+/// Data integrity: everything the receivers delivered is contiguous
+/// in-order bytes, so delivered bytes == receiver-side goodput exactly.
+#[test]
+fn receivers_deliver_contiguous_streams() {
+    let mut s = Scenario::edge_scale()
+        .named("integrity")
+        .flows(vec![FlowGroup::new(
+            CcaKind::Cubic,
+            3,
+            SimDuration::from_millis(50),
+        )])
+        .seed(3);
+    s.bottleneck = Bandwidth::from_mbps(15);
+    s.buffer_bytes = 50 * 1500;
+    s.warmup = SimDuration::from_secs(2);
+    s.start_jitter = SimDuration::from_millis(200);
+    s.duration = SimDuration::from_secs(6);
+    s.convergence = None;
+    let o = run(&s);
+    for f in &o.flows {
+        // delivered_bytes is rcv_nxt-derived: strictly in-order data.
+        assert!(f.delivered_bytes > 0);
+        let implied_rate = f.delivered_bytes as f64 / o.measured_for.as_secs_f64();
+        assert!((implied_rate - f.throughput_bytes_per_sec).abs() < 1.0);
+    }
+}
+
+/// BBR must estimate bandwidth ≈ its fair share and keep the queue far
+/// shorter than loss-based CCAs do.
+#[test]
+fn bbr_keeps_queues_shorter_than_cubic() {
+    let base = |cca| {
+        let mut s = Scenario::edge_scale()
+            .named("queue-depth")
+            .flows(vec![FlowGroup::new(cca, 4, SimDuration::from_millis(40))])
+            .seed(4);
+        s.bottleneck = Bandwidth::from_mbps(40);
+        s.buffer_bytes = 2_000_000; // 1 BDP at 200ms + headroom
+        s.warmup = SimDuration::from_secs(3);
+        s.duration = SimDuration::from_secs(10);
+        s.convergence = None;
+        s
+    };
+    let cubic = run(&base(CcaKind::Cubic));
+    let bbr = run(&base(CcaKind::Bbr));
+    assert!(
+        (bbr.max_queue_bytes as f64) < 0.9 * cubic.max_queue_bytes as f64,
+        "bbr queue {} vs cubic queue {}",
+        bbr.max_queue_bytes,
+        cubic.max_queue_bytes
+    );
+    assert!(bbr.utilization() > 0.7, "bbr util = {}", bbr.utilization());
+}
+
+/// Flows with different RTTs coexist; shorter-RTT loss-based flows win
+/// (the classic RTT-unfairness result, supported but not the paper's
+/// focus — it scopes to same-RTT).
+#[test]
+fn rtt_unfairness_for_loss_based_ccas() {
+    let mut s = Scenario::edge_scale()
+        .named("rtt-unfair")
+        .flows(vec![
+            FlowGroup::new(CcaKind::Reno, 3, SimDuration::from_millis(10)),
+            FlowGroup::new(CcaKind::Reno, 3, SimDuration::from_millis(100)),
+        ])
+        .seed(5);
+    s.bottleneck = Bandwidth::from_mbps(30);
+    s.buffer_bytes = 750_000;
+    s.warmup = SimDuration::from_secs(3);
+    s.duration = SimDuration::from_secs(15);
+    s.convergence = None;
+    let o = run(&s);
+    let short: f64 = o.flows[..3].iter().map(|f| f.throughput_bytes_per_sec).sum();
+    let long: f64 = o.flows[3..].iter().map(|f| f.throughput_bytes_per_sec).sum();
+    assert!(
+        short > 1.5 * long,
+        "short-RTT {short} not favored over long-RTT {long}"
+    );
+}
+
+/// Congestion events must be recorded and timestamped within the window.
+#[test]
+fn congestion_events_are_window_scoped() {
+    let mut s = Scenario::edge_scale()
+        .named("events")
+        .flows(vec![FlowGroup::new(
+            CcaKind::Reno,
+            8,
+            SimDuration::from_millis(20),
+        )])
+        .seed(6);
+    s.bottleneck = Bandwidth::from_mbps(20);
+    s.buffer_bytes = 100 * 1500;
+    s.warmup = SimDuration::from_secs(3);
+    s.duration = SimDuration::from_secs(10);
+    s.convergence = None;
+    let o = run(&s);
+    let events: u64 = o.flows.iter().map(|f| f.congestion_events).sum();
+    assert!(events > 0);
+    // Sanity: with a small buffer, a reno flow halves at most a few times
+    // per second; events can't exceed ~duration * flows * 50.
+    assert!(events < 8 * 10 * 50, "implausible event count {events}");
+}
