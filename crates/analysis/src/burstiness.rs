@@ -90,9 +90,7 @@ mod tests {
     #[test]
     fn burstier_trains_score_higher() {
         // Same mean rate, increasing clumpiness.
-        let mild: Vec<SimTime> = (0..100)
-            .map(|i| t(i * 100 + (i % 2) * 30))
-            .collect();
+        let mild: Vec<SimTime> = (0..100).map(|i| t(i * 100 + (i % 2) * 30)).collect();
         let mut severe = Vec::new();
         for burst in 0..10u64 {
             for i in 0..10u64 {

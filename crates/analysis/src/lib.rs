@@ -9,15 +9,23 @@
 //!   fitting, and prediction-error evaluation (Table 1, Figure 2).
 //! * [`burstiness`] — the Goh–Barabási burstiness score applied to queue
 //!   drop trains (Finding 3's corroboration).
+//! * [`sync`] — the loss-event synchronization index (the Appenzeller
+//!   desynchronization argument, quantified).
+//! * [`trace`] — the above metrics applied directly to recorded
+//!   flight-recorder traces ([`ccsim_trace::RunTrace`]).
 
 pub mod burstiness;
 pub mod fairness;
 pub mod mathis;
 pub mod stats;
 pub mod sync;
+pub mod trace;
 
 pub use burstiness::{burstiness, burstiness_of_intervals};
 pub use fairness::{group_share, jain_fairness_index};
-pub use mathis::{errors_under_constant, fit_constant, mathis_throughput, FlowObservation, MathisFit};
+pub use mathis::{
+    errors_under_constant, fit_constant, mathis_throughput, FlowObservation, MathisFit,
+};
 pub use stats::{mean, median, quantile, std_dev, Summary};
 pub use sync::synchronization_index;
+pub use trace::{trace_drop_burstiness, trace_synchronization_index};

@@ -179,8 +179,8 @@ mod tests {
     fn unusable_observations_are_skipped() {
         let observations = vec![
             obs(1000.0, 0.02, 0.01),
-            obs(1000.0, 0.02, 0.0),  // p = 0: skipped
-            obs(0.0, 0.02, 0.01),    // zero throughput: skipped
+            obs(1000.0, 0.02, 0.0), // p = 0: skipped
+            obs(0.0, 0.02, 0.01),   // zero throughput: skipped
         ];
         let fit = fit_constant(&observations).unwrap();
         assert_eq!(fit.skipped, 2);

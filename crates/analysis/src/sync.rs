@@ -84,9 +84,7 @@ mod tests {
     #[test]
     fn fully_synchronized_flows_score_one() {
         // Every flow halves at t = 100, 200, 300 ms.
-        let events: Vec<Vec<SimTime>> = (0..10)
-            .map(|_| vec![t(100), t(200), t(300)])
-            .collect();
+        let events: Vec<Vec<SimTime>> = (0..10).map(|_| vec![t(100), t(200), t(300)]).collect();
         let idx =
             synchronization_index(&events, t(0), t(400), SimDuration::from_millis(20)).unwrap();
         assert!((idx - 1.0).abs() < 1e-12, "idx = {idx}");

@@ -63,7 +63,11 @@ fn bench_delay_modeling(c: &mut Criterion) {
         b.iter_batched(|| (), |()| run_direct(100_000), BatchSize::SmallInput)
     });
     g.bench_function("delay_as_component_hop", |b| {
-        b.iter_batched(|| (), |()| run_via_delayline(100_000), BatchSize::SmallInput)
+        b.iter_batched(
+            || (),
+            |()| run_via_delayline(100_000),
+            BatchSize::SmallInput,
+        )
     });
     g.finish();
 }

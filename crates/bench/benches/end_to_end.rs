@@ -22,7 +22,11 @@ fn edge(cca: CcaKind, n: u32) -> Scenario {
 fn bench_scenarios(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
-    for (label, cca) in [("reno", CcaKind::Reno), ("cubic", CcaKind::Cubic), ("bbr", CcaKind::Bbr)] {
+    for (label, cca) in [
+        ("reno", CcaKind::Reno),
+        ("cubic", CcaKind::Cubic),
+        ("bbr", CcaKind::Bbr),
+    ] {
         g.bench_function(format!("edge_{label}_10flows_3s"), |b| {
             b.iter(|| run(&edge(cca, 10)))
         });

@@ -1,0 +1,87 @@
+//! Flight-recorder benchmarks: per-ACK recording cost (the hot-path tax a
+//! traced run pays) and export throughput for both formats.
+
+use ccsim_sim::{SimDuration, SimTime};
+use ccsim_trace::{
+    write_binary, write_jsonl, FlowRecorder, RetentionPolicy, RunTrace, TraceMeta, TraceRecord,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+const ACKS: u64 = 100_000;
+
+fn recorder(policy: RetentionPolicy) -> FlowRecorder {
+    FlowRecorder::new(0, policy, 4 * 1024 * 1024, 42)
+}
+
+/// Drive a recorder with a sawtooth cwnd (change on every ACK — the
+/// worst case for on-change dedup) and a slowly-moving srtt.
+fn drive(mut rec: FlowRecorder) -> FlowRecorder {
+    for t in 0..ACKS {
+        let cwnd = 10_000 + (t % 1_000) * 29;
+        let srtt = SimDuration::from_nanos(20_000_000 + (t / 100) * 1_000);
+        rec.on_ack(SimTime::from_nanos(t * 50_000), cwnd, cwnd / 2, srtt, 0);
+    }
+    rec
+}
+
+fn bench_recording(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_record");
+    g.throughput(Throughput::Elements(ACKS));
+    g.bench_function("on_ack_100k_keepall", |b| {
+        b.iter_batched(
+            || recorder(RetentionPolicy::KeepAll),
+            drive,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("on_ack_100k_decimate16", |b| {
+        b.iter_batched(
+            || recorder(RetentionPolicy::Decimate(16)),
+            drive,
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("on_ack_100k_reservoir4k", |b| {
+        b.iter_batched(
+            || recorder(RetentionPolicy::Reservoir(4_096)),
+            drive,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_export(c: &mut Criterion) {
+    let records: Vec<TraceRecord> = (0..100_000u64)
+        .map(|t| TraceRecord::cwnd(SimTime::from_nanos(t * 1_000), (t % 64) as u32, t, t / 2))
+        .collect();
+    let trace = RunTrace::assemble(
+        TraceMeta {
+            scenario: "bench".into(),
+            seed: 1,
+            flows: 64,
+        },
+        vec![(records, 0, 0)],
+    );
+
+    let mut g = c.benchmark_group("trace_export");
+    g.throughput(Throughput::Elements(trace.records.len() as u64));
+    g.bench_function("binary_100k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(4 * 1024 * 1024);
+            write_binary(&trace, &mut buf).unwrap();
+            buf
+        })
+    });
+    g.bench_function("jsonl_100k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(16 * 1024 * 1024);
+            write_jsonl(&trace, &mut buf).unwrap();
+            buf
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recording, bench_export);
+criterion_main!(benches);

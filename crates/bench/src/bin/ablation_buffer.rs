@@ -7,9 +7,9 @@
 //! check that the simulator captures flow (de)synchronization.
 
 use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_cca::CcaKind;
 use ccsim_core::report::render_table;
 use ccsim_core::{run, FlowGroup};
-use ccsim_cca::CcaKind;
 use ccsim_sim::SimDuration;
 
 fn main() {
@@ -31,11 +31,9 @@ fn main() {
         ("BDP/sqrt(N)", (bdp as f64 / sqrt_n) as u64),
         ("BDP/(2 sqrt(N))", (bdp as f64 / (2.0 * sqrt_n)) as u64),
     ] {
-        let mut s = skeleton.clone().flows(vec![FlowGroup::new(
-            CcaKind::Reno,
-            count,
-            rtt,
-        )]);
+        let mut s = skeleton
+            .clone()
+            .flows(vec![FlowGroup::new(CcaKind::Reno, count, rtt)]);
         s.buffer_bytes = buffer.max(10 * 1500);
         s.name = format!("buffer-{label}");
         let o = run(&s);

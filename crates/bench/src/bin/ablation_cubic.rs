@@ -27,7 +27,11 @@ fn run_variant(
     )]);
     s.convergence = None;
     let mut net = BuiltNetwork::build_with_factory(&s, &|_, _, mss, _| {
-        Box::new(ccsim_cca::Cubic::with_options(mss, fast_convergence, hystart))
+        Box::new(ccsim_cca::Cubic::with_options(
+            mss,
+            fast_convergence,
+            hystart,
+        ))
     });
     let warmup_end = SimTime::ZERO + s.warmup;
     net.sim.run_until(warmup_end);
@@ -72,7 +76,15 @@ fn main() {
     section(
         "Ablation — CUBIC fast convergence × HyStart (all-Cubic, 20 ms)",
         &render_table(
-            &["setting", "flows", "fast-conv", "hystart", "JFI", "util", "loss"],
+            &[
+                "setting",
+                "flows",
+                "fast-conv",
+                "hystart",
+                "JFI",
+                "util",
+                "loss",
+            ],
             &rows,
         ),
     );

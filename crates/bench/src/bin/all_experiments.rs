@@ -38,14 +38,23 @@ fn main() {
 
     let sw = Stopwatch::new();
     let bbr_intra = intra::run_grid(&opts.config, CcaKind::Bbr);
-    section("Figure 4 — BBR intra-CCA fairness", &intra::render(&bbr_intra));
+    section(
+        "Figure 4 — BBR intra-CCA fairness",
+        &intra::render(&bbr_intra),
+    );
     eprintln!("[fig4 done in {:.1}s]", sw.secs());
 
     let sw = Stopwatch::new();
     let reno_intra = intra::run_grid(&opts.config, CcaKind::Reno);
-    section("Finding 4 — NewReno intra-CCA fairness", &intra::render(&reno_intra));
+    section(
+        "Finding 4 — NewReno intra-CCA fairness",
+        &intra::render(&reno_intra),
+    );
     let cubic_intra = intra::run_grid(&opts.config, CcaKind::Cubic);
-    section("Finding 4 — Cubic intra-CCA fairness", &intra::render(&cubic_intra));
+    section(
+        "Finding 4 — Cubic intra-CCA fairness",
+        &intra::render(&cubic_intra),
+    );
     eprintln!("[finding4 done in {:.1}s]", sw.secs());
 
     let sw = Stopwatch::new();

@@ -8,7 +8,11 @@ use ccsim_sim::{Bandwidth, SimDuration, SimTime};
 fn main() {
     let mut s = Scenario::core_scale()
         .named("debug")
-        .flows(vec![FlowGroup::new(CcaKind::Reno, 100, SimDuration::from_millis(20))])
+        .flows(vec![FlowGroup::new(
+            CcaKind::Reno,
+            100,
+            SimDuration::from_millis(20),
+        )])
         .seed(1);
     s.bottleneck = Bandwidth::from_gbps(1);
     s.buffer_bytes = 25_000_000;

@@ -48,12 +48,7 @@ fn measure(skeleton: Scenario, cca: CcaKind, count: u32, rtt_ms: u64) -> (Option
         })
         .collect();
     // Bin width: one base RTT — events in the same RTT are "synchronized".
-    let idx = synchronization_index(
-        &events,
-        warmup_end,
-        end,
-        SimDuration::from_millis(rtt_ms),
-    );
+    let idx = synchronization_index(&events, warmup_end, end, SimDuration::from_millis(rtt_ms));
     let loss = net.sim.component::<Link>(net.link).stats().loss_rate();
     (idx, loss)
 }

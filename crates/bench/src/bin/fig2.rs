@@ -8,7 +8,10 @@ fn main() {
     let opts = parse_args();
     let sw = Stopwatch::new();
     let rows = mathis::run_grid(&opts.config);
-    section("Figure 2 — Mathis median prediction error", &mathis::render(&rows));
+    section(
+        "Figure 2 — Mathis median prediction error",
+        &mathis::render(&rows),
+    );
     println!("\nseries 'err (loss)' and 'err (halving)' are the figure's bars;");
     println!("EdgeScale rows are the figure's horizontal reference lines.");
     println!(

@@ -9,7 +9,10 @@ fn main() {
     let opts = parse_args();
     let sw = Stopwatch::new();
     let rows = intra::run_grid(&opts.config, CcaKind::Bbr);
-    section("Figure 4 — BBR intra-CCA fairness (JFI)", &intra::render(&rows));
+    section(
+        "Figure 4 — BBR intra-CCA fairness (JFI)",
+        &intra::render(&rows),
+    );
     println!(
         "\npaper: JFI as low as 0.4 in CoreScale (20/100 ms), milder\n\
          unfairness (>10 flows, JFI down to 0.7) in EdgeScale; past work's\n\

@@ -9,7 +9,10 @@ fn main() {
     let opts = parse_args();
     let sw = Stopwatch::new();
     let rows = inter::run_grid(&opts.config, CcaKind::Cubic, CcaKind::Reno);
-    section("Figure 5 — Cubic vs NewReno (equal counts)", &inter::render(&rows));
+    section(
+        "Figure 5 — Cubic vs NewReno (equal counts)",
+        &inter::render(&rows),
+    );
     println!(
         "\npaper: Cubic takes 70-80% of total throughput at every scale\n\
          (the 'Home Link' reference in the figure is ~80%).  [{:.1}s]",

@@ -9,9 +9,15 @@ fn main() {
     let opts = parse_args();
     let sw = Stopwatch::new();
     let a = inter::run_grid(&opts.config, CcaKind::Bbr, CcaKind::Reno);
-    section("Figure 8a — BBR vs NewReno (equal counts)", &inter::render(&a));
+    section(
+        "Figure 8a — BBR vs NewReno (equal counts)",
+        &inter::render(&a),
+    );
     let b = inter::run_grid(&opts.config, CcaKind::Bbr, CcaKind::Cubic);
-    section("Figure 8b — BBR vs Cubic (equal counts)", &inter::render(&b));
+    section(
+        "Figure 8b — BBR vs Cubic (equal counts)",
+        &inter::render(&b),
+    );
     println!(
         "\npaper: BBR takes up to 99.9% of total throughput in CoreScale\n\
          against either loss-based CCA.  [{:.1}s]",

@@ -9,8 +9,17 @@ fn main() {
     let opts = parse_args();
     let sw = Stopwatch::new();
     let reno = intra::run_grid(&opts.config, CcaKind::Reno);
-    section("Finding 4 — NewReno intra-CCA fairness", &intra::render(&reno));
+    section(
+        "Finding 4 — NewReno intra-CCA fairness",
+        &intra::render(&reno),
+    );
     let cubic = intra::run_grid(&opts.config, CcaKind::Cubic);
-    section("Finding 4 — Cubic intra-CCA fairness", &intra::render(&cubic));
-    println!("\npaper: JFI > 0.99 for both, at every scale.  [{:.1}s]", sw.secs());
+    section(
+        "Finding 4 — Cubic intra-CCA fairness",
+        &intra::render(&cubic),
+    );
+    println!(
+        "\npaper: JFI > 0.99 for both, at every scale.  [{:.1}s]",
+        sw.secs()
+    );
 }

@@ -18,7 +18,11 @@ fn main() {
 
     let mut s = Scenario::core_scale()
         .named("probe")
-        .flows(vec![FlowGroup::new(cca, flows, SimDuration::from_millis(20))])
+        .flows(vec![FlowGroup::new(
+            cca,
+            flows,
+            SimDuration::from_millis(20),
+        )])
         .seed(1);
     s.bottleneck = Bandwidth::from_gbps(gbps);
     s.buffer_bytes = (gbps * 25_000_000).max(1_000_000); // 1 BDP @ 200ms

@@ -423,7 +423,8 @@ impl Bbr {
         if bw == 0 {
             return; // keep the initial estimate until samples arrive
         }
-        let rate = Bandwidth::from_bps((bw as f64 * 8.0 * self.pacing_gain() * PACING_MARGIN) as u64);
+        let rate =
+            Bandwidth::from_bps((bw as f64 * 8.0 * self.pacing_gain() * PACING_MARGIN) as u64);
         // Never reduce the pacing rate before the pipe is known full: early
         // samples underestimate.
         if self.full_bw_reached || rate.as_bps() > self.pacing.as_bps() {
@@ -448,9 +449,7 @@ impl Bbr {
                 Some(target) => {
                     if self.full_bw_reached {
                         self.cwnd = (self.cwnd + s.newly_acked).min(target);
-                    } else if self.cwnd < target
-                        || s.delivered < INITIAL_CWND_SEGMENTS * self.mss
-                    {
+                    } else if self.cwnd < target || s.delivered < INITIAL_CWND_SEGMENTS * self.mss {
                         self.cwnd += s.newly_acked;
                     }
                 }
@@ -481,6 +480,15 @@ impl CongestionControl for Bbr {
         Some(self.pacing)
     }
 
+    fn phase(&self) -> &'static str {
+        match self.mode {
+            Mode::Startup => "startup",
+            Mode::Drain => "drain",
+            Mode::ProbeBw => "probe_bw",
+            Mode::ProbeRtt => "probe_rtt",
+        }
+    }
+
     fn uses_prr(&self) -> bool {
         false // BBR modulates its own window in recovery
     }
@@ -492,7 +500,7 @@ impl CongestionControl for Bbr {
         // Feed the bandwidth filter; app-limited samples only count when
         // they raise the estimate.
         if let Some(rate) = s.delivery_rate {
-            let bps_bytes = (rate.as_bps() / 8) as u64;
+            let bps_bytes = rate.as_bps() / 8;
             if !s.is_app_limited || bps_bytes >= self.bw_filter.get() {
                 self.bw_filter
                     .update(BW_FILTER_ROUNDS, self.rounds.rounds(), bps_bytes);
@@ -590,7 +598,16 @@ mod tests {
             delivered += 50_000;
             b.on_ack(&s(now, 20, rate_mbps, 14_480, delivered, prior, 500_000, 0));
             now += 10;
-            b.on_ack(&s(now, 20, rate_mbps, 14_480, delivered + 10, prior, 500_000, 0));
+            b.on_ack(&s(
+                now,
+                20,
+                rate_mbps,
+                14_480,
+                delivered + 10,
+                prior,
+                500_000,
+                0,
+            ));
             delivered += 10;
             now += 10;
         }
@@ -652,7 +669,16 @@ mod tests {
         let mut dd = d;
         for i in 0..200 {
             dd += 14_480;
-            b.on_ack(&s(now + 20 + i, 20, 80, 14_480, dd, dd - 14_480, 100_000, 0));
+            b.on_ack(&s(
+                now + 20 + i,
+                20,
+                80,
+                14_480,
+                dd,
+                dd - 14_480,
+                100_000,
+                0,
+            ));
         }
         assert!(b.cwnd() <= 400_000 + 2 * MSS as u64, "cwnd={}", b.cwnd());
         assert!(b.cwnd() >= 350_000, "cwnd={}", b.cwnd());

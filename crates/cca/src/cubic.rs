@@ -232,6 +232,14 @@ impl CongestionControl for Cubic {
         None
     }
 
+    fn phase(&self) -> &'static str {
+        if self.cwnd < self.ssthresh {
+            "slowstart"
+        } else {
+            "avoidance"
+        }
+    }
+
     fn on_ack(&mut self, s: &AckSample) {
         if s.newly_acked == 0 {
             return;
@@ -340,7 +348,7 @@ mod tests {
         c.on_exit_recovery(&ack_at(0, 0, false, 20), false);
         // Second loss at a smaller window than w_max: w_max shrinks below
         // the current window (release bandwidth for newcomers).
-        c.on_enter_recovery(&ack_at(1000, 0, true, 20), );
+        c.on_enter_recovery(&ack_at(1000, 0, true, 20));
         assert!((c.w_max - 70.0 * (2.0 - CUBIC_BETA) / 2.0).abs() < 1e-9);
     }
 
@@ -407,8 +415,8 @@ mod tests {
     fn hystart_delay_exits_slow_start() {
         let mut c = Cubic::with_options(MSS, true, true);
         c.cwnd = 20_000; // past the 16-segment HyStart floor
-        // Deliver 8 RTT samples in one round, all 30 ms against a 20 ms
-        // min_rtt — well past eta (max(20/8,4)=4 ms).
+                         // Deliver 8 RTT samples in one round, all 30 ms against a 20 ms
+                         // min_rtt — well past eta (max(20/8,4)=4 ms).
         for i in 0..8 {
             let mut s = ack_at(i, 500, false, 20);
             s.rtt = Some(SimDuration::from_millis(30));

@@ -9,8 +9,8 @@
 //! * RTO: `ssthresh = cwnd / 2`, restart from 1 MSS.
 
 use crate::util::cap_add;
-use ccsim_tcp::cc::{AckSample, CongestionControl, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 use ccsim_sim::Bandwidth;
+use ccsim_tcp::cc::{AckSample, CongestionControl, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 
 /// NewReno congestion control.
 #[derive(Debug, Clone)]
@@ -59,6 +59,14 @@ impl CongestionControl for NewReno {
 
     fn pacing_rate(&self) -> Option<Bandwidth> {
         None
+    }
+
+    fn phase(&self) -> &'static str {
+        if self.cwnd < self.ssthresh {
+            "slowstart"
+        } else {
+            "avoidance"
+        }
     }
 
     fn on_ack(&mut self, s: &AckSample) {
@@ -159,7 +167,7 @@ mod tests {
         r.on_exit_recovery(&ack(0, false), false);
         let w0 = r.cwnd();
         assert_eq!(w0, 5_000); // halved from 10k
-        // ACK one full window: +1 MSS.
+                               // ACK one full window: +1 MSS.
         r.on_ack(&ack(w0, false));
         assert_eq!(r.cwnd(), w0 + MSS as u64);
         // Partial window: no growth yet.

@@ -121,6 +121,14 @@ impl CongestionControl for Vegas {
         None
     }
 
+    fn phase(&self) -> &'static str {
+        if self.cwnd < self.ssthresh {
+            "slowstart"
+        } else {
+            "avoidance"
+        }
+    }
+
     fn on_ack(&mut self, s: &AckSample) {
         if s.newly_acked == 0 {
             return;

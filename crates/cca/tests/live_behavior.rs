@@ -69,12 +69,7 @@ fn each_cca_saturates_a_clean_bdp_buffered_link() {
 
 #[test]
 fn bbr_reaches_probe_bw_and_tracks_the_bottleneck() {
-    let (mut sim, sender, _, _) = one_flow(
-        CcaKind::Bbr,
-        Bandwidth::from_mbps(40),
-        1_000_000,
-        30,
-    );
+    let (mut sim, sender, _, _) = one_flow(CcaKind::Bbr, Bandwidth::from_mbps(40), 1_000_000, 30);
     sim.run_until(SimTime::from_secs(8));
     let snd = sim.component::<Sender>(sender);
     let cca: &dyn std::any::Any = snd.cca() as &dyn std::any::Any;
@@ -167,7 +162,10 @@ fn bbr_probe_rtt_triggers_under_competition() {
             data_limit: None,
         };
         assert_eq!(
-            sim.add_component(Sender::new(cfg, ccsim_cca::make_cca(CcaKind::Bbr, MSS, flow as u64))),
+            sim.add_component(Sender::new(
+                cfg,
+                ccsim_cca::make_cca(CcaKind::Bbr, MSS, flow as u64)
+            )),
             sender_id
         );
         assert_eq!(
@@ -179,7 +177,11 @@ fn bbr_probe_rtt_triggers_under_competition() {
             )),
             receiver_id
         );
-        sim.schedule(SimTime::from_millis(flow as u64 * 50), sender_id, start_msg());
+        sim.schedule(
+            SimTime::from_millis(flow as u64 * 50),
+            sender_id,
+            start_msg(),
+        );
         senders.push(sender_id);
     }
     let mut saw_probe_rtt = false;
@@ -194,5 +196,8 @@ fn bbr_probe_rtt_triggers_under_competition() {
             }
         }
     }
-    assert!(saw_probe_rtt, "no BBR flow entered ProbeRTT in 35 s of competition");
+    assert!(
+        saw_probe_rtt,
+        "no BBR flow entered ProbeRTT in 35 s of competition"
+    );
 }

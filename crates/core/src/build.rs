@@ -14,13 +14,14 @@
 
 use crate::scenario::Scenario;
 use ccsim_cca::{make_cca, CcaKind};
-use ccsim_tcp::CongestionControl;
 use ccsim_net::link::{Link, NextHop};
 use ccsim_net::msg::Msg;
 use ccsim_net::packet::FlowId;
 use ccsim_sim::{ComponentId, SimDuration, SimTime, Simulator};
 use ccsim_tcp::receiver::Receiver;
 use ccsim_tcp::sender::{start_msg, Sender, SenderConfig};
+use ccsim_tcp::CongestionControl;
+use ccsim_trace::{FlowRecorder, QueueRecorder};
 use rand::Rng;
 
 /// A scenario wired into a simulator, ready to run.
@@ -48,9 +49,7 @@ impl BuiltNetwork {
     /// Construct the network for `scenario` and schedule all flow starts,
     /// using the stock CCA implementations.
     pub fn build(scenario: &Scenario) -> BuiltNetwork {
-        BuiltNetwork::build_with_factory(scenario, &|_, kind, mss, seed| {
-            make_cca(kind, mss, seed)
-        })
+        BuiltNetwork::build_with_factory(scenario, &|_, kind, mss, seed| make_cca(kind, mss, seed))
     }
 
     /// Like [`BuiltNetwork::build`], but with a custom CCA factory —
@@ -67,6 +66,16 @@ impl BuiltNetwork {
             scenario.buffer_bytes,
             NextHop::ToPacketDst,
         ));
+        if scenario.trace.enabled {
+            let cfg = &scenario.trace;
+            sim.component_mut::<Link>(link)
+                .enable_trace(QueueRecorder::new(
+                    cfg.policy,
+                    cfg.queue_budget(),
+                    cfg.queue_sample_every,
+                    rng_factory.derive_seed("trace-queue", 0),
+                ));
+        }
 
         let n = scenario.flow_count() as usize;
         let mut senders = Vec::with_capacity(n);
@@ -93,6 +102,16 @@ impl BuiltNetwork {
                 };
                 let actual_sender = sim.add_component(Sender::new(cfg, cca));
                 assert_eq!(actual_sender, sender_id, "sender id prediction");
+                if scenario.trace.enabled {
+                    let tc = &scenario.trace;
+                    sim.component_mut::<Sender>(sender_id)
+                        .enable_trace(FlowRecorder::new(
+                            flow,
+                            tc.policy,
+                            tc.flow_budget(scenario.flow_count()),
+                            rng_factory.derive_seed("trace", flow as u64),
+                        ));
+                }
                 let actual_receiver = sim.add_component(Receiver::new(
                     FlowId(flow),
                     sender_id,

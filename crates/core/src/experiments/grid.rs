@@ -63,15 +63,20 @@ impl ExperimentConfig {
 
     /// An EdgeScale scenario skeleton at this config's fidelity.
     pub fn edge(&self) -> Scenario {
-        Scenario::edge_scale().fidelity(self.fidelity).seed(self.seed)
+        Scenario::edge_scale()
+            .fidelity(self.fidelity)
+            .seed(self.seed)
     }
 
     /// A CoreScale scenario skeleton at this config's fidelity, with the
     /// bandwidth/buffer scaled down by [`ExperimentConfig::core_divisor`].
     pub fn core(&self) -> Scenario {
-        let mut s = Scenario::core_scale().fidelity(self.fidelity).seed(self.seed);
+        let mut s = Scenario::core_scale()
+            .fidelity(self.fidelity)
+            .seed(self.seed);
         if self.core_divisor > 1 {
-            s.bottleneck = ccsim_sim::Bandwidth::from_bps(s.bottleneck.as_bps() / self.core_divisor);
+            s.bottleneck =
+                ccsim_sim::Bandwidth::from_bps(s.bottleneck.as_bps() / self.core_divisor);
             s.buffer_bytes /= self.core_divisor;
             s.name = format!("CoreScale/{}", self.core_divisor);
         }

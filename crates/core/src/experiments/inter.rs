@@ -41,10 +41,7 @@ pub fn cell_scenario(
 ) -> Scenario {
     assert!(count >= 2, "need at least one flow per CCA");
     let rtt = SimDuration::from_millis(rtt_ms);
-    let name = format!(
-        "{}/{}v{} x{} @{}ms",
-        skeleton.name, a, b, count, rtt_ms
-    );
+    let name = format!("{}/{}v{} x{} @{}ms", skeleton.name, a, b, count, rtt_ms);
     skeleton
         .flows(vec![
             FlowGroup::new(a, count / 2, rtt),

@@ -115,7 +115,11 @@ mod tests {
         // must at least be in a sane range and rising horizons are covered
         // by the figure binaries (see EXPERIMENTS.md).
         let core = rows.iter().find(|r| r.setting == "CoreScale").unwrap();
-        assert!(core.jfi > 0.1 && core.jfi <= 1.0, "core reno JFI = {}", core.jfi);
+        assert!(
+            core.jfi > 0.1 && core.jfi <= 1.0,
+            "core reno JFI = {}",
+            core.jfi
+        );
         let report = render(&rows);
         assert!(report.contains("JFI"));
     }

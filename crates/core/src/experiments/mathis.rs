@@ -48,7 +48,8 @@ pub struct MathisRow {
 
 impl MathisRow {
     fn from_outcome(setting: &str, flow_count: u32, o: &RunOutcome) -> MathisRow {
-        let loss_fit = fit_constant(&o.mathis_observations(CcaKind::Reno, PInterpretation::PacketLoss));
+        let loss_fit =
+            fit_constant(&o.mathis_observations(CcaKind::Reno, PInterpretation::PacketLoss));
         let halving_fit =
             fit_constant(&o.mathis_observations(CcaKind::Reno, PInterpretation::CwndHalving));
         MathisRow {

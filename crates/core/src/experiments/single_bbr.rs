@@ -33,12 +33,7 @@ pub struct SingleBbrRow {
 }
 
 /// Scenario for one cell: flow 0 is BBR, flows 1..=N are the competitor.
-pub fn cell_scenario(
-    skeleton: Scenario,
-    competitor: CcaKind,
-    count: u32,
-    rtt_ms: u64,
-) -> Scenario {
+pub fn cell_scenario(skeleton: Scenario, competitor: CcaKind, count: u32, rtt_ms: u64) -> Scenario {
     let rtt = SimDuration::from_millis(rtt_ms);
     let name = format!(
         "{}/1bbr v {}x{} @{}ms",

@@ -30,8 +30,29 @@ pub use scenario::{ConvergenceRule, Fidelity, FlowGroup, Scenario, DEFAULT_MSS};
 /// Each scenario gets its own simulator on its own thread (the simulator is
 /// single-threaded by design; experiments parallelize across runs).
 pub fn run_all(scenarios: &[Scenario]) -> Vec<RunOutcome> {
+    run_all_with_progress(scenarios, |_, _| {})
+}
+
+/// [`run_all`] with a per-scenario completion callback.
+///
+/// `on_done(index, outcome)` fires from the worker thread that finished
+/// scenario `index`, as soon as it completes (not in input order). Long
+/// sweeps use this to report progress instead of going silent for minutes;
+/// the callback must be cheap and thread-safe.
+pub fn run_all_with_progress<F>(scenarios: &[Scenario], on_done: F) -> Vec<RunOutcome>
+where
+    F: Fn(usize, &RunOutcome) + Sync,
+{
     if scenarios.len() <= 1 {
-        return scenarios.iter().map(run).collect();
+        return scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let o = run(s);
+                on_done(i, &o);
+                o
+            })
+            .collect();
     }
     let mut results: Vec<Option<RunOutcome>> = Vec::new();
     results.resize_with(scenarios.len(), || None);
@@ -40,19 +61,19 @@ pub fn run_all(scenarios: &[Scenario]) -> Vec<RunOutcome> {
         .unwrap_or(4);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(scenarios.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= scenarios.len() {
                     break;
                 }
                 let outcome = run(&scenarios[i]);
+                on_done(i, &outcome);
                 results_mutex.lock().unwrap()[i] = Some(outcome);
             });
         }
-    })
-    .expect("experiment thread panicked");
+    });
     results
         .into_iter()
         .map(|o| o.expect("every scenario produced an outcome"))

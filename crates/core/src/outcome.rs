@@ -5,7 +5,10 @@ use ccsim_analysis::{group_share, jain_fairness_index};
 use ccsim_cca::CcaKind;
 use ccsim_sim::{Bandwidth, SimDuration, SimTime};
 use ccsim_telemetry::FlowMetrics;
+use ccsim_trace::RunTrace;
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Which interpretation of the Mathis `p` parameter to evaluate (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +48,9 @@ pub struct RunOutcome {
     pub max_queue_bytes: u64,
     /// Total engine events processed (performance diagnostics).
     pub events_processed: u64,
+    /// The assembled flight-recorder trace, when the scenario enabled
+    /// tracing (see [`ccsim_trace::TraceConfig`]).
+    pub trace: Option<RunTrace>,
 }
 
 impl RunOutcome {
@@ -63,11 +69,7 @@ impl RunOutcome {
 
     /// Bottleneck utilization in the window (aggregate goodput / capacity).
     pub fn utilization(&self) -> f64 {
-        let total: f64 = self
-            .flows
-            .iter()
-            .map(|f| f.throughput_bytes_per_sec)
-            .sum();
+        let total: f64 = self.flows.iter().map(|f| f.throughput_bytes_per_sec).sum();
         total / self.bottleneck.as_bytes_per_sec()
     }
 
@@ -102,11 +104,7 @@ impl RunOutcome {
     /// Mathis-model observations for the flows of `cca` under the given
     /// `p` interpretation. Flows that recorded no events under the chosen
     /// interpretation produce `p = 0` and are skipped by the fitter.
-    pub fn mathis_observations(
-        &self,
-        cca: CcaKind,
-        p: PInterpretation,
-    ) -> Vec<FlowObservation> {
+    pub fn mathis_observations(&self, cca: CcaKind, p: PInterpretation) -> Vec<FlowObservation> {
         self.flows
             .iter()
             .zip(&self.flow_cca)
@@ -140,6 +138,62 @@ impl RunOutcome {
             return 0.0;
         }
         self.aggregate_throughput_mbps() / self.flows.len() as f64
+    }
+
+    /// Start of the measurement window (the warm-up boundary).
+    pub fn window_start(&self) -> SimTime {
+        self.ended_at - self.measured_for
+    }
+
+    /// Loss-event synchronization index of the recorded trace over the
+    /// measurement window. `None` without a trace or without events.
+    pub fn trace_synchronization_index(&self, bin: SimDuration) -> Option<f64> {
+        let trace = self.trace.as_ref()?;
+        ccsim_analysis::trace_synchronization_index(trace, self.window_start(), self.ended_at, bin)
+    }
+
+    /// Burstiness of the recorded bottleneck drop train, restricted to
+    /// the measurement window so it is comparable to
+    /// [`RunOutcome::drop_burstiness`] (the trace itself also covers
+    /// warm-up). `None` without a trace or with too few drops.
+    pub fn trace_drop_burstiness(&self) -> Option<f64> {
+        let trace = self.trace.as_ref()?;
+        let start = self.window_start();
+        let times: Vec<SimTime> = trace
+            .drop_times()
+            .into_iter()
+            .filter(|&t| t >= start)
+            .collect();
+        ccsim_analysis::burstiness(&times)
+    }
+
+    /// Export the recorded trace next to `prefix`: `<prefix>.jsonl` when
+    /// `jsonl` is set, `<prefix>.cctr` (columnar binary) when `binary`
+    /// is set. Returns the paths written — empty when the run recorded
+    /// no trace.
+    pub fn export_trace(
+        &self,
+        prefix: &Path,
+        jsonl: bool,
+        binary: bool,
+    ) -> io::Result<Vec<PathBuf>> {
+        let Some(trace) = &self.trace else {
+            return Ok(Vec::new());
+        };
+        let mut written = Vec::new();
+        if jsonl {
+            let path = prefix.with_extension("jsonl");
+            let file = std::fs::File::create(&path)?;
+            ccsim_trace::write_jsonl(trace, io::BufWriter::new(file))?;
+            written.push(path);
+        }
+        if binary {
+            let path = prefix.with_extension("cctr");
+            let file = std::fs::File::create(&path)?;
+            ccsim_trace::write_binary(trace, io::BufWriter::new(file))?;
+            written.push(path);
+        }
+        Ok(written)
     }
 }
 
@@ -183,6 +237,7 @@ mod tests {
             drop_burstiness: Some(0.3),
             max_queue_bytes: 1_000_000,
             events_processed: 12345,
+            trace: None,
         }
     }
 

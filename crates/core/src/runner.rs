@@ -19,6 +19,7 @@ use ccsim_net::link::Link;
 use ccsim_sim::SimTime;
 use ccsim_tcp::sender::Sender;
 use ccsim_telemetry::{FlowMetrics, ThroughputTracker};
+use ccsim_trace::{RunTrace, TraceMeta};
 
 /// Numeric sender-counter baseline captured at the warm-up boundary.
 #[derive(Clone, Copy, Default)]
@@ -79,8 +80,8 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
         now = next;
         tracker.record(now, net.per_flow_delivered());
         if let Some(rule) = &scenario.convergence {
-            let agg = tracker
-                .relative_change(rule.window_snapshots, |r| Some(r.iter().sum::<f64>()));
+            let agg =
+                tracker.relative_change(rule.window_snapshots, |r| Some(r.iter().sum::<f64>()));
             let jfi = tracker.relative_change(rule.window_snapshots, jain_fairness_index);
             if let (Some(a), Some(j)) = (agg, jfi) {
                 if a < rule.tolerance && j < rule.tolerance {
@@ -126,6 +127,28 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
         });
     }
 
+    // Drain recorders (present only when the scenario enabled tracing)
+    // into one time-sorted trace.
+    let trace = if scenario.trace.enabled {
+        let mut parts = Vec::with_capacity(net.flow_count() + 1);
+        for &id in &net.senders {
+            if let Some(rec) = net.sim.component_mut::<Sender>(id).take_trace() {
+                parts.push(rec.finish());
+            }
+        }
+        if let Some(rec) = net.sim.component_mut::<Link>(net.link).take_trace() {
+            parts.push(rec.finish());
+        }
+        let meta = TraceMeta {
+            scenario: scenario.name.clone(),
+            seed: scenario.seed,
+            flows: scenario.flow_count(),
+        };
+        Some(RunTrace::assemble(meta, parts))
+    } else {
+        None
+    };
+
     RunOutcome {
         scenario: scenario.name.clone(),
         seed: scenario.seed,
@@ -140,6 +163,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
         drop_burstiness,
         max_queue_bytes: link_stats.max_queue_bytes,
         events_processed: net.sim.events_processed(),
+        trace,
     }
 }
 
@@ -164,7 +188,11 @@ mod tests {
         s.buffer_bytes = 500_000; // ~1 BDP at 200 ms
         s.start_jitter = SimDuration::from_millis(300);
         s.warmup = SimDuration::from_secs(3);
-        s.duration = SimDuration::from_secs(10);
+        // Same-RTT AIMD fairness converges over many sawtooth periods
+        // (~2.5 s each here): a 10 s window can catch flows mid-crossover
+        // at JFI ≈ 0.7 depending on the start-jitter draws, so measure
+        // for 30 s.
+        s.duration = SimDuration::from_secs(30);
         s.convergence = None;
         s
     }

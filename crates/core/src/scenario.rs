@@ -24,6 +24,7 @@
 
 use ccsim_cca::CcaKind;
 use ccsim_sim::{Bandwidth, SimDuration};
+use ccsim_trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 
 /// The paper's fixed MSS.
@@ -100,6 +101,9 @@ pub struct Scenario {
     pub snapshot_interval: SimDuration,
     /// Early-stopping rule, if any.
     pub convergence: Option<ConvergenceRule>,
+    /// Flight-recorder configuration (disabled by default; see
+    /// [`ccsim_trace::TraceConfig`]).
+    pub trace: TraceConfig,
 }
 
 impl Scenario {
@@ -125,6 +129,7 @@ impl Scenario {
                 window_snapshots: 10,
                 tolerance: 0.01,
             }),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -150,6 +155,7 @@ impl Scenario {
                 window_snapshots: 10,
                 tolerance: 0.01,
             }),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -192,6 +198,12 @@ impl Scenario {
         self
     }
 
+    /// Enable the flight recorder with the given configuration.
+    pub fn traced(mut self, trace: TraceConfig) -> Scenario {
+        self.trace = trace;
+        self
+    }
+
     /// Override warm-up and measurement duration.
     pub fn horizon(mut self, warmup: SimDuration, duration: SimDuration) -> Scenario {
         self.warmup = warmup;
@@ -213,13 +225,13 @@ impl Scenario {
             self.warmup >= self.start_jitter,
             "warm-up must cover the start-jitter window"
         );
-        assert!(
-            !self.snapshot_interval.is_zero(),
-            "zero snapshot interval"
-        );
+        assert!(!self.snapshot_interval.is_zero(), "zero snapshot interval");
         assert!(!self.duration.is_zero(), "zero measurement duration");
         if let Some(c) = &self.convergence {
-            assert!(c.window_snapshots > 0 && c.tolerance > 0.0, "bad convergence rule");
+            assert!(
+                c.window_snapshots > 0 && c.tolerance > 0.0,
+                "bad convergence rule"
+            );
         }
     }
 

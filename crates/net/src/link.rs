@@ -25,6 +25,7 @@
 use crate::msg::{Msg, TimerToken};
 use crate::packet::Packet;
 use ccsim_sim::{Bandwidth, Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_trace::QueueRecorder;
 use std::collections::VecDeque;
 
 /// Where a link forwards packets after serialization + propagation.
@@ -111,6 +112,9 @@ pub struct Link {
     drop_log_cap: usize,
     /// Drops before this instant are not logged (warm-up exclusion).
     log_from: SimTime,
+    /// Optional flight recorder (ccsim-trace): queue-depth samples and the
+    /// full-run drop train, attached by the harness when tracing is on.
+    recorder: Option<QueueRecorder>,
 }
 
 impl Link {
@@ -128,8 +132,14 @@ impl Link {
             in_service: None,
             stats: LinkStats::default(),
             drop_log: Vec::new(),
-            drop_log_cap: 50_000_000,
+            // 1 M entries × 8 bytes = 8 MB worst case per link. The log
+            // feeds burstiness analysis, which stabilizes within ~10^5
+            // intervals; the old 50 M cap (400 MB) existed only to be
+            // "effectively unbounded" and could rival CoreScale's 250 MB
+            // queue itself. Counters remain exact past the cap.
+            drop_log_cap: 1_000_000,
             log_from: SimTime::ZERO,
+            recorder: None,
         }
     }
 
@@ -143,6 +153,18 @@ impl Link {
     /// still include them.
     pub fn set_log_from(&mut self, t: SimTime) {
         self.log_from = t;
+    }
+
+    /// Attach a flight recorder; subsequent arrivals sample the queue
+    /// depth and every drop is recorded with its backlog.
+    pub fn enable_trace(&mut self, recorder: QueueRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detach and return the flight recorder (the harness drains it into
+    /// the run trace after the simulation ends).
+    pub fn take_trace(&mut self) -> Option<QueueRecorder> {
+        self.recorder.take()
     }
 
     /// The configured rate.
@@ -203,6 +225,9 @@ impl Link {
         self.stats.arrived_pkts += 1;
         self.stats.arrived_bytes += p.wire_bytes as u64;
         self.stats.per_flow_arrived[fi] += 1;
+        if let Some(rec) = &mut self.recorder {
+            rec.on_arrival(now, self.queued_bytes, self.queue.len() as u64);
+        }
 
         if self.in_service.is_none() {
             debug_assert!(self.queue.is_empty());
@@ -216,6 +241,9 @@ impl Link {
             self.stats.per_flow_dropped[fi] += 1;
             if now >= self.log_from && self.drop_log.len() < self.drop_log_cap {
                 self.drop_log.push(now);
+            }
+            if let Some(rec) = &mut self.recorder {
+                rec.on_drop(now, p.flow.0, self.queued_bytes);
             }
             return;
         }
@@ -348,9 +376,11 @@ mod tests {
 
     #[test]
     fn loss_rate_computation() {
-        let mut s = LinkStats::default();
-        s.arrived_pkts = 200;
-        s.dropped_pkts = 10;
+        let s = LinkStats {
+            arrived_pkts: 200,
+            dropped_pkts: 10,
+            ..LinkStats::default()
+        };
         assert!((s.loss_rate() - 0.05).abs() < 1e-12);
         assert_eq!(LinkStats::default().loss_rate(), 0.0);
     }
@@ -444,12 +474,21 @@ mod tests {
             0,
             NextHop::ToPacketDst,
         ));
-        sim.component_mut::<Link>(link).set_log_from(SimTime::from_millis(500));
+        sim.component_mut::<Link>(link)
+            .set_log_from(SimTime::from_millis(500));
         // t=0: starts service. t=1ms: dropped (before log_from).
         // t=600ms: dropped (after log_from).
         sim.schedule(SimTime::ZERO, link, Msg::Packet(pkt(0, sink, 1000)));
-        sim.schedule(SimTime::from_millis(1), link, Msg::Packet(pkt(0, sink, 1000)));
-        sim.schedule(SimTime::from_millis(600), link, Msg::Packet(pkt(0, sink, 1000)));
+        sim.schedule(
+            SimTime::from_millis(1),
+            link,
+            Msg::Packet(pkt(0, sink, 1000)),
+        );
+        sim.schedule(
+            SimTime::from_millis(600),
+            link,
+            Msg::Packet(pkt(0, sink, 1000)),
+        );
         sim.run();
         let l = sim.component::<Link>(link);
         assert_eq!(l.stats().dropped_pkts, 2);

@@ -143,6 +143,9 @@ pub struct Packet {
     pub retransmit: bool,
 }
 
+// Referenced only by `#[serde(default = ...)]`, which the offline serde
+// stand-in (vendor/README.md) accepts but does not expand.
+#[allow(dead_code)]
 fn zero_component() -> ComponentId {
     ComponentId::from_raw(0)
 }
@@ -174,7 +177,13 @@ impl Packet {
     }
 
     /// Build a pure ACK.
-    pub fn ack(flow: FlowId, dst: ComponentId, ack_seq: u64, sack: SackBlocks, now: SimTime) -> Packet {
+    pub fn ack(
+        flow: FlowId,
+        dst: ComponentId,
+        ack_seq: u64,
+        sack: SackBlocks,
+        now: SimTime,
+    ) -> Packet {
         Packet {
             flow,
             kind: PacketKind::Ack,

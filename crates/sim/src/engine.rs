@@ -73,7 +73,11 @@ impl<'a, M> Ctx<'a, M> {
     /// Panics (debug) if `at` is in the past — causality violation.
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, dst: ComponentId, msg: M) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         self.queue.schedule(at, dst, msg);
     }
 
@@ -261,7 +265,11 @@ mod tests {
             if let Msg::Ping(n) = msg {
                 // Reply after a 5 ms "processing delay" to whoever is wired
                 // as component 0 (test-local convention).
-                ctx.schedule_in(SimDuration::from_millis(5), ComponentId::from_raw(0), Msg::Pong(n));
+                ctx.schedule_in(
+                    SimDuration::from_millis(5),
+                    ComponentId::from_raw(0),
+                    Msg::Pong(n),
+                );
             }
         }
     }

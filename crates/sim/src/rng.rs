@@ -77,8 +77,16 @@ mod tests {
     #[test]
     fn same_key_same_stream() {
         let f = RngFactory::new(7);
-        let a: Vec<u64> = f.stream("flow", 3).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = f.stream("flow", 3).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = f
+            .stream("flow", 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = f
+            .stream("flow", 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

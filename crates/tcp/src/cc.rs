@@ -102,6 +102,14 @@ pub trait CongestionControl: std::any::Any {
     fn uses_prr(&self) -> bool {
         true
     }
+
+    /// Short label for the algorithm's current operating phase, recorded
+    /// by the flight recorder on transitions ("slowstart"/"avoidance" for
+    /// loss-based CCAs, BBR's four modes, "steady" when the algorithm has
+    /// no phase structure). Labels must be ≤ 16 ASCII characters.
+    fn phase(&self) -> &'static str {
+        "steady"
+    }
 }
 
 /// Linux's default initial congestion window: 10 segments (RFC 6928).

@@ -7,6 +7,7 @@
 //! these and the packet counts.
 
 use ccsim_sim::SimTime;
+use ccsim_trace::BoundedLog;
 use serde::{Deserialize, Serialize};
 
 /// Sender-side counters.
@@ -25,8 +26,10 @@ pub struct SenderStats {
     /// Retransmission timeouts fired.
     pub rtos: u64,
     /// Timestamps of congestion events (fast-recovery entries + RTOs) —
-    /// the tcpprobe-equivalent CWND-halving log.
-    pub congestion_event_log: Vec<SimTime>,
+    /// the tcpprobe-equivalent CWND-halving log. Bounded drop-oldest
+    /// (64 Ki entries × 8 bytes = 0.5 MiB/flow worst case); the
+    /// `fast_recoveries`/`rtos` counters above remain exact regardless.
+    pub congestion_event_log: BoundedLog<SimTime>,
     /// Total bytes delivered (cumulatively or selectively ACKed).
     pub delivered_bytes: u64,
     /// Segments declared lost by loss detection or RTO.

@@ -297,7 +297,13 @@ mod tests {
     }
 
     fn data(seq: u64, end: u64) -> Packet {
-        Packet::data(FlowId(0), ComponentId::from_raw(99), seq, end, SimTime::ZERO)
+        Packet::data(
+            FlowId(0),
+            ComponentId::from_raw(99),
+            seq,
+            end,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -377,9 +383,27 @@ mod tests {
         let blocks = last.sack.as_slice();
         assert_eq!(blocks.len(), 3);
         // Full recency order: most recently updated first.
-        assert_eq!(blocks[0], SackBlock { start: 6000, end: 7000 });
-        assert_eq!(blocks[1], SackBlock { start: 4000, end: 5000 });
-        assert_eq!(blocks[2], SackBlock { start: 2000, end: 3000 });
+        assert_eq!(
+            blocks[0],
+            SackBlock {
+                start: 6000,
+                end: 7000
+            }
+        );
+        assert_eq!(
+            blocks[1],
+            SackBlock {
+                start: 4000,
+                end: 5000
+            }
+        );
+        assert_eq!(
+            blocks[2],
+            SackBlock {
+                start: 2000,
+                end: 3000
+            }
+        );
     }
 
     #[test]
@@ -418,7 +442,10 @@ mod tests {
         let last = &acks.last().unwrap().1;
         assert_eq!(
             last.sack.as_slice(),
-            &[SackBlock { start: 2000, end: 4000 }]
+            &[SackBlock {
+                start: 2000,
+                end: 4000
+            }]
         );
     }
 

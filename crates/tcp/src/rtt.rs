@@ -115,8 +115,11 @@ impl RttEstimator {
             }
         };
         let clamped = base.max(self.rto_min).min(self.rto_max);
-        let backed_off =
-            SimDuration::from_nanos(clamped.as_nanos().saturating_mul(1u64 << self.backoff_shift));
+        let backed_off = SimDuration::from_nanos(
+            clamped
+                .as_nanos()
+                .saturating_mul(1u64 << self.backoff_shift),
+        );
         backed_off.min(self.rto_max)
     }
 

@@ -188,7 +188,7 @@ impl Scoreboard {
                 }
             }
             debug_assert!(
-                self.segs.front().map_or(true, |s| s.seq >= ack_seq),
+                self.segs.front().is_none_or(|s| s.seq >= ack_seq),
                 "cumulative ACK inside a segment"
             );
             self.snd_una = ack_seq;
@@ -249,7 +249,7 @@ impl Scoreboard {
             *latest_sent = seg.tx.sent_time;
             res.latest_tx = Some(seg.tx);
         }
-        if !seg.retransmitted && latest_clean_sent.map_or(true, |t| seg.tx.sent_time >= t) {
+        if !seg.retransmitted && latest_clean_sent.is_none_or(|t| seg.tx.sent_time >= t) {
             *latest_clean_sent = Some(seg.tx.sent_time);
         }
     }
@@ -454,21 +454,13 @@ mod tests {
     fn sack_marks_segments_and_reduces_pipe() {
         let mut b = board_with(5);
         // SACK segments 2 and 3 (bytes 2000..4000).
-        let r = b.process_ack(
-            SimTime::from_millis(50),
-            0,
-            &sack(&[(2 * MSS, 4 * MSS)]),
-        );
+        let r = b.process_ack(SimTime::from_millis(50), 0, &sack(&[(2 * MSS, 4 * MSS)]));
         assert_eq!(r.newly_sacked, 2 * MSS);
         assert_eq!(r.newly_acked, 2 * MSS);
         assert_eq!(b.sacked_bytes(), 2 * MSS);
         assert_eq!(b.in_flight(), 3 * MSS);
         // Re-delivering the same SACK is idempotent.
-        let r2 = b.process_ack(
-            SimTime::from_millis(51),
-            0,
-            &sack(&[(2 * MSS, 4 * MSS)]),
-        );
+        let r2 = b.process_ack(SimTime::from_millis(51), 0, &sack(&[(2 * MSS, 4 * MSS)]));
         assert_eq!(r2.newly_acked, 0);
     }
 

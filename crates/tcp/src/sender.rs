@@ -31,6 +31,7 @@ use crate::scoreboard::Scoreboard;
 use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::{FlowId, Packet};
 use ccsim_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_trace::{BoundedLog, CongestionKind, FlowRecorder};
 
 /// Timer kind: flow start.
 pub const TIMER_START: u16 = 1;
@@ -99,7 +100,11 @@ pub struct Sender {
     stats: SenderStats,
     /// Optional cwnd trace `(time, cwnd_bytes)`, sampled per ACK when
     /// enabled (for examples/diagnostics; off in large experiments).
-    cwnd_trace: Option<Vec<(SimTime, u64)>>,
+    /// Bounded: at 16 bytes/entry the default cap retains ~1 MiB/flow.
+    cwnd_trace: Option<BoundedLog<(SimTime, u64)>>,
+    /// Optional flight recorder (ccsim-trace), attached by the harness
+    /// when the scenario enables tracing.
+    recorder: Option<FlowRecorder>,
 }
 
 impl Sender {
@@ -127,17 +132,32 @@ impl Sender {
             started: false,
             stats: SenderStats::default(),
             cwnd_trace: None,
+            recorder: None,
         }
     }
 
-    /// Enable per-ACK cwnd tracing.
+    /// Enable per-ACK cwnd tracing (drop-oldest bounded; see
+    /// [`ccsim_trace::DEFAULT_LOG_CAP`]).
     pub fn enable_cwnd_trace(&mut self) {
-        self.cwnd_trace = Some(Vec::new());
+        self.cwnd_trace = Some(BoundedLog::default());
     }
 
     /// The recorded cwnd trace, if enabled.
-    pub fn cwnd_trace(&self) -> Option<&[(SimTime, u64)]> {
-        self.cwnd_trace.as_deref()
+    pub fn cwnd_trace(&self) -> Option<&BoundedLog<(SimTime, u64)>> {
+        self.cwnd_trace.as_ref()
+    }
+
+    /// Attach a flight recorder; subsequent ACK processing records cwnd /
+    /// ssthresh / srtt / pacing samples, CCA phase transitions, and
+    /// congestion events into it.
+    pub fn enable_trace(&mut self, recorder: FlowRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detach and return the flight recorder (the harness drains it into
+    /// the run trace after the simulation ends).
+    pub fn take_trace(&mut self) -> Option<FlowRecorder> {
+        self.recorder.take()
     }
 
     /// Counters.
@@ -206,7 +226,7 @@ impl Sender {
     fn new_data_available(&self) -> bool {
         self.cfg
             .data_limit
-            .map_or(true, |limit| self.board.snd_nxt() < limit)
+            .is_none_or(|limit| self.board.snd_nxt() < limit)
     }
 
     /// RFC 6937 PRR sndcnt: bytes this ACK permits us to (re)transmit.
@@ -214,8 +234,8 @@ impl Sender {
         let pipe = self.board.in_flight();
         if pipe > self.prr_ssthresh {
             // Rate-reduction phase.
-            let target = (self.prr_delivered * self.prr_ssthresh)
-                .div_ceil(self.prr_recover_fs.max(1));
+            let target =
+                (self.prr_delivered * self.prr_ssthresh).div_ceil(self.prr_recover_fs.max(1));
             target.saturating_sub(self.prr_out)
         } else {
             // Slow-start reduction bound (PRR-SSRB).
@@ -265,7 +285,14 @@ impl Sender {
         }
     }
 
-    fn send_segment(&mut self, now: SimTime, seq: u64, end: u64, is_rtx: bool, ctx: &mut Ctx<'_, Msg>) {
+    fn send_segment(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        end: u64,
+        is_rtx: bool,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
         let flight_was_empty = self.board.is_empty();
         let tx = self.rate.on_send(now, flight_was_empty);
         if is_rtx {
@@ -330,8 +357,25 @@ impl Sender {
         }
     }
 
+    /// Feed the flight recorder after a CCA-visible state change: window /
+    /// RTT / pacing samples (deduplicated inside the recorder) and the
+    /// CCA's operating-phase label.
+    fn record_state(&mut self, now: SimTime) {
+        if let Some(rec) = &mut self.recorder {
+            rec.on_ack(
+                now,
+                self.cca.cwnd(),
+                self.cca.ssthresh(),
+                self.rtt.srtt(),
+                self.cca.pacing_rate().map_or(0, |r| r.as_bps()),
+            );
+            rec.on_phase(now, self.cca.phase());
+        }
+    }
+
     // ----- ACK processing -----------------------------------------------
 
+    #[allow(clippy::too_many_arguments)] // one per AckSample input; a params struct would just rename it
     fn build_sample(
         &self,
         now: SimTime,
@@ -422,6 +466,9 @@ impl Sender {
             self.force_rtx = true;
             self.stats.fast_recoveries += 1;
             self.stats.congestion_event_log.push(now);
+            if let Some(rec) = &mut self.recorder {
+                rec.on_congestion(now, CongestionKind::FastRecovery);
+            }
             sample.in_recovery = true;
             self.cca.on_enter_recovery(&sample);
             self.prr_ssthresh = self.cca.ssthresh();
@@ -439,6 +486,7 @@ impl Sender {
         if let Some(trace) = &mut self.cwnd_trace {
             trace.push((now, self.cca.cwnd()));
         }
+        self.record_state(now);
 
         // RTO maintenance: push the deadline out while data is outstanding.
         if self.board.is_empty() {
@@ -473,6 +521,9 @@ impl Sender {
         // Genuine timeout.
         self.stats.rtos += 1;
         self.stats.congestion_event_log.push(now);
+        if let Some(rec) = &mut self.recorder {
+            rec.on_congestion(now, CongestionKind::Rto);
+        }
         self.state = CaState::Loss;
         self.recovery_point = self.board.snd_nxt();
         let newly_lost = self.board.mark_all_lost();
@@ -491,6 +542,7 @@ impl Sender {
             self.board.snd_una(),
         );
         self.cca.on_rto(&sample);
+        self.record_state(now);
         // Pacing must not gate the timeout retransmission.
         self.pacing_next = now;
         self.rearm_rto(now, ctx);

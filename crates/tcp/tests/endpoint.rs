@@ -183,7 +183,10 @@ fn fast_retransmit_repairs_single_drop_without_rto() {
         st.fast_recoveries > 0,
         "expected SACK-based recovery episodes"
     );
-    assert_eq!(st.rtos, 0, "no RTO should be needed with an infinite source");
+    assert_eq!(
+        st.rtos, 0,
+        "no RTO should be needed with an infinite source"
+    );
 }
 
 /// A blackhole that swallows every packet (for RTO tests).
@@ -212,7 +215,11 @@ fn rto_fires_and_backs_off_through_a_blackhole() {
     let snd = sim.component::<Sender>(sender_id);
     // Initial RTO is 1 s; doubling thereafter: fires at ~1, 3, 7, 15 s.
     assert!(snd.stats().rtos >= 4, "rtos = {}", snd.stats().rtos);
-    assert!(snd.stats().rtos <= 6, "rtos = {} (backoff broken?)", snd.stats().rtos);
+    assert!(
+        snd.stats().rtos <= 6,
+        "rtos = {} (backoff broken?)",
+        snd.stats().rtos
+    );
     assert_eq!(snd.ca_state(), CaState::Loss);
     // Each timeout retransmits the head segment.
     assert!(snd.stats().retransmits >= snd.stats().rtos - 1);
@@ -259,13 +266,7 @@ fn delayed_acks_halve_ack_volume_on_clean_paths() {
 
 #[test]
 fn srtt_converges_to_path_rtt() {
-    let (mut sim, sender, _, _) = one_flow(
-        Bandwidth::from_mbps(50),
-        u64::MAX,
-        50,
-        10,
-        None,
-    );
+    let (mut sim, sender, _, _) = one_flow(Bandwidth::from_mbps(50), u64::MAX, 50, 10, None);
     sim.run_until(SimTime::from_secs(5));
     let srtt = sim.component::<Sender>(sender).srtt();
     let ms = srtt.as_nanos() as f64 / 1e6;

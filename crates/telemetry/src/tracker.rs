@@ -106,10 +106,9 @@ impl ThroughputTracker {
             return None;
         }
         let recent = metric(&self.throughputs_between(n - 1 - window_snapshots, n - 1)?)?;
-        let earlier = metric(&self.throughputs_between(
-            n - 1 - 2 * window_snapshots,
-            n - 1 - window_snapshots,
-        )?)?;
+        let earlier = metric(
+            &self.throughputs_between(n - 1 - 2 * window_snapshots, n - 1 - window_snapshots)?,
+        )?;
         if earlier == 0.0 {
             return None;
         }

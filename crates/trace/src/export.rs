@@ -1,0 +1,290 @@
+//! JSONL export — one self-describing JSON object per line.
+//!
+//! The first line carries the run metadata; every following line is one
+//! record with kind-specific field names (`cwnd`, `ssthresh`, `bps`, …),
+//! so the file greps and `jq`s naturally. The format is hand-rolled on
+//! both sides: the offline serde stand-in (vendor/README.md) provides no
+//! serializer, and the schema is small and fixed. [`read_jsonl`] parses
+//! exactly what [`write_jsonl`] emits (strict field order is *not*
+//! required; unknown fields are ignored).
+
+use crate::event::{CongestionKind, PhaseLabel, TraceKind, TraceRecord, QUEUE_FLOW};
+use crate::recorder::{RunTrace, TraceMeta};
+use ccsim_sim::{SimDuration, SimTime};
+use std::io::{self, BufRead, Write};
+
+/// Escape a string for a JSON literal (quotes, backslashes, control
+/// bytes — scenario names are the only free-form strings here).
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Write a trace as JSONL.
+pub fn write_jsonl<W: Write>(trace: &RunTrace, mut w: W) -> io::Result<()> {
+    let mut name = String::new();
+    escape(&trace.meta.scenario, &mut name);
+    writeln!(
+        w,
+        "{{\"meta\":{{\"scenario\":\"{}\",\"seed\":{},\"flows\":{},\"records\":{},\"evicted\":{},\"thinned\":{}}}}}",
+        name,
+        trace.meta.seed,
+        trace.meta.flows,
+        trace.records.len(),
+        trace.evicted,
+        trace.thinned
+    )?;
+    let mut line = String::with_capacity(128);
+    for r in &trace.records {
+        line.clear();
+        let t = r.time.as_nanos();
+        match r.kind {
+            TraceKind::Cwnd => {
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"flow\":{},\"kind\":\"cwnd\",\"cwnd\":{},\"ssthresh\":{}}}",
+                    r.flow, r.a, r.b
+                ));
+            }
+            TraceKind::Srtt => {
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"flow\":{},\"kind\":\"srtt\",\"ns\":{}}}",
+                    r.flow, r.a
+                ));
+            }
+            TraceKind::Pacing => {
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"flow\":{},\"kind\":\"pacing\",\"bps\":{}}}",
+                    r.flow, r.a
+                ));
+            }
+            TraceKind::Phase => {
+                let label = r.phase_label().unwrap_or_default();
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"flow\":{},\"kind\":\"phase\",\"label\":\"{}\"}}",
+                    r.flow,
+                    label.as_str()
+                ));
+            }
+            TraceKind::Congestion => {
+                let ev = r
+                    .congestion_kind()
+                    .map(CongestionKind::as_str)
+                    .unwrap_or("unknown");
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"flow\":{},\"kind\":\"congestion\",\"event\":\"{ev}\"}}",
+                    r.flow
+                ));
+            }
+            TraceKind::QueueDepth => {
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"kind\":\"queue\",\"bytes\":{},\"pkts\":{}}}",
+                    r.a, r.b
+                ));
+            }
+            TraceKind::Drop => {
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"flow\":{},\"kind\":\"drop\",\"queue_bytes\":{}}}",
+                    r.flow, r.a
+                ));
+            }
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Extract `"key":<number>` from a JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract and unescape `"key":"<string>"` from a JSON line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let v = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Parse one record line (as produced by [`write_jsonl`]).
+fn parse_record(line: &str) -> io::Result<TraceRecord> {
+    let t = SimTime::from_nanos(field_u64(line, "t").ok_or_else(|| bad("record missing \"t\""))?);
+    let kind_name = field_str(line, "kind").ok_or_else(|| bad("record missing \"kind\""))?;
+    let kind = TraceKind::from_str_name(&kind_name)
+        .ok_or_else(|| bad(format!("unknown kind {kind_name:?}")))?;
+    let flow = match kind {
+        TraceKind::QueueDepth => QUEUE_FLOW,
+        _ => field_u64(line, "flow").ok_or_else(|| bad("record missing \"flow\""))? as u32,
+    };
+    let rec = match kind {
+        TraceKind::Cwnd => TraceRecord::cwnd(
+            t,
+            flow,
+            field_u64(line, "cwnd").ok_or_else(|| bad("cwnd missing"))?,
+            field_u64(line, "ssthresh").ok_or_else(|| bad("ssthresh missing"))?,
+        ),
+        TraceKind::Srtt => TraceRecord::srtt(
+            t,
+            flow,
+            SimDuration::from_nanos(field_u64(line, "ns").ok_or_else(|| bad("ns missing"))?),
+        ),
+        TraceKind::Pacing => TraceRecord::pacing(
+            t,
+            flow,
+            field_u64(line, "bps").ok_or_else(|| bad("bps missing"))?,
+        ),
+        TraceKind::Phase => {
+            let label = field_str(line, "label").ok_or_else(|| bad("label missing"))?;
+            TraceRecord::phase(t, flow, PhaseLabel::new(&label))
+        }
+        TraceKind::Congestion => {
+            let ev = field_str(line, "event").ok_or_else(|| bad("event missing"))?;
+            let ck = CongestionKind::from_str_name(&ev)
+                .ok_or_else(|| bad(format!("unknown congestion event {ev:?}")))?;
+            TraceRecord::congestion(t, flow, ck)
+        }
+        TraceKind::QueueDepth => TraceRecord::queue_depth(
+            t,
+            field_u64(line, "bytes").ok_or_else(|| bad("bytes missing"))?,
+            field_u64(line, "pkts").ok_or_else(|| bad("pkts missing"))?,
+        ),
+        TraceKind::Drop => TraceRecord::drop(
+            t,
+            flow,
+            field_u64(line, "queue_bytes").ok_or_else(|| bad("queue_bytes missing"))?,
+        ),
+    };
+    Ok(rec)
+}
+
+/// Read a trace from JSONL (the inverse of [`write_jsonl`]).
+pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<RunTrace> {
+    let mut lines = r.lines();
+    let header = lines.next().ok_or_else(|| bad("empty trace file"))??;
+    if !header.contains("\"meta\"") {
+        return Err(bad("first line is not a meta header"));
+    }
+    let meta = TraceMeta {
+        scenario: field_str(&header, "scenario").ok_or_else(|| bad("meta missing scenario"))?,
+        seed: field_u64(&header, "seed").ok_or_else(|| bad("meta missing seed"))?,
+        flows: field_u64(&header, "flows").ok_or_else(|| bad("meta missing flows"))? as u32,
+    };
+    let evicted = field_u64(&header, "evicted").unwrap_or(0);
+    let thinned = field_u64(&header, "thinned").unwrap_or(0);
+    let mut records = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(parse_record(&line)?);
+    }
+    Ok(RunTrace {
+        meta,
+        records,
+        evicted,
+        thinned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CongestionKind;
+
+    fn sample_trace() -> RunTrace {
+        let t = SimTime::from_millis;
+        RunTrace {
+            meta: TraceMeta {
+                scenario: "edge \"quoted\" \\ name".into(),
+                seed: 42,
+                flows: 2,
+            },
+            records: vec![
+                TraceRecord::cwnd(t(1), 0, 14_480, u64::MAX),
+                TraceRecord::srtt(t(2), 0, SimDuration::from_micros(20_500)),
+                TraceRecord::pacing(t(3), 1, 1_250_000),
+                TraceRecord::phase(t(4), 1, PhaseLabel::new("probe_bw")),
+                TraceRecord::congestion(t(5), 0, CongestionKind::FastRecovery),
+                TraceRecord::queue_depth(t(6), 123_456, 83),
+                TraceRecord::drop(t(7), 1, 99_000),
+            ],
+            evicted: 3,
+            thinned: 17,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&trace, &mut buf).unwrap();
+        let back = read_jsonl(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn jsonl_lines_are_self_describing() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample_trace(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().count() == 8); // header + 7 records
+        assert!(text.contains("\"kind\":\"cwnd\""));
+        assert!(text.contains("\"event\":\"fast_recovery\""));
+        assert!(text.contains("\"label\":\"probe_bw\""));
+        // Every line is brace-delimited.
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_jsonl(io::BufReader::new(&b""[..])).is_err());
+        assert!(read_jsonl(io::BufReader::new(&b"{\"t\":1}\n"[..])).is_err());
+        let noheader = b"{\"t\":1,\"flow\":0,\"kind\":\"cwnd\",\"cwnd\":1,\"ssthresh\":2}\n";
+        assert!(read_jsonl(io::BufReader::new(&noheader[..])).is_err());
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        let mut s = String::new();
+        escape("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -1,0 +1,356 @@
+//! Bounded storage: retention-policy ring buffers and a generic bounded
+//! log.
+//!
+//! The flight recorder's core guarantee is a **hard memory bound**: no
+//! matter how long a run lasts or how many events fire, a ring never holds
+//! more than its configured capacity. Two mechanisms compose:
+//!
+//! * a **retention policy** decides which offered *samples* are admitted
+//!   (all of them, every n-th, or a uniform random subset), and
+//! * **drop-oldest eviction** enforces the capacity for whatever was
+//!   admitted — newest data survives, which is what a flight recorder
+//!   wants.
+//!
+//! Discrete *events* (phase transitions, congestion events, drops) bypass
+//! the policy — thinning them would corrupt event-rate metrics — but still
+//! respect the capacity.
+
+use crate::event::{TraceRecord, RECORD_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How a ring thins dense sample streams.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RetentionPolicy {
+    /// Admit every sample (bounded only by the ring capacity).
+    #[default]
+    KeepAll,
+    /// Admit every n-th sample (n = 0 behaves like n = 1).
+    Decimate(u32),
+    /// Keep a uniform random subset of at most k samples (Algorithm R).
+    /// Deterministic for a given ring seed.
+    Reservoir(u32),
+}
+
+/// SplitMix64 step — the deterministic source for reservoir replacement.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A bounded buffer of [`TraceRecord`]s with a retention policy.
+#[derive(Debug, Clone)]
+pub struct SampleRing {
+    buf: VecDeque<TraceRecord>,
+    /// Hard record capacity (derived from the byte budget).
+    cap: usize,
+    policy: RetentionPolicy,
+    /// Samples offered so far (policy input).
+    seen: u64,
+    /// Admitted then evicted by the capacity bound.
+    evicted: u64,
+    /// Rejected by the retention policy.
+    thinned: u64,
+    rng: u64,
+}
+
+impl SampleRing {
+    /// A ring holding at most `budget_bytes` worth of records (at least
+    /// one record, so a tiny budget still records *something*). `seed`
+    /// drives reservoir replacement only.
+    pub fn new(policy: RetentionPolicy, budget_bytes: u64, seed: u64) -> SampleRing {
+        let cap = (budget_bytes / RECORD_BYTES).max(1) as usize;
+        SampleRing {
+            buf: VecDeque::new(),
+            cap,
+            policy,
+            seen: 0,
+            evicted: 0,
+            thinned: 0,
+            rng: seed,
+        }
+    }
+
+    /// Offer a *sample* — subject to the retention policy.
+    pub fn offer(&mut self, rec: TraceRecord) {
+        self.seen += 1;
+        match self.policy {
+            RetentionPolicy::KeepAll => self.push(rec),
+            RetentionPolicy::Decimate(n) => {
+                if (self.seen - 1).is_multiple_of(u64::from(n.max(1))) {
+                    self.push(rec);
+                } else {
+                    self.thinned += 1;
+                }
+            }
+            RetentionPolicy::Reservoir(k) => {
+                let target = (k as usize).min(self.cap);
+                if self.buf.len() < target {
+                    self.buf.push_back(rec);
+                } else if target == 0 {
+                    self.thinned += 1;
+                } else {
+                    // Algorithm R: admit with probability target/seen.
+                    let j = (splitmix64(&mut self.rng) % self.seen) as usize;
+                    if j < target {
+                        self.buf[j] = rec;
+                    }
+                    self.thinned += 1;
+                }
+            }
+        }
+    }
+
+    /// Push an *event* — bypasses the policy, respects the capacity.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Hard record capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current contents in wire bytes (never exceeds the budget rounded
+    /// down to a whole record, except for the one-record minimum).
+    pub fn bytes(&self) -> u64 {
+        self.buf.len() as u64 * RECORD_BYTES
+    }
+
+    /// Records admitted then evicted by the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Samples rejected by the retention policy.
+    pub fn thinned(&self) -> u64 {
+        self.thinned
+    }
+
+    /// Consume the ring, returning its records sorted by time (reservoir
+    /// retention scrambles insertion order; the merged trace is canonical
+    /// time order).
+    pub fn into_sorted_vec(self) -> Vec<TraceRecord> {
+        let mut v: Vec<TraceRecord> = self.buf.into();
+        v.sort_by_key(|r| r.sort_key());
+        v
+    }
+}
+
+/// A generic drop-oldest bounded log — the replacement for the unbounded
+/// `Vec` diagnostic logs that predate the flight recorder (sender
+/// congestion-event logs, cwnd traces).
+#[derive(Debug, Clone)]
+pub struct BoundedLog<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    evicted: u64,
+}
+
+/// Default capacity for legacy diagnostic logs: 65 536 entries. At 8–16
+/// bytes per entry that is 0.5–1 MiB per flow — two orders of magnitude
+/// below the unbounded worst case (a CoreScale Paper-fidelity flow logs
+/// millions of events), while far exceeding what any analysis window
+/// consumes.
+pub const DEFAULT_LOG_CAP: usize = 65_536;
+
+impl<T> Default for BoundedLog<T> {
+    fn default() -> Self {
+        BoundedLog::new(DEFAULT_LOG_CAP)
+    }
+}
+
+impl<T> BoundedLog<T> {
+    /// An empty log retaining at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> BoundedLog<T> {
+        BoundedLog {
+            buf: VecDeque::new(),
+            cap: cap.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Append, evicting the oldest entry when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries evicted to honor the capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Remove all entries (capacity and eviction count are kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl<T: Clone> BoundedLog<T> {
+    /// Copy the retained entries into a `Vec`, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+// The offline serde stand-in's traits are markers (vendor/README.md);
+// under real serde these become `#[serde(transparent)]`-style impls over
+// the retained entries.
+impl<T: Serialize> Serialize for BoundedLog<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for BoundedLog<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_sim::SimTime;
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord::cwnd(SimTime::from_nanos(i), 0, i, 0)
+    }
+
+    #[test]
+    fn keep_all_respects_capacity_drop_oldest() {
+        let mut r = SampleRing::new(RetentionPolicy::KeepAll, 10 * RECORD_BYTES, 1);
+        for i in 0..25 {
+            r.offer(rec(i));
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.evicted(), 15);
+        let v = r.into_sorted_vec();
+        assert_eq!(v[0].a, 15, "oldest surviving record");
+        assert_eq!(v[9].a, 24, "newest record survives");
+    }
+
+    #[test]
+    fn decimate_keeps_every_nth() {
+        let mut r = SampleRing::new(RetentionPolicy::Decimate(4), 100 * RECORD_BYTES, 1);
+        for i in 0..20 {
+            r.offer(rec(i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.thinned(), 15);
+        let kept: Vec<u64> = r.into_sorted_vec().iter().map(|x| x.a).collect();
+        assert_eq!(kept, vec![0, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn decimate_zero_behaves_like_one() {
+        let mut r = SampleRing::new(RetentionPolicy::Decimate(0), 100 * RECORD_BYTES, 1);
+        for i in 0..5 {
+            r.offer(rec(i));
+        }
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn reservoir_holds_k_uniformish() {
+        let mut r = SampleRing::new(RetentionPolicy::Reservoir(50), 1000 * RECORD_BYTES, 42);
+        for i in 0..10_000 {
+            r.offer(rec(i));
+        }
+        assert_eq!(r.len(), 50);
+        let v = r.into_sorted_vec();
+        // A uniform subset spans the stream: some early, some late.
+        assert!(v.first().unwrap().a < 2_000, "early records represented");
+        assert!(v.last().unwrap().a > 8_000, "late records represented");
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = SampleRing::new(RetentionPolicy::Reservoir(20), 100 * RECORD_BYTES, seed);
+            for i in 0..1_000 {
+                r.offer(rec(i));
+            }
+            r.into_sorted_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn reservoir_capped_by_budget() {
+        let mut r = SampleRing::new(RetentionPolicy::Reservoir(1_000), 10 * RECORD_BYTES, 1);
+        for i in 0..500 {
+            r.offer(rec(i));
+        }
+        assert_eq!(r.len(), 10, "budget wins over k");
+    }
+
+    #[test]
+    fn events_bypass_policy() {
+        let mut r = SampleRing::new(RetentionPolicy::Decimate(1_000), 100 * RECORD_BYTES, 1);
+        for i in 0..10 {
+            r.push(rec(i));
+        }
+        assert_eq!(r.len(), 10, "pushed events are never thinned");
+    }
+
+    #[test]
+    fn minimum_one_record() {
+        let mut r = SampleRing::new(RetentionPolicy::KeepAll, 0, 1);
+        r.offer(rec(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.capacity(), 1);
+    }
+
+    #[test]
+    fn bounded_log_drops_oldest() {
+        let mut l: BoundedLog<u64> = BoundedLog::new(3);
+        for i in 0..7 {
+            l.push(i);
+        }
+        assert_eq!(l.to_vec(), vec![4, 5, 6]);
+        assert_eq!(l.evicted(), 4);
+        assert_eq!(l.capacity(), 3);
+        l.clear();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn bounded_log_default_cap() {
+        let l: BoundedLog<u8> = BoundedLog::default();
+        assert_eq!(l.capacity(), DEFAULT_LOG_CAP);
+    }
+}

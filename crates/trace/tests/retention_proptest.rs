@@ -1,0 +1,130 @@
+//! Property-based tests of the flight recorder's hard memory bound: no
+//! sequence of offers/pushes may push a ring — or a whole recorder —
+//! past its byte budget, and the admission accounting must balance.
+
+use ccsim_sim::{SimDuration, SimTime};
+use ccsim_trace::{
+    CongestionKind, FlowRecorder, QueueRecorder, RetentionPolicy, SampleRing, TraceConfig,
+    TraceRecord, RECORD_BYTES,
+};
+use proptest::prelude::*;
+
+fn policy(tag: u8, n: u32) -> RetentionPolicy {
+    match tag % 3 {
+        0 => RetentionPolicy::KeepAll,
+        1 => RetentionPolicy::Decimate(n),
+        _ => RetentionPolicy::Reservoir(n),
+    }
+}
+
+proptest! {
+    /// A ring's held bytes never exceed its budget (modulo the documented
+    /// one-record minimum), for any policy and any offer/push mix.
+    #[test]
+    fn ring_never_exceeds_byte_budget(
+        budget in 0u64..4_000,
+        tag in 0u8..3,
+        n in 0u32..50,
+        ops in prop::collection::vec(0u8..2, 1..400),
+    ) {
+        let mut ring = SampleRing::new(policy(tag, n), budget, 99);
+        let bound = budget.max(RECORD_BYTES);
+        for (i, op) in ops.iter().enumerate() {
+            let rec = TraceRecord::cwnd(SimTime::from_nanos(i as u64), 0, i as u64, 0);
+            if *op == 1 {
+                ring.push(rec);
+            } else {
+                ring.offer(rec);
+            }
+            prop_assert!(ring.bytes() <= bound, "{} > {}", ring.bytes(), bound);
+        }
+    }
+
+    /// seen = kept + thinned + evicted for pure sample streams: every
+    /// offered record is either held, rejected by the policy, or was
+    /// admitted and later evicted.
+    #[test]
+    fn admission_accounting_balances(
+        budget in 0u64..4_000,
+        tag in 0u8..3,
+        n in 1u32..50,
+        offers in 1usize..500,
+    ) {
+        let mut ring = SampleRing::new(policy(tag, n), budget, 7);
+        for i in 0..offers {
+            ring.offer(TraceRecord::cwnd(SimTime::from_nanos(i as u64), 0, i as u64, 0));
+        }
+        // Reservoir replacement counts the displaced record as thinned, so
+        // kept + thinned + evicted can only meet or exceed seen for it;
+        // KeepAll/Decimate balance exactly.
+        let total = ring.len() as u64 + ring.thinned() + ring.evicted();
+        match policy(tag, n) {
+            RetentionPolicy::Reservoir(_) => prop_assert!(total >= offers as u64),
+            _ => prop_assert_eq!(total, offers as u64),
+        }
+    }
+
+    /// A flow recorder's two rings together stay within its budget no
+    /// matter how samples and events interleave.
+    #[test]
+    fn flow_recorder_respects_budget(
+        budget in 0u64..8_000,
+        tag in 0u8..3,
+        n in 1u32..20,
+        acks in prop::collection::vec((1u64..1_000_000, 1u64..1_000_000), 1..300),
+    ) {
+        let mut rec = FlowRecorder::new(0, policy(tag, n), budget, 5);
+        // Each of the two rings may round a sub-record budget share up to
+        // one whole record, so the exact bound carries that headroom.
+        let bound = budget + 2 * RECORD_BYTES;
+        for (i, (cwnd, srtt_ns)) in acks.iter().enumerate() {
+            let now = SimTime::from_nanos(i as u64 * 1_000);
+            rec.on_ack(now, *cwnd, cwnd / 2, SimDuration::from_nanos(*srtt_ns), cwnd * 8);
+            if i % 7 == 0 {
+                rec.on_congestion(now, CongestionKind::FastRecovery);
+            }
+            if i % 11 == 0 {
+                rec.on_phase(now, if i % 2 == 0 { "slowstart" } else { "avoidance" });
+            }
+            prop_assert!(rec.bytes() <= bound, "{} > {}", rec.bytes(), bound);
+        }
+    }
+
+    /// Same for the queue recorder: arrivals plus drops stay within its
+    /// budget.
+    #[test]
+    fn queue_recorder_respects_budget(
+        budget in 0u64..8_000,
+        every in 0u32..16,
+        events in prop::collection::vec((0u8..2, 0u64..1_000_000), 1..300),
+    ) {
+        let mut rec = QueueRecorder::new(RetentionPolicy::KeepAll, budget, every, 5);
+        let bound = budget + 2 * RECORD_BYTES;
+        for (i, (op, backlog)) in events.iter().enumerate() {
+            let now = SimTime::from_nanos(i as u64 * 1_000);
+            if *op == 1 {
+                rec.on_drop(now, (i % 4) as u32, *backlog);
+            } else {
+                rec.on_arrival(now, *backlog, backlog / 1_448);
+            }
+            prop_assert!(rec.bytes() <= bound, "{} > {}", rec.bytes(), bound);
+        }
+    }
+
+    /// The static budget partition can never hand out more than the
+    /// global budget across the queue recorder and any number of flows.
+    #[test]
+    fn budget_partition_is_conservative(
+        max_bytes in 0u64..1u64 << 40,
+        n_flows in 0u32..100_000,
+    ) {
+        let cfg = TraceConfig {
+            enabled: true,
+            policy: RetentionPolicy::KeepAll,
+            max_bytes,
+            queue_sample_every: 64,
+        };
+        let total = cfg.queue_budget() + u64::from(n_flows) * cfg.flow_budget(n_flows);
+        prop_assert!(total <= max_bytes, "{} > {}", total, max_bytes);
+    }
+}

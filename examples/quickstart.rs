@@ -29,7 +29,10 @@ fn main() {
     );
     let outcome = ccsim::experiments::run(&scenario);
 
-    println!("\nper-flow throughput (measured over {}):", outcome.measured_for);
+    println!(
+        "\nper-flow throughput (measured over {}):",
+        outcome.measured_for
+    );
     for f in &outcome.flows {
         println!(
             "  flow {:>2} [{}]: {:>7.2} Mbps  ({} congestion events, {} retransmits)",
@@ -40,9 +43,15 @@ fn main() {
             f.retransmits
         );
     }
-    println!("\naggregate: {:.1} Mbps", outcome.aggregate_throughput_mbps());
+    println!(
+        "\naggregate: {:.1} Mbps",
+        outcome.aggregate_throughput_mbps()
+    );
     println!("utilization: {:.1}%", outcome.utilization() * 100.0);
-    println!("Jain's fairness index: {:.4}", outcome.jain_index().unwrap());
+    println!(
+        "Jain's fairness index: {:.4}",
+        outcome.jain_index().unwrap()
+    );
     println!(
         "queue loss rate: {:.3}%  (max backlog {:.2} MB)",
         outcome.aggregate_loss_rate * 100.0,

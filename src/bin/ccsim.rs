@@ -1,10 +1,19 @@
 //! `ccsim` — run ad-hoc congestion-control experiments from the shell.
 //!
 //! ```text
-//! ccsim run [--setting edge|core] [--bw <mbps>] [--buffer <bytes>]
-//!           [--flows <cca>:<count>:<rtt_ms> ...] [--seed N]
-//!           [--warmup <s>] [--duration <s>] [--jitter <s>] [--json]
+//! ccsim run   [--setting edge|core] [--bw <mbps>] [--buffer <bytes>]
+//!             [--flows <cca>:<count>:<rtt_ms> ...] [--seed N]
+//!             [--warmup <s>] [--duration <s>] [--jitter <s>]
+//!             [--fidelity quick|standard|paper] [--json]
+//! ccsim trace <run flags> [--out <prefix>] [--format jsonl|bin|both]
+//!             [--policy keepall|decimate:N|reservoir:K]
+//!             [--trace-budget <bytes>] [--queue-every <n>]
+//!             [--sync-bin <ms>]
 //! ```
+//!
+//! `trace` runs the same experiment with the flight recorder enabled,
+//! writes `<prefix>.jsonl` / `<prefix>.cctr`, and reports the
+//! trace-derived loss-synchronization index and drop burstiness.
 //!
 //! Examples:
 //!
@@ -14,26 +23,53 @@
 //!
 //! # A mini-CoreScale BBR fairness probe.
 //! ccsim run --setting core --bw 1000 --flows bbr:100:20 --duration 20
+//!
+//! # Record a traced run, thinned to a 16 MB budget.
+//! ccsim trace --flows reno:10:20 --fidelity quick \
+//!     --policy decimate:4 --trace-budget 16000000 --out /tmp/reno10
 //! ```
 
 use ccsim::cca::CcaKind;
-use ccsim::experiments::{FlowGroup, RunOutcome, Scenario};
+use ccsim::experiments::{Fidelity, FlowGroup, RunOutcome, Scenario};
 use ccsim::sim::{Bandwidth, SimDuration};
+use ccsim::trace::{RetentionPolicy, TraceConfig};
+use std::path::Path;
 
 fn usage(err: &str) -> ! {
     eprintln!(
         "{err}\n\nusage: ccsim run [--setting edge|core] [--bw <mbps>] \
          [--buffer <bytes>] --flows <cca>:<count>:<rtt_ms> [--flows ...] \
-         [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] [--json]\n\
+         [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] \
+         [--fidelity quick|standard|paper] [--json]\n\
+         \x20      ccsim trace <run flags> [--out <prefix>] \
+         [--format jsonl|bin|both] [--policy keepall|decimate:N|reservoir:K] \
+         [--trace-budget <bytes>] [--queue-every <n>] [--sync-bin <ms>]\n\
          ccas: reno, cubic, bbr, vegas"
     );
     std::process::exit(2);
 }
 
+fn parse_policy(spec: &str) -> RetentionPolicy {
+    if spec == "keepall" {
+        return RetentionPolicy::KeepAll;
+    }
+    if let Some(n) = spec.strip_prefix("decimate:") {
+        let n: u32 = n.parse().unwrap_or_else(|_| usage("bad decimate factor"));
+        return RetentionPolicy::Decimate(n.max(1));
+    }
+    if let Some(k) = spec.strip_prefix("reservoir:") {
+        let k: u32 = k.parse().unwrap_or_else(|_| usage("bad reservoir size"));
+        return RetentionPolicy::Reservoir(k.max(1));
+    }
+    usage(&format!("bad --policy '{spec}'"));
+}
+
 fn parse_flows(spec: &str) -> FlowGroup {
     let parts: Vec<&str> = spec.split(':').collect();
     if parts.len() != 3 {
-        usage(&format!("bad --flows spec '{spec}' (want cca:count:rtt_ms)"));
+        usage(&format!(
+            "bad --flows spec '{spec}' (want cca:count:rtt_ms)"
+        ));
     }
     let cca: CcaKind = parts[0]
         .parse()
@@ -49,12 +85,19 @@ fn parse_flows(spec: &str) -> FlowGroup {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("run") {
-        usage("expected subcommand 'run'");
-    }
+    let tracing = match args.first().map(String::as_str) {
+        Some("run") => false,
+        Some("trace") => true,
+        _ => usage("expected subcommand 'run' or 'trace'"),
+    };
     let mut scenario = Scenario::edge_scale().named("cli");
     let mut flows = Vec::new();
     let mut json = false;
+    let mut fidelity = None;
+    let mut out = String::from("trace");
+    let mut format = String::from("both");
+    let mut trace_cfg = TraceConfig::standard();
+    let mut sync_bin = SimDuration::from_millis(10);
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> &String {
@@ -75,29 +118,69 @@ fn main() {
                 scenario.bottleneck = Bandwidth::from_mbps(mbps);
             }
             "--buffer" => {
-                scenario.buffer_bytes =
-                    take(&mut i).parse().unwrap_or_else(|_| usage("bad --buffer"));
+                scenario.buffer_bytes = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --buffer"));
             }
             "--flows" => flows.push(parse_flows(take(&mut i))),
             "--seed" => {
                 scenario.seed = take(&mut i).parse().unwrap_or_else(|_| usage("bad --seed"));
             }
             "--warmup" => {
-                scenario.warmup =
-                    SimDuration::from_secs(take(&mut i).parse().unwrap_or_else(|_| usage("bad --warmup")));
+                scenario.warmup = SimDuration::from_secs(
+                    take(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --warmup")),
+                );
             }
             "--duration" => {
                 scenario.duration = SimDuration::from_secs(
-                    take(&mut i).parse().unwrap_or_else(|_| usage("bad --duration")),
+                    take(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --duration")),
                 );
             }
             "--jitter" => {
                 scenario.start_jitter = SimDuration::from_secs(
-                    take(&mut i).parse().unwrap_or_else(|_| usage("bad --jitter")),
+                    take(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --jitter")),
                 );
             }
             "--json" => json = true,
-            "--help" | "-h" => usage("help"),
+            "--fidelity" => {
+                fidelity = Some(match take(&mut i).as_str() {
+                    "quick" => Fidelity::Quick,
+                    "standard" => Fidelity::Standard,
+                    "paper" => Fidelity::Paper,
+                    other => usage(&format!("bad --fidelity {other}")),
+                });
+            }
+            "--out" if tracing => out = take(&mut i).clone(),
+            "--format" if tracing => {
+                format = take(&mut i).clone();
+                if !matches!(format.as_str(), "jsonl" | "bin" | "both") {
+                    usage(&format!("bad --format {format}"));
+                }
+            }
+            "--policy" if tracing => trace_cfg.policy = parse_policy(take(&mut i)),
+            "--trace-budget" if tracing => {
+                trace_cfg.max_bytes = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --trace-budget"));
+            }
+            "--queue-every" if tracing => {
+                trace_cfg.queue_sample_every = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --queue-every"));
+            }
+            "--sync-bin" if tracing => {
+                sync_bin = SimDuration::from_millis(
+                    take(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --sync-bin")),
+                );
+            }
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -106,6 +189,12 @@ fn main() {
         usage("at least one --flows group required");
     }
     scenario = scenario.flows(flows);
+    if let Some(f) = fidelity {
+        scenario = scenario.fidelity(f);
+    }
+    if tracing {
+        scenario = scenario.traced(trace_cfg);
+    }
     if scenario.warmup < scenario.start_jitter {
         scenario.start_jitter = scenario.warmup;
     }
@@ -127,11 +216,52 @@ fn main() {
     } else {
         print_human(&outcome);
     }
+
+    if tracing {
+        let written = outcome
+            .export_trace(
+                Path::new(&out),
+                matches!(format.as_str(), "jsonl" | "both"),
+                matches!(format.as_str(), "bin" | "both"),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("trace export failed: {e}");
+                std::process::exit(1);
+            });
+        print_trace_summary(&outcome, sync_bin);
+        for path in written {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+fn print_trace_summary(o: &RunOutcome, sync_bin: SimDuration) {
+    let Some(trace) = &o.trace else {
+        return;
+    };
+    println!(
+        "trace           : {} records ({:.2} MB wire), {} evicted, {} thinned",
+        trace.records.len(),
+        trace.wire_bytes() as f64 / 1e6,
+        trace.evicted,
+        trace.thinned
+    );
+    match o.trace_synchronization_index(sync_bin) {
+        Some(s) => println!("sync index      : {s:.4} (bin {sync_bin})"),
+        None => println!("sync index      : n/a (no congestion events in window)"),
+    }
+    match o.trace_drop_burstiness() {
+        Some(b) => println!("drop burstiness : {b:.4} (from trace)"),
+        None => println!("drop burstiness : n/a (too few recorded drops)"),
+    }
 }
 
 fn print_human(o: &RunOutcome) {
     println!("measured window : {}", o.measured_for);
-    println!("aggregate       : {:.2} Mbps", o.aggregate_throughput_mbps());
+    println!(
+        "aggregate       : {:.2} Mbps",
+        o.aggregate_throughput_mbps()
+    );
     println!("utilization     : {:.1}%", o.utilization() * 100.0);
     println!("loss rate       : {:.4}%", o.aggregate_loss_rate * 100.0);
     println!(

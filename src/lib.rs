@@ -13,6 +13,8 @@
 //! * [`cca`] — NewReno, CUBIC, BBRv1.
 //! * [`telemetry`] — flow metrics and throughput tracking.
 //! * [`analysis`] — Mathis fitting, JFI, burstiness, statistics.
+//! * [`trace`] — the memory-bounded flight recorder (cwnd/srtt/queue
+//!   traces, JSONL + columnar binary export).
 //! * [`experiments`] — the paper's EdgeScale/CoreScale scenarios and the
 //!   per-figure experiment functions.
 //!
@@ -39,3 +41,4 @@ pub use ccsim_net as net;
 pub use ccsim_sim as sim;
 pub use ccsim_tcp as tcp;
 pub use ccsim_telemetry as telemetry;
+pub use ccsim_trace as trace;

@@ -49,8 +49,8 @@ fn physical_aggregates_are_seed_insensitive() {
         .map(|seed| run(&scenario(seed, CcaKind::Reno)))
         .collect();
     let utils: Vec<f64> = outcomes.iter().map(|o| o.utilization()).collect();
-    let spread = utils.iter().cloned().fold(0.0f64, f64::max)
-        - utils.iter().cloned().fold(1.0f64, f64::min);
+    let spread =
+        utils.iter().cloned().fold(0.0f64, f64::max) - utils.iter().cloned().fold(1.0f64, f64::min);
     assert!(
         spread < 0.05,
         "utilization spread {spread} across seeds: {utils:?}"

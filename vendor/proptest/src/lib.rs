@@ -1,0 +1,222 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro, integer-range and tuple strategies,
+//! `prop::collection::vec`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros. Cases are generated from a fixed seed per test
+//! function, so failures are reproducible; there is no shrinking — the
+//! failing inputs are printed instead (every generated argument is
+//! `Debug`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration (subset of real proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+    /// Generate one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Strategy for a single fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop::` namespace (subset).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with lengths drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `vec(element, len_range)`: vectors of `element` draws.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "vec strategy: empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Derive the per-case RNG: stable across runs, distinct across cases.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    // FNV-1a over the test name gives a stable per-test stream base.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    let mut rng = SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0xA5A5));
+    // Decorrelate the seed structure.
+    let _ = rng.next_u64();
+    rng
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property (no early-exit plumbing offline: plain assert,
+/// with the failing case's inputs already printed by the harness on panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The property-test declaration macro (subset of real proptest's).
+///
+/// Supported grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]  // optional
+///     /// docs and attributes pass through
+///     #[test]
+///     fn prop_name(x in 0u64..10, ys in prop::collection::vec(0u8..4, 1..9)) {
+///         prop_assert!(x < 10);
+///     }
+///     // ... more properties
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default())
+            $(#[$meta])* fn $name $($rest)*);
+    };
+    (@funcs ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut prop_rng = $crate::case_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut prop_rng);)+
+                    let case_desc = format!(
+                        concat!("case {} of ", stringify!($name), ":",
+                            $(" ", stringify!($arg), "={:?}",)+),
+                        case, $(&$arg,)+
+                    );
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(e) = result {
+                        eprintln!("proptest failure: {case_desc}");
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This container has no network access to crates.io, so the workspace
+//! vendors the *shape* of serde that the codebase actually exercises:
+//! the `Serialize`/`Deserialize` marker traits and their derives. No code
+//! in the workspace links a serde *format* crate (there is none offline),
+//! so the traits carry no methods — deriving them records serializability
+//! intent and keeps the public API source-compatible with real serde.
+//!
+//! If the build environment ever gains registry access, delete `vendor/`
+//! and restore the crates-io entries in `[workspace.dependencies]`; every
+//! `#[derive(Serialize, Deserialize)]` and trait bound compiles unchanged
+//! against the real crate.
+
+/// Marker for types that real serde could serialize.
+pub trait Serialize {}
+
+/// Marker for types that real serde could deserialize.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// The `serde::de` module surface used by bounds in downstream code.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// The `serde::ser` module surface used by bounds in downstream code.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}
+impl<T: Serialize> Serialize for &T {}

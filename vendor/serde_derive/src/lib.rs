@@ -1,0 +1,68 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty marker-trait impls for the stand-in `serde` crate (see
+//! `vendor/serde`). `#[serde(...)]` attributes are accepted and ignored,
+//! matching real serde's attribute namespace so annotated types compile.
+//!
+//! Only non-generic `struct`/`enum` items are supported — the entire
+//! workspace derives on concrete types. A clear panic fires otherwise so
+//! a future generic derive site is caught at compile time.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type identifier following the `struct`/`enum` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            // `#[...]` attribute groups and bodies are skipped wholesale.
+            _ => {}
+        }
+    }
+    panic!("serde stand-in derive: no struct/enum name found in input");
+}
+
+/// Panic if the item is generic: the stand-in only supports concrete types.
+fn reject_generics(input: &TokenStream, name: &str) {
+    let mut after_name = false;
+    for tt in input.clone() {
+        match &tt {
+            TokenTree::Ident(id) if id.to_string() == name => after_name = true,
+            TokenTree::Punct(p) if after_name && p.as_char() == '<' => {
+                panic!(
+                    "serde stand-in derive: generic type `{name}` is unsupported; \
+                     implement the marker traits by hand or extend vendor/serde_derive"
+                );
+            }
+            TokenTree::Group(_) if after_name => return, // body reached: not generic
+            _ => {}
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    reject_generics(&input, &name);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    reject_generics(&input, &name);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
