@@ -6,7 +6,7 @@
 //! claim inside ccsim — an extension beyond the paper's own figures and a
 //! check that the simulator captures flow (de)synchronization.
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_cca::CcaKind;
 use ccsim_core::report::render_table;
 use ccsim_core::{run, FlowGroup};
@@ -14,7 +14,7 @@ use ccsim_sim::SimDuration;
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("ablation buffer");
     let rtt = SimDuration::from_millis(100);
     let mut rows = Vec::new();
 
@@ -59,7 +59,7 @@ fn main() {
     );
     println!(
         "\nAppenzeller et al.: with many desynchronized flows, BDP/sqrt(N)\n\
-         retains near-full utilization. [{:.1}s]",
-        sw.secs()
+         retains near-full utilization.",
     );
+    sw.finish();
 }

@@ -4,7 +4,7 @@
 //! quantifies how much each Linux-default mechanism matters in the paper's
 //! two settings via all-Cubic same-RTT runs (Figure-4 style metrics).
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_core::build::BuiltNetwork;
 use ccsim_core::report::render_table;
 use ccsim_core::FlowGroup;
@@ -53,7 +53,7 @@ fn run_variant(
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("ablation cubic");
     let mut rows = Vec::new();
     let core_count = *opts.config.core_counts.first().unwrap_or(&200);
     for (label, skeleton, count) in [
@@ -88,5 +88,5 @@ fn main() {
             &rows,
         ),
     );
-    println!("\n[{:.1}s]", sw.secs());
+    sw.finish();
 }

@@ -6,13 +6,13 @@
 //! cargo run --release -p ccsim-bench --bin all_experiments -- --scale paper
 //! ```
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_cca::CcaKind;
 use ccsim_core::experiments::{inter, intra, mathis, single_bbr};
 
 fn main() {
     let opts = parse_args();
-    let total = Stopwatch::new();
+    let total = StageTimer::new("all experiments");
     println!("# ccsim experiment report");
     println!(
         "\ngrid: core {:?}, edge {:?}, rtts {:?} ms, fidelity {:?}, seed {}{}",
@@ -28,23 +28,23 @@ fn main() {
         }
     );
 
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("mathis grid");
     let mathis_rows = mathis::run_grid(&opts.config);
     section(
         "Table 1 + Figures 2 & 3 + burstiness — the Mathis model at scale",
         &mathis::render(&mathis_rows),
     );
-    eprintln!("[mathis grid done in {:.1}s]", sw.secs());
+    sw.finish();
 
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("fig4");
     let bbr_intra = intra::run_grid(&opts.config, CcaKind::Bbr);
     section(
         "Figure 4 — BBR intra-CCA fairness",
         &intra::render(&bbr_intra),
     );
-    eprintln!("[fig4 done in {:.1}s]", sw.secs());
+    sw.finish();
 
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("finding4");
     let reno_intra = intra::run_grid(&opts.config, CcaKind::Reno);
     section(
         "Finding 4 — NewReno intra-CCA fairness",
@@ -55,26 +55,26 @@ fn main() {
         "Finding 4 — Cubic intra-CCA fairness",
         &intra::render(&cubic_intra),
     );
-    eprintln!("[finding4 done in {:.1}s]", sw.secs());
+    sw.finish();
 
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("fig5");
     let fig5 = inter::run_grid(&opts.config, CcaKind::Cubic, CcaKind::Reno);
     section("Figure 5 — Cubic vs NewReno", &inter::render(&fig5));
-    eprintln!("[fig5 done in {:.1}s]", sw.secs());
+    sw.finish();
 
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("fig6+fig7");
     let fig6 = single_bbr::run_grid(&opts.config, CcaKind::Reno);
     section("Figure 6 — 1 BBR vs N NewReno", &single_bbr::render(&fig6));
     let fig7 = single_bbr::run_grid(&opts.config, CcaKind::Cubic);
     section("Figure 7 — 1 BBR vs N Cubic", &single_bbr::render(&fig7));
-    eprintln!("[fig6+fig7 done in {:.1}s]", sw.secs());
+    sw.finish();
 
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("fig8");
     let fig8a = inter::run_grid(&opts.config, CcaKind::Bbr, CcaKind::Reno);
     section("Figure 8a — BBR vs NewReno", &inter::render(&fig8a));
     let fig8b = inter::run_grid(&opts.config, CcaKind::Bbr, CcaKind::Cubic);
     section("Figure 8b — BBR vs Cubic", &inter::render(&fig8b));
-    eprintln!("[fig8 done in {:.1}s]", sw.secs());
+    sw.finish();
 
-    println!("\n---\ntotal wall-clock: {:.1}s", total.secs());
+    total.finish();
 }

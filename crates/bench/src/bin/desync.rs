@@ -8,7 +8,7 @@
 //! few-flow EdgeScale populations against many-flow CoreScale ones.
 
 use ccsim_analysis::synchronization_index;
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_cca::CcaKind;
 use ccsim_core::build::BuiltNetwork;
 use ccsim_core::report::render_table;
@@ -55,7 +55,7 @@ fn measure(skeleton: Scenario, cca: CcaKind, count: u32, rtt_ms: u64) -> (Option
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("desync");
     let rtt = 20;
     let mut rows = Vec::new();
     for cca in [CcaKind::Reno, CcaKind::Bbr] {
@@ -86,7 +86,7 @@ fn main() {
     );
     println!(
         "\nAppenzeller: NewReno desynchronizes as flow count grows (index\n\
-         falls); the paper hypothesizes the same for BBR at scale.  [{:.1}s]",
-        sw.secs()
+         falls); the paper hypothesizes the same for BBR at scale.",
     );
+    sw.finish();
 }

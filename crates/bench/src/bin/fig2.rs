@@ -1,12 +1,12 @@
 //! Regenerate **Figure 2**: median Mathis prediction error per flow count,
 //! under both interpretations of `p`, with EdgeScale reference values.
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_core::experiments::mathis;
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("fig2");
     let rows = mathis::run_grid(&opts.config);
     section(
         "Figure 2 — Mathis median prediction error",
@@ -16,7 +16,7 @@ fn main() {
     println!("EdgeScale rows are the figure's horizontal reference lines.");
     println!(
         "paper: <=10% error with CWND halving at scale, 45-55% with packet\n\
-         loss; both <10% at the edge.  [{:.1}s]",
-        sw.secs()
+         loss; both <10% at the edge.",
     );
+    sw.finish();
 }

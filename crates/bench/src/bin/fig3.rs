@@ -1,12 +1,12 @@
 //! Regenerate **Figure 3**: the packet-loss to CWND-halving ratio in
 //! CoreScale (a) and EdgeScale (b).
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_core::experiments::mathis;
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("fig3");
     let rows = mathis::run_grid(&opts.config);
     section(
         "Figure 3 — packet-loss / CWND-halving ratio",
@@ -14,7 +14,7 @@ fn main() {
     );
     println!(
         "\npaper: ratio ~1.7 and flow-count independent in EdgeScale;\n\
-         6-9 and flow-count dependent in CoreScale.  [{:.1}s]",
-        sw.secs()
+         6-9 and flow-count dependent in CoreScale.",
     );
+    sw.finish();
 }

@@ -1,13 +1,13 @@
 //! Regenerate **Figure 5**: Cubic's share of throughput against an equal
 //! number of NewReno flows (paper: 70-80% in CoreScale).
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_cca::CcaKind;
 use ccsim_core::experiments::inter;
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("fig5");
     let rows = inter::run_grid(&opts.config, CcaKind::Cubic, CcaKind::Reno);
     section(
         "Figure 5 — Cubic vs NewReno (equal counts)",
@@ -15,7 +15,7 @@ fn main() {
     );
     println!(
         "\npaper: Cubic takes 70-80% of total throughput at every scale\n\
-         (the 'Home Link' reference in the figure is ~80%).  [{:.1}s]",
-        sw.secs()
+         (the 'Home Link' reference in the figure is ~80%).",
     );
+    sw.finish();
 }

@@ -1,13 +1,13 @@
 //! Regenerate **Figure 8**: N BBR vs N NewReno (a) and N BBR vs N Cubic
 //! (b) — BBR's aggregate share (paper: up to 99.9%).
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_cca::CcaKind;
 use ccsim_core::experiments::inter;
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("fig8");
     let a = inter::run_grid(&opts.config, CcaKind::Bbr, CcaKind::Reno);
     section(
         "Figure 8a — BBR vs NewReno (equal counts)",
@@ -20,7 +20,7 @@ fn main() {
     );
     println!(
         "\npaper: BBR takes up to 99.9% of total throughput in CoreScale\n\
-         against either loss-based CCA.  [{:.1}s]",
-        sw.secs()
+         against either loss-based CCA.",
     );
+    sw.finish();
 }

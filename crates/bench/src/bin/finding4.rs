@@ -1,13 +1,13 @@
 //! Regenerate **Finding 4** (figure not shown in the paper): NewReno and
 //! Cubic keep intra-CCA JFI > 0.99 even in CoreScale.
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_cca::CcaKind;
 use ccsim_core::experiments::intra;
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("finding4");
     let reno = intra::run_grid(&opts.config, CcaKind::Reno);
     section(
         "Finding 4 — NewReno intra-CCA fairness",
@@ -18,8 +18,6 @@ fn main() {
         "Finding 4 — Cubic intra-CCA fairness",
         &intra::render(&cubic),
     );
-    println!(
-        "\npaper: JFI > 0.99 for both, at every scale.  [{:.1}s]",
-        sw.secs()
-    );
+    println!("\npaper: JFI > 0.99 for both, at every scale.",);
+    sw.finish();
 }

@@ -2,12 +2,12 @@
 //! `p` = packet-loss rate vs `p` = CWND-halving rate, per setting and
 //! flow count.
 
-use ccsim_bench::{parse_args, section, Stopwatch};
+use ccsim_bench::{parse_args, section, StageTimer};
 use ccsim_core::experiments::mathis;
 
 fn main() {
     let opts = parse_args();
-    let sw = Stopwatch::new();
+    let sw = StageTimer::new("table1");
     let rows = mathis::run_grid(&opts.config);
     section(
         "Table 1 — Mathis constant C by p-interpretation",
@@ -16,7 +16,7 @@ fn main() {
     println!(
         "\npaper: C from packet loss varies with setting & flow count\n\
          (1.78 edge; 3.95/3.64/3.24 core) while C from CWND halving stays\n\
-         ~1.4 everywhere.  [{:.1}s]",
-        sw.secs()
+         ~1.4 everywhere.",
     );
+    sw.finish();
 }

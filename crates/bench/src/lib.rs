@@ -35,7 +35,8 @@
 //!
 //! Criterion micro-benchmarks (`cargo bench`) cover the engine, the queue,
 //! CCA ACK-processing cost, the min/max filter, and scaled-down end-to-end
-//! scenario runs, plus the DESIGN.md ablations.
+//! scenario runs, plus the DESIGN.md ablations and the observability
+//! registry's overhead (`registry_overhead`).
 
 use ccsim_core::experiments::ExperimentConfig;
 use ccsim_core::Fidelity;
@@ -150,26 +151,11 @@ pub fn section(title: &str, body: &str) {
     println!("{body}");
 }
 
-/// Elapsed-time helper for progress lines.
-pub struct Stopwatch(std::time::Instant);
-
-impl Default for Stopwatch {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Stopwatch {
-    /// Start timing.
-    pub fn new() -> Self {
-        Stopwatch(std::time::Instant::now())
-    }
-
-    /// Elapsed seconds.
-    pub fn secs(&self) -> f64 {
-        self.0.elapsed().as_secs_f64()
-    }
-}
+// Stage timing and sweep progress for the figure binaries. These replace
+// the old local `Stopwatch` + ad-hoc `eprintln!` pattern: every timing
+// line now goes to stderr in one format, keeping stdout clean for the
+// EXPERIMENTS.md-ready report bodies.
+pub use ccsim_telemetry::{RunProgress, StageTimer, SweepProgress};
 
 #[cfg(test)]
 mod tests {

@@ -6,6 +6,8 @@
 //! * [`build`] — dumbbell topology wiring.
 //! * [`runner`] — warm-up, snapshotting, the convergence stopping rule,
 //!   and window-scoped metric collection.
+//! * [`observe`] — self-observability: metric attachment, Prometheus
+//!   dumps, and per-run provenance manifests ([`run_observed`]).
 //! * [`outcome`] — run results with the paper's derived quantities (JFI,
 //!   group shares, Mathis observations, loss-to-halving ratios).
 //! * [`experiments`] — one function per table/figure of the paper, plus
@@ -15,14 +17,16 @@
 
 pub mod build;
 pub mod experiments;
+pub mod observe;
 pub mod outcome;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
 pub use build::BuiltNetwork;
+pub use observe::{run_observed, run_observed_with_progress, ObservedRun, RunInstruments};
 pub use outcome::{PInterpretation, RunOutcome};
-pub use runner::run;
+pub use runner::{run, run_with_progress, Progress};
 pub use scenario::{ConvergenceRule, Fidelity, FlowGroup, Scenario, DEFAULT_MSS};
 
 /// Run several scenarios in parallel, preserving input order.

@@ -1,0 +1,311 @@
+//! Self-observability for runs: metric attachment, harvesting, and the
+//! per-run artifacts (Prometheus dump + manifest).
+//!
+//! An *observed* run is an ordinary run with instruments attached:
+//! registry-backed metric handles on the bottleneck link and the senders,
+//! an event classifier on the engine, and wall-clock profiling spans
+//! around the runner's phases. Observation is **provably inert** — the
+//! enablement lives here, outside [`Scenario`], so the simulated
+//! configuration is bit-identical with and without it, and the metric
+//! primitives only touch their own atomics, never simulation state. The
+//! integration tests assert that a metrics-on run and a metrics-off run
+//! of the same (scenario, seed) produce identical [`RunOutcome`] digests.
+//!
+//! Metric families emitted per run:
+//!
+//! | family | kind | meaning |
+//! |---|---|---|
+//! | `ccsim_events_total{kind}` | counter | engine events by data/ack/timer |
+//! | `ccsim_events_pending_peak` | gauge | event-queue high-water mark |
+//! | `ccsim_events_per_sec` | gauge | engine throughput, events/wall-sec |
+//! | `ccsim_sim_wall_ratio` | gauge | sim-seconds per wall-second |
+//! | `ccsim_slice_wall_nanos` | histogram | wall time per measurement slice |
+//! | `ccsim_link_queue_bytes` | histogram | queue occupancy at arrivals |
+//! | `ccsim_link_drop_burst_pkts` | histogram | consecutive-drop burst sizes |
+//! | `ccsim_link_busy_nanos_total` | counter | serializer busy time (sim ns) |
+//! | `ccsim_tcp_rtos_total` | counter | genuine RTOs, all flows |
+//! | `ccsim_tcp_fast_recoveries_total` | counter | recovery entries, all flows |
+//! | `ccsim_tcp_pacing_stalls_total` | counter | pacing-gate deferrals |
+//! | `ccsim_phase_wall_nanos_total{phase}` | counter | runner phase wall time |
+//! | `ccsim_phase_calls_total{phase}` | counter | runner phase span counts |
+
+use crate::outcome::RunOutcome;
+use crate::runner::{run_internal, Progress};
+use crate::scenario::Scenario;
+use ccsim_net::link::LinkMetrics;
+use ccsim_net::msg::Msg;
+use ccsim_tcp::sender::SenderMetrics;
+use ccsim_telemetry::manifest::{fnv1a_64, RunManifest};
+use ccsim_telemetry::prometheus::write_exposition;
+use ccsim_telemetry::registry::{Counter, Gauge, Histogram, Registry};
+use ccsim_telemetry::Profiler;
+use std::sync::Arc;
+
+/// Event classes for `ccsim_events_total{kind=...}`.
+pub(crate) const EVENT_KINDS: [&str; 3] = ["data", "ack", "timer"];
+
+/// Classify an engine message into an [`EVENT_KINDS`] index. Installed on
+/// the engine (which cannot depend on this crate) as a plain fn pointer.
+pub(crate) fn classify_msg(m: &Msg) -> usize {
+    match m {
+        Msg::Packet(p) if p.is_data() => 0,
+        Msg::Packet(_) => 1,
+        Msg::Timer(_) => 2,
+    }
+}
+
+/// Everything attached to one observed run: the registry the metrics
+/// live in, the profiler for phase spans, and the pre-registered handles
+/// the runner wires into components (handles are created up front so the
+/// hot path never performs a name lookup).
+pub struct RunInstruments {
+    /// The metric registry for this run.
+    pub registry: Registry,
+    /// Wall-clock profiling spans (build / warmup / measure / collect).
+    pub profiler: Profiler,
+    pub(crate) events_kind: [Arc<Counter>; 3],
+    pub(crate) pending_peak: Arc<Gauge>,
+    pub(crate) events_per_sec: Arc<Gauge>,
+    pub(crate) sim_wall_ratio: Arc<Gauge>,
+    pub(crate) slice_wall: Arc<Histogram>,
+    pub(crate) link: LinkMetrics,
+    pub(crate) sender: SenderMetrics,
+}
+
+impl RunInstruments {
+    /// Register every metric family an observed run emits and return the
+    /// handles.
+    pub fn new() -> RunInstruments {
+        let registry = Registry::new();
+        let events_kind = EVENT_KINDS.map(|kind| {
+            registry.counter_with(
+                "ccsim_events_total",
+                "Engine events processed, by message kind",
+                &[("kind", kind)],
+            )
+        });
+        let pending_peak = registry.gauge(
+            "ccsim_events_pending_peak",
+            "High-water mark of the engine's pending-event queue",
+        );
+        let events_per_sec = registry.gauge(
+            "ccsim_events_per_sec",
+            "Engine events processed per wall-clock second",
+        );
+        let sim_wall_ratio = registry.gauge(
+            "ccsim_sim_wall_ratio",
+            "Simulated seconds per wall-clock second",
+        );
+        let slice_wall = registry.histogram(
+            "ccsim_slice_wall_nanos",
+            "Wall-clock nanoseconds per measurement slice",
+        );
+        let link = LinkMetrics {
+            queue_bytes: registry.histogram(
+                "ccsim_link_queue_bytes",
+                "Bottleneck queue occupancy in bytes, sampled at packet arrivals",
+            ),
+            drop_burst_pkts: registry.histogram(
+                "ccsim_link_drop_burst_pkts",
+                "Sizes of consecutive-drop bursts at the bottleneck, in packets",
+            ),
+            busy_nanos: registry.counter(
+                "ccsim_link_busy_nanos_total",
+                "Simulated nanoseconds the bottleneck serializer was busy",
+            ),
+        };
+        let sender = SenderMetrics {
+            rtos: registry.counter(
+                "ccsim_tcp_rtos_total",
+                "Genuine retransmission timeouts across all flows",
+            ),
+            fast_recoveries: registry.counter(
+                "ccsim_tcp_fast_recoveries_total",
+                "Fast-recovery episode entries across all flows",
+            ),
+            pacing_stalls: registry.counter(
+                "ccsim_tcp_pacing_stalls_total",
+                "Transmissions deferred by the pacing gate across all flows",
+            ),
+        };
+        RunInstruments {
+            registry,
+            profiler: Profiler::new(),
+            events_kind,
+            pending_peak,
+            events_per_sec,
+            sim_wall_ratio,
+            slice_wall,
+            link,
+            sender,
+        }
+    }
+}
+
+impl Default for RunInstruments {
+    fn default() -> Self {
+        RunInstruments::new()
+    }
+}
+
+/// The result of an observed run: the outcome itself plus the two
+/// self-observability artifacts.
+pub struct ObservedRun {
+    /// The ordinary run result (identical to an unobserved run's).
+    pub outcome: RunOutcome,
+    /// Provenance manifest for this run.
+    pub manifest: RunManifest,
+    /// Prometheus text-exposition dump of every metric.
+    pub prometheus: String,
+}
+
+/// FNV-1a digest of a scenario's full configuration (over its `Debug`
+/// representation, which covers every field at full precision).
+pub fn scenario_digest(scenario: &Scenario) -> u64 {
+    fnv1a_64(format!("{scenario:?}").as_bytes())
+}
+
+/// Run `scenario` with instruments attached and produce the outcome plus
+/// the Prometheus dump and run manifest. See the module docs for the
+/// inertness guarantee.
+pub fn run_observed(scenario: &Scenario) -> ObservedRun {
+    run_observed_with_progress(scenario, |_| {})
+}
+
+/// [`run_observed`] with a progress callback, invoked after every
+/// simulated slice (warm-up and measurement) with the fraction of
+/// sim-time covered — feed it a
+/// [`RunProgress`](ccsim_telemetry::RunProgress) for a live stderr line.
+pub fn run_observed_with_progress<F>(scenario: &Scenario, mut on_progress: F) -> ObservedRun
+where
+    F: FnMut(&Progress),
+{
+    let inst = RunInstruments::new();
+    let wall_start = std::time::Instant::now();
+    let outcome = run_internal(scenario, Some(&inst), &mut on_progress);
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+
+    let sim_secs = outcome.ended_at.as_secs_f64();
+    let events_per_sec = if wall_secs > 0.0 {
+        outcome.events_processed as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let sim_wall_ratio = if wall_secs > 0.0 {
+        sim_secs / wall_secs
+    } else {
+        0.0
+    };
+    inst.events_per_sec.set(events_per_sec);
+    inst.sim_wall_ratio.set(sim_wall_ratio);
+    inst.profiler.export_into(&inst.registry);
+
+    let prometheus = write_exposition(&inst.registry);
+    let manifest = RunManifest {
+        scenario: scenario.name.clone(),
+        seed: scenario.seed,
+        flows: scenario.flow_count(),
+        config_digest: format!("{:016x}", scenario_digest(scenario)),
+        outcome_digest: format!("{:016x}", outcome.digest()),
+        sim_secs,
+        wall_secs,
+        sim_wall_ratio,
+        events_processed: outcome.events_processed,
+        events_per_sec,
+        peak_queue_bytes: outcome.max_queue_bytes,
+        peak_pending_events: inst.pending_peak.get() as u64,
+        trace_bytes: outcome.trace.as_ref().map_or(0, |t| t.wire_bytes()),
+        metric_bytes: prometheus.len() as u64,
+        metric_series: inst.registry.len() as u64,
+        converged: outcome.converged,
+    };
+    ObservedRun {
+        outcome,
+        manifest,
+        prometheus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::FlowGroup;
+    use ccsim_cca::CcaKind;
+    use ccsim_sim::{Bandwidth, SimDuration};
+    use ccsim_telemetry::validate_exposition;
+
+    fn tiny(seed: u64) -> Scenario {
+        let mut s = Scenario::edge_scale()
+            .named("tiny")
+            .flows(vec![FlowGroup::new(
+                CcaKind::Reno,
+                2,
+                SimDuration::from_millis(20),
+            )])
+            .seed(seed);
+        s.bottleneck = Bandwidth::from_mbps(10);
+        s.buffer_bytes = 100_000;
+        s.warmup = SimDuration::from_secs(1);
+        s.duration = SimDuration::from_secs(4);
+        s.start_jitter = SimDuration::from_millis(100);
+        s.convergence = None;
+        s
+    }
+
+    #[test]
+    fn observed_run_emits_valid_artifacts() {
+        let obs = run_observed(&tiny(5));
+        validate_exposition(&obs.prometheus).unwrap();
+        assert!(obs.prometheus.contains("ccsim_events_total{kind=\"data\"}"));
+        assert!(obs.prometheus.contains("ccsim_link_queue_bytes_bucket"));
+        assert!(obs.prometheus.contains("ccsim_phase_wall_nanos_total"));
+        let m = &obs.manifest;
+        assert_eq!(m.scenario, "tiny");
+        assert_eq!(m.seed, 5);
+        assert_eq!(m.flows, 2);
+        assert_eq!(m.events_processed, obs.outcome.events_processed);
+        assert!(m.events_processed > 0);
+        assert!(m.peak_pending_events > 0);
+        assert!(m.metric_series > 10);
+        assert_eq!(m.metric_bytes, obs.prometheus.len() as u64);
+        // Round-trip.
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(&back, m);
+    }
+
+    #[test]
+    fn event_kind_counts_sum_to_events_processed() {
+        let obs = run_observed(&tiny(6));
+        let total: u64 = EVENT_KINDS
+            .iter()
+            .map(|kind| {
+                let line = format!("ccsim_events_total{{kind=\"{kind}\"}} ");
+                obs.prometheus
+                    .lines()
+                    .find(|l| l.starts_with(&line))
+                    .and_then(|l| l.split_whitespace().last())
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total, obs.outcome.events_processed);
+    }
+
+    #[test]
+    fn metrics_are_inert_same_outcome_digest() {
+        let plain = crate::runner::run(&tiny(7));
+        let observed = run_observed(&tiny(7));
+        assert_eq!(plain.to_json(), observed.outcome.to_json());
+        assert_eq!(plain.digest(), observed.outcome.digest());
+        assert_eq!(
+            format!("{:016x}", plain.digest()),
+            observed.manifest.outcome_digest
+        );
+    }
+
+    #[test]
+    fn config_digest_tracks_configuration() {
+        assert_eq!(scenario_digest(&tiny(1)), scenario_digest(&tiny(1)));
+        assert_ne!(scenario_digest(&tiny(1)), scenario_digest(&tiny(2)));
+    }
+}

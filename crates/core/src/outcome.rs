@@ -167,6 +167,49 @@ impl RunOutcome {
         ccsim_analysis::burstiness(&times)
     }
 
+    /// Canonical single-line JSON export (hand-rolled: the vendored serde
+    /// provides derives but no serializer). This is what `ccsim --json`
+    /// prints and what CI smoke checks parse.
+    pub fn to_json(&self) -> String {
+        let per_flow: Vec<String> = self
+            .flows
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"flow\":{},\"cca\":\"{}\",\"mbps\":{:.4},\"events\":{},\"rtx\":{},\"drops\":{}}}",
+                    f.flow,
+                    f.cca,
+                    f.throughput_mbps(),
+                    f.congestion_events,
+                    f.retransmits,
+                    f.queue_drops
+                )
+            })
+            .collect();
+        format!(
+            "{{\"scenario\":\"{}\",\"seed\":{},\"aggregate_mbps\":{:.4},\"utilization\":{:.6},\"loss_rate\":{:.8},\"jfi\":{},\"burstiness\":{},\"events_processed\":{},\"max_queue_bytes\":{},\"converged\":{},\"flows\":[{}]}}",
+            self.scenario,
+            self.seed,
+            self.aggregate_throughput_mbps(),
+            self.utilization(),
+            self.aggregate_loss_rate,
+            self.jain_index().map_or("null".into(), |v| format!("{v:.6}")),
+            self.drop_burstiness.map_or("null".into(), |v| format!("{v:.4}")),
+            self.events_processed,
+            self.max_queue_bytes,
+            self.converged,
+            per_flow.join(",")
+        )
+    }
+
+    /// FNV-1a digest of the outcome at full precision (over the `Debug`
+    /// representation, so every float participates bit-exactly). Two runs
+    /// with equal digests produced identical results; the observability
+    /// layer's inertness guarantee is stated in terms of this value.
+    pub fn digest(&self) -> u64 {
+        ccsim_telemetry::fnv1a_64(format!("{self:?}").as_bytes())
+    }
+
     /// Export the recorded trace next to `prefix`: `<prefix>.jsonl` when
     /// `jsonl` is set, `<prefix>.cctr` (columnar binary) when `binary`
     /// is set. Returns the paths written — empty when the run recorded

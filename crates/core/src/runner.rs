@@ -12,6 +12,7 @@
 //!    consecutive windows — the paper's "< 1% over 20 minutes" rule.
 
 use crate::build::BuiltNetwork;
+use crate::observe::{classify_msg, RunInstruments, EVENT_KINDS};
 use crate::outcome::RunOutcome;
 use crate::scenario::Scenario;
 use ccsim_analysis::jain_fairness_index;
@@ -30,6 +31,21 @@ struct SenderBaseline {
     delivered_bytes: u64,
 }
 
+/// A progress report from inside a run, issued after every simulated
+/// slice (warm-up included).
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Current simulated instant.
+    pub now: SimTime,
+    /// The run's horizon (warm-up end + duration); convergence may stop
+    /// the run before reaching it.
+    pub horizon: SimTime,
+    /// Fraction of the horizon covered so far, in `0..=1`.
+    pub fraction: f64,
+    /// Engine events processed so far.
+    pub events_processed: u64,
+}
+
 impl Scenario {
     /// Convenience: run this scenario to completion (see [`run`]).
     pub fn run(&self) -> RunOutcome {
@@ -39,9 +55,84 @@ impl Scenario {
 
 /// Run a scenario to completion and collect its outcome.
 pub fn run(scenario: &Scenario) -> RunOutcome {
+    run_internal(scenario, None, &mut |_| {})
+}
+
+/// [`run`] with a progress callback, invoked after every simulated slice
+/// with the fraction of sim-time covered.
+pub fn run_with_progress<F>(scenario: &Scenario, mut on_progress: F) -> RunOutcome
+where
+    F: FnMut(&Progress),
+{
+    run_internal(scenario, None, &mut on_progress)
+}
+
+/// Advance the simulation to `until`, classifying events per kind when
+/// the run is observed. `classify_msg` is passed as a function item so it
+/// inlines into the engine's event loop; the unobserved path is the plain
+/// `run_until` with zero observability cost.
+fn advance(net: &mut BuiltNetwork, until: SimTime, observed: bool) {
+    if observed {
+        net.sim.run_until_classified(until, classify_msg);
+    } else {
+        net.sim.run_until(until);
+    }
+}
+
+/// The single implementation behind [`run`], [`run_with_progress`], and
+/// [`crate::observe::run_observed`]. When `inst` is present, metric
+/// handles are attached to the engine/link/senders and runner phases are
+/// profiled; the simulated event sequence is identical either way (the
+/// instruments only observe).
+pub(crate) fn run_internal(
+    scenario: &Scenario,
+    inst: Option<&RunInstruments>,
+    on_progress: &mut dyn FnMut(&Progress),
+) -> RunOutcome {
+    let build_span = inst.map(|i| i.profiler.span("build"));
     let mut net = BuiltNetwork::build(scenario);
+    if let Some(inst) = inst {
+        net.sim.set_event_classes(EVENT_KINDS.len());
+        net.sim
+            .component_mut::<Link>(net.link)
+            .enable_metrics(inst.link.clone());
+        for &id in &net.senders {
+            net.sim
+                .component_mut::<Sender>(id)
+                .enable_metrics(inst.sender.clone());
+        }
+    }
+    drop(build_span);
+
     let warmup_end = SimTime::ZERO + scenario.warmup;
-    net.sim.run_until(warmup_end);
+    let horizon = warmup_end + scenario.duration;
+    let mut report = |sim_now: SimTime, events: u64| {
+        let fraction = if horizon.as_nanos() == 0 {
+            1.0
+        } else {
+            sim_now.as_nanos() as f64 / horizon.as_nanos() as f64
+        };
+        on_progress(&Progress {
+            now: sim_now,
+            horizon,
+            fraction,
+            events_processed: events,
+        });
+    };
+
+    // Warm-up, sliced like the measurement phase so progress reporting
+    // covers it (slicing `run_until` does not change event processing).
+    {
+        let span = inst.map(|i| i.profiler.span("warmup"));
+        let mut t = SimTime::ZERO;
+        while t < warmup_end {
+            let next = (t + scenario.snapshot_interval).min(warmup_end);
+            advance(&mut net, next, inst.is_some());
+            t = next;
+            report(t, net.sim.events_processed());
+        }
+        drop(span);
+    }
 
     // Warm-up boundary: reset queue counters, snapshot per-flow baselines.
     net.sim.component_mut::<Link>(net.link).reset_stats();
@@ -71,14 +162,22 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     let mut tracker = ThroughputTracker::new();
     tracker.record(warmup_end, delivered_base.clone());
 
-    let deadline = warmup_end + scenario.duration;
+    let deadline = horizon;
     let mut now = warmup_end;
     let mut converged = false;
     while now < deadline {
+        let slice_start = inst.map(|_| std::time::Instant::now());
         let next = (now + scenario.snapshot_interval).min(deadline);
-        net.sim.run_until(next);
+        advance(&mut net, next, inst.is_some());
         now = next;
         tracker.record(now, net.per_flow_delivered());
+        if let (Some(inst), Some(t0)) = (inst, slice_start) {
+            let elapsed = t0.elapsed();
+            inst.slice_wall
+                .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            inst.profiler.record("measure_slice", elapsed);
+        }
+        report(now, net.sim.events_processed());
         if let Some(rule) = &scenario.convergence {
             let agg =
                 tracker.relative_change(rule.window_snapshots, |r| Some(r.iter().sum::<f64>()));
@@ -93,6 +192,17 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
     }
 
     // ----- collection ----------------------------------------------------
+    let collect_span = inst.map(|i| i.profiler.span("collect"));
+    // Harvest engine-side instrumentation into the registry (the engine
+    // cannot depend on the telemetry crate, so the counts live in plain
+    // fields until here) and flush edge-held link metric state.
+    if let Some(inst) = inst {
+        net.sim.component_mut::<Link>(net.link).finish_metrics();
+        for (counter, &count) in inst.events_kind.iter().zip(net.sim.event_class_counts()) {
+            counter.add(count);
+        }
+        inst.pending_peak.set_max(net.sim.max_pending() as f64);
+    }
     let measured_for = now - warmup_end;
     let secs = measured_for.as_secs_f64();
     assert!(secs > 0.0, "empty measurement window");
@@ -149,7 +259,7 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
         None
     };
 
-    RunOutcome {
+    let outcome = RunOutcome {
         scenario: scenario.name.clone(),
         seed: scenario.seed,
         mss: scenario.mss,
@@ -164,7 +274,9 @@ pub fn run(scenario: &Scenario) -> RunOutcome {
         max_queue_bytes: link_stats.max_queue_bytes,
         events_processed: net.sim.events_processed(),
         trace,
-    }
+    };
+    drop(collect_span);
+    outcome
 }
 
 #[cfg(test)]

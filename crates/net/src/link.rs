@@ -25,8 +25,30 @@
 use crate::msg::{Msg, TimerToken};
 use crate::packet::Packet;
 use ccsim_sim::{Bandwidth, Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_telemetry::{Counter, Histogram};
 use ccsim_trace::QueueRecorder;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Shared metric handles for a link, registered by the harness and
+/// attached with [`Link::enable_metrics`]. Handles are `Arc`s straight
+/// into the registry's atomics, so the hot path pays no name lookup —
+/// one relaxed atomic add per count — and the primitives never touch
+/// simulation state (metrics on/off cannot change an outcome).
+#[derive(Clone)]
+pub struct LinkMetrics {
+    /// Queue occupancy in bytes, sampled at each packet arrival
+    /// (`ccsim_link_queue_bytes`).
+    pub queue_bytes: Arc<Histogram>,
+    /// Sizes of consecutive-drop bursts, in packets
+    /// (`ccsim_link_drop_burst_pkts`). A burst ends when an arrival is
+    /// accepted again.
+    pub drop_burst_pkts: Arc<Histogram>,
+    /// Nanoseconds the serializer spent busy
+    /// (`ccsim_link_busy_nanos_total`); idle time is wall sim-time minus
+    /// this.
+    pub busy_nanos: Arc<Counter>,
+}
 
 /// Where a link forwards packets after serialization + propagation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -115,6 +137,10 @@ pub struct Link {
     /// Optional flight recorder (ccsim-trace): queue-depth samples and the
     /// full-run drop train, attached by the harness when tracing is on.
     recorder: Option<QueueRecorder>,
+    /// Optional registry-backed metrics, attached when a run is observed.
+    metrics: Option<LinkMetrics>,
+    /// Length of the in-progress consecutive-drop run (metrics only).
+    drop_burst: u64,
 }
 
 impl Link {
@@ -140,6 +166,8 @@ impl Link {
             drop_log_cap: 1_000_000,
             log_from: SimTime::ZERO,
             recorder: None,
+            metrics: None,
+            drop_burst: 0,
         }
     }
 
@@ -165,6 +193,25 @@ impl Link {
     /// the run trace after the simulation ends).
     pub fn take_trace(&mut self) -> Option<QueueRecorder> {
         self.recorder.take()
+    }
+
+    /// Attach registry-backed metrics; subsequent arrivals sample queue
+    /// occupancy, serialization accumulates busy time, and drop bursts
+    /// are sized as they end.
+    pub fn enable_metrics(&mut self, metrics: LinkMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Flush metric state that only materializes at an edge — currently
+    /// the final in-progress drop burst. The harness calls this once
+    /// after the simulation ends, before exporting the registry.
+    pub fn finish_metrics(&mut self) {
+        if self.drop_burst > 0 {
+            if let Some(m) = &self.metrics {
+                m.drop_burst_pkts.record(self.drop_burst);
+            }
+            self.drop_burst = 0;
+        }
     }
 
     /// The configured rate.
@@ -206,6 +253,17 @@ impl Link {
         self.drop_log.clear();
     }
 
+    /// An accepted arrival ends any in-progress drop burst.
+    #[inline]
+    fn end_drop_burst(&mut self) {
+        if self.drop_burst > 0 {
+            if let Some(m) = &self.metrics {
+                m.drop_burst_pkts.record(self.drop_burst);
+            }
+            self.drop_burst = 0;
+        }
+    }
+
     fn forward_to(&self, p: &Packet) -> ComponentId {
         match self.next {
             NextHop::Fixed(id) => id,
@@ -215,6 +273,9 @@ impl Link {
 
     fn start_service(&mut self, p: Packet, ctx: &mut Ctx<'_, Msg>) {
         let ser = self.rate.serialization_time(p.wire_bytes as u64);
+        if let Some(m) = &self.metrics {
+            m.busy_nanos.add(ser.as_nanos());
+        }
         self.in_service = Some(p);
         ctx.schedule_self(ser, Msg::Timer(TimerToken::pack(SERIALIZATION_DONE, 0)));
     }
@@ -228,9 +289,13 @@ impl Link {
         if let Some(rec) = &mut self.recorder {
             rec.on_arrival(now, self.queued_bytes, self.queue.len() as u64);
         }
+        if let Some(m) = &self.metrics {
+            m.queue_bytes.record(self.queued_bytes);
+        }
 
         if self.in_service.is_none() {
             debug_assert!(self.queue.is_empty());
+            self.end_drop_burst();
             self.start_service(p, ctx);
             return;
         }
@@ -239,6 +304,9 @@ impl Link {
             self.stats.dropped_pkts += 1;
             self.stats.dropped_bytes += p.wire_bytes as u64;
             self.stats.per_flow_dropped[fi] += 1;
+            if self.metrics.is_some() {
+                self.drop_burst += 1;
+            }
             if now >= self.log_from && self.drop_log.len() < self.drop_log_cap {
                 self.drop_log.push(now);
             }
@@ -247,6 +315,7 @@ impl Link {
             }
             return;
         }
+        self.end_drop_burst();
         self.queued_bytes += p.wire_bytes as u64;
         self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queued_bytes);
         self.queue.push_back(p);
@@ -462,6 +531,82 @@ mod tests {
         let l = sim.component::<Link>(link);
         assert_eq!(l.drop_log().len(), 2);
         assert_eq!(l.stats().dropped_pkts, 9);
+    }
+
+    #[test]
+    fn metrics_capture_occupancy_bursts_and_busy_time() {
+        use ccsim_telemetry::Registry;
+        let registry = Registry::new();
+        let metrics = LinkMetrics {
+            queue_bytes: registry.histogram("ccsim_link_queue_bytes", "occupancy"),
+            drop_burst_pkts: registry.histogram("ccsim_link_drop_burst_pkts", "bursts"),
+            busy_nanos: registry.counter("ccsim_link_busy_nanos_total", "busy"),
+        };
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        // Buffer fits exactly two waiting 1500 B packets.
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            3000,
+            NextHop::ToPacketDst,
+        ));
+        sim.component_mut::<Link>(link)
+            .enable_metrics(metrics.clone());
+        // 1 in service + 2 queued + 2 dropped (one burst of 2).
+        for i in 0..5 {
+            sim.schedule(SimTime::ZERO, link, Msg::Packet(pkt(i, sink, 1500)));
+        }
+        sim.run();
+        sim.component_mut::<Link>(link).finish_metrics();
+        // Occupancy sampled at all 5 arrivals.
+        assert_eq!(metrics.queue_bytes.count(), 5);
+        // One burst of 2 drops, flushed by finish_metrics.
+        assert_eq!(metrics.drop_burst_pkts.count(), 1);
+        assert_eq!(metrics.drop_burst_pkts.sum(), 2);
+        // 3 packets × 1500 B @ 100 Mbps = 3 × 120 µs busy.
+        assert_eq!(metrics.busy_nanos.get(), 360_000);
+    }
+
+    #[test]
+    fn metrics_do_not_change_link_behavior() {
+        let run = |with_metrics: bool| {
+            let registry = ccsim_telemetry::Registry::new();
+            let mut sim = Simulator::new(7);
+            let sink = sim.add_component(Sink { received: vec![] });
+            let link = sim.add_component(Link::new(
+                Bandwidth::from_mbps(10),
+                SimDuration::from_millis(1),
+                3000,
+                NextHop::ToPacketDst,
+            ));
+            if with_metrics {
+                sim.component_mut::<Link>(link).enable_metrics(LinkMetrics {
+                    queue_bytes: registry.histogram("q", "q"),
+                    drop_burst_pkts: registry.histogram("b", "b"),
+                    busy_nanos: registry.counter("n", "n"),
+                });
+            }
+            for i in 0..8 {
+                sim.schedule(
+                    SimTime::from_micros(i * 50),
+                    link,
+                    Msg::Packet(pkt(0, sink, 1500)),
+                );
+            }
+            sim.run();
+            let l = sim.component::<Link>(link);
+            (
+                l.stats().clone().transmitted_pkts,
+                l.stats().dropped_pkts,
+                sim.component::<Sink>(sink)
+                    .received
+                    .iter()
+                    .map(|(t, _)| *t)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

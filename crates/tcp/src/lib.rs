@@ -29,4 +29,4 @@ pub use rate::{RateEstimator, RateSample, TxRecord};
 pub use receiver::Receiver;
 pub use rtt::RttEstimator;
 pub use scoreboard::{AckResult, Scoreboard, Segment};
-pub use sender::{start_msg, CaState, Sender, SenderConfig};
+pub use sender::{start_msg, CaState, Sender, SenderConfig, SenderMetrics};

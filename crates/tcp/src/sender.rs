@@ -31,7 +31,28 @@ use crate::scoreboard::Scoreboard;
 use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::{FlowId, Packet};
 use ccsim_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_telemetry::Counter;
 use ccsim_trace::{BoundedLog, CongestionKind, FlowRecorder};
+use std::sync::Arc;
+
+/// Shared metric handles for senders, registered by the harness and
+/// attached with [`Sender::enable_metrics`]. One instance is cloned
+/// across every sender in a run (the counters aggregate over flows —
+/// per-flow series would explode cardinality at 5000 flows; per-flow
+/// detail lives in [`SenderStats`] and the flight recorder). `Arc`
+/// handles go straight to the registry's atomics: one relaxed add per
+/// event, no simulation state touched.
+#[derive(Clone)]
+pub struct SenderMetrics {
+    /// Genuine retransmission timeouts (`ccsim_tcp_rtos_total`).
+    pub rtos: Arc<Counter>,
+    /// Fast-recovery episode entries
+    /// (`ccsim_tcp_fast_recoveries_total`).
+    pub fast_recoveries: Arc<Counter>,
+    /// Transmissions deferred by the pacing gate
+    /// (`ccsim_tcp_pacing_stalls_total`).
+    pub pacing_stalls: Arc<Counter>,
+}
 
 /// Timer kind: flow start.
 pub const TIMER_START: u16 = 1;
@@ -105,6 +126,9 @@ pub struct Sender {
     /// Optional flight recorder (ccsim-trace), attached by the harness
     /// when the scenario enables tracing.
     recorder: Option<FlowRecorder>,
+    /// Optional registry-backed metrics (shared across all senders),
+    /// attached when a run is observed.
+    metrics: Option<SenderMetrics>,
 }
 
 impl Sender {
@@ -133,6 +157,7 @@ impl Sender {
             stats: SenderStats::default(),
             cwnd_trace: None,
             recorder: None,
+            metrics: None,
         }
     }
 
@@ -158,6 +183,12 @@ impl Sender {
     /// the run trace after the simulation ends).
     pub fn take_trace(&mut self) -> Option<FlowRecorder> {
         self.recorder.take()
+    }
+
+    /// Attach registry-backed metrics; RTOs, fast-recovery entries, and
+    /// pacing stalls count into the shared handles from then on.
+    pub fn enable_metrics(&mut self, metrics: SenderMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Counters.
@@ -264,6 +295,9 @@ impl Sender {
     fn arm_pace_timer(&mut self, ctx: &mut Ctx<'_, Msg>) {
         if !self.pace_pending {
             self.pace_pending = true;
+            if let Some(m) = &self.metrics {
+                m.pacing_stalls.inc();
+            }
             ctx.schedule_at(
                 self.pacing_next,
                 ctx.self_id(),
@@ -466,6 +500,9 @@ impl Sender {
             self.force_rtx = true;
             self.stats.fast_recoveries += 1;
             self.stats.congestion_event_log.push(now);
+            if let Some(m) = &self.metrics {
+                m.fast_recoveries.inc();
+            }
             if let Some(rec) = &mut self.recorder {
                 rec.on_congestion(now, CongestionKind::FastRecovery);
             }
@@ -521,6 +558,9 @@ impl Sender {
         // Genuine timeout.
         self.stats.rtos += 1;
         self.stats.congestion_event_log.push(now);
+        if let Some(m) = &self.metrics {
+            m.rtos.inc();
+        }
         if let Some(rec) = &mut self.recorder {
             rec.on_congestion(now, CongestionKind::Rto);
         }

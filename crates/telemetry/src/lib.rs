@@ -9,9 +9,33 @@
 //! * [`ThroughputTracker`] — periodic snapshots of per-flow delivered
 //!   bytes, supporting warm-up exclusion, windowed rate computation, and
 //!   the paper's convergence rule ("metric changes < 1% over a window").
+//!
+//! Plus the simulator's self-observability layer (what the harness knows
+//! about *itself*, as opposed to what it measures about TCP):
+//!
+//! * [`registry`] — zero-dependency [`Counter`] / [`Gauge`] /
+//!   [`Histogram`] primitives and the [`Registry`] that names them; cheap
+//!   enough for the hot event loop (one relaxed atomic add per count).
+//! * [`profile`] — wall-clock [`Profiler`] spans aggregated per label.
+//! * [`manifest`] — the per-run provenance [`RunManifest`] and the
+//!   workspace digest function [`fnv1a_64`].
+//! * [`prometheus`] — text-exposition export ([`write_exposition`]) and
+//!   the CI line-format checker ([`validate_exposition`]).
+//! * [`progress`] — stderr live progress ([`RunProgress`],
+//!   [`SweepProgress`]) and labeled stage timing ([`StageTimer`]).
 
+pub mod manifest;
 pub mod metrics;
+pub mod profile;
+pub mod progress;
+pub mod prometheus;
+pub mod registry;
 pub mod tracker;
 
+pub use manifest::{fnv1a_64, RunManifest};
 pub use metrics::FlowMetrics;
+pub use profile::{ProfSpan, Profiler, SpanStats};
+pub use progress::{RunProgress, StageTimer, SweepProgress};
+pub use prometheus::{validate_exposition, write_exposition};
+pub use registry::{Counter, Gauge, Histogram, Metric, MetricEntry, Registry};
 pub use tracker::ThroughputTracker;

@@ -1,0 +1,288 @@
+//! Per-run provenance manifests.
+//!
+//! The paper's pipeline kept per-experiment bookkeeping across thousands
+//! of runs (§3); CoCo-Beholder makes the same point for any CC evaluation
+//! harness. The [`RunManifest`] is ccsim's version: one small JSON file
+//! written next to a run's outputs that answers, months later, *what ran,
+//! from which configuration, how fast, and what it produced* — without
+//! re-opening multi-megabyte traces.
+//!
+//! The JSON is hand-rolled on both sides for the same reason the trace
+//! JSONL exporter is (`vendor/README.md`): the offline serde stand-in
+//! provides derive macros but no serializer. `f64` fields print with
+//! Rust's shortest-round-trip `Display` and parse back bit-exact, so
+//! [`RunManifest::to_json`] → [`RunManifest::from_json`] is lossless
+//! (asserted in tests and in CI's self-observability smoke job).
+
+use std::io;
+
+/// 64-bit FNV-1a hash — the workspace's canonical digest for scenario
+/// configurations and run outcomes (stable across platforms, trivially
+/// reimplementable by external tooling).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Machine-readable provenance record for one simulator run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Scenario label.
+    pub scenario: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Number of flows.
+    pub flows: u32,
+    /// FNV-1a digest (hex) of the full scenario configuration.
+    pub config_digest: String,
+    /// FNV-1a digest (hex) of the canonical `RunOutcome` export. Two runs
+    /// with equal digests produced identical results — the metrics
+    /// inertness check compares exactly this field.
+    pub outcome_digest: String,
+    /// Simulated seconds covered (warm-up + measurement).
+    pub sim_secs: f64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Sim-time / wall-time ratio (how much faster than real time).
+    pub sim_wall_ratio: f64,
+    /// Engine events processed.
+    pub events_processed: u64,
+    /// Engine events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Peak bottleneck queue occupancy, bytes.
+    pub peak_queue_bytes: u64,
+    /// Peak pending events in the engine's queue.
+    pub peak_pending_events: u64,
+    /// Wire bytes of the recorded flight-recorder trace (0 when tracing
+    /// was off).
+    pub trace_bytes: u64,
+    /// Bytes of the Prometheus metrics dump for this run.
+    pub metric_bytes: u64,
+    /// Number of metric series registered for this run.
+    pub metric_series: u64,
+    /// Whether the convergence rule stopped the run early.
+    pub converged: bool,
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a finite float; non-finite values (a 0-wall-clock ratio, say)
+/// degrade to 0 so the manifest stays strictly JSON.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn field_raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn field_u64(json: &str, key: &str) -> io::Result<u64> {
+    field_raw(json, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(format!("manifest missing/invalid \"{key}\"")))
+}
+
+fn field_f64(json: &str, key: &str) -> io::Result<f64> {
+    field_raw(json, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(format!("manifest missing/invalid \"{key}\"")))
+}
+
+fn field_bool(json: &str, key: &str) -> io::Result<bool> {
+    match field_raw(json, key) {
+        Some("true") => Ok(true),
+        Some("false") => Ok(false),
+        _ => Err(bad(format!("manifest missing/invalid \"{key}\""))),
+    }
+}
+
+fn field_str(json: &str, key: &str) -> io::Result<String> {
+    let pat = format!("\"{key}\":");
+    let start = json
+        .find(&pat)
+        .ok_or_else(|| bad(format!("manifest missing \"{key}\"")))?
+        + pat.len();
+    let rest = json[start..].trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| bad(format!("\"{key}\" is not a string")))?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next().ok_or_else(|| bad("truncated escape"))? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let v = u32::from_str_radix(&hex, 16).map_err(|_| bad("bad \\u escape"))?;
+                    out.push(char::from_u32(v).ok_or_else(|| bad("bad \\u escape"))?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(bad(format!("unterminated string for \"{key}\"")))
+}
+
+impl RunManifest {
+    /// Serialize to a single pretty-enough JSON object (one field per
+    /// line, so diffs between runs read naturally).
+    pub fn to_json(&self) -> String {
+        let mut scenario = String::new();
+        escape_into(&self.scenario, &mut scenario);
+        let mut s = String::with_capacity(512);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"flows\": {},\n", self.flows));
+        s.push_str(&format!(
+            "  \"config_digest\": \"{}\",\n",
+            self.config_digest
+        ));
+        s.push_str(&format!(
+            "  \"outcome_digest\": \"{}\",\n",
+            self.outcome_digest
+        ));
+        s.push_str(&format!("  \"sim_secs\": {},\n", json_f64(self.sim_secs)));
+        s.push_str(&format!("  \"wall_secs\": {},\n", json_f64(self.wall_secs)));
+        s.push_str(&format!(
+            "  \"sim_wall_ratio\": {},\n",
+            json_f64(self.sim_wall_ratio)
+        ));
+        s.push_str(&format!(
+            "  \"events_processed\": {},\n",
+            self.events_processed
+        ));
+        s.push_str(&format!(
+            "  \"events_per_sec\": {},\n",
+            json_f64(self.events_per_sec)
+        ));
+        s.push_str(&format!(
+            "  \"peak_queue_bytes\": {},\n",
+            self.peak_queue_bytes
+        ));
+        s.push_str(&format!(
+            "  \"peak_pending_events\": {},\n",
+            self.peak_pending_events
+        ));
+        s.push_str(&format!("  \"trace_bytes\": {},\n", self.trace_bytes));
+        s.push_str(&format!("  \"metric_bytes\": {},\n", self.metric_bytes));
+        s.push_str(&format!("  \"metric_series\": {},\n", self.metric_series));
+        s.push_str(&format!("  \"converged\": {}\n", self.converged));
+        s.push('}');
+        s
+    }
+
+    /// Parse a manifest produced by [`RunManifest::to_json`] (field order
+    /// is not required; unknown fields are ignored).
+    pub fn from_json(json: &str) -> io::Result<RunManifest> {
+        Ok(RunManifest {
+            scenario: field_str(json, "scenario")?,
+            seed: field_u64(json, "seed")?,
+            flows: field_u64(json, "flows")? as u32,
+            config_digest: field_str(json, "config_digest")?,
+            outcome_digest: field_str(json, "outcome_digest")?,
+            sim_secs: field_f64(json, "sim_secs")?,
+            wall_secs: field_f64(json, "wall_secs")?,
+            sim_wall_ratio: field_f64(json, "sim_wall_ratio")?,
+            events_processed: field_u64(json, "events_processed")?,
+            events_per_sec: field_f64(json, "events_per_sec")?,
+            peak_queue_bytes: field_u64(json, "peak_queue_bytes")?,
+            peak_pending_events: field_u64(json, "peak_pending_events")?,
+            trace_bytes: field_u64(json, "trace_bytes")?,
+            metric_bytes: field_u64(json, "metric_bytes")?,
+            metric_series: field_u64(json, "metric_series")?,
+            converged: field_bool(json, "converged")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            scenario: "Core \"quoted\" \\ name".into(),
+            seed: 42,
+            flows: 1000,
+            config_digest: format!("{:016x}", fnv1a_64(b"config")),
+            outcome_digest: format!("{:016x}", fnv1a_64(b"outcome")),
+            sim_secs: 160.0,
+            wall_secs: 12.345678901234567,
+            sim_wall_ratio: 12.960001,
+            events_processed: 987_654_321,
+            events_per_sec: 8.0000001e7,
+            peak_queue_bytes: 250_000_000,
+            peak_pending_events: 12_345,
+            trace_bytes: 0,
+            metric_bytes: 4096,
+            metric_series: 23,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_bit_exact() {
+        let m = sample();
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        // Floats survive exactly (shortest-round-trip Display).
+        assert_eq!(back.wall_secs.to_bits(), m.wall_secs.to_bits());
+        assert_eq!(back.events_per_sec.to_bits(), m.events_per_sec.to_bits());
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_zero() {
+        let mut m = sample();
+        m.sim_wall_ratio = f64::INFINITY;
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.sim_wall_ratio, 0.0);
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        assert!(RunManifest::from_json("{}").is_err());
+        assert!(RunManifest::from_json("{\"scenario\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for the canonical 64-bit FNV-1a.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
+    }
+}

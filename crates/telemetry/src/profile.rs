@@ -1,0 +1,199 @@
+//! Wall-clock profiling spans, aggregated per label.
+//!
+//! The paper's testbed lived on knowing where its *own* time went (BESS
+//! forwarding vs. tcpprobe overhead vs. bookkeeping); the simulator's
+//! equivalent is coarse wall-clock scopes around the runner's phases —
+//! build, warm-up, measurement slices, collection — cheap enough to be
+//! always-on when a run is observed, and aggregated per label so a
+//! thousand measurement slices collapse into one row.
+//!
+//! Usage:
+//!
+//! ```
+//! use ccsim_telemetry::Profiler;
+//!
+//! let prof = Profiler::new();
+//! {
+//!     let _span = prof.span("build");
+//!     // ... work ...
+//! } // recorded on drop
+//! assert_eq!(prof.stats()[0].0, "build");
+//! ```
+//!
+//! Spans use real time ([`std::time::Instant`]) and are therefore
+//! non-deterministic — they feed dashboards and manifests, never the
+//! simulation itself.
+
+use crate::registry::Registry;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Aggregated wall-clock statistics for one span label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all spans.
+    pub total_nanos: u64,
+    /// Longest single span, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl SpanStats {
+    /// Total time as seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_nanos as f64 / 1e9
+    }
+
+    /// Mean span length in seconds (0 when no spans completed).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs() / self.count as f64
+        }
+    }
+}
+
+/// Per-label wall-clock aggregation. Labels are `&'static str` so the
+/// hot path never allocates; a `BTreeMap` keeps export order stable.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    spans: Mutex<BTreeMap<&'static str, SpanStats>>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Open a span; it records itself into this profiler when dropped.
+    pub fn span<'a>(&'a self, label: &'static str) -> ProfSpan<'a> {
+        ProfSpan {
+            profiler: self,
+            label,
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Record an already-measured duration under `label`.
+    pub fn record(&self, label: &'static str, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut spans = self.spans.lock().unwrap();
+        let s = spans.entry(label).or_default();
+        s.count += 1;
+        s.total_nanos = s.total_nanos.saturating_add(nanos);
+        s.max_nanos = s.max_nanos.max(nanos);
+    }
+
+    /// Snapshot of all labels and their aggregates, in label order.
+    pub fn stats(&self) -> Vec<(&'static str, SpanStats)> {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&l, &s)| (l, s))
+            .collect()
+    }
+
+    /// Publish every span aggregate into `registry` as the
+    /// `ccsim_phase_wall_nanos_total` / `ccsim_phase_calls_total`
+    /// counter families, labeled by phase.
+    pub fn export_into(&self, registry: &Registry) {
+        for (label, stats) in self.stats() {
+            registry
+                .counter_with(
+                    "ccsim_phase_wall_nanos_total",
+                    "Wall-clock nanoseconds spent in each runner phase",
+                    &[("phase", label)],
+                )
+                .add(stats.total_nanos);
+            registry
+                .counter_with(
+                    "ccsim_phase_calls_total",
+                    "Completed profiling spans per runner phase",
+                    &[("phase", label)],
+                )
+                .add(stats.count);
+        }
+    }
+}
+
+/// An open profiling scope; records its elapsed wall time on drop.
+#[must_use = "a ProfSpan records on drop; binding it to _ drops it immediately"]
+pub struct ProfSpan<'a> {
+    profiler: &'a Profiler,
+    label: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+impl ProfSpan<'_> {
+    /// Close the span early (otherwise it closes on drop).
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.profiler.record(self.label, self.start.elapsed());
+        }
+    }
+}
+
+impl Drop for ProfSpan<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_per_label() {
+        let p = Profiler::new();
+        for _ in 0..3 {
+            let _s = p.span("slice");
+        }
+        p.span("build").finish();
+        let stats = p.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, "build");
+        assert_eq!(stats[0].1.count, 1);
+        assert_eq!(stats[1].0, "slice");
+        assert_eq!(stats[1].1.count, 3);
+        assert!(stats[1].1.max_nanos <= stats[1].1.total_nanos);
+    }
+
+    #[test]
+    fn record_accumulates_totals_and_max() {
+        let p = Profiler::new();
+        p.record("x", Duration::from_nanos(10));
+        p.record("x", Duration::from_nanos(30));
+        let (_, s) = p.stats()[0];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_nanos, 40);
+        assert_eq!(s.max_nanos, 30);
+        assert!((s.mean_secs() - 20e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn export_produces_labeled_counters() {
+        let p = Profiler::new();
+        p.record("build", Duration::from_micros(5));
+        let r = Registry::new();
+        p.export_into(&r);
+        assert_eq!(r.len(), 2);
+        let entries = r.entries();
+        assert!(entries
+            .iter()
+            .any(|e| e.name == "ccsim_phase_wall_nanos_total"
+                && e.labels == vec![("phase".to_string(), "build".to_string())]));
+    }
+}

@@ -1,0 +1,438 @@
+//! The metrics registry: named counters, gauges, and log2-bucket
+//! histograms cheap enough for the simulator's hot event loop.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Inert.** Recording a metric must never influence the simulation —
+//!    the primitives only touch their own atomics, never virtual time,
+//!    RNG streams, or the event queue. A run with metrics on and off must
+//!    produce byte-identical outcomes (tested in
+//!    `tests/integration_metrics.rs`).
+//! 2. **Cheap.** One `Counter::inc` is a single relaxed atomic add; one
+//!    `Histogram::record` is three. Components hold [`Arc`] handles
+//!    directly (no name lookup on the hot path) and pay a single `Option`
+//!    branch when metrics are disabled — the same pattern the flight
+//!    recorder (`ccsim-trace`) uses.
+//! 3. **Zero-dependency.** Only `std` atomics, so every crate above
+//!    `ccsim-sim` can record without dependency cycles.
+//!
+//! The registry itself is only touched at registration and export time
+//! (a `Mutex` is fine there); the handles it returns are lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket `k` counts values of bit length
+/// `k`, i.e. `v == 0` lands in bucket 0 and `v` in `[2^(k-1), 2^k)` lands
+/// in bucket `k`, so `u64::MAX` lands in bucket 64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in either direction. Stored as `f64`
+/// bits so derived quantities (events/sec, time ratios) fit alongside
+/// byte counts; integers up to 2^53 are represented exactly.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` exceeds the current value
+    /// (high-water-mark tracking).
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with power-of-two (log2) bucket boundaries.
+///
+/// Bucket `k` has the upper bound `2^k - 1`: bucket 0 holds only zeros,
+/// bucket 1 holds `{1}`, bucket 2 holds `{2, 3}`, bucket `k` holds
+/// `[2^(k-1), 2^k)`. Exponential buckets cover the full `u64` range in 65
+/// slots with constant-time classification (one `leading_zeros`), which
+/// is what queue occupancies and wall-clock latencies need: the
+/// interesting structure spans many orders of magnitude.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index for `v`: its bit length (0 for 0).
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `k` (`2^k - 1`; `u64::MAX`
+    /// for the last bucket).
+    pub fn bucket_upper_bound(k: usize) -> u64 {
+        debug_assert!(k < HISTOGRAM_BUCKETS);
+        if k >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << k) - 1
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Index of the highest non-empty bucket, if any observation exists.
+    pub fn max_bucket(&self) -> Option<usize> {
+        let counts = self.bucket_counts();
+        counts.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// What a registered metric is, for export purposes.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(Arc<Counter>),
+    /// A point-in-time value.
+    Gauge(Arc<Gauge>),
+    /// A log2-bucket distribution.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registry entry: a named, optionally labeled metric.
+#[derive(Clone, Debug)]
+pub struct MetricEntry {
+    /// Metric family name (Prometheus-valid: `[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// One-line description, emitted as `# HELP`.
+    pub help: String,
+    /// Label pairs distinguishing this series within the family.
+    pub labels: Vec<(String, String)>,
+    /// The live metric.
+    pub metric: Metric,
+}
+
+/// A collection of named metrics, shared between the instrumented
+/// components (which hold `Arc` handles) and the exporter.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<MetricEntry>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    // Label names allow no colon.
+    valid_name(name) && !name.contains(':')
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?}");
+        }
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| {
+            e.name == name && e.labels.len() == labels.len() && {
+                e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((ek, ev), (k, v))| ek == k && ev == v)
+            }
+        }) {
+            // Same series requested twice: hand out the existing handle so
+            // independent components can share one aggregate.
+            let existing = e.metric.clone();
+            drop(entries);
+            let wanted = make();
+            assert_eq!(
+                existing.kind_name(),
+                wanted.kind_name(),
+                "metric {name:?} re-registered with a different kind"
+            );
+            return existing;
+        }
+        let metric = make();
+        entries.push(MetricEntry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Register (or retrieve) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or retrieve) a labeled counter series.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or retrieve) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or retrieve) a labeled gauge series.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or retrieve) a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or retrieve) a labeled histogram series.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.register(name, help, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Snapshot every registered entry (for export).
+    pub fn entries(&self) -> Vec<MetricEntry> {
+        self.entries.lock().unwrap().clone()
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True iff nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let g = Gauge::new();
+        g.set(5.0);
+        g.set_max(3.0);
+        assert_eq!(g.get(), 5.0);
+        g.set_max(9.5);
+        assert_eq!(g.get(), 9.5);
+        g.set(1.0);
+        assert_eq!(g.get(), 1.0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(3), 7);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[7], 1); // 100 in [64, 128)
+        assert_eq!(h.max_bucket(), Some(7));
+    }
+
+    #[test]
+    fn registry_dedupes_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("ccsim_x_total", "x");
+        let b = r.counter("ccsim_x_total", "x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.len(), 1);
+        let c = r.counter_with("ccsim_x_total", "x", &[("kind", "data")]);
+        c.add(7);
+        assert_eq!(r.len(), 2);
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_mismatch() {
+        let r = Registry::new();
+        let _ = r.counter("ccsim_x", "x");
+        let _ = r.gauge("ccsim_x", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registry_rejects_bad_names() {
+        let r = Registry::new();
+        let _ = r.counter("0bad name", "x");
+    }
+}

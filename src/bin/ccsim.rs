@@ -5,6 +5,7 @@
 //!             [--flows <cca>:<count>:<rtt_ms> ...] [--seed N]
 //!             [--warmup <s>] [--duration <s>] [--jitter <s>]
 //!             [--fidelity quick|standard|paper] [--json]
+//!             [--metrics <path>] [--quiet]
 //! ccsim trace <run flags> [--out <prefix>] [--format jsonl|bin|both]
 //!             [--policy keepall|decimate:N|reservoir:K]
 //!             [--trace-budget <bytes>] [--queue-every <n>]
@@ -15,14 +16,20 @@
 //! writes `<prefix>.jsonl` / `<prefix>.cctr`, and reports the
 //! trace-derived loss-synchronization index and drop burstiness.
 //!
+//! `--metrics <path>` additionally observes the run: a Prometheus
+//! text-exposition dump is written to `<path>` and a provenance manifest
+//! to `<path with extension .manifest.json>`. Observation is inert — the
+//! simulated outcome is bit-identical with or without it.
+//!
 //! Examples:
 //!
 //! ```sh
 //! # The paper's Figure 5 in one line: 25 cubic vs 25 reno on EdgeScale.
 //! ccsim run --setting edge --flows cubic:25:20 --flows reno:25:20
 //!
-//! # A mini-CoreScale BBR fairness probe.
-//! ccsim run --setting core --bw 1000 --flows bbr:100:20 --duration 20
+//! # A mini-CoreScale BBR fairness probe with self-observability.
+//! ccsim run --setting core --bw 1000 --flows bbr:100:20 --duration 20 \
+//!     --metrics out.prom
 //!
 //! # Record a traced run, thinned to a 16 MB budget.
 //! ccsim trace --flows reno:10:20 --fidelity quick \
@@ -30,23 +37,38 @@
 //! ```
 
 use ccsim::cca::CcaKind;
-use ccsim::experiments::{Fidelity, FlowGroup, RunOutcome, Scenario};
+use ccsim::experiments::{
+    run_observed_with_progress, run_with_progress, Fidelity, FlowGroup, RunOutcome, Scenario,
+};
 use ccsim::sim::{Bandwidth, SimDuration};
+use ccsim::telemetry::{validate_exposition, RunProgress};
 use ccsim::trace::{RetentionPolicy, TraceConfig};
 use std::path::Path;
 
+const USAGE: &str = "usage: ccsim run [--setting edge|core] [--bw <mbps>] \
+    [--buffer <bytes>] --flows <cca>:<count>:<rtt_ms> [--flows ...] \
+    [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] \
+    [--fidelity quick|standard|paper] [--json] [--metrics <path>] [--quiet]\n\
+    \x20      ccsim trace <run flags> [--out <prefix>] \
+    [--format jsonl|bin|both] [--policy keepall|decimate:N|reservoir:K] \
+    [--trace-budget <bytes>] [--queue-every <n>] [--sync-bin <ms>]\n\
+    ccas: reno, cubic, bbr, vegas";
+
+/// Bad invocation: complaint + usage to stderr, exit 2.
 fn usage(err: &str) -> ! {
-    eprintln!(
-        "{err}\n\nusage: ccsim run [--setting edge|core] [--bw <mbps>] \
-         [--buffer <bytes>] --flows <cca>:<count>:<rtt_ms> [--flows ...] \
-         [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] \
-         [--fidelity quick|standard|paper] [--json]\n\
-         \x20      ccsim trace <run flags> [--out <prefix>] \
-         [--format jsonl|bin|both] [--policy keepall|decimate:N|reservoir:K] \
-         [--trace-budget <bytes>] [--queue-every <n>] [--sync-bin <ms>]\n\
-         ccas: reno, cubic, bbr, vegas"
-    );
+    eprintln!("{err}\n\n{USAGE}");
     std::process::exit(2);
+}
+
+/// Requested help: usage to stdout, exit 0.
+fn help() -> ! {
+    println!("{USAGE}");
+    println!(
+        "\n--metrics <path> writes a Prometheus metrics dump to <path> and a\n\
+         run manifest to <path>.manifest.json; the simulated outcome is\n\
+         unchanged. --quiet suppresses the live progress line."
+    );
+    std::process::exit(0);
 }
 
 fn parse_policy(spec: &str) -> RetentionPolicy {
@@ -83,8 +105,27 @@ fn parse_flows(spec: &str) -> FlowGroup {
     FlowGroup::new(cca, count, SimDuration::from_millis(rtt_ms))
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Everything the flag parser produces. The `run` and `trace`
+/// subcommands share one parser: `trace` is `run` plus the trace-only
+/// flags, which are rejected under `run`.
+struct Cli {
+    tracing: bool,
+    scenario: Scenario,
+    json: bool,
+    quiet: bool,
+    metrics_out: Option<String>,
+    out: String,
+    format: String,
+    sync_bin: SimDuration,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    if args
+        .iter()
+        .any(|a| matches!(a.as_str(), "--help" | "-h" | "help"))
+    {
+        help();
+    }
     let tracing = match args.first().map(String::as_str) {
         Some("run") => false,
         Some("trace") => true,
@@ -93,6 +134,8 @@ fn main() {
     let mut scenario = Scenario::edge_scale().named("cli");
     let mut flows = Vec::new();
     let mut json = false;
+    let mut quiet = false;
+    let mut metrics_out = None;
     let mut fidelity = None;
     let mut out = String::from("trace");
     let mut format = String::from("both");
@@ -105,6 +148,7 @@ fn main() {
             args.get(*i).unwrap_or_else(|| usage("missing value"))
         };
         match args[i].as_str() {
+            // ----- flags shared by `run` and `trace` ---------------------
             "--setting" => {
                 scenario = match take(&mut i).as_str() {
                     "edge" => Scenario::edge_scale(),
@@ -148,6 +192,8 @@ fn main() {
                 );
             }
             "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--metrics" => metrics_out = Some(take(&mut i).clone()),
             "--fidelity" => {
                 fidelity = Some(match take(&mut i).as_str() {
                     "quick" => Fidelity::Quick,
@@ -156,6 +202,7 @@ fn main() {
                     other => usage(&format!("bad --fidelity {other}")),
                 });
             }
+            // ----- trace-only flags --------------------------------------
             "--out" if tracing => out = take(&mut i).clone(),
             "--format" if tracing => {
                 format = take(&mut i).clone();
@@ -181,6 +228,19 @@ fn main() {
                         .unwrap_or_else(|_| usage("bad --sync-bin")),
                 );
             }
+            other
+                if matches!(
+                    other,
+                    "--out"
+                        | "--format"
+                        | "--policy"
+                        | "--trace-budget"
+                        | "--queue-every"
+                        | "--sync-bin"
+                ) =>
+            {
+                usage(&format!("{other} is only valid with the trace subcommand"))
+            }
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
@@ -198,6 +258,22 @@ fn main() {
     if scenario.warmup < scenario.start_jitter {
         scenario.start_jitter = scenario.warmup;
     }
+    Cli {
+        tracing,
+        scenario,
+        json,
+        quiet,
+        metrics_out,
+        out,
+        format,
+        sync_bin,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+    let scenario = &cli.scenario;
 
     eprintln!(
         "running {} flows on {} (buffer {:.2} MB, warmup {}, duration {})...",
@@ -207,28 +283,64 @@ fn main() {
         scenario.warmup,
         scenario.duration
     );
-    let t0 = std::time::Instant::now();
-    let outcome = scenario.run();
-    eprintln!("[{:.1}s wall]", t0.elapsed().as_secs_f64());
+    let mut progress = (!cli.quiet).then(|| RunProgress::new("ccsim"));
+    let mut on_progress = |p: &ccsim::experiments::Progress| {
+        if let Some(prog) = &mut progress {
+            prog.update(p.fraction, p.events_processed);
+        }
+    };
 
-    if json {
-        print_json(&outcome);
+    let outcome = if let Some(metrics_path) = &cli.metrics_out {
+        let obs = run_observed_with_progress(scenario, &mut on_progress);
+        if let Err(e) = validate_exposition(&obs.prometheus) {
+            eprintln!("internal error: metrics dump failed validation: {e}");
+            std::process::exit(1);
+        }
+        let manifest_path = Path::new(metrics_path).with_extension("manifest.json");
+        let write = |path: &Path, contents: &str| {
+            std::fs::write(path, contents).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            });
+        };
+        write(Path::new(metrics_path), &obs.prometheus);
+        write(&manifest_path, &obs.manifest.to_json());
+        if let Some(prog) = &mut progress {
+            prog.finish(obs.outcome.events_processed);
+        }
+        eprintln!(
+            "wrote {metrics_path} ({} series) and {} (outcome digest {})",
+            obs.manifest.metric_series,
+            manifest_path.display(),
+            obs.manifest.outcome_digest
+        );
+        obs.outcome
+    } else {
+        let outcome = run_with_progress(scenario, &mut on_progress);
+        if let Some(prog) = &mut progress {
+            prog.finish(outcome.events_processed);
+        }
+        outcome
+    };
+
+    if cli.json {
+        println!("{}", outcome.to_json());
     } else {
         print_human(&outcome);
     }
 
-    if tracing {
+    if cli.tracing {
         let written = outcome
             .export_trace(
-                Path::new(&out),
-                matches!(format.as_str(), "jsonl" | "both"),
-                matches!(format.as_str(), "bin" | "both"),
+                Path::new(&cli.out),
+                matches!(cli.format.as_str(), "jsonl" | "both"),
+                matches!(cli.format.as_str(), "bin" | "both"),
             )
             .unwrap_or_else(|e| {
                 eprintln!("trace export failed: {e}");
                 std::process::exit(1);
             });
-        print_trace_summary(&outcome, sync_bin);
+        print_trace_summary(&outcome, cli.sync_bin);
         for path in written {
             println!("wrote {}", path.display());
         }
@@ -286,34 +398,4 @@ fn print_human(o: &RunOutcome) {
             jfi
         );
     }
-}
-
-/// Minimal hand-rolled JSON (keeps the facade free of a serializer dep).
-fn print_json(o: &RunOutcome) {
-    let per_flow: Vec<String> = o
-        .flows
-        .iter()
-        .map(|f| {
-            format!(
-                "{{\"flow\":{},\"cca\":\"{}\",\"mbps\":{:.4},\"events\":{},\"rtx\":{},\"drops\":{}}}",
-                f.flow,
-                f.cca,
-                f.throughput_mbps(),
-                f.congestion_events,
-                f.retransmits,
-                f.queue_drops
-            )
-        })
-        .collect();
-    println!(
-        "{{\"scenario\":\"{}\",\"seed\":{},\"aggregate_mbps\":{:.4},\"utilization\":{:.6},\"loss_rate\":{:.8},\"jfi\":{},\"burstiness\":{},\"flows\":[{}]}}",
-        o.scenario,
-        o.seed,
-        o.aggregate_throughput_mbps(),
-        o.utilization(),
-        o.aggregate_loss_rate,
-        o.jain_index().map_or("null".into(), |v| format!("{v:.6}")),
-        o.drop_burstiness.map_or("null".into(), |v| format!("{v:.4}")),
-        per_flow.join(",")
-    );
 }
