@@ -12,10 +12,11 @@
 //! circular sender↔receiver references resolve without post-construction
 //! mutation.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioError};
 use ccsim_cca::{make_cca, CcaKind};
-use ccsim_net::link::{Link, NextHop};
-use ccsim_net::msg::Msg;
+use ccsim_fault::LinkFaultInjector;
+use ccsim_net::link::{Link, NextHop, FAULT_TICK};
+use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::FlowId;
 use ccsim_sim::{ComponentId, SimDuration, SimTime, Simulator};
 use ccsim_tcp::receiver::Receiver;
@@ -48,15 +49,37 @@ pub type CcaFactory<'a> = dyn Fn(u32, CcaKind, u32, u64) -> Box<dyn CongestionCo
 impl BuiltNetwork {
     /// Construct the network for `scenario` and schedule all flow starts,
     /// using the stock CCA implementations.
+    ///
+    /// # Panics
+    /// Panics on an invalid scenario ([`BuiltNetwork::try_build`] reports
+    /// the error instead).
     pub fn build(scenario: &Scenario) -> BuiltNetwork {
-        BuiltNetwork::build_with_factory(scenario, &|_, kind, mss, seed| make_cca(kind, mss, seed))
+        BuiltNetwork::try_build(scenario).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Construct the network for `scenario`, surfacing validation errors.
+    pub fn try_build(scenario: &Scenario) -> Result<BuiltNetwork, ScenarioError> {
+        BuiltNetwork::try_build_with_factory(scenario, &|_, kind, mss, seed| {
+            make_cca(kind, mss, seed)
+        })
     }
 
     /// Like [`BuiltNetwork::build`], but with a custom CCA factory —
     /// the hook ablations use to instantiate variant algorithm
     /// configurations (e.g. CUBIC without HyStart).
+    ///
+    /// # Panics
+    /// Panics on an invalid scenario.
     pub fn build_with_factory(scenario: &Scenario, factory: &CcaFactory<'_>) -> BuiltNetwork {
-        scenario.validate();
+        BuiltNetwork::try_build_with_factory(scenario, factory).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`BuiltNetwork::build_with_factory`], surfacing validation errors.
+    pub fn try_build_with_factory(
+        scenario: &Scenario,
+        factory: &CcaFactory<'_>,
+    ) -> Result<BuiltNetwork, ScenarioError> {
+        scenario.validate()?;
         let mut sim = Simulator::new(scenario.seed);
         let rng_factory = sim.rng();
 
@@ -75,6 +98,16 @@ impl BuiltNetwork {
                     cfg.queue_sample_every,
                     rng_factory.derive_seed("trace-queue", 0),
                 ));
+        }
+        if !scenario.fault.is_empty() {
+            // Faults get their own RNG stream so the same scenario with
+            // and without a plan keeps identical jitter/CCA randomness.
+            let injector =
+                LinkFaultInjector::new(&scenario.fault, rng_factory.derive_seed("fault", 0));
+            if let Some(first) = injector.next_action_at() {
+                sim.schedule(first, link, Msg::Timer(TimerToken::pack(FAULT_TICK, 0)));
+            }
+            sim.component_mut::<Link>(link).enable_faults(injector);
         }
 
         let n = scenario.flow_count() as usize;
@@ -138,7 +171,7 @@ impl BuiltNetwork {
             }
         }
 
-        BuiltNetwork {
+        Ok(BuiltNetwork {
             sim,
             link,
             senders,
@@ -146,7 +179,7 @@ impl BuiltNetwork {
             flow_cca,
             flow_rtt,
             start_times,
-        }
+        })
     }
 
     /// Number of flows.

@@ -1,0 +1,277 @@
+//! Scenario serialization: a hand-rolled, dependency-free JSON codec.
+//!
+//! Crash bundles must embed the *complete* scenario so a run can be
+//! replayed from the bundle alone (`ccsim replay`). The vendored serde
+//! provides only marker traits, so — like the telemetry manifests and the
+//! fault plans — the scenario document is written by hand and read back
+//! with [`ccsim_fault::json`]'s recursive-descent parser. Numbers are
+//! emitted in their exact integer form (nanoseconds, bits/sec, bytes), so
+//! a decode–encode cycle is byte-identical and a replayed scenario is
+//! bit-for-bit the one that crashed.
+
+use crate::scenario::{ConvergenceRule, FlowGroup, Scenario};
+use ccsim_fault::json::{escape, Json, JsonError};
+use ccsim_fault::{FaultPlan, WatchdogConfig};
+use ccsim_sim::{Bandwidth, SimDuration};
+use ccsim_trace::{RetentionPolicy, TraceConfig};
+use std::fmt::Write as _;
+
+/// Serialize a scenario to a single-line JSON document.
+pub fn scenario_to_json(s: &Scenario) -> String {
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"bottleneck_bps\":{},\"buffer_bytes\":{},\"mss\":{}",
+        escape(&s.name),
+        s.bottleneck.as_bps(),
+        s.buffer_bytes,
+        s.mss
+    );
+    out.push_str(",\"flows\":[");
+    for (i, g) in s.flows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"cca\":\"{}\",\"count\":{},\"base_rtt_ns\":{}}}",
+            g.cca.name(),
+            g.count,
+            g.base_rtt.as_nanos()
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"seed\":{},\"start_jitter_ns\":{},\"warmup_ns\":{},\"duration_ns\":{},\
+         \"snapshot_interval_ns\":{}",
+        s.seed,
+        s.start_jitter.as_nanos(),
+        s.warmup.as_nanos(),
+        s.duration.as_nanos(),
+        s.snapshot_interval.as_nanos()
+    );
+    match &s.convergence {
+        None => out.push_str(",\"convergence\":null"),
+        Some(c) => {
+            let _ = write!(
+                out,
+                ",\"convergence\":{{\"window_snapshots\":{},\"tolerance\":{:?}}}",
+                c.window_snapshots, c.tolerance
+            );
+        }
+    }
+    let policy = match s.trace.policy {
+        RetentionPolicy::KeepAll => "keepall".to_string(),
+        RetentionPolicy::Decimate(n) => format!("decimate:{n}"),
+        RetentionPolicy::Reservoir(k) => format!("reservoir:{k}"),
+    };
+    let _ = write!(
+        out,
+        ",\"trace\":{{\"enabled\":{},\"policy\":\"{policy}\",\"max_bytes\":{},\
+         \"queue_sample_every\":{}}}",
+        s.trace.enabled, s.trace.max_bytes, s.trace.queue_sample_every
+    );
+    let _ = write!(out, ",\"fault\":{}", s.fault.to_json());
+    let _ = write!(
+        out,
+        ",\"watchdog\":{{\"enabled\":{},\"every\":{}}}}}",
+        s.watchdog.enabled, s.watchdog.every
+    );
+    out
+}
+
+fn bad(message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: message.into(),
+    }
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, JsonError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("missing or non-integer \"{key}\"")))
+}
+
+fn get_u32(doc: &Json, key: &str) -> Result<u32, JsonError> {
+    u32::try_from(get_u64(doc, key)?).map_err(|_| bad(format!("\"{key}\" exceeds u32")))
+}
+
+fn get_duration(doc: &Json, key: &str) -> Result<SimDuration, JsonError> {
+    Ok(SimDuration::from_nanos(get_u64(doc, key)?))
+}
+
+fn get_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, JsonError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(format!("missing or non-string \"{key}\"")))
+}
+
+fn get_bool(doc: &Json, key: &str) -> Result<bool, JsonError> {
+    doc.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| bad(format!("missing or non-boolean \"{key}\"")))
+}
+
+fn parse_policy(text: &str) -> Result<RetentionPolicy, JsonError> {
+    if text == "keepall" {
+        return Ok(RetentionPolicy::KeepAll);
+    }
+    if let Some(n) = text.strip_prefix("decimate:") {
+        let n = n.parse().map_err(|_| bad("bad decimate stride"))?;
+        return Ok(RetentionPolicy::Decimate(n));
+    }
+    if let Some(k) = text.strip_prefix("reservoir:") {
+        let k = k.parse().map_err(|_| bad("bad reservoir size"))?;
+        return Ok(RetentionPolicy::Reservoir(k));
+    }
+    Err(bad(format!("unknown retention policy \"{text}\"")))
+}
+
+/// Parse a document produced by [`scenario_to_json`].
+pub fn scenario_from_json(text: &str) -> Result<Scenario, JsonError> {
+    let doc = Json::parse(text)?;
+
+    let flows_json = doc
+        .get("flows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing \"flows\" array"))?;
+    let mut flows = Vec::with_capacity(flows_json.len());
+    for g in flows_json {
+        let cca = get_str(g, "cca")?
+            .parse()
+            .map_err(|_| bad("unknown CCA kind"))?;
+        flows.push(FlowGroup {
+            cca,
+            count: get_u32(g, "count")?,
+            base_rtt: get_duration(g, "base_rtt_ns")?,
+        });
+    }
+
+    let convergence = match doc.get("convergence") {
+        None => return Err(bad("missing \"convergence\"")),
+        Some(v) if v.is_null() => None,
+        Some(v) => Some(ConvergenceRule {
+            window_snapshots: get_u64(v, "window_snapshots")? as usize,
+            tolerance: v
+                .get("tolerance")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("missing convergence tolerance"))?,
+        }),
+    };
+
+    let trace_json = doc.get("trace").ok_or_else(|| bad("missing \"trace\""))?;
+    let trace = TraceConfig {
+        enabled: get_bool(trace_json, "enabled")?,
+        policy: parse_policy(get_str(trace_json, "policy")?)?,
+        max_bytes: get_u64(trace_json, "max_bytes")?,
+        queue_sample_every: get_u32(trace_json, "queue_sample_every")?,
+    };
+
+    let fault = match doc.get("fault") {
+        Some(v) => FaultPlan::from_value(v)?,
+        None => FaultPlan::none(),
+    };
+
+    let watchdog = match doc.get("watchdog") {
+        Some(v) => WatchdogConfig {
+            enabled: get_bool(v, "enabled")?,
+            every: get_u32(v, "every")?,
+        },
+        None => WatchdogConfig::disabled(),
+    };
+
+    Ok(Scenario {
+        name: get_str(&doc, "name")?.to_string(),
+        bottleneck: Bandwidth::from_bps(get_u64(&doc, "bottleneck_bps")?),
+        buffer_bytes: get_u64(&doc, "buffer_bytes")?,
+        mss: get_u32(&doc, "mss")?,
+        flows,
+        seed: get_u64(&doc, "seed")?,
+        start_jitter: get_duration(&doc, "start_jitter_ns")?,
+        warmup: get_duration(&doc, "warmup_ns")?,
+        duration: get_duration(&doc, "duration_ns")?,
+        snapshot_interval: get_duration(&doc, "snapshot_interval_ns")?,
+        convergence,
+        trace,
+        fault,
+        watchdog,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_cca::CcaKind;
+    use ccsim_sim::SimTime;
+
+    fn full_scenario() -> Scenario {
+        let mut s = Scenario::edge_scale()
+            .named("codec \"quoted\" ✓")
+            .flows(vec![
+                FlowGroup::new(CcaKind::Reno, 3, SimDuration::from_millis(20)),
+                FlowGroup::new(CcaKind::Bbr, 2, SimDuration::from_micros(12_345)),
+            ])
+            .seed(u64::MAX - 7)
+            .faulted(
+                FaultPlan::none()
+                    .blackout(SimTime::from_secs(40), SimDuration::from_secs(2))
+                    .iid_loss(SimTime::from_secs(60), 0.015),
+            )
+            .watched(WatchdogConfig::every_n(4));
+        s.trace = TraceConfig {
+            enabled: true,
+            policy: RetentionPolicy::Reservoir(512),
+            max_bytes: 1 << 20,
+            queue_sample_every: 16,
+        };
+        s
+    }
+
+    #[test]
+    fn round_trips_every_field() {
+        let s = full_scenario();
+        let json = scenario_to_json(&s);
+        let back = scenario_from_json(&json).unwrap();
+        // The Debug form covers every field at full precision.
+        assert_eq!(format!("{s:?}"), format!("{back:?}"));
+        // Decode → encode is byte-identical.
+        assert_eq!(scenario_to_json(&back), json);
+    }
+
+    #[test]
+    fn big_seed_survives_exactly() {
+        let s = full_scenario().seed((1 << 63) + 3);
+        let back = scenario_from_json(&scenario_to_json(&s)).unwrap();
+        assert_eq!(back.seed, (1 << 63) + 3);
+    }
+
+    #[test]
+    fn null_convergence_round_trips() {
+        let mut s = full_scenario();
+        s.convergence = None;
+        let back = scenario_from_json(&scenario_to_json(&s)).unwrap();
+        assert_eq!(back.convergence, None);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let err = scenario_from_json("{\"name\":\"x\"}").unwrap_err();
+        assert!(err.message.contains("bottleneck_bps") || err.message.contains("flows"));
+        assert!(scenario_from_json("not json").is_err());
+    }
+
+    #[test]
+    fn policies_round_trip() {
+        for policy in [
+            RetentionPolicy::KeepAll,
+            RetentionPolicy::Decimate(7),
+            RetentionPolicy::Reservoir(33),
+        ] {
+            let mut s = full_scenario();
+            s.trace.policy = policy;
+            let back = scenario_from_json(&scenario_to_json(&s)).unwrap();
+            assert_eq!(back.trace.policy, policy);
+        }
+    }
+}

@@ -16,18 +16,30 @@
 //!   EXPERIMENTS.md.
 
 pub mod build;
+pub mod codec;
+pub mod crash;
+pub mod error;
 pub mod experiments;
 pub mod observe;
 pub mod outcome;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+mod watchdog;
 
 pub use build::BuiltNetwork;
-pub use observe::{run_observed, run_observed_with_progress, ObservedRun, RunInstruments};
+pub use codec::{scenario_from_json, scenario_to_json};
+pub use crash::{
+    run_guarded, run_guarded_with_progress, BundleError, CrashBundle, GuardOptions, GuardedFailure,
+};
+pub use error::SimError;
+pub use observe::{
+    run_observed, run_observed_with_progress, try_run_observed, try_run_observed_with_progress,
+    ObservedRun, RunInstruments,
+};
 pub use outcome::{PInterpretation, RunOutcome};
-pub use runner::{run, run_with_progress, Progress};
-pub use scenario::{ConvergenceRule, Fidelity, FlowGroup, Scenario, DEFAULT_MSS};
+pub use runner::{run, run_with_progress, try_run, try_run_with_progress, Progress};
+pub use scenario::{ConvergenceRule, Fidelity, FlowGroup, Scenario, ScenarioError, DEFAULT_MSS};
 
 /// Run several scenarios in parallel, preserving input order.
 ///

@@ -29,6 +29,7 @@
 //! | `ccsim_phase_wall_nanos_total{phase}` | counter | runner phase wall time |
 //! | `ccsim_phase_calls_total{phase}` | counter | runner phase span counts |
 
+use crate::error::SimError;
 use crate::outcome::RunOutcome;
 use crate::runner::{run_internal, Progress};
 use crate::scenario::Scenario;
@@ -168,21 +169,43 @@ pub fn scenario_digest(scenario: &Scenario) -> u64 {
 /// Run `scenario` with instruments attached and produce the outcome plus
 /// the Prometheus dump and run manifest. See the module docs for the
 /// inertness guarantee.
+///
+/// # Panics
+/// Panics on any [`SimError`] — [`try_run_observed`] reports it instead.
 pub fn run_observed(scenario: &Scenario) -> ObservedRun {
     run_observed_with_progress(scenario, |_| {})
+}
+
+/// [`run_observed`], surfacing failures as typed errors.
+pub fn try_run_observed(scenario: &Scenario) -> Result<ObservedRun, SimError> {
+    try_run_observed_with_progress(scenario, |_| {})
 }
 
 /// [`run_observed`] with a progress callback, invoked after every
 /// simulated slice (warm-up and measurement) with the fraction of
 /// sim-time covered — feed it a
 /// [`RunProgress`](ccsim_telemetry::RunProgress) for a live stderr line.
-pub fn run_observed_with_progress<F>(scenario: &Scenario, mut on_progress: F) -> ObservedRun
+///
+/// # Panics
+/// Panics on any [`SimError`]; see [`try_run_observed_with_progress`].
+pub fn run_observed_with_progress<F>(scenario: &Scenario, on_progress: F) -> ObservedRun
+where
+    F: FnMut(&Progress),
+{
+    try_run_observed_with_progress(scenario, on_progress).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_run_observed`] with a progress callback.
+pub fn try_run_observed_with_progress<F>(
+    scenario: &Scenario,
+    mut on_progress: F,
+) -> Result<ObservedRun, SimError>
 where
     F: FnMut(&Progress),
 {
     let inst = RunInstruments::new();
     let wall_start = std::time::Instant::now();
-    let outcome = run_internal(scenario, Some(&inst), &mut on_progress);
+    let outcome = run_internal(scenario, Some(&inst), &mut on_progress)?;
     let wall_secs = wall_start.elapsed().as_secs_f64();
 
     let sim_secs = outcome.ended_at.as_secs_f64();
@@ -219,11 +242,11 @@ where
         metric_series: inst.registry.len() as u64,
         converged: outcome.converged,
     };
-    ObservedRun {
+    Ok(ObservedRun {
         outcome,
         manifest,
         prometheus,
-    }
+    })
 }
 
 #[cfg(test)]

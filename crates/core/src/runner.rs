@@ -12,9 +12,11 @@
 //!    consecutive windows — the paper's "< 1% over 20 minutes" rule.
 
 use crate::build::BuiltNetwork;
+use crate::error::SimError;
 use crate::observe::{classify_msg, RunInstruments, EVENT_KINDS};
 use crate::outcome::RunOutcome;
 use crate::scenario::Scenario;
+use crate::watchdog::Watchdog;
 use ccsim_analysis::jain_fairness_index;
 use ccsim_net::link::Link;
 use ccsim_sim::SimTime;
@@ -51,16 +53,44 @@ impl Scenario {
     pub fn run(&self) -> RunOutcome {
         run(self)
     }
+
+    /// Convenience: [`try_run`] as a method.
+    pub fn try_run(&self) -> Result<RunOutcome, SimError> {
+        try_run(self)
+    }
 }
 
 /// Run a scenario to completion and collect its outcome.
+///
+/// # Panics
+/// Panics on any [`SimError`] (invalid scenario, engine error, watchdog
+/// violation) — [`try_run`] reports the error instead.
 pub fn run(scenario: &Scenario) -> RunOutcome {
+    try_run(scenario).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run a scenario to completion, surfacing failures as typed errors.
+pub fn try_run(scenario: &Scenario) -> Result<RunOutcome, SimError> {
     run_internal(scenario, None, &mut |_| {})
 }
 
 /// [`run`] with a progress callback, invoked after every simulated slice
 /// with the fraction of sim-time covered.
-pub fn run_with_progress<F>(scenario: &Scenario, mut on_progress: F) -> RunOutcome
+///
+/// # Panics
+/// Panics on any [`SimError`]; see [`try_run_with_progress`].
+pub fn run_with_progress<F>(scenario: &Scenario, on_progress: F) -> RunOutcome
+where
+    F: FnMut(&Progress),
+{
+    try_run_with_progress(scenario, on_progress).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_run`] with a progress callback.
+pub fn try_run_with_progress<F>(
+    scenario: &Scenario,
+    mut on_progress: F,
+) -> Result<RunOutcome, SimError>
 where
     F: FnMut(&Progress),
 {
@@ -71,12 +101,38 @@ where
 /// the run is observed. `classify_msg` is passed as a function item so it
 /// inlines into the engine's event loop; the unobserved path is the plain
 /// `run_until` with zero observability cost.
-fn advance(net: &mut BuiltNetwork, until: SimTime, observed: bool) {
+fn advance(net: &mut BuiltNetwork, until: SimTime, observed: bool) -> Result<(), SimError> {
     if observed {
-        net.sim.run_until_classified(until, classify_msg);
+        net.sim.try_run_until_classified(until, classify_msg)?;
     } else {
-        net.sim.run_until(until);
+        net.sim.try_run_until(until)?;
     }
+    Ok(())
+}
+
+/// Drain the flight recorders (present only when the scenario enabled
+/// tracing) into one time-sorted trace. Factored out of collection so an
+/// aborting run (watchdog violation) can still salvage the trace tail
+/// for its crash bundle.
+fn drain_trace(net: &mut BuiltNetwork, scenario: &Scenario) -> Option<RunTrace> {
+    if !scenario.trace.enabled {
+        return None;
+    }
+    let mut parts = Vec::with_capacity(net.flow_count() + 1);
+    for &id in &net.senders {
+        if let Some(rec) = net.sim.component_mut::<Sender>(id).take_trace() {
+            parts.push(rec.finish());
+        }
+    }
+    if let Some(rec) = net.sim.component_mut::<Link>(net.link).take_trace() {
+        parts.push(rec.finish());
+    }
+    let meta = TraceMeta {
+        scenario: scenario.name.clone(),
+        seed: scenario.seed,
+        flows: scenario.flow_count(),
+    };
+    Some(RunTrace::assemble(meta, parts))
 }
 
 /// The single implementation behind [`run`], [`run_with_progress`], and
@@ -88,9 +144,10 @@ pub(crate) fn run_internal(
     scenario: &Scenario,
     inst: Option<&RunInstruments>,
     on_progress: &mut dyn FnMut(&Progress),
-) -> RunOutcome {
+) -> Result<RunOutcome, SimError> {
     let build_span = inst.map(|i| i.profiler.span("build"));
-    let mut net = BuiltNetwork::build(scenario);
+    let mut net = BuiltNetwork::try_build(scenario)?;
+    let mut watchdog = Watchdog::new(scenario.watchdog);
     if let Some(inst) = inst {
         net.sim.set_event_classes(EVENT_KINDS.len());
         net.sim
@@ -127,9 +184,15 @@ pub(crate) fn run_internal(
         let mut t = SimTime::ZERO;
         while t < warmup_end {
             let next = (t + scenario.snapshot_interval).min(warmup_end);
-            advance(&mut net, next, inst.is_some());
+            advance(&mut net, next, inst.is_some())?;
             t = next;
             report(t, net.sim.events_processed());
+            if watchdog.check(&net, scenario) {
+                return Err(SimError::Invariant {
+                    trace: drain_trace(&mut net, scenario),
+                    report: watchdog.into_report(),
+                });
+            }
         }
         drop(span);
     }
@@ -159,6 +222,10 @@ pub(crate) fn run_internal(
         })
         .collect();
 
+    // The warm-up reset re-anchored the link counters; re-anchor the
+    // conservation baseline with them.
+    watchdog.rebaseline(&net);
+
     let mut tracker = ThroughputTracker::new();
     tracker.record(warmup_end, delivered_base.clone());
 
@@ -168,7 +235,7 @@ pub(crate) fn run_internal(
     while now < deadline {
         let slice_start = inst.map(|_| std::time::Instant::now());
         let next = (now + scenario.snapshot_interval).min(deadline);
-        advance(&mut net, next, inst.is_some());
+        advance(&mut net, next, inst.is_some())?;
         now = next;
         tracker.record(now, net.per_flow_delivered());
         if let (Some(inst), Some(t0)) = (inst, slice_start) {
@@ -178,6 +245,12 @@ pub(crate) fn run_internal(
             inst.profiler.record("measure_slice", elapsed);
         }
         report(now, net.sim.events_processed());
+        if watchdog.check(&net, scenario) {
+            return Err(SimError::Invariant {
+                trace: drain_trace(&mut net, scenario),
+                report: watchdog.into_report(),
+            });
+        }
         if let Some(rule) = &scenario.convergence {
             let agg =
                 tracker.relative_change(rule.window_snapshots, |r| Some(r.iter().sum::<f64>()));
@@ -237,27 +310,7 @@ pub(crate) fn run_internal(
         });
     }
 
-    // Drain recorders (present only when the scenario enabled tracing)
-    // into one time-sorted trace.
-    let trace = if scenario.trace.enabled {
-        let mut parts = Vec::with_capacity(net.flow_count() + 1);
-        for &id in &net.senders {
-            if let Some(rec) = net.sim.component_mut::<Sender>(id).take_trace() {
-                parts.push(rec.finish());
-            }
-        }
-        if let Some(rec) = net.sim.component_mut::<Link>(net.link).take_trace() {
-            parts.push(rec.finish());
-        }
-        let meta = TraceMeta {
-            scenario: scenario.name.clone(),
-            seed: scenario.seed,
-            flows: scenario.flow_count(),
-        };
-        Some(RunTrace::assemble(meta, parts))
-    } else {
-        None
-    };
+    let trace = drain_trace(&mut net, scenario);
 
     let outcome = RunOutcome {
         scenario: scenario.name.clone(),
@@ -276,7 +329,8 @@ pub(crate) fn run_internal(
         trace,
     };
     drop(collect_span);
-    outcome
+    debug_assert!(!watchdog.tripped(), "tripped watchdog must abort the run");
+    Ok(outcome)
 }
 
 #[cfg(test)]

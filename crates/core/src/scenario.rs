@@ -23,9 +23,11 @@
 //! paper's wall-clock hours); [`Fidelity`] presets switch between them.
 
 use ccsim_cca::CcaKind;
-use ccsim_sim::{Bandwidth, SimDuration};
+use ccsim_fault::{FaultPlan, FaultPlanError, WatchdogConfig};
+use ccsim_sim::{Bandwidth, SimDuration, SimTime};
 use ccsim_trace::TraceConfig;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// The paper's fixed MSS.
 pub const DEFAULT_MSS: u32 = ccsim_net::DEFAULT_MSS;
@@ -104,6 +106,62 @@ pub struct Scenario {
     /// Flight-recorder configuration (disabled by default; see
     /// [`ccsim_trace::TraceConfig`]).
     pub trace: TraceConfig,
+    /// Timed link impairments (empty by default — a plan-free scenario
+    /// behaves and digests exactly as before the fault subsystem existed).
+    pub fault: FaultPlan,
+    /// Runtime invariant watchdog (disabled by default; checks are
+    /// read-only, so enabling it never changes an outcome digest).
+    pub watchdog: WatchdogConfig,
+}
+
+/// Structured scenario-validation failure, replacing the former
+/// `assert!`-based validation. `Display` keeps the old assert messages so
+/// operators (and tests) recognize them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    NoFlows,
+    ZeroBandwidth,
+    ZeroMss,
+    /// `warmup < start_jitter`: flows could start inside the measurement
+    /// window.
+    JitterExceedsWarmup,
+    ZeroSnapshotInterval,
+    ZeroDuration,
+    BadConvergence,
+    /// The fault plan is invalid for this scenario's horizon.
+    Fault(FaultPlanError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoFlows => f.write_str("scenario has no flows"),
+            ScenarioError::ZeroBandwidth => f.write_str("zero bottleneck bandwidth"),
+            ScenarioError::ZeroMss => f.write_str("zero MSS"),
+            ScenarioError::JitterExceedsWarmup => {
+                f.write_str("warm-up must cover the start-jitter window")
+            }
+            ScenarioError::ZeroSnapshotInterval => f.write_str("zero snapshot interval"),
+            ScenarioError::ZeroDuration => f.write_str("zero measurement duration"),
+            ScenarioError::BadConvergence => f.write_str("bad convergence rule"),
+            ScenarioError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultPlanError> for ScenarioError {
+    fn from(e: FaultPlanError) -> Self {
+        ScenarioError::Fault(e)
+    }
 }
 
 impl Scenario {
@@ -130,6 +188,8 @@ impl Scenario {
                 tolerance: 0.01,
             }),
             trace: TraceConfig::disabled(),
+            fault: FaultPlan::none(),
+            watchdog: WatchdogConfig::disabled(),
         }
     }
 
@@ -156,6 +216,8 @@ impl Scenario {
                 tolerance: 0.01,
             }),
             trace: TraceConfig::disabled(),
+            fault: FaultPlan::none(),
+            watchdog: WatchdogConfig::disabled(),
         }
     }
 
@@ -211,27 +273,64 @@ impl Scenario {
         self
     }
 
+    /// Install a fault plan (validated against the horizon by
+    /// [`Scenario::validate`]).
+    pub fn faulted(mut self, fault: FaultPlan) -> Scenario {
+        self.fault = fault;
+        self
+    }
+
+    /// Enable the runtime invariant watchdog.
+    pub fn watched(mut self, watchdog: WatchdogConfig) -> Scenario {
+        self.watchdog = watchdog;
+        self
+    }
+
     /// Total number of flows.
     pub fn flow_count(&self) -> u32 {
         self.flows.iter().map(|g| g.count).sum()
     }
 
-    /// Validate internal consistency; panics with a description on error.
-    pub fn validate(&self) {
-        assert!(self.flow_count() > 0, "scenario has no flows");
-        assert!(self.bottleneck.as_bps() > 0, "zero bottleneck bandwidth");
-        assert!(self.mss > 0, "zero MSS");
-        assert!(
-            self.warmup >= self.start_jitter,
-            "warm-up must cover the start-jitter window"
-        );
-        assert!(!self.snapshot_interval.is_zero(), "zero snapshot interval");
-        assert!(!self.duration.is_zero(), "zero measurement duration");
+    /// End of the scenario's time horizon (warm-up + measurement window);
+    /// fault actions must fire before this.
+    pub fn horizon_end(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.duration
+    }
+
+    /// Validate internal consistency, returning a structured error.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.flow_count() == 0 {
+            return Err(ScenarioError::NoFlows);
+        }
+        if self.bottleneck.as_bps() == 0 {
+            return Err(ScenarioError::ZeroBandwidth);
+        }
+        if self.mss == 0 {
+            return Err(ScenarioError::ZeroMss);
+        }
+        if self.warmup < self.start_jitter {
+            return Err(ScenarioError::JitterExceedsWarmup);
+        }
+        if self.snapshot_interval.is_zero() {
+            return Err(ScenarioError::ZeroSnapshotInterval);
+        }
+        if self.duration.is_zero() {
+            return Err(ScenarioError::ZeroDuration);
+        }
         if let Some(c) = &self.convergence {
-            assert!(
-                c.window_snapshots > 0 && c.tolerance > 0.0,
-                "bad convergence rule"
-            );
+            if c.window_snapshots == 0 || c.tolerance <= 0.0 {
+                return Err(ScenarioError::BadConvergence);
+            }
+        }
+        self.fault.validate(self.horizon_end())?;
+        Ok(())
+    }
+
+    /// Panicking shim kept for callers that predate typed validation.
+    #[deprecated(note = "use Scenario::validate and handle the ScenarioError")]
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
     }
 
@@ -279,7 +378,7 @@ mod tests {
         assert_eq!(s.flow_count(), 15);
         assert_eq!(s.seed, 42);
         assert_eq!(s.name, "test");
-        s.validate();
+        s.validate().unwrap();
     }
 
     #[test]
@@ -292,13 +391,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no flows")]
     fn empty_scenario_fails_validation() {
-        Scenario::edge_scale().validate();
+        let err = Scenario::edge_scale().validate().unwrap_err();
+        assert_eq!(err, ScenarioError::NoFlows);
+        assert_eq!(err.to_string(), "scenario has no flows");
     }
 
     #[test]
-    #[should_panic(expected = "cover the start-jitter")]
     fn jitter_longer_than_warmup_fails() {
         let mut s = Scenario::edge_scale().flows(vec![FlowGroup::new(
             CcaKind::Reno,
@@ -306,6 +405,51 @@ mod tests {
             SimDuration::from_millis(20),
         )]);
         s.start_jitter = SimDuration::from_secs(60);
-        s.validate();
+        assert_eq!(s.validate(), Err(ScenarioError::JitterExceedsWarmup));
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("cover the start-jitter"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no flows")]
+    fn deprecated_shim_still_panics() {
+        #[allow(deprecated)]
+        Scenario::edge_scale().assert_valid();
+    }
+
+    #[test]
+    fn fault_plan_is_validated_against_the_horizon() {
+        use ccsim_fault::FaultPlan;
+        let base = Scenario::edge_scale().flows(vec![FlowGroup::new(
+            CcaKind::Reno,
+            1,
+            SimDuration::from_millis(20),
+        )]);
+        // EdgeScale horizon is 30 s warm-up + 300 s duration.
+        let ok = base
+            .clone()
+            .faulted(FaultPlan::none().iid_loss(SimTime::from_secs(100), 0.01));
+        ok.validate().unwrap();
+        let late = base
+            .clone()
+            .faulted(FaultPlan::none().iid_loss(SimTime::from_secs(400), 0.01));
+        assert!(matches!(
+            late.validate(),
+            Err(ScenarioError::Fault(FaultPlanError::BeyondHorizon { .. }))
+        ));
+        let overlapping = base.faulted(
+            FaultPlan::none()
+                .blackout(SimTime::from_secs(50), SimDuration::from_secs(5))
+                .blackout(SimTime::from_secs(52), SimDuration::from_secs(5)),
+        );
+        assert!(matches!(
+            overlapping.validate(),
+            Err(ScenarioError::Fault(
+                FaultPlanError::OverlappingBlackouts { .. }
+            ))
+        ));
     }
 }

@@ -20,6 +20,6 @@ pub mod msg;
 pub mod packet;
 
 pub use delay::{DelayLine, DelayNext};
-pub use link::{Link, LinkMetrics, LinkStats, NextHop};
+pub use link::{Link, LinkMetrics, LinkStats, NextHop, FAULT_TICK};
 pub use msg::{Msg, TimerToken};
 pub use packet::{FlowId, Packet, PacketKind, SackBlock, SackBlocks, DEFAULT_MSS, HEADER_BYTES};

@@ -24,6 +24,7 @@
 
 use crate::msg::{Msg, TimerToken};
 use crate::packet::Packet;
+use ccsim_fault::{FaultStats, LinkFaultInjector};
 use ccsim_sim::{Bandwidth, Component, ComponentId, Ctx, SimDuration, SimTime};
 use ccsim_telemetry::{Counter, Histogram};
 use ccsim_trace::QueueRecorder;
@@ -62,6 +63,12 @@ pub enum NextHop {
 
 /// Timer kind used for the serialization-complete self-event.
 const SERIALIZATION_DONE: u16 = 1;
+
+/// Timer kind for the fault-plan clock: fires at each `FaultAction`'s
+/// timestamp so impairments apply at exact engine times, independent of
+/// packet arrivals. The harness schedules the first tick when it attaches
+/// an injector; the link re-arms itself for each subsequent action.
+pub const FAULT_TICK: u16 = 2;
 
 /// Aggregate and per-flow counters for a link.
 #[derive(Debug, Clone, Default)]
@@ -141,6 +148,10 @@ pub struct Link {
     metrics: Option<LinkMetrics>,
     /// Length of the in-progress consecutive-drop run (metrics only).
     drop_burst: u64,
+    /// Optional fault injector (ccsim-fault), attached when the scenario
+    /// carries a non-empty `FaultPlan`. `None` is the fast path: no
+    /// branch beyond this option check, no RNG, no timers.
+    injector: Option<LinkFaultInjector>,
 }
 
 impl Link {
@@ -168,6 +179,7 @@ impl Link {
             recorder: None,
             metrics: None,
             drop_burst: 0,
+            injector: None,
         }
     }
 
@@ -214,6 +226,23 @@ impl Link {
         }
     }
 
+    /// Attach a fault injector. The caller must also schedule the first
+    /// [`FAULT_TICK`] timer at [`LinkFaultInjector::next_action_at`] —
+    /// the link re-arms itself from then on.
+    pub fn enable_faults(&mut self, injector: LinkFaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Injector decision counters, when faults are attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&LinkFaultInjector> {
+        self.injector.as_ref()
+    }
+
     /// The configured rate.
     pub fn rate(&self) -> Bandwidth {
         self.rate
@@ -242,6 +271,18 @@ impl Link {
     /// Current backlog in bytes (waiting packets, excluding in-service).
     pub fn backlog_bytes(&self) -> u64 {
         self.queued_bytes
+    }
+
+    /// Number of packets waiting in the queue (excluding in-service).
+    pub fn queued_pkts(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// 1 if a packet is currently being serialized, else 0 — so the
+    /// watchdog's conservation check can account for every packet the
+    /// link has accepted but not yet transmitted.
+    pub fn in_service_pkts(&self) -> u64 {
+        u64::from(self.in_service.is_some())
     }
 
     /// Reset counters and the drop log (typically at the end of warm-up).
@@ -292,6 +333,27 @@ impl Link {
         if let Some(m) = &self.metrics {
             m.queue_bytes.record(self.queued_bytes);
         }
+        if let Some(inj) = &mut self.injector {
+            if inj.arrival_drop(now).is_some() {
+                // Fault drops (blackout / random loss) count as drops at
+                // this link — same counters and drop log as queue
+                // overflow, so loss-rate analysis sees total loss; the
+                // injector's own stats keep the breakdown by cause.
+                self.stats.dropped_pkts += 1;
+                self.stats.dropped_bytes += p.wire_bytes as u64;
+                self.stats.per_flow_dropped[fi] += 1;
+                if self.metrics.is_some() {
+                    self.drop_burst += 1;
+                }
+                if now >= self.log_from && self.drop_log.len() < self.drop_log_cap {
+                    self.drop_log.push(now);
+                }
+                if let Some(rec) = &mut self.recorder {
+                    rec.on_drop(now, p.flow.0, self.queued_bytes);
+                }
+                return;
+            }
+        }
 
         if self.in_service.is_none() {
             debug_assert!(self.queue.is_empty());
@@ -329,10 +391,38 @@ impl Link {
         self.stats.transmitted_pkts += 1;
         self.stats.transmitted_bytes += p.wire_bytes as u64;
         let dst = self.forward_to(&p);
-        ctx.schedule_in(self.prop_delay, dst, Msg::Packet(p));
+        if let Some(inj) = &mut self.injector {
+            // Delivery-side impairments: extra one-way delay (base-RTT
+            // step, reorder hold-back) and duplication. A held-back
+            // packet is overtaken by later deliveries — reordering
+            // without any queue manipulation.
+            let fate = inj.delivery_fate();
+            ctx.schedule_in(self.prop_delay + fate.extra_delay, dst, Msg::Packet(p));
+            if fate.duplicate {
+                ctx.schedule_in(self.prop_delay + fate.extra_delay, dst, Msg::Packet(p));
+            }
+        } else {
+            ctx.schedule_in(self.prop_delay, dst, Msg::Packet(p));
+        }
         if let Some(next) = self.queue.pop_front() {
             self.queued_bytes -= next.wire_bytes as u64;
             self.start_service(next, ctx);
+        }
+    }
+
+    fn on_fault_tick(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
+        let Some(inj) = &mut self.injector else {
+            return;
+        };
+        let changes = inj.advance_to(now);
+        if let Some(rate) = changes.new_rate {
+            // Takes effect at the next serialization start; the frame on
+            // the wire finishes at its old rate, as on real hardware.
+            self.rate = rate;
+        }
+        if let Some(at) = inj.next_action_at() {
+            let self_id = ctx.self_id();
+            ctx.schedule_at(at, self_id, Msg::Timer(TimerToken::pack(FAULT_TICK, 0)));
         }
     }
 }
@@ -341,10 +431,13 @@ impl Component<Msg> for Link {
     fn on_event(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         match msg {
             Msg::Packet(p) => self.on_packet(now, p, ctx),
-            Msg::Timer(t) => {
-                debug_assert_eq!(t.kind(), SERIALIZATION_DONE);
-                self.on_serialization_done(now, ctx);
-            }
+            Msg::Timer(t) => match t.kind() {
+                FAULT_TICK => self.on_fault_tick(now, ctx),
+                kind => {
+                    debug_assert_eq!(kind, SERIALIZATION_DONE);
+                    self.on_serialization_done(now, ctx);
+                }
+            },
         }
     }
 }
@@ -607,6 +700,218 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// Schedule the first fault tick the way the harness does.
+    fn arm_faults(sim: &mut Simulator<Msg>, link: ComponentId, inj: LinkFaultInjector) {
+        let first = inj.next_action_at();
+        sim.component_mut::<Link>(link).enable_faults(inj);
+        if let Some(at) = first {
+            sim.schedule(at, link, Msg::Timer(TimerToken::pack(FAULT_TICK, 0)));
+        }
+    }
+
+    #[test]
+    fn blackout_drops_arrivals_then_restores() {
+        use ccsim_fault::FaultPlan;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            u64::MAX,
+            NextHop::ToPacketDst,
+        ));
+        let plan = FaultPlan::none().blackout(SimTime::from_secs(1), SimDuration::from_secs(2));
+        arm_faults(&mut sim, link, LinkFaultInjector::new(&plan, 9));
+        // One packet before, two during, one after the [1s, 3s) outage.
+        for t_ms in [500, 1_500, 2_500, 3_500] {
+            sim.schedule(
+                SimTime::from_millis(t_ms),
+                link,
+                Msg::Packet(pkt(0, sink, 1500)),
+            );
+        }
+        sim.run();
+        assert_eq!(sim.component::<Sink>(sink).received.len(), 2);
+        let l = sim.component::<Link>(link);
+        assert_eq!(l.stats().dropped_pkts, 2);
+        assert_eq!(l.fault_stats().unwrap().blackout_dropped, 2);
+        assert_eq!(
+            l.drop_log(),
+            &[SimTime::from_millis(1_500), SimTime::from_millis(2_500)]
+        );
+    }
+
+    #[test]
+    fn bandwidth_step_changes_serialization_spacing() {
+        use ccsim_fault::FaultPlan;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            u64::MAX,
+            NextHop::ToPacketDst,
+        ));
+        // Halve the rate at t=1s: 1500 B goes from 120 µs to 240 µs.
+        let plan = FaultPlan::none().set_bandwidth(SimTime::from_secs(1), Bandwidth::from_mbps(50));
+        arm_faults(&mut sim, link, LinkFaultInjector::new(&plan, 9));
+        sim.schedule(SimTime::ZERO, link, Msg::Packet(pkt(0, sink, 1500)));
+        sim.schedule(SimTime::from_secs(2), link, Msg::Packet(pkt(0, sink, 1500)));
+        sim.run();
+        let rx = &sim.component::<Sink>(sink).received;
+        assert_eq!(rx[0].0, SimTime::from_micros(120));
+        assert_eq!(
+            rx[1].0,
+            SimTime::from_secs(2) + SimDuration::from_micros(240)
+        );
+    }
+
+    #[test]
+    fn extra_delay_step_shifts_deliveries() {
+        use ccsim_fault::FaultPlan;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(5),
+            u64::MAX,
+            NextHop::ToPacketDst,
+        ));
+        let plan =
+            FaultPlan::none().set_extra_delay(SimTime::from_secs(1), SimDuration::from_millis(20));
+        arm_faults(&mut sim, link, LinkFaultInjector::new(&plan, 9));
+        sim.schedule(SimTime::ZERO, link, Msg::Packet(pkt(0, sink, 1500)));
+        sim.schedule(SimTime::from_secs(2), link, Msg::Packet(pkt(0, sink, 1500)));
+        sim.run();
+        let rx = &sim.component::<Sink>(sink).received;
+        // Before: 120 µs serialization + 5 ms. After: + 20 ms extra.
+        assert_eq!(rx[0].0, SimTime::from_micros(5_120));
+        assert_eq!(
+            rx[1].0,
+            SimTime::from_secs(2) + SimDuration::from_micros(25_120)
+        );
+    }
+
+    #[test]
+    fn certain_reorder_lets_later_packets_overtake() {
+        use ccsim_fault::FaultPlan;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(1),
+            u64::MAX,
+            NextHop::ToPacketDst,
+        ));
+        // Hold back only the first packet (reorder window covers t<1ms).
+        let plan = FaultPlan::none()
+            .reorder(SimTime::ZERO, 1.0, SimDuration::from_millis(10))
+            .reorder(SimTime::from_millis(1), 0.0, SimDuration::ZERO);
+        arm_faults(&mut sim, link, LinkFaultInjector::new(&plan, 9));
+        let mut first = pkt(0, sink, 1500);
+        first.seq = 1;
+        let mut second = pkt(0, sink, 1500);
+        second.seq = 2;
+        sim.schedule(SimTime::ZERO, link, Msg::Packet(first));
+        sim.schedule(SimTime::from_millis(2), link, Msg::Packet(second));
+        sim.run();
+        let rx = &sim.component::<Sink>(sink).received;
+        assert_eq!(rx.len(), 2);
+        // seq 2 (sent later) arrives before the held-back seq 1.
+        assert_eq!(rx[0].1.seq, 2);
+        assert_eq!(rx[1].1.seq, 1);
+        assert_eq!(
+            sim.component::<Link>(link).fault_stats().unwrap().reordered,
+            1
+        );
+    }
+
+    #[test]
+    fn certain_duplication_delivers_two_copies() {
+        use ccsim_fault::FaultPlan;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            u64::MAX,
+            NextHop::ToPacketDst,
+        ));
+        let plan = FaultPlan::none().duplicate(SimTime::ZERO, 1.0);
+        arm_faults(&mut sim, link, LinkFaultInjector::new(&plan, 9));
+        sim.schedule(SimTime::from_secs(1), link, Msg::Packet(pkt(0, sink, 1500)));
+        sim.run();
+        let l = sim.component::<Link>(link);
+        assert_eq!(sim.component::<Sink>(sink).received.len(), 2);
+        // Conservation holds: the duplicate is minted at delivery, not
+        // through the queue.
+        assert_eq!(l.stats().transmitted_pkts, 1);
+        assert_eq!(l.fault_stats().unwrap().duplicated, 1);
+    }
+
+    #[test]
+    fn iid_loss_drops_close_to_rate_at_the_link() {
+        use ccsim_fault::FaultPlan;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_gbps(10),
+            SimDuration::ZERO,
+            u64::MAX,
+            NextHop::ToPacketDst,
+        ));
+        let plan = FaultPlan::none().iid_loss(SimTime::ZERO, 0.1);
+        arm_faults(&mut sim, link, LinkFaultInjector::new(&plan, 77));
+        for i in 0..5_000u64 {
+            sim.schedule(
+                SimTime::from_micros(10 + i * 10),
+                link,
+                Msg::Packet(pkt(0, sink, 1500)),
+            );
+        }
+        sim.run();
+        let l = sim.component::<Link>(link);
+        let dropped = l.stats().dropped_pkts;
+        assert!((350..650).contains(&dropped), "dropped {dropped} at p=0.1");
+        assert_eq!(l.fault_stats().unwrap().loss_dropped, dropped);
+        assert_eq!(l.stats().transmitted_pkts + dropped, l.stats().arrived_pkts);
+    }
+
+    #[test]
+    fn faulted_run_is_seed_deterministic_at_the_link() {
+        use ccsim_fault::FaultPlan;
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(0);
+            let sink = sim.add_component(Sink { received: vec![] });
+            let link = sim.add_component(Link::new(
+                Bandwidth::from_mbps(100),
+                SimDuration::from_millis(1),
+                4500,
+                NextHop::ToPacketDst,
+            ));
+            let plan = FaultPlan::none()
+                .iid_loss(SimTime::ZERO, 0.05)
+                .blackout(SimTime::from_millis(50), SimDuration::from_millis(10))
+                .duplicate(SimTime::from_millis(70), 0.1);
+            arm_faults(&mut sim, link, LinkFaultInjector::new(&plan, seed));
+            for i in 0..2_000u64 {
+                sim.schedule(
+                    SimTime::from_micros(i * 50),
+                    link,
+                    Msg::Packet(pkt(0, sink, 1500)),
+                );
+            }
+            sim.run();
+            sim.component::<Sink>(sink)
+                .received
+                .iter()
+                .map(|(t, p)| (*t, p.seq))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
     }
 
     #[test]

@@ -40,6 +40,31 @@ impl fmt::Debug for ComponentId {
     }
 }
 
+/// A typed dispatch failure. The engine used to panic on these; the
+/// `try_*` entry points surface them instead so the harness can capture a
+/// crash bundle and unwind cleanly. The panicking entry points (`step`,
+/// `run_until`, …) remain as thin wrappers for callers that treat wiring
+/// bugs as fatal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// An event was addressed to a component id outside the arena —
+    /// always a wiring bug, but one the harness should report with
+    /// context rather than abort on.
+    UnknownComponent { dst: ComponentId, at: SimTime },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownComponent { dst, at } => {
+                write!(f, "event for unknown component {dst:?} at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// An actor in the simulation. `M` is the workspace-wide message type.
 pub trait Component<M>: Any {
     /// Handle a message delivered at virtual instant `now`.
@@ -208,10 +233,13 @@ impl<M: 'static> Simulator<M> {
     /// and the whole classification block compiles away — keeping the
     /// per-event cost of observability off the uninstrumented hot loop.
     #[inline(always)]
-    fn step_with<F: FnMut(&M) -> Option<usize>>(&mut self, classify: &mut F) -> bool {
+    fn step_with<F: FnMut(&M) -> Option<usize>>(
+        &mut self,
+        classify: &mut F,
+    ) -> Result<bool, EngineError> {
         self.max_pending = self.max_pending.max(self.queue.len() as u64);
         let Some(ev) = self.queue.pop() else {
-            return false;
+            return Ok(false);
         };
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
@@ -223,9 +251,12 @@ impl<M: 'static> Simulator<M> {
         let Simulator {
             components, queue, ..
         } = self;
-        let comp = components
-            .get_mut(ev.dst.as_usize())
-            .unwrap_or_else(|| panic!("event for unknown component {:?}", ev.dst));
+        let Some(comp) = components.get_mut(ev.dst.as_usize()) else {
+            return Err(EngineError::UnknownComponent {
+                dst: ev.dst,
+                at: ev.time,
+            });
+        };
         let mut ctx = Ctx {
             now: ev.time,
             self_id: ev.dst,
@@ -233,18 +264,36 @@ impl<M: 'static> Simulator<M> {
         };
         comp.on_event(ev.time, ev.msg, &mut ctx);
         self.processed += 1;
-        true
+        Ok(true)
+    }
+
+    /// Process the single earliest pending event. Returns `Ok(false)` if
+    /// the queue was empty.
+    pub fn try_step(&mut self) -> Result<bool, EngineError> {
+        self.step_with(&mut |_| None)
     }
 
     /// Process the single earliest pending event. Returns `false` if the
     /// queue was empty.
+    ///
+    /// # Panics
+    /// Panics on a dispatch error ([`Simulator::try_step`] reports it).
     pub fn step(&mut self) -> bool {
-        self.step_with(&mut |_| None)
+        self.try_step().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run until the event queue drains.
+    ///
+    /// # Panics
+    /// Panics on a dispatch error ([`Simulator::try_run`] reports it).
     pub fn run(&mut self) {
-        while self.step() {}
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run until the event queue drains, surfacing dispatch errors.
+    pub fn try_run(&mut self) -> Result<(), EngineError> {
+        while self.try_step()? {}
+        Ok(())
     }
 
     #[inline]
@@ -252,25 +301,36 @@ impl<M: 'static> Simulator<M> {
         &mut self,
         deadline: SimTime,
         mut classify: F,
-    ) {
+    ) -> Result<(), EngineError> {
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 self.now = deadline;
-                return;
+                return Ok(());
             }
-            self.step_with(&mut classify);
+            self.step_with(&mut classify)?;
         }
         // Queue drained before the deadline: advance the clock to it so
         // callers observe a consistent "simulated through deadline" state.
         if self.now < deadline {
             self.now = deadline;
         }
+        Ok(())
     }
 
     /// Run until the event queue drains or virtual time would pass
     /// `deadline`. Events at exactly `deadline` are processed; the clock is
     /// left at `min(deadline, last event time)`.
+    ///
+    /// # Panics
+    /// Panics on a dispatch error ([`Simulator::try_run_until`] reports it).
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.try_run_until(deadline)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::run_until`], surfacing dispatch errors instead of
+    /// panicking.
+    pub fn try_run_until(&mut self, deadline: SimTime) -> Result<(), EngineError> {
         self.run_until_with(deadline, |_| None)
     }
 
@@ -280,16 +340,27 @@ impl<M: 'static> Simulator<M> {
     /// first). `classify` is a generic parameter so a function item passed
     /// here inlines into the event loop — measurably cheaper than an
     /// indirect call per event.
-    pub fn run_until_classified<F: FnMut(&M) -> usize>(
+    ///
+    /// # Panics
+    /// Panics on a dispatch error ([`Simulator::try_run_until_classified`]
+    /// reports it).
+    pub fn run_until_classified<F: FnMut(&M) -> usize>(&mut self, deadline: SimTime, classify: F) {
+        self.try_run_until_classified(deadline, classify)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Simulator::run_until_classified`], surfacing dispatch errors
+    /// instead of panicking.
+    pub fn try_run_until_classified<F: FnMut(&M) -> usize>(
         &mut self,
         deadline: SimTime,
         mut classify: F,
-    ) {
+    ) -> Result<(), EngineError> {
         assert!(
             !self.class_counts.is_empty(),
             "set_event_classes must be called before run_until_classified"
         );
-        self.run_until_with(deadline, |m| Some(classify(m)));
+        self.run_until_with(deadline, |m| Some(classify(m)))
     }
 }
 
@@ -445,6 +516,35 @@ mod tests {
         sim.run_until_classified(SimTime::from_secs(1_000), |_| 99);
         // Ping + the Pong reply the Ponger schedules, both clamped.
         assert_eq!(sim.event_class_counts(), &[0, 2]);
+    }
+
+    #[test]
+    fn unknown_component_is_a_typed_error() {
+        let mut sim: Simulator<Msg> = Simulator::new(0);
+        sim.schedule(
+            SimTime::from_secs(3),
+            ComponentId::from_raw(7),
+            Msg::Ping(0),
+        );
+        let err = sim.try_run().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::UnknownComponent {
+                dst: ComponentId::from_raw(7),
+                at: SimTime::from_secs(3),
+            }
+        );
+        assert!(err.to_string().contains("unknown component #7"));
+        // The clock still advanced to the faulty event's time.
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "event for unknown component")]
+    fn unknown_component_panics_via_legacy_entry_point() {
+        let mut sim: Simulator<Msg> = Simulator::new(0);
+        sim.schedule(SimTime::ZERO, ComponentId::from_raw(7), Msg::Ping(0));
+        sim.run();
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod rate;
 pub mod rng;
 pub mod time;
 
-pub use engine::{Component, ComponentId, Ctx, Simulator};
+pub use engine::{Component, ComponentId, Ctx, EngineError, Simulator};
 pub use event::{Event, EventQueue};
 pub use rate::Bandwidth;
 pub use rng::RngFactory;

@@ -99,9 +99,7 @@ fn field_raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = json.find(&pat)? + pat.len();
     let rest = json[start..].trim_start();
-    let end = rest
-        .find([',', '}'])
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
     Some(rest[..end].trim())
 }
 

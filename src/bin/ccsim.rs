@@ -10,6 +10,7 @@
 //!             [--policy keepall|decimate:N|reservoir:K]
 //!             [--trace-budget <bytes>] [--queue-every <n>]
 //!             [--sync-bin <ms>]
+//! ccsim replay <bundle-dir> [--json] [--quiet]
 //! ```
 //!
 //! `trace` runs the same experiment with the flight recorder enabled,
@@ -20,6 +21,23 @@
 //! text-exposition dump is written to `<path>` and a provenance manifest
 //! to `<path with extension .manifest.json>`. Observation is inert — the
 //! simulated outcome is bit-identical with or without it.
+//!
+//! Robustness flags (shared by `run` and `trace`):
+//!
+//! * `--fault <spec>` (repeatable) schedules a timed link impairment;
+//!   specs are `blackout:<at_s>:<dur_s>`, `bw:<at_s>:<mbps>`,
+//!   `delay:<at_s>:<ms>`, `loss:<at_s>:<rate>` (rate 0 clears),
+//!   `burstloss:<at_s>:<enter>:<exit>`, `reorder:<at_s>:<rate>:<ms>`,
+//!   `dup:<at_s>:<rate>`. Fault plans are deterministic for a seed.
+//! * `--watchdog` checks runtime invariants (packet conservation, queue
+//!   bounds, cwnd sanity, clock monotonicity) at every snapshot slice.
+//! * `--crash-dir <dir>` catches failures — typed errors, watchdog
+//!   violations, panics — and writes a replayable crash bundle there.
+//! * `--force-panic <s>` (testing) panics mid-run at the given simulated
+//!   time to exercise the crash path; combine with `--crash-dir`.
+//!
+//! `replay` loads a crash bundle and re-runs its exact scenario (same
+//! seed, same fault plan), reporting whether the failure reproduces.
 //!
 //! Examples:
 //!
@@ -38,21 +56,28 @@
 
 use ccsim::cca::CcaKind;
 use ccsim::experiments::{
-    run_observed_with_progress, run_with_progress, Fidelity, FlowGroup, RunOutcome, Scenario,
+    run_guarded_with_progress, run_observed_with_progress, run_with_progress, CrashBundle,
+    Fidelity, FlowGroup, GuardOptions, RunOutcome, Scenario,
 };
-use ccsim::sim::{Bandwidth, SimDuration};
+use ccsim::fault::{FaultPlan, WatchdogConfig};
+use ccsim::sim::{Bandwidth, SimDuration, SimTime};
 use ccsim::telemetry::{validate_exposition, RunProgress};
 use ccsim::trace::{RetentionPolicy, TraceConfig};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage: ccsim run [--setting edge|core] [--bw <mbps>] \
     [--buffer <bytes>] --flows <cca>:<count>:<rtt_ms> [--flows ...] \
     [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] \
-    [--fidelity quick|standard|paper] [--json] [--metrics <path>] [--quiet]\n\
+    [--fidelity quick|standard|paper] [--json] [--metrics <path>] [--quiet] \
+    [--fault <spec> ...] [--watchdog] [--crash-dir <dir>] [--force-panic <s>]\n\
     \x20      ccsim trace <run flags> [--out <prefix>] \
     [--format jsonl|bin|both] [--policy keepall|decimate:N|reservoir:K] \
     [--trace-budget <bytes>] [--queue-every <n>] [--sync-bin <ms>]\n\
-    ccas: reno, cubic, bbr, vegas";
+    \x20      ccsim replay <bundle-dir> [--json] [--quiet]\n\
+    ccas: reno, cubic, bbr, vegas\n\
+    fault specs: blackout:<at_s>:<dur_s>  bw:<at_s>:<mbps>  delay:<at_s>:<ms>\n\
+    \x20            loss:<at_s>:<rate>  burstloss:<at_s>:<enter>:<exit>\n\
+    \x20            reorder:<at_s>:<rate>:<ms>  dup:<at_s>:<rate>";
 
 /// Bad invocation: complaint + usage to stderr, exit 2.
 fn usage(err: &str) -> ! {
@@ -105,6 +130,40 @@ fn parse_flows(spec: &str) -> FlowGroup {
     FlowGroup::new(cca, count, SimDuration::from_millis(rtt_ms))
 }
 
+/// Parse one `--fault` spec onto the plan (times are seconds, possibly
+/// fractional).
+fn parse_fault(plan: FaultPlan, spec: &str) -> FaultPlan {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> f64 {
+        s.parse()
+            .unwrap_or_else(|_| usage(&format!("bad number '{s}' in --fault '{spec}'")))
+    };
+    let at = |parts: &[&str]| SimTime::from_secs_f64(num(parts[1]));
+    match (parts[0], parts.len()) {
+        ("blackout", 3) => plan.blackout(at(&parts), SimDuration::from_secs_f64(num(parts[2]))),
+        ("bw", 3) => plan.set_bandwidth(at(&parts), Bandwidth::from_mbps(num(parts[2]) as u64)),
+        ("delay", 3) => {
+            plan.set_extra_delay(at(&parts), SimDuration::from_secs_f64(num(parts[2]) / 1e3))
+        }
+        ("loss", 3) => {
+            let rate = num(parts[2]);
+            if rate == 0.0 {
+                plan.clear_loss(at(&parts))
+            } else {
+                plan.iid_loss(at(&parts), rate)
+            }
+        }
+        ("burstloss", 4) => plan.burst_loss(at(&parts), num(parts[2]), num(parts[3])),
+        ("reorder", 4) => plan.reorder(
+            at(&parts),
+            num(parts[2]),
+            SimDuration::from_secs_f64(num(parts[3]) / 1e3),
+        ),
+        ("dup", 3) => plan.duplicate(at(&parts), num(parts[2])),
+        _ => usage(&format!("bad --fault spec '{spec}' (see fault specs)")),
+    }
+}
+
 /// Everything the flag parser produces. The `run` and `trace`
 /// subcommands share one parser: `trace` is `run` plus the trace-only
 /// flags, which are rejected under `run`.
@@ -117,6 +176,8 @@ struct Cli {
     out: String,
     format: String,
     sync_bin: SimDuration,
+    crash_dir: Option<PathBuf>,
+    force_panic: Option<SimTime>,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -141,6 +202,10 @@ fn parse_cli(args: &[String]) -> Cli {
     let mut format = String::from("both");
     let mut trace_cfg = TraceConfig::standard();
     let mut sync_bin = SimDuration::from_millis(10);
+    let mut fault = FaultPlan::none();
+    let mut watchdog = false;
+    let mut crash_dir = None;
+    let mut force_panic = None;
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> &String {
@@ -194,6 +259,15 @@ fn parse_cli(args: &[String]) -> Cli {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--metrics" => metrics_out = Some(take(&mut i).clone()),
+            "--fault" => fault = parse_fault(fault, take(&mut i)),
+            "--watchdog" => watchdog = true,
+            "--crash-dir" => crash_dir = Some(PathBuf::from(take(&mut i))),
+            "--force-panic" => {
+                let secs: f64 = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --force-panic"));
+                force_panic = Some(SimTime::from_secs_f64(secs));
+            }
             "--fidelity" => {
                 fidelity = Some(match take(&mut i).as_str() {
                     "quick" => Fidelity::Quick,
@@ -258,6 +332,16 @@ fn parse_cli(args: &[String]) -> Cli {
     if scenario.warmup < scenario.start_jitter {
         scenario.start_jitter = scenario.warmup;
     }
+    scenario = scenario.faulted(fault);
+    if watchdog {
+        scenario = scenario.watched(WatchdogConfig::every_slice());
+    }
+    if let Err(e) = scenario.validate() {
+        usage(&format!("invalid scenario: {e}"));
+    }
+    if metrics_out.is_some() && (crash_dir.is_some() || force_panic.is_some()) {
+        usage("--metrics cannot be combined with --crash-dir/--force-panic");
+    }
     Cli {
         tracing,
         scenario,
@@ -267,11 +351,74 @@ fn parse_cli(args: &[String]) -> Cli {
         out,
         format,
         sync_bin,
+        crash_dir,
+        force_panic,
+    }
+}
+
+/// The `replay` subcommand: load a crash bundle, re-run its scenario.
+fn replay(args: &[String]) -> ! {
+    let mut dir = None;
+    let mut json = false;
+    let mut quiet = false;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => usage(&format!("unknown replay argument {other}")),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| usage("replay needs a bundle directory"));
+    let bundle = CrashBundle::load(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot load crash bundle {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    eprintln!(
+        "replaying {} (seed {}, {} fault actions; captured failure: [{}] {})",
+        bundle.scenario.name,
+        bundle.scenario.seed,
+        bundle.scenario.fault.sorted_actions().len(),
+        bundle.error_class,
+        bundle.error
+    );
+    let mut progress = (!quiet).then(|| RunProgress::new("replay"));
+    let result = ccsim::experiments::try_run_with_progress(&bundle.scenario, |p| {
+        if let Some(prog) = &mut progress {
+            prog.update(p.fraction, p.events_processed);
+        }
+    });
+    match result {
+        Ok(outcome) => {
+            if let Some(prog) = &mut progress {
+                prog.finish(outcome.events_processed);
+            }
+            if json {
+                println!("{}", outcome.to_json());
+            } else {
+                print_human(&outcome);
+            }
+            println!("outcome digest  : {:016x}", outcome.digest());
+            println!("replay clean    : captured failure did not reproduce");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            println!("failure reproduced: {e}");
+            std::process::exit(3);
+        }
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("replay") {
+        if args.iter().any(|a| matches!(a.as_str(), "--help" | "-h")) {
+            help();
+        }
+        replay(&args);
+    }
     let cli = parse_cli(&args);
     let scenario = &cli.scenario;
 
@@ -315,6 +462,29 @@ fn main() {
             obs.manifest.outcome_digest
         );
         obs.outcome
+    } else if cli.crash_dir.is_some() || cli.force_panic.is_some() {
+        let opts = GuardOptions {
+            bundle_dir: cli.crash_dir.clone(),
+            force_panic_at: cli.force_panic,
+        };
+        match run_guarded_with_progress(scenario, &opts, &mut on_progress) {
+            Ok(outcome) => {
+                if let Some(prog) = &mut progress {
+                    prog.finish(outcome.events_processed);
+                }
+                outcome
+            }
+            Err(failure) => {
+                eprintln!("\nrun failed: {failure}");
+                if let Some(e) = &failure.write_error {
+                    eprintln!("crash-bundle write failed: {e}");
+                }
+                if let Some(dir) = &failure.bundle {
+                    eprintln!("replay with: ccsim replay {}", dir.display());
+                }
+                std::process::exit(1);
+            }
+        }
     } else {
         let outcome = run_with_progress(scenario, &mut on_progress);
         if let Some(prog) = &mut progress {

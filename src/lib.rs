@@ -15,6 +15,8 @@
 //! * [`analysis`] — Mathis fitting, JFI, burstiness, statistics.
 //! * [`trace`] — the memory-bounded flight recorder (cwnd/srtt/queue
 //!   traces, JSONL + columnar binary export).
+//! * [`fault`] — deterministic link fault plans (blackouts, loss,
+//!   reordering, rate steps) and the invariant-watchdog vocabulary.
 //! * [`experiments`] — the paper's EdgeScale/CoreScale scenarios and the
 //!   per-figure experiment functions.
 //!
@@ -37,6 +39,7 @@
 pub use ccsim_analysis as analysis;
 pub use ccsim_cca as cca;
 pub use ccsim_core as experiments;
+pub use ccsim_fault as fault;
 pub use ccsim_net as net;
 pub use ccsim_sim as sim;
 pub use ccsim_tcp as tcp;

@@ -38,6 +38,45 @@ pub trait Strategy {
     type Value: std::fmt::Debug;
     /// Generate one value.
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values (subset of real proptest's `prop_map`;
+    /// no shrinking, so the mapper is just applied).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: std::fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// `Range<f64>` uniform strategy (vendored rand has no float ranges, so
+// scale a unit draw; fine for test generation).
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        let unit: f64 = rng.gen();
+        self.start + unit * (self.end - self.start)
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -78,6 +117,20 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
 /// Strategy for a single fixed value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone + std::fmt::Debug>(pub T);
@@ -86,6 +139,52 @@ impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     type Value = T;
     fn generate(&self, _rng: &mut SmallRng) -> T {
         self.0.clone()
+    }
+}
+
+/// `proptest::option` (subset): optional values.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some(inner draw)` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            // Draw the inner value unconditionally so presence/absence
+            // doesn't shift the stream consumed by later strategies.
+            let v = self.0.generate(rng);
+            rng.gen_bool(0.5).then_some(v)
+        }
+    }
+}
+
+/// `proptest::bool` (subset): uniform booleans.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Uniform `bool` strategy (real proptest's `bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical instance.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.gen_bool(0.5)
+        }
     }
 }
 
