@@ -1,0 +1,321 @@
+//! The parallel sweep executor: a worker pool over campaign jobs.
+//!
+//! Each job runs through the existing observed-run path
+//! ([`ccsim_core::try_run_observed`]) on its own thread, so every run
+//! carries its provenance manifest and the observation-inertness
+//! guarantee. The pool is a plain `std::thread::scope` with an atomic
+//! job-pull counter — the same shape as `ccsim_core::run_all`, plus
+//! failure capture: typed errors and panics become failed [`JobResult`]s
+//! (with an optional crash bundle) instead of tearing down the campaign.
+//!
+//! Determinism: a scenario's outcome depends only on its configuration
+//! and seed, never on scheduling, so a campaign run with `--workers 8`
+//! produces per-run outcome digests byte-identical to `--workers 1`.
+//! The integration tests assert exactly that.
+
+use crate::spec::CampaignJob;
+use ccsim_analysis::mathis::fit_constant;
+use ccsim_cca::CcaKind;
+use ccsim_core::observe::scenario_digest;
+use ccsim_core::{crash, try_run_observed, ObservedRun, PInterpretation, RunOutcome, Scenario};
+use ccsim_sim::SimDuration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The trace bin used for the ledger's synchronization-index rollup
+/// (matches the CLI's `--sync-bin` default).
+pub const SYNC_BIN: SimDuration = SimDuration::from_millis(10);
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorOptions {
+    /// Worker threads. 1 runs the jobs serially in input order.
+    pub workers: usize,
+    /// When set, failed jobs write a replayable crash bundle here.
+    pub crash_dir: Option<PathBuf>,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> ExecutorOptions {
+        ExecutorOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            crash_dir: None,
+        }
+    }
+}
+
+/// The paper-fidelity metrics distilled from one run — what the ledger
+/// stores per entry and what `campaign diff` compares across ledgers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rollup {
+    /// Jain's Fairness Index across all flows.
+    pub jfi: Option<f64>,
+    /// Bottleneck utilization over the window.
+    pub utilization: f64,
+    /// Aggregate throughput, Mbps.
+    pub aggregate_mbps: f64,
+    /// Aggregate bottleneck loss rate.
+    pub loss_rate: f64,
+    /// Median relative Mathis prediction error (packet-loss
+    /// interpretation) for the run's majority CCA.
+    pub mathis_err: Option<f64>,
+    /// Trace-based loss-synchronization index (needs tracing enabled).
+    pub sync_index: Option<f64>,
+    /// Goh–Barabási burstiness of the drop train.
+    pub drop_burstiness: Option<f64>,
+    /// Throughput share of the first flow group's CCA.
+    pub share_a: Option<f64>,
+}
+
+impl Rollup {
+    /// Distill an outcome into its ledger rollup.
+    pub fn of(outcome: &RunOutcome) -> Rollup {
+        let majority = majority_cca(outcome);
+        let mathis_err = majority.and_then(|cca| {
+            fit_constant(&outcome.mathis_observations(cca, PInterpretation::PacketLoss))
+                .map(|f| f.median_error)
+        });
+        Rollup {
+            jfi: outcome.jain_index(),
+            utilization: outcome.utilization(),
+            aggregate_mbps: outcome.aggregate_throughput_mbps(),
+            loss_rate: outcome.aggregate_loss_rate,
+            mathis_err,
+            sync_index: outcome.trace_synchronization_index(SYNC_BIN),
+            drop_burstiness: outcome.drop_burstiness,
+            share_a: outcome
+                .flow_cca
+                .first()
+                .and_then(|&cca| outcome.share_of(cca)),
+        }
+    }
+
+    /// Look up a metric by its spec/ledger name.
+    pub fn get(&self, metric: &str) -> Option<f64> {
+        match metric {
+            "jfi" => self.jfi,
+            "utilization" => Some(self.utilization),
+            "aggregate_mbps" => Some(self.aggregate_mbps),
+            "loss_rate" => Some(self.loss_rate),
+            "mathis_err" => self.mathis_err,
+            "sync_index" => self.sync_index,
+            "drop_burstiness" => self.drop_burstiness,
+            "share_a" => self.share_a,
+            _ => None,
+        }
+    }
+}
+
+fn majority_cca(outcome: &RunOutcome) -> Option<CcaKind> {
+    let mut kinds: Vec<CcaKind> = outcome.flow_cca.clone();
+    kinds.sort_by_key(|k| k.name());
+    kinds.dedup();
+    kinds.into_iter().max_by_key(|&k| outcome.count_of(k))
+}
+
+/// The result of one executed job: the observed run on success, an error
+/// string (typed failure or panic message) otherwise.
+#[derive(Debug)]
+pub struct JobResult {
+    pub job: CampaignJob,
+    /// FNV-1a digest of the job's scenario configuration.
+    pub config_digest: u64,
+    pub run: Result<ObservedRun, String>,
+    /// Crash-bundle directory, when the job failed and a crash dir was
+    /// configured and the bundle write succeeded.
+    pub crash_bundle: Option<PathBuf>,
+}
+
+impl JobResult {
+    /// The outcome digest, for successful runs.
+    pub fn outcome_digest(&self) -> Option<u64> {
+        self.run.as_ref().ok().map(|obs| obs.outcome.digest())
+    }
+
+    /// The metric rollup, for successful runs.
+    pub fn rollup(&self) -> Option<Rollup> {
+        self.run.as_ref().ok().map(|obs| Rollup::of(&obs.outcome))
+    }
+}
+
+fn run_one(job: CampaignJob, opts: &ExecutorOptions) -> JobResult {
+    let config_digest = scenario_digest(&job.scenario);
+    let caught = catch_unwind(AssertUnwindSafe(|| try_run_observed(&job.scenario)));
+    let error = match caught {
+        Ok(Ok(obs)) => {
+            return JobResult {
+                job,
+                config_digest,
+                run: Ok(obs),
+                crash_bundle: None,
+            }
+        }
+        Ok(Err(e)) => e,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            ccsim_core::SimError::Panic { message }
+        }
+    };
+    let crash_bundle = opts
+        .crash_dir
+        .as_ref()
+        .and_then(|dir| crash::write_bundle(dir, &job.scenario, &error).ok());
+    JobResult {
+        job,
+        config_digest,
+        run: Err(error.to_string()),
+        crash_bundle,
+    }
+}
+
+/// Run every job on a pool of `opts.workers` threads, returning results
+/// in input order. `on_done` fires from the worker thread as each job
+/// completes (completion order, not input order) — feed it a
+/// [`ccsim_telemetry::CampaignProgress`] and/or a ledger writer.
+pub fn run_campaign<F>(jobs: Vec<CampaignJob>, opts: &ExecutorOptions, on_done: F) -> Vec<JobResult>
+where
+    F: Fn(&JobResult) + Sync,
+{
+    let workers = opts.workers.max(1).min(jobs.len().max(1));
+    if workers == 1 {
+        return jobs
+            .into_iter()
+            .map(|job| {
+                let r = run_one(job, opts);
+                on_done(&r);
+                r
+            })
+            .collect();
+    }
+    let mut results: Vec<Option<JobResult>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    let jobs_shared: Vec<Mutex<Option<CampaignJob>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+    let results_mutex = Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs_shared.len() {
+                    break;
+                }
+                let job = jobs_shared[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each job is claimed exactly once");
+                let r = run_one(job, opts);
+                on_done(&r);
+                results_mutex.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect()
+}
+
+/// Run plain scenarios through the campaign executor (no axes — job
+/// names are the scenario names). This is how the bench binaries'
+/// experiment grids ride the pool: build scenarios as before, execute
+/// them here, get outcomes back in input order.
+pub fn run_scenarios<F>(
+    scenarios: &[Scenario],
+    opts: &ExecutorOptions,
+    on_done: F,
+) -> Vec<JobResult>
+where
+    F: Fn(&JobResult) + Sync,
+{
+    let jobs = scenarios
+        .iter()
+        .map(|s| CampaignJob {
+            name: s.name.clone(),
+            axis: Vec::new(),
+            seed: s.seed,
+            scenario: s.clone(),
+        })
+        .collect();
+    run_campaign(jobs, opts, on_done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_core::FlowGroup;
+    use ccsim_sim::Bandwidth;
+
+    fn tiny(seed: u64) -> Scenario {
+        let mut s = Scenario::edge_scale()
+            .named(format!("tiny/seed={seed}"))
+            .flows(vec![FlowGroup::new(
+                CcaKind::Reno,
+                2,
+                SimDuration::from_millis(20),
+            )])
+            .seed(seed);
+        s.bottleneck = Bandwidth::from_mbps(10);
+        s.buffer_bytes = 100_000;
+        s.warmup = SimDuration::from_secs(1);
+        s.duration = SimDuration::from_secs(4);
+        s.start_jitter = SimDuration::from_millis(100);
+        s.convergence = None;
+        s
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let scenarios: Vec<Scenario> = (1..=4).map(tiny).collect();
+        let opts = ExecutorOptions {
+            workers: 4,
+            crash_dir: None,
+        };
+        let results = run_scenarios(&scenarios, &opts, |_| {});
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.job.seed, i as u64 + 1);
+            assert!(r.run.is_ok(), "{:?}", r.run.as_ref().err());
+        }
+    }
+
+    #[test]
+    fn failed_jobs_surface_as_errors_not_panics() {
+        // An invalid scenario (zero duration) fails inside the runner.
+        let mut bad = tiny(1);
+        bad.duration = SimDuration::from_secs(0);
+        let jobs = vec![CampaignJob {
+            name: "bad".into(),
+            axis: Vec::new(),
+            seed: 1,
+            scenario: bad,
+        }];
+        let results = run_campaign(jobs, &ExecutorOptions::default(), |_| {});
+        assert_eq!(results.len(), 1);
+        let err = results[0].run.as_ref().unwrap_err();
+        assert!(err.contains("duration"), "{err}");
+        assert!(results[0].crash_bundle.is_none());
+    }
+
+    #[test]
+    fn rollup_reads_the_paper_metrics() {
+        let results = run_scenarios(&[tiny(3)], &ExecutorOptions::default(), |_| {});
+        let rollup = results[0].rollup().unwrap();
+        assert!(rollup.utilization > 0.5);
+        assert!(rollup.jfi.unwrap() > 0.5);
+        assert_eq!(rollup.get("utilization"), Some(rollup.utilization));
+        assert_eq!(rollup.get("jfi"), rollup.jfi);
+        assert_eq!(rollup.get("nonsense"), None);
+        // No trace configured: the sync index is absent, not invented.
+        assert_eq!(rollup.sync_index, None);
+    }
+}

@@ -1,0 +1,569 @@
+//! The persistent run ledger: one append-only JSONL file per campaign.
+//!
+//! Line 1 is a header (`ccsim-ledger/1` format tag, campaign name,
+//! sentinel tolerances, expectations); every following line is one
+//! enriched run record: job name and axis values, config and outcome
+//! digests, wall/sim time, the per-run metric [`Rollup`], the full
+//! provenance manifest, and a crash-bundle pointer on failure.
+//!
+//! Durability: [`LedgerWriter::append`] flushes after every line, so a
+//! campaign killed mid-run leaves at worst one truncated final line.
+//! [`Ledger::load`] detects that case (the *last* line failing to parse),
+//! skips it, and sets [`Ledger::truncated`] instead of failing — interior
+//! corruption, by contrast, is a hard error. The regression sentinel
+//! (`campaign diff`) indexes entries by config digest via
+//! [`Ledger::by_config`].
+
+use crate::executor::{JobResult, Rollup};
+use crate::spec::{parse_tolerances, Expectation, Tolerances};
+use ccsim_fault::json::{escape, Json, JsonError};
+use ccsim_sim::jsonfmt::{json_f64, json_opt_f64};
+use ccsim_telemetry::RunManifest;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Format tag of the ledger header line.
+pub const LEDGER_FORMAT: &str = "ccsim-ledger/1";
+
+/// One run record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Job name (`{campaign}/{param}={value}/.../seed={seed}`).
+    pub job: String,
+    /// The axis values the job was expanded from.
+    pub axis: Vec<(String, String)>,
+    /// Master seed.
+    pub seed: u64,
+    /// Scenario config digest, 16 hex digits.
+    pub config_digest: String,
+    /// Outcome digest, 16 hex digits; `None` for failed runs.
+    pub outcome_digest: Option<String>,
+    /// Error message for failed runs.
+    pub error: Option<String>,
+    /// Crash-bundle directory for failed runs, when one was written.
+    pub crash_bundle: Option<String>,
+    /// Simulated seconds covered.
+    pub sim_secs: f64,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Engine events processed.
+    pub events_processed: u64,
+    /// Engine events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Paper-metric rollup; `None` for failed runs.
+    pub metrics: Option<Rollup>,
+    /// Full provenance manifest; `None` for failed runs.
+    pub manifest: Option<RunManifest>,
+}
+
+impl LedgerEntry {
+    /// Whether the run completed.
+    pub fn ok(&self) -> bool {
+        self.outcome_digest.is_some()
+    }
+
+    /// Build the entry for one executed job.
+    pub fn from_result(r: &JobResult) -> LedgerEntry {
+        let (outcome_digest, error) = match &r.run {
+            Ok(obs) => (Some(format!("{:016x}", obs.outcome.digest())), None),
+            Err(e) => (None, Some(e.clone())),
+        };
+        let manifest = r.run.as_ref().ok().map(|obs| obs.manifest.clone());
+        let (sim_secs, wall_secs, events_processed, events_per_sec) = manifest
+            .as_ref()
+            .map(|m| {
+                (
+                    m.sim_secs,
+                    m.wall_secs,
+                    m.events_processed,
+                    m.events_per_sec,
+                )
+            })
+            .unwrap_or((0.0, 0.0, 0, 0.0));
+        LedgerEntry {
+            job: r.job.name.clone(),
+            axis: r.job.axis.clone(),
+            seed: r.job.seed,
+            config_digest: format!("{:016x}", r.config_digest),
+            outcome_digest,
+            error,
+            crash_bundle: r.crash_bundle.as_ref().map(|p| p.display().to_string()),
+            sim_secs,
+            wall_secs,
+            events_processed,
+            events_per_sec,
+            metrics: r.rollup(),
+            manifest,
+        }
+    }
+
+    /// Serialize to one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(out, "{{\"job\":\"{}\",\"axis\":{{", escape(&self.job));
+        for (i, (param, value)) in self.axis.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(param), escape(value));
+        }
+        let _ = write!(
+            out,
+            "}},\"seed\":{},\"config_digest\":\"{}\",\"outcome_digest\":{},\"error\":{},\
+             \"crash_bundle\":{},\"sim_secs\":{},\"wall_secs\":{},\"events_processed\":{},\
+             \"events_per_sec\":{}",
+            self.seed,
+            self.config_digest,
+            match &self.outcome_digest {
+                Some(d) => format!("\"{d}\""),
+                None => "null".into(),
+            },
+            match &self.error {
+                Some(e) => format!("\"{}\"", escape(e)),
+                None => "null".into(),
+            },
+            match &self.crash_bundle {
+                Some(p) => format!("\"{}\"", escape(p)),
+                None => "null".into(),
+            },
+            json_f64(self.sim_secs),
+            json_f64(self.wall_secs),
+            self.events_processed,
+            json_f64(self.events_per_sec),
+        );
+        match &self.metrics {
+            None => out.push_str(",\"metrics\":null"),
+            Some(m) => {
+                let _ = write!(
+                    out,
+                    ",\"metrics\":{{\"jfi\":{},\"utilization\":{},\"aggregate_mbps\":{},\
+                     \"loss_rate\":{},\"mathis_err\":{},\"sync_index\":{},\
+                     \"drop_burstiness\":{},\"share_a\":{}}}",
+                    json_opt_f64(m.jfi),
+                    json_f64(m.utilization),
+                    json_f64(m.aggregate_mbps),
+                    json_f64(m.loss_rate),
+                    json_opt_f64(m.mathis_err),
+                    json_opt_f64(m.sync_index),
+                    json_opt_f64(m.drop_burstiness),
+                    json_opt_f64(m.share_a),
+                );
+            }
+        }
+        match &self.manifest {
+            None => out.push_str(",\"manifest\":null}"),
+            Some(m) => {
+                let _ = write!(out, ",\"manifest\":{}}}", m.to_json_inline());
+            }
+        }
+        out
+    }
+
+    /// Parse a line produced by [`LedgerEntry::to_json`].
+    pub fn from_value(v: &Json) -> Result<LedgerEntry, JsonError> {
+        let get_str = |key: &str| -> Result<String, JsonError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("entry missing \"{key}\"")))
+        };
+        let opt_str =
+            |key: &str| -> Option<String> { v.get(key).and_then(Json::as_str).map(str::to_string) };
+        let axis = match v.get("axis") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, val)| {
+                    val.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| bad("non-string axis value"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        let metrics = match v.get("metrics") {
+            Some(m) if !m.is_null() => {
+                let f = |key: &str| m.get(key).and_then(Json::as_f64);
+                Some(Rollup {
+                    jfi: f("jfi"),
+                    utilization: f("utilization").ok_or_else(|| bad("metrics.utilization"))?,
+                    aggregate_mbps: f("aggregate_mbps")
+                        .ok_or_else(|| bad("metrics.aggregate_mbps"))?,
+                    loss_rate: f("loss_rate").ok_or_else(|| bad("metrics.loss_rate"))?,
+                    mathis_err: f("mathis_err"),
+                    sync_index: f("sync_index"),
+                    drop_burstiness: f("drop_burstiness"),
+                    share_a: f("share_a"),
+                })
+            }
+            _ => None,
+        };
+        let manifest = match v.get("manifest") {
+            // The manifest parser is substring-based; re-render the node.
+            Some(m) if !m.is_null() => Some(
+                RunManifest::from_json(&m.render())
+                    .map_err(|e| bad(format!("bad embedded manifest: {e}")))?,
+            ),
+            _ => None,
+        };
+        Ok(LedgerEntry {
+            job: get_str("job")?,
+            axis,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("entry missing \"seed\""))?,
+            config_digest: get_str("config_digest")?,
+            outcome_digest: opt_str("outcome_digest"),
+            error: opt_str("error"),
+            crash_bundle: opt_str("crash_bundle"),
+            sim_secs: v.get("sim_secs").and_then(Json::as_f64).unwrap_or(0.0),
+            wall_secs: v.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0),
+            events_processed: v
+                .get("events_processed")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            events_per_sec: v
+                .get("events_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            metrics,
+            manifest,
+        })
+    }
+
+    /// A copy with every wall-clock-dependent field zeroed — the stable
+    /// projection two runs of the same campaign can be compared on
+    /// byte-for-byte (the parallel-vs-serial equivalence tests use this).
+    pub fn normalized(&self) -> LedgerEntry {
+        let mut e = self.clone();
+        e.wall_secs = 0.0;
+        e.events_per_sec = 0.0;
+        if let Some(m) = &mut e.manifest {
+            m.wall_secs = 0.0;
+            m.sim_wall_ratio = 0.0;
+            m.events_per_sec = 0.0;
+            // The metrics dump embeds wall-clock gauges, so its byte
+            // length is timing-dependent too.
+            m.metric_bytes = 0;
+        }
+        e
+    }
+}
+
+fn bad(message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: message.into(),
+    }
+}
+
+/// A loaded ledger: header fields plus the entry list.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    /// Campaign name from the header.
+    pub campaign: String,
+    /// Sentinel tolerances from the header.
+    pub tolerances: Tolerances,
+    /// Fidelity expectations from the header.
+    pub expectations: Vec<Expectation>,
+    /// Run records, in file (completion) order.
+    pub entries: Vec<LedgerEntry>,
+    /// Whether a truncated final line was detected and skipped.
+    pub truncated: bool,
+}
+
+/// Render the header line for a campaign.
+pub fn header_json(
+    campaign: &str,
+    tolerances: &Tolerances,
+    expectations: &[Expectation],
+) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"ledger\":\"{LEDGER_FORMAT}\",\"campaign\":\"{}\",\"tolerances\":{{\"jfi\":{},\
+         \"mathis_err\":{},\"sync_index\":{},\"events_per_sec_frac\":{}}},\"expectations\":[",
+        escape(campaign),
+        json_f64(tolerances.jfi),
+        json_f64(tolerances.mathis_err),
+        json_f64(tolerances.sync_index),
+        json_f64(tolerances.events_per_sec_frac),
+    );
+    for (i, e) in expectations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"metric\":\"{}\",\"min\":{},\"max\":{},\"source\":\"{}\"}}",
+            escape(&e.metric),
+            json_opt_f64(e.min),
+            json_opt_f64(e.max),
+            escape(&e.source)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+impl Ledger {
+    /// An empty in-memory ledger for a campaign.
+    pub fn new(campaign: impl Into<String>, tolerances: Tolerances) -> Ledger {
+        Ledger {
+            campaign: campaign.into(),
+            tolerances,
+            expectations: Vec::new(),
+            entries: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Parse a full ledger document from text (see [`Ledger::load`]).
+    pub fn from_text(text: &str) -> io::Result<Ledger> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines
+            .next()
+            .ok_or_else(|| invalid("empty ledger (no header line)"))?;
+        let header =
+            Json::parse(header_line).map_err(|e| invalid(format!("bad ledger header: {e}")))?;
+        let format = header.get("ledger").and_then(Json::as_str).unwrap_or("");
+        if format != LEDGER_FORMAT {
+            return Err(invalid(format!(
+                "unsupported ledger format \"{format}\" (want \"{LEDGER_FORMAT}\")"
+            )));
+        }
+        let campaign = header
+            .get("campaign")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let tolerances = parse_tolerances(header.get("tolerances"));
+        let mut expectations = Vec::new();
+        if let Some(list) = header.get("expectations").and_then(Json::as_arr) {
+            for e in list {
+                expectations.push(Expectation {
+                    metric: e
+                        .get("metric")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    min: e.get("min").and_then(Json::as_f64),
+                    max: e.get("max").and_then(Json::as_f64),
+                    source: e
+                        .get("source")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                });
+            }
+        }
+
+        let body: Vec<&str> = lines.collect();
+        let mut entries = Vec::with_capacity(body.len());
+        let mut truncated = false;
+        for (i, line) in body.iter().enumerate() {
+            let parsed = Json::parse(line).and_then(|v| LedgerEntry::from_value(&v));
+            match parsed {
+                Ok(entry) => entries.push(entry),
+                Err(e) if i + 1 == body.len() => {
+                    // A killed campaign leaves at worst one torn final
+                    // line; skip it and flag the ledger as truncated.
+                    let _ = e;
+                    truncated = true;
+                }
+                Err(e) => {
+                    return Err(invalid(format!(
+                        "corrupt ledger entry on line {}: {e}",
+                        i + 2
+                    )))
+                }
+            }
+        }
+        Ok(Ledger {
+            campaign,
+            tolerances,
+            expectations,
+            entries,
+            truncated,
+        })
+    }
+
+    /// Load a ledger file, tolerating a truncated final line.
+    pub fn load(path: &Path) -> io::Result<Ledger> {
+        Ledger::from_text(&std::fs::read_to_string(path)?)
+    }
+
+    /// Index entries by config digest (first entry per digest wins).
+    pub fn by_config(&self) -> HashMap<&str, &LedgerEntry> {
+        let mut map = HashMap::with_capacity(self.entries.len());
+        for e in &self.entries {
+            map.entry(e.config_digest.as_str()).or_insert(e);
+        }
+        map
+    }
+
+    /// Successful entries only.
+    pub fn ok_entries(&self) -> impl Iterator<Item = &LedgerEntry> {
+        self.entries.iter().filter(|e| e.ok())
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Append-only ledger file writer. Every line is flushed as soon as it
+/// is written, so a killed campaign loses at most the line in flight.
+pub struct LedgerWriter {
+    out: BufWriter<File>,
+}
+
+impl LedgerWriter {
+    /// Create (truncate) `path` and write the header line.
+    pub fn create(
+        path: &Path,
+        campaign: &str,
+        tolerances: &Tolerances,
+        expectations: &[Expectation],
+    ) -> io::Result<LedgerWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header_json(campaign, tolerances, expectations))?;
+        out.flush()?;
+        Ok(LedgerWriter { out })
+    }
+
+    /// Append one entry line and flush.
+    pub fn append(&mut self, entry: &LedgerEntry) -> io::Result<()> {
+        writeln!(self.out, "{}", entry.to_json())?;
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(seed: u64, ok: bool) -> LedgerEntry {
+        LedgerEntry {
+            job: format!("smoke/cca=reno/seed={seed}"),
+            axis: vec![("cca".into(), "reno".into())],
+            seed,
+            config_digest: format!("{:016x}", 0xabcu64 + seed),
+            outcome_digest: ok.then(|| format!("{:016x}", 0xdefu64 + seed)),
+            error: (!ok).then(|| "run panicked: boom \"quoted\"".to_string()),
+            crash_bundle: (!ok).then(|| "/tmp/crashes/crash-1".to_string()),
+            sim_secs: 5.0,
+            wall_secs: 0.25,
+            events_processed: 120_000,
+            events_per_sec: 480_000.0,
+            metrics: ok.then_some(Rollup {
+                jfi: Some(0.987654321),
+                utilization: 0.93,
+                aggregate_mbps: 9.3,
+                loss_rate: 0.0123,
+                mathis_err: Some(0.08),
+                sync_index: None,
+                drop_burstiness: Some(0.21),
+                share_a: Some(1.0),
+            }),
+            manifest: None,
+        }
+    }
+
+    fn sample_text(n_ok: usize, n_failed: usize) -> String {
+        let mut text = format!(
+            "{}\n",
+            header_json(
+                "smoke",
+                &Tolerances::default(),
+                &[Expectation {
+                    metric: "jfi".into(),
+                    min: Some(0.8),
+                    max: None,
+                    source: "Figure 4".into(),
+                }],
+            )
+        );
+        for i in 0..n_ok {
+            text.push_str(&sample_entry(i as u64, true).to_json());
+            text.push('\n');
+        }
+        for i in 0..n_failed {
+            text.push_str(&sample_entry(100 + i as u64, false).to_json());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        for ok in [true, false] {
+            let e = sample_entry(7, ok);
+            let v = Json::parse(&e.to_json()).unwrap();
+            let back = LedgerEntry::from_value(&v).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn ledger_text_round_trips_header_and_entries() {
+        let ledger = Ledger::from_text(&sample_text(2, 1)).unwrap();
+        assert_eq!(ledger.campaign, "smoke");
+        assert_eq!(ledger.entries.len(), 3);
+        assert_eq!(ledger.ok_entries().count(), 2);
+        assert!(!ledger.truncated);
+        assert_eq!(ledger.expectations.len(), 1);
+        assert_eq!(ledger.expectations[0].metric, "jfi");
+        assert_eq!(ledger.tolerances, Tolerances::default());
+        let failed = &ledger.entries[2];
+        assert!(failed.error.as_deref().unwrap().contains("boom"));
+        assert!(failed.crash_bundle.is_some());
+    }
+
+    #[test]
+    fn truncated_final_line_is_skipped_not_fatal() {
+        let mut text = sample_text(3, 0);
+        // Kill the writer mid-line: drop the last 25 bytes.
+        text.truncate(text.len() - 25);
+        let ledger = Ledger::from_text(&text).unwrap();
+        assert!(ledger.truncated);
+        assert_eq!(ledger.entries.len(), 2);
+    }
+
+    #[test]
+    fn interior_corruption_is_fatal() {
+        let text = sample_text(3, 0);
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[2] = "{\"job\": garbage";
+        let err = Ledger::from_text(&lines.join("\n")).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        assert!(Ledger::from_text("{\"ledger\":\"other/9\"}\n").is_err());
+        assert!(Ledger::from_text("").is_err());
+    }
+
+    #[test]
+    fn by_config_indexes_first_entry_per_digest() {
+        let ledger = Ledger::from_text(&sample_text(2, 0)).unwrap();
+        let idx = ledger.by_config();
+        assert_eq!(idx.len(), 2);
+        assert!(idx.contains_key(ledger.entries[0].config_digest.as_str()));
+    }
+
+    #[test]
+    fn normalization_zeroes_wall_clock_fields_only() {
+        let e = sample_entry(1, true);
+        let n = e.normalized();
+        assert_eq!(n.wall_secs, 0.0);
+        assert_eq!(n.events_per_sec, 0.0);
+        assert_eq!(n.outcome_digest, e.outcome_digest);
+        assert_eq!(n.metrics, e.metrics);
+        assert_eq!(n.events_processed, e.events_processed);
+    }
+}

@@ -1,0 +1,536 @@
+//! Fidelity reports: render a ledger as self-contained Markdown or HTML.
+//!
+//! The report is the campaign layer's answer to the paper's result
+//! tables: a run summary, per-axis breakdown tables (the shape of
+//! Table 1 and the per-CCA columns of Figures 2–4), a paper-metric
+//! table with unicode sparkline histograms (events/sec and wall-time
+//! distributions over the telemetry crate's log2 buckets), the
+//! expectation pass/fail table (ranges quoted from paper figures, e.g.
+//! JFI ≥ 0.9 for homogeneous Reno per Figure 4, Mathis error bands per
+//! Figures 7–8), and the full per-job listing.
+
+use crate::ledger::{Ledger, LedgerEntry};
+use crate::spec::Expectation;
+use ccsim_analysis::stats::{mean, std_dev};
+use ccsim_telemetry::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a log2 histogram as a unicode sparkline over its occupied
+/// bucket range. Returns "(empty)" when nothing was recorded.
+pub fn sparkline(hist: &Histogram) -> String {
+    let counts = hist.bucket_counts();
+    let Some(hi) = hist.max_bucket() else {
+        return "(empty)".to_string();
+    };
+    let lo = counts.iter().position(|&c| c > 0).unwrap_or(0);
+    let peak = counts[lo..=hi].iter().copied().max().unwrap_or(1).max(1);
+    counts[lo..=hi]
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                SPARK[0]
+            } else {
+                // Scale the occupied range onto the 8 glyph levels.
+                let level = (c * (SPARK.len() as u64 - 1)).div_ceil(peak) as usize;
+                SPARK[level.min(SPARK.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.4}"),
+        None => "—".to_string(),
+    }
+}
+
+fn fmt_mean_sd(values: &[f64]) -> String {
+    match (mean(values), std_dev(values)) {
+        (Some(m), Some(sd)) if values.len() > 1 => format!("{m:.4} ± {sd:.4}"),
+        (Some(m), _) => format!("{m:.4}"),
+        _ => "—".to_string(),
+    }
+}
+
+fn collect(entries: &[&LedgerEntry], metric: &str) -> Vec<f64> {
+    entries
+        .iter()
+        .filter_map(|e| match metric {
+            "events_per_sec" => Some(e.events_per_sec),
+            _ => e.metrics.as_ref().and_then(|m| m.get(metric)),
+        })
+        .collect()
+}
+
+/// Metrics shown in the per-axis and fidelity tables, in column order.
+const TABLE_METRICS: [&str; 6] = [
+    "jfi",
+    "utilization",
+    "loss_rate",
+    "mathis_err",
+    "sync_index",
+    "share_a",
+];
+
+/// One expectation's verdict against the mean over successful runs.
+#[derive(Debug, Clone)]
+pub struct ExpectationResult {
+    pub expectation: Expectation,
+    /// Mean of the metric over successful runs, when available.
+    pub observed: Option<f64>,
+    /// `None` when the metric was absent from every run.
+    pub pass: Option<bool>,
+}
+
+/// Check the ledger's stored expectations against its entries.
+pub fn check_expectations(ledger: &Ledger) -> Vec<ExpectationResult> {
+    let ok: Vec<&LedgerEntry> = ledger.ok_entries().collect();
+    ledger
+        .expectations
+        .iter()
+        .map(|exp| {
+            let observed = mean(&collect(&ok, &exp.metric));
+            let pass = observed
+                .map(|v| exp.min.is_none_or(|lo| v >= lo) && exp.max.is_none_or(|hi| v <= hi));
+            ExpectationResult {
+                expectation: exp.clone(),
+                observed,
+                pass,
+            }
+        })
+        .collect()
+}
+
+/// Group successful entries by the value of one axis parameter.
+fn by_axis_value<'a>(
+    entries: &[&'a LedgerEntry],
+    param: &str,
+) -> BTreeMap<String, Vec<&'a LedgerEntry>> {
+    let mut groups: BTreeMap<String, Vec<&LedgerEntry>> = BTreeMap::new();
+    for &e in entries {
+        if let Some((_, value)) = e.axis.iter().find(|(p, _)| p == param) {
+            groups.entry(value.clone()).or_default().push(e);
+        }
+    }
+    groups
+}
+
+fn axis_params(entries: &[&LedgerEntry]) -> Vec<String> {
+    let mut params = Vec::new();
+    for e in entries {
+        for (p, _) in &e.axis {
+            if !params.contains(p) {
+                params.push(p.clone());
+            }
+        }
+    }
+    params
+}
+
+/// Render the full Markdown report for a ledger.
+pub fn markdown(ledger: &Ledger) -> String {
+    let mut out = String::with_capacity(4096);
+    let ok: Vec<&LedgerEntry> = ledger.ok_entries().collect();
+    let failed = ledger.entries.len() - ok.len();
+
+    let _ = writeln!(out, "# Campaign report: {}\n", ledger.campaign);
+    let _ = writeln!(
+        out,
+        "- Jobs: {} ({} ok, {} failed)",
+        ledger.entries.len(),
+        ok.len(),
+        failed
+    );
+    if ledger.truncated {
+        let _ = writeln!(
+            out,
+            "- **Warning:** ledger had a truncated final line (campaign was killed mid-run)"
+        );
+    }
+    let total_events: u64 = ok.iter().map(|e| e.events_processed).sum();
+    let total_wall: f64 = ok.iter().map(|e| e.wall_secs).sum();
+    let total_sim: f64 = ok.iter().map(|e| e.sim_secs).sum();
+    let _ = writeln!(
+        out,
+        "- Events: {total_events} over {total_sim:.1} simulated s in {total_wall:.1} wall s"
+    );
+    if total_wall > 0.0 {
+        let _ = writeln!(
+            out,
+            "- Aggregate rate: {:.0} events/sec",
+            total_events as f64 / total_wall
+        );
+    }
+    out.push('\n');
+
+    // Run-shape sparklines: where did wall time and event rate land?
+    // Log2-bucketed like the engine's own metric histograms.
+    let eps_hist = Histogram::new();
+    let wall_hist = Histogram::new();
+    for e in &ok {
+        eps_hist.record(e.events_per_sec as u64);
+        wall_hist.record((e.wall_secs * 1e3) as u64);
+    }
+    let _ = writeln!(out, "## Run shape\n");
+    let _ = writeln!(out, "| distribution (log2 buckets) | sparkline |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| events/sec | `{}` |", sparkline(&eps_hist));
+    let _ = writeln!(out, "| wall ms per run | `{}` |", sparkline(&wall_hist));
+    out.push('\n');
+
+    // Paper fidelity metrics over the whole campaign.
+    let _ = writeln!(out, "## Fidelity metrics (mean ± sd over runs)\n");
+    let _ = writeln!(out, "| metric | value | paper reference |");
+    let _ = writeln!(out, "|---|---|---|");
+    let refs: BTreeMap<&str, &str> = BTreeMap::from([
+        ("jfi", "Table 1 / Figure 4 (fairness at scale)"),
+        ("utilization", "§3 testbed (bottleneck saturation)"),
+        ("loss_rate", "Figure 2 (loss vs. flow count)"),
+        ("mathis_err", "Figures 7–8 (model accuracy)"),
+        ("sync_index", "§5 (loss synchronization)"),
+        ("share_a", "Figures 5–6 (inter-CCA shares)"),
+    ]);
+    for metric in TABLE_METRICS {
+        let _ = writeln!(
+            out,
+            "| {metric} | {} | {} |",
+            fmt_mean_sd(&collect(&ok, metric)),
+            refs.get(metric).unwrap_or(&"")
+        );
+    }
+    out.push('\n');
+
+    // Expectations.
+    if !ledger.expectations.is_empty() {
+        let _ = writeln!(out, "## Expectations\n");
+        let _ = writeln!(out, "| metric | expected | observed | source | verdict |");
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for r in check_expectations(ledger) {
+            let range = match (r.expectation.min, r.expectation.max) {
+                (Some(lo), Some(hi)) => format!("[{lo}, {hi}]"),
+                (Some(lo), None) => format!("≥ {lo}"),
+                (None, Some(hi)) => format!("≤ {hi}"),
+                (None, None) => "(any)".to_string(),
+            };
+            let verdict = match r.pass {
+                Some(true) => "pass",
+                Some(false) => "**FAIL**",
+                None => "no data",
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {range} | {} | {} | {verdict} |",
+                r.expectation.metric,
+                fmt_opt(r.observed),
+                r.expectation.source
+            );
+        }
+        out.push('\n');
+    }
+
+    // Per-axis breakdowns.
+    for param in axis_params(&ok) {
+        let groups = by_axis_value(&ok, &param);
+        if groups.len() < 2 {
+            continue;
+        }
+        let _ = writeln!(out, "## By {param}\n");
+        let _ = write!(out, "| {param} | runs |");
+        for metric in TABLE_METRICS {
+            let _ = write!(out, " {metric} |");
+        }
+        out.push('\n');
+        let _ = write!(out, "|---|---|");
+        for _ in TABLE_METRICS {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (value, entries) in &groups {
+            let _ = write!(out, "| {value} | {} |", entries.len());
+            for metric in TABLE_METRICS {
+                let _ = write!(out, " {} |", fmt_mean_sd(&collect(entries, metric)));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+
+    // Full job listing.
+    let _ = writeln!(out, "## Jobs\n");
+    let _ = writeln!(
+        out,
+        "| job | outcome digest | events/sec | jfi | util | status |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for e in &ledger.entries {
+        let (digest, status) = match &e.outcome_digest {
+            Some(d) => (format!("`{d}`"), "ok".to_string()),
+            None => (
+                "—".to_string(),
+                format!(
+                    "failed: {}",
+                    e.error.as_deref().unwrap_or("?").replace('|', "\\|")
+                ),
+            ),
+        };
+        let m = e.metrics.as_ref();
+        let _ = writeln!(
+            out,
+            "| {} | {digest} | {:.0} | {} | {} | {status} |",
+            e.job,
+            e.events_per_sec,
+            fmt_opt(m.and_then(|m| m.jfi)),
+            fmt_opt(m.map(|m| m.utilization)),
+        );
+    }
+    out
+}
+
+/// Render the report as a self-contained HTML page (no external assets)
+/// by converting the Markdown through a converter that understands the
+/// subset [`markdown`] emits: headings, pipe tables, bullet lists,
+/// inline code, and bold.
+pub fn html(ledger: &Ledger) -> String {
+    let md = markdown(ledger);
+    let mut out = String::with_capacity(md.len() * 2);
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>");
+    push_html_escaped(&mut out, &format!("Campaign report: {}", ledger.campaign));
+    out.push_str(
+        "</title>\n<style>\nbody{font-family:system-ui,sans-serif;max-width:72rem;\
+         margin:2rem auto;padding:0 1rem;color:#1a1a20}\ntable{border-collapse:collapse;\
+         margin:1rem 0}\nth,td{border:1px solid #ccc;padding:0.3rem 0.6rem;\
+         text-align:left}\nth{background:#f0f0f4}\ncode{background:#f4f4f8;\
+         padding:0 0.2rem}\n</style></head><body>\n",
+    );
+
+    let mut in_table = false;
+    let mut in_list = false;
+    for line in md.lines() {
+        let is_table = line.starts_with('|');
+        let is_item = line.starts_with("- ");
+        if in_table && !is_table {
+            out.push_str("</table>\n");
+            in_table = false;
+        }
+        if in_list && !is_item {
+            out.push_str("</ul>\n");
+            in_list = false;
+        }
+        if let Some(h) = line.strip_prefix("## ") {
+            out.push_str("<h2>");
+            push_inline(&mut out, h);
+            out.push_str("</h2>\n");
+        } else if let Some(h) = line.strip_prefix("# ") {
+            out.push_str("<h1>");
+            push_inline(&mut out, h);
+            out.push_str("</h1>\n");
+        } else if is_item {
+            if !in_list {
+                out.push_str("<ul>\n");
+                in_list = true;
+            }
+            out.push_str("<li>");
+            push_inline(&mut out, &line[2..]);
+            out.push_str("</li>\n");
+        } else if is_table {
+            let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+            // Separator row (|---|---|) marks the previous row as header;
+            // our converter instead emits <th> for the first row of each
+            // table and skips the separator.
+            if cells.iter().all(|c| c.chars().all(|ch| ch == '-')) {
+                continue;
+            }
+            let tag = if !in_table { "th" } else { "td" };
+            if !in_table {
+                out.push_str("<table>\n");
+                in_table = true;
+            }
+            out.push_str("<tr>");
+            for cell in cells {
+                let _ = write!(out, "<{tag}>");
+                push_inline(&mut out, cell);
+                let _ = write!(out, "</{tag}>");
+            }
+            out.push_str("</tr>\n");
+        } else if !line.is_empty() {
+            out.push_str("<p>");
+            push_inline(&mut out, line);
+            out.push_str("</p>\n");
+        }
+    }
+    if in_table {
+        out.push_str("</table>\n");
+    }
+    if in_list {
+        out.push_str("</ul>\n");
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+fn push_html_escaped(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Escape a Markdown fragment, mapping `**bold**` and `` `code` `` spans.
+fn push_inline(out: &mut String, text: &str) {
+    let mut rest = text;
+    loop {
+        if let Some(start) = rest.find("**") {
+            if let Some(len) = rest[start + 2..].find("**") {
+                push_html_escaped(out, &rest[..start]);
+                out.push_str("<strong>");
+                push_html_escaped(out, &rest[start + 2..start + 2 + len]);
+                out.push_str("</strong>");
+                rest = &rest[start + 4 + len..];
+                continue;
+            }
+        }
+        if let Some(start) = rest.find('`') {
+            if let Some(len) = rest[start + 1..].find('`') {
+                push_html_escaped(out, &rest[..start]);
+                out.push_str("<code>");
+                push_html_escaped(out, &rest[start + 1..start + 1 + len]);
+                out.push_str("</code>");
+                rest = &rest[start + 2 + len..];
+                continue;
+            }
+        }
+        push_html_escaped(out, rest);
+        return;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Rollup;
+    use crate::spec::Tolerances;
+
+    fn entry(seed: u64, cca: &str, jfi: f64) -> LedgerEntry {
+        LedgerEntry {
+            job: format!("c/cca={cca}/seed={seed}"),
+            axis: vec![("cca".into(), cca.into())],
+            seed,
+            config_digest: format!("{:016x}", seed * 7 + cca.len() as u64),
+            outcome_digest: Some(format!("{seed:016x}")),
+            error: None,
+            crash_bundle: None,
+            sim_secs: 5.0,
+            wall_secs: 0.5,
+            events_processed: 100_000,
+            events_per_sec: 200_000.0,
+            metrics: Some(Rollup {
+                jfi: Some(jfi),
+                utilization: 0.9,
+                aggregate_mbps: 9.0,
+                loss_rate: 0.01,
+                mathis_err: Some(0.1),
+                sync_index: None,
+                drop_burstiness: None,
+                share_a: Some(0.5),
+            }),
+            manifest: None,
+        }
+    }
+
+    fn sample_ledger() -> Ledger {
+        let mut l = Ledger::new("c", Tolerances::default());
+        l.expectations = vec![
+            Expectation {
+                metric: "jfi".into(),
+                min: Some(0.8),
+                max: None,
+                source: "Figure 4".into(),
+            },
+            Expectation {
+                metric: "loss_rate".into(),
+                min: None,
+                max: Some(0.001),
+                source: "Figure 2".into(),
+            },
+        ];
+        l.entries = vec![
+            entry(1, "reno", 0.95),
+            entry(2, "reno", 0.97),
+            entry(1, "cubic", 0.91),
+            entry(2, "cubic", 0.89),
+        ];
+        l
+    }
+
+    #[test]
+    fn sparkline_covers_occupied_buckets_only() {
+        let h = Histogram::new();
+        assert_eq!(sparkline(&h), "(empty)");
+        for v in [1u64, 1, 1, 2, 1000] {
+            h.record(v);
+        }
+        let s = sparkline(&h);
+        // Buckets 1 (value 1, count 3), 2 (value 2), then a gap to
+        // bucket 10 (value 1000): 10 glyphs, peak first, valley inside.
+        assert_eq!(s.chars().count(), 10);
+        assert_eq!(s.chars().next(), Some('█'));
+        assert!(s.contains('▁'));
+    }
+
+    #[test]
+    fn expectations_pass_and_fail() {
+        let results = check_expectations(&sample_ledger());
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].pass, Some(true)); // mean jfi = 0.93 >= 0.8
+        assert_eq!(results[1].pass, Some(false)); // loss 0.01 > 0.001
+    }
+
+    #[test]
+    fn markdown_report_has_the_expected_sections() {
+        let md = markdown(&sample_ledger());
+        assert!(md.contains("# Campaign report: c"));
+        assert!(md.contains("## Fidelity metrics"));
+        assert!(md.contains("## Expectations"));
+        assert!(md.contains("## By cca"));
+        assert!(md.contains("| cubic | 2 |"));
+        assert!(md.contains("## Jobs"));
+        assert!(md.contains("c/cca=reno/seed=1"));
+        assert!(md.contains("**FAIL**"));
+        assert!(md.contains("Figures 7–8"));
+    }
+
+    #[test]
+    fn failed_runs_show_in_the_job_table() {
+        let mut ledger = sample_ledger();
+        ledger.entries[3].outcome_digest = None;
+        ledger.entries[3].metrics = None;
+        ledger.entries[3].error = Some("invariant violated | queue".into());
+        let md = markdown(&ledger);
+        assert!(md.contains("(3 ok, 1 failed)"));
+        assert!(md.contains("failed: invariant violated \\| queue"));
+    }
+
+    #[test]
+    fn html_is_self_contained_and_escaped() {
+        let mut ledger = sample_ledger();
+        ledger.entries[0].job = "c/cca=<reno>&co/seed=1".into();
+        let page = html(&ledger);
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.contains("<table>"));
+        assert!(page.contains("&lt;reno&gt;&amp;co"));
+        assert!(!page.contains("<reno>"));
+        assert!(page.contains("</html>"));
+        // No external assets.
+        assert!(!page.contains("http://"));
+        assert!(!page.contains("https://"));
+        assert!(page.contains("<strong>FAIL</strong>"));
+    }
+}

@@ -6,6 +6,7 @@
 //!   99.9% of total throughput.
 
 use crate::experiments::grid::ExperimentConfig;
+use crate::outcome::RunOutcome;
 use crate::report::render_table;
 use crate::scenario::{FlowGroup, Scenario};
 use ccsim_cca::CcaKind;
@@ -52,6 +53,18 @@ pub fn cell_scenario(
 
 /// Run the equal-split grid for the pair `(a, b)` over both settings.
 pub fn run_grid(cfg: &ExperimentConfig, a: CcaKind, b: CcaKind) -> Vec<InterRow> {
+    run_grid_with(cfg, a, b, crate::run_all)
+}
+
+/// [`run_grid`] with a caller-supplied executor (e.g. the campaign
+/// worker pool). `runner` must return one outcome per scenario, in
+/// input order.
+pub fn run_grid_with(
+    cfg: &ExperimentConfig,
+    a: CcaKind,
+    b: CcaKind,
+    runner: impl FnOnce(&[Scenario]) -> Vec<RunOutcome>,
+) -> Vec<InterRow> {
     let mut scenarios = Vec::new();
     let mut labels = Vec::new();
     for &rtt in &cfg.rtts_ms {
@@ -64,7 +77,7 @@ pub fn run_grid(cfg: &ExperimentConfig, a: CcaKind, b: CcaKind) -> Vec<InterRow>
             labels.push(("CoreScale", count, rtt));
         }
     }
-    let outcomes = crate::run_all(&scenarios);
+    let outcomes = runner(&scenarios);
     labels
         .iter()
         .zip(&outcomes)

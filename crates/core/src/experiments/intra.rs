@@ -8,6 +8,7 @@
 //!   scale ("figure not shown" in the paper).
 
 use crate::experiments::grid::ExperimentConfig;
+use crate::outcome::RunOutcome;
 use crate::report::render_table;
 use crate::scenario::{FlowGroup, Scenario};
 use ccsim_cca::CcaKind;
@@ -47,6 +48,17 @@ pub fn cell_scenario(skeleton: Scenario, cca: CcaKind, count: u32, rtt_ms: u64) 
 
 /// Run the intra-CCA grid for `cca` over both settings.
 pub fn run_grid(cfg: &ExperimentConfig, cca: CcaKind) -> Vec<IntraRow> {
+    run_grid_with(cfg, cca, crate::run_all)
+}
+
+/// [`run_grid`] with a caller-supplied executor (e.g. the campaign
+/// worker pool). `runner` must return one outcome per scenario, in
+/// input order.
+pub fn run_grid_with(
+    cfg: &ExperimentConfig,
+    cca: CcaKind,
+    runner: impl FnOnce(&[Scenario]) -> Vec<RunOutcome>,
+) -> Vec<IntraRow> {
     let mut scenarios = Vec::new();
     let mut labels = Vec::new();
     for &rtt in &cfg.rtts_ms {
@@ -59,7 +71,7 @@ pub fn run_grid(cfg: &ExperimentConfig, cca: CcaKind) -> Vec<IntraRow> {
             labels.push(("CoreScale", count, rtt));
         }
     }
-    let outcomes = crate::run_all(&scenarios);
+    let outcomes = runner(&scenarios);
     labels
         .iter()
         .zip(&outcomes)

@@ -81,6 +81,16 @@ pub fn cell_scenario(skeleton: Scenario, count: u32) -> Scenario {
 
 /// Run the full Mathis grid: every EdgeScale and CoreScale flow count.
 pub fn run_grid(cfg: &ExperimentConfig) -> Vec<MathisRow> {
+    run_grid_with(cfg, crate::run_all)
+}
+
+/// [`run_grid`] with a caller-supplied executor (e.g. the campaign
+/// worker pool). `runner` must return one outcome per scenario, in
+/// input order.
+pub fn run_grid_with(
+    cfg: &ExperimentConfig,
+    runner: impl FnOnce(&[Scenario]) -> Vec<RunOutcome>,
+) -> Vec<MathisRow> {
     let mut scenarios = Vec::new();
     let mut labels = Vec::new();
     for &count in &cfg.edge_counts {
@@ -91,7 +101,7 @@ pub fn run_grid(cfg: &ExperimentConfig) -> Vec<MathisRow> {
         scenarios.push(cell_scenario(cfg.core(), count));
         labels.push(("CoreScale", count));
     }
-    let outcomes = crate::run_all(&scenarios);
+    let outcomes = runner(&scenarios);
     labels
         .iter()
         .zip(&outcomes)

@@ -5,6 +5,7 @@
 //! * **Figure 7** — 1 BBR vs N Cubic: same shape.
 
 use crate::experiments::grid::ExperimentConfig;
+use crate::outcome::RunOutcome;
 use crate::report::render_table;
 use crate::scenario::{FlowGroup, Scenario};
 use ccsim_cca::CcaKind;
@@ -49,6 +50,17 @@ pub fn cell_scenario(skeleton: Scenario, competitor: CcaKind, count: u32, rtt_ms
 
 /// Run the single-BBR grid against `competitor` over both settings.
 pub fn run_grid(cfg: &ExperimentConfig, competitor: CcaKind) -> Vec<SingleBbrRow> {
+    run_grid_with(cfg, competitor, crate::run_all)
+}
+
+/// [`run_grid`] with a caller-supplied executor (e.g. the campaign
+/// worker pool). `runner` must return one outcome per scenario, in
+/// input order.
+pub fn run_grid_with(
+    cfg: &ExperimentConfig,
+    competitor: CcaKind,
+    runner: impl FnOnce(&[Scenario]) -> Vec<RunOutcome>,
+) -> Vec<SingleBbrRow> {
     let mut scenarios = Vec::new();
     let mut labels = Vec::new();
     for &rtt in &cfg.rtts_ms {
@@ -61,7 +73,7 @@ pub fn run_grid(cfg: &ExperimentConfig, competitor: CcaKind) -> Vec<SingleBbrRow
             labels.push(("CoreScale", count, rtt));
         }
     }
-    let outcomes = crate::run_all(&scenarios);
+    let outcomes = runner(&scenarios);
     labels
         .iter()
         .zip(&outcomes)

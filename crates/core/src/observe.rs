@@ -151,6 +151,7 @@ impl Default for RunInstruments {
 
 /// The result of an observed run: the outcome itself plus the two
 /// self-observability artifacts.
+#[derive(Debug)]
 pub struct ObservedRun {
     /// The ordinary run result (identical to an unobserved run's).
     pub outcome: RunOutcome,

@@ -326,14 +326,6 @@ impl Scenario {
         Ok(())
     }
 
-    /// Panicking shim kept for callers that predate typed validation.
-    #[deprecated(note = "use Scenario::validate and handle the ScenarioError")]
-    pub fn assert_valid(&self) {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
-        }
-    }
-
     /// The buffer in bandwidth-delay products at the given RTT.
     pub fn buffer_in_bdp(&self, rtt: SimDuration) -> f64 {
         let bdp = self.bottleneck.as_bytes_per_sec() * rtt.as_secs_f64();
@@ -411,13 +403,6 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("cover the start-jitter"));
-    }
-
-    #[test]
-    #[should_panic(expected = "no flows")]
-    fn deprecated_shim_still_panics() {
-        #[allow(deprecated)]
-        Scenario::edge_scale().assert_valid();
     }
 
     #[test]

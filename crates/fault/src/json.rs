@@ -105,22 +105,58 @@ impl Json {
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
     }
+
+    /// Serialize back to compact JSON text. The writing counterpart of
+    /// [`Json::parse`]: numbers keep their raw source text (so u64 seeds
+    /// survive), strings use the workspace escaping rules. `render` →
+    /// `parse` is the identity on the value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => {
+                out.push('"');
+                ccsim_sim::jsonfmt::escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    ccsim_sim::jsonfmt::escape_into(k, out);
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Escape a string for embedding in hand-rolled JSON output (the writing
-/// counterpart of this parser; same escapes `RunManifest` uses).
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// counterpart of this parser; same escapes `RunManifest` uses). Shared
+/// with every other hand-rolled writer via [`ccsim_sim::jsonfmt`].
+pub use ccsim_sim::jsonfmt::escape;
 
 struct Parser<'a> {
     bytes: &'a [u8],
@@ -360,6 +396,17 @@ mod tests {
         assert!(Json::parse("{\"a\": 1} x").is_err());
         assert!(Json::parse("nul").is_err());
         assert!(Json::parse("-").is_err());
+    }
+
+    #[test]
+    fn render_parse_is_identity() {
+        let doc = r#"{"a":[1,2.5,-3e2,9223372036854775809],"b":{"c":null,"d":true},"e":"x\"y\\z"}"#;
+        let v = Json::parse(doc).unwrap();
+        let rendered = v.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), v);
+        // Raw number text survives verbatim (u64 seeds stay exact).
+        assert!(rendered.contains("9223372036854775809"));
+        assert!(rendered.contains("-3e2"));
     }
 
     #[test]

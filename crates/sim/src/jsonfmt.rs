@@ -1,0 +1,83 @@
+//! Shared helpers for the workspace's hand-rolled JSON writers.
+//!
+//! The vendored serde stand-in provides derive markers but no serializer
+//! (see `vendor/README.md`), so every wire format in the workspace —
+//! fault plans, scenario documents, run manifests, campaign ledgers — is
+//! written by hand. The escaping and number-formatting rules used to be
+//! copy-pasted into each writer; this module is the single definition.
+//! It lives in `ccsim-sim` because that crate is the one dependency every
+//! other workspace crate already has.
+//!
+//! Invariants the writers rely on:
+//!
+//! * [`escape`] emits exactly the escapes the in-workspace parser
+//!   (`ccsim_fault::json`) understands: `\"`, `\\`, and `\uXXXX` for
+//!   control characters; everything else is copied verbatim.
+//! * [`json_f64`] prints finite floats with Rust's shortest-round-trip
+//!   `Display`, so a write → parse cycle is bit-exact; non-finite values
+//!   degrade to `0` so the document stays strictly JSON.
+
+/// Append `s` to `out` with JSON string escaping.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape a string for embedding in hand-rolled JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+/// Render a finite float with shortest-round-trip precision; non-finite
+/// values (a 0-wall-clock ratio, say) degrade to `0` so the document
+/// stays strictly JSON.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Render an optional float: `null` when absent, [`json_f64`] otherwise.
+pub fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+        assert_eq!(escape("plain ✓"), "plain ✓");
+    }
+
+    #[test]
+    fn floats_print_shortest_round_trip() {
+        let x = 0.123_456_789_012_345_68_f64;
+        assert_eq!(json_f64(x).parse::<f64>().unwrap().to_bits(), x.to_bits());
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(f64::NAN), "0");
+    }
+
+    #[test]
+    fn optional_floats_use_null() {
+        assert_eq!(json_opt_f64(None), "null");
+        assert_eq!(json_opt_f64(Some(2.5)), "2.5");
+    }
+}

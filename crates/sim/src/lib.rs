@@ -45,6 +45,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod jsonfmt;
 pub mod rate;
 pub mod rng;
 pub mod time;

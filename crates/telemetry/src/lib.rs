@@ -22,7 +22,8 @@
 //! * [`prometheus`] — text-exposition export ([`write_exposition`]) and
 //!   the CI line-format checker ([`validate_exposition`]).
 //! * [`progress`] — stderr live progress ([`RunProgress`],
-//!   [`SweepProgress`]) and labeled stage timing ([`StageTimer`]).
+//!   [`SweepProgress`], [`CampaignProgress`]) and labeled stage timing
+//!   ([`StageTimer`]).
 
 pub mod manifest;
 pub mod metrics;
@@ -35,7 +36,7 @@ pub mod tracker;
 pub use manifest::{fnv1a_64, RunManifest};
 pub use metrics::FlowMetrics;
 pub use profile::{ProfSpan, Profiler, SpanStats};
-pub use progress::{RunProgress, StageTimer, SweepProgress};
+pub use progress::{CampaignProgress, RunProgress, StageTimer, SweepProgress};
 pub use prometheus::{validate_exposition, write_exposition};
 pub use registry::{Counter, Gauge, Histogram, Metric, MetricEntry, Registry};
 pub use tracker::ThroughputTracker;

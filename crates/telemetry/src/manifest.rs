@@ -14,6 +14,7 @@
 //! [`RunManifest::to_json`] → [`RunManifest::from_json`] is lossless
 //! (asserted in tests and in CI's self-observability smoke job).
 
+use ccsim_sim::jsonfmt::{escape_into, json_f64};
 use std::io;
 
 /// 64-bit FNV-1a hash — the workspace's canonical digest for scenario
@@ -68,27 +69,6 @@ pub struct RunManifest {
     pub metric_series: u64,
     /// Whether the convergence rule stopped the run early.
     pub converged: bool,
-}
-
-fn escape_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-}
-
-/// Render a finite float; non-finite values (a 0-wall-clock ratio, say)
-/// degrade to 0 so the manifest stays strictly JSON.
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "0".to_string()
-    }
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -203,6 +183,21 @@ impl RunManifest {
         s
     }
 
+    /// Single-line variant of [`RunManifest::to_json`], for embedding the
+    /// manifest inside line-oriented formats (the campaign run ledger is
+    /// one manifest-bearing JSON object per line). Parses back with
+    /// [`RunManifest::from_json`] exactly like the pretty form.
+    pub fn to_json_inline(&self) -> String {
+        let mut out = String::with_capacity(512);
+        for (i, line) in self.to_json().lines().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(line.trim_start());
+        }
+        out
+    }
+
     /// Parse a manifest produced by [`RunManifest::to_json`] (field order
     /// is not required; unknown fields are ignored).
     pub fn from_json(json: &str) -> io::Result<RunManifest> {
@@ -260,6 +255,14 @@ mod tests {
         // Floats survive exactly (shortest-round-trip Display).
         assert_eq!(back.wall_secs.to_bits(), m.wall_secs.to_bits());
         assert_eq!(back.events_per_sec.to_bits(), m.events_per_sec.to_bits());
+    }
+
+    #[test]
+    fn inline_form_is_one_line_and_round_trips() {
+        let m = sample();
+        let inline = m.to_json_inline();
+        assert!(!inline.contains('\n'));
+        assert_eq!(RunManifest::from_json(&inline).unwrap(), m);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   the `Stopwatch` + `eprintln!` pattern.
 
 use std::io::{IsTerminal, Write};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -232,6 +232,104 @@ impl SweepProgress {
     }
 }
 
+/// Thread-safe live aggregate for campaign runs: jobs done/failed, ETA
+/// from the mean per-job wall time, and the pooled events/sec rollup.
+///
+/// This is the campaign executor's `on_done` counterpart to
+/// [`SweepProgress`]: one line per completed job plus a closing summary,
+/// safe to call from any worker thread.
+pub struct CampaignProgress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    failed: AtomicUsize,
+    events: AtomicU64,
+    started: Instant,
+    print_lock: Mutex<()>,
+}
+
+impl CampaignProgress {
+    /// A campaign of `total` jobs labeled `label`.
+    pub fn new(label: impl Into<String>, total: usize) -> CampaignProgress {
+        CampaignProgress {
+            label: label.into(),
+            total,
+            done: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            events: AtomicU64::new(0),
+            started: Instant::now(),
+            print_lock: Mutex::new(()),
+        }
+    }
+
+    /// Record one completed job (`ok` false for failures) with the engine
+    /// events it processed, and print the aggregate line.
+    pub fn job_done(&self, job: &str, events: u64, ok: bool) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !ok {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        let total_events = self.events.fetch_add(events, Ordering::Relaxed) + events;
+        let _guard = self.print_lock.lock().unwrap();
+        let failed = self.failed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed();
+        let eta = if done < self.total {
+            let per_job = elapsed.as_secs_f64() / done as f64;
+            fmt_duration(Duration::from_secs_f64(
+                per_job * (self.total - done) as f64,
+            ))
+        } else {
+            "0s".to_string()
+        };
+        let rate = if elapsed.as_secs_f64() > 0.0 {
+            total_events as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[{}] {}/{} done ({} failed) | ETA {} | {} ev/s | {} {}",
+            self.label,
+            done,
+            self.total,
+            failed,
+            eta,
+            fmt_si(rate),
+            if ok { "ok" } else { "FAILED" },
+            job
+        );
+    }
+
+    /// Jobs completed so far (including failures).
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Failed jobs so far.
+    pub fn failures(&self) -> usize {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Print the closing summary line.
+    pub fn finish(&self) {
+        let elapsed = self.started.elapsed();
+        let events = self.events.load(Ordering::Relaxed);
+        let rate = if elapsed.as_secs_f64() > 0.0 {
+            events as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[{}] {} jobs ({} failed) in {} | {} events | {} ev/s",
+            self.label,
+            self.done.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+            fmt_duration(elapsed),
+            fmt_si(events as f64),
+            fmt_si(rate)
+        );
+    }
+}
+
 /// A labeled wall-clock stage: prints `[label: 12.3s]` to stderr when
 /// finished (or dropped). The uniform replacement for ad-hoc
 /// `Stopwatch` + `eprintln!` timing lines.
@@ -305,6 +403,20 @@ mod tests {
         });
         assert_eq!(sweep.completed(), 8);
         sweep.finish();
+    }
+
+    #[test]
+    fn campaign_counts_thread_safely() {
+        let progress = CampaignProgress::new("camp", 8);
+        std::thread::scope(|s| {
+            let progress = &progress;
+            for i in 0..8 {
+                s.spawn(move || progress.job_done("job", 1000, i % 4 != 0));
+            }
+        });
+        assert_eq!(progress.completed(), 8);
+        assert_eq!(progress.failures(), 2);
+        progress.finish();
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!             [--trace-budget <bytes>] [--queue-every <n>]
 //!             [--sync-bin <ms>]
 //! ccsim replay <bundle-dir> [--json] [--quiet]
+//! ccsim campaign run <spec.json> [--workers N] [--ledger <path>] ...
+//! ccsim campaign report <ledger.jsonl> [--out <path>] [--html]
+//! ccsim campaign diff <baseline.jsonl> <current.jsonl> [--skip-eps]
 //! ```
 //!
 //! `trace` runs the same experiment with the flight recorder enabled,
@@ -38,6 +41,13 @@
 //!
 //! `replay` loads a crash bundle and re-runs its exact scenario (same
 //! seed, same fault plan), reporting whether the failure reproduces.
+//!
+//! `campaign` drives whole parameter sweeps: `run` expands a JSON spec
+//! (scenario template × axes × seeds) onto a worker pool and appends
+//! every result to a JSONL ledger, `report` renders a ledger as a
+//! Markdown/HTML fidelity report, and `diff` is the regression sentinel
+//! comparing two ledgers (determinism breaks, paper-metric drift,
+//! events/sec regressions). See `ccsim campaign --help`.
 //!
 //! Examples:
 //!
@@ -74,6 +84,7 @@ const USAGE: &str = "usage: ccsim run [--setting edge|core] [--bw <mbps>] \
     [--format jsonl|bin|both] [--policy keepall|decimate:N|reservoir:K] \
     [--trace-budget <bytes>] [--queue-every <n>] [--sync-bin <ms>]\n\
     \x20      ccsim replay <bundle-dir> [--json] [--quiet]\n\
+    \x20      ccsim campaign run|report|diff ... (ccsim campaign --help)\n\
     ccas: reno, cubic, bbr, vegas\n\
     fault specs: blackout:<at_s>:<dur_s>  bw:<at_s>:<mbps>  delay:<at_s>:<ms>\n\
     \x20            loss:<at_s>:<rate>  burstloss:<at_s>:<enter>:<exit>\n\
@@ -356,6 +367,266 @@ fn parse_cli(args: &[String]) -> Cli {
     }
 }
 
+const CAMPAIGN_USAGE: &str = "usage: ccsim campaign run <spec.json> [--workers N] \
+    [--ledger <path>] [--report <path>] [--html] [--crash-dir <dir>] \
+    [--bench <path>] [--quiet]\n\
+    \x20      ccsim campaign report <ledger.jsonl> [--out <path>] [--html]\n\
+    \x20      ccsim campaign diff <baseline.jsonl> <current.jsonl> \
+    [--eps-tol <frac>] [--skip-eps]";
+
+/// Bad campaign invocation: complaint + usage to stderr, exit 2.
+fn campaign_usage(err: &str) -> ! {
+    eprintln!("{err}\n\n{CAMPAIGN_USAGE}");
+    std::process::exit(2);
+}
+
+/// Requested campaign help: usage to stdout, exit 0.
+fn campaign_help() -> ! {
+    println!("{CAMPAIGN_USAGE}");
+    println!(
+        "\nrun expands the spec (scenario template x axes x seeds) on a worker\n\
+         pool and appends every result to an append-only JSONL ledger\n\
+         (default <campaign-name>.ledger.jsonl). Exit 0 when every job\n\
+         succeeded, 1 otherwise. --report also renders the fidelity report;\n\
+         --bench writes a machine-readable run summary.\n\
+         report renders a ledger as Markdown (or --html) to --out or stdout.\n\
+         diff is the regression sentinel: it compares two ledgers of the\n\
+         same campaign and exits 1 on any finding — outcome-digest change\n\
+         (determinism break), paper-metric drift beyond the baseline's\n\
+         stored tolerances, or an events/sec regression beyond --eps-tol\n\
+         (default from the baseline header, 10%). --skip-eps disables the\n\
+         throughput gate for cross-machine comparisons."
+    );
+    std::process::exit(0);
+}
+
+/// Exit 1 with a message — runtime (not usage) failures.
+fn fail(msg: impl AsRef<str>) -> ! {
+    eprintln!("{}", msg.as_ref());
+    std::process::exit(1);
+}
+
+fn load_ledger(path: &str) -> ccsim::campaign::Ledger {
+    ccsim::campaign::Ledger::load(Path::new(path))
+        .unwrap_or_else(|e| fail(format!("cannot load ledger {path}: {e}")))
+}
+
+/// The `campaign run` subcommand.
+fn campaign_run(args: &[String]) -> ! {
+    use ccsim::campaign::{run_campaign, CampaignSpec, ExecutorOptions, LedgerEntry, LedgerWriter};
+    use ccsim::telemetry::CampaignProgress;
+
+    let mut spec_path = None;
+    let mut opts = ExecutorOptions::default();
+    let mut ledger_path = None;
+    let mut report_path = None;
+    let mut bench_path = None;
+    let mut html = false;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> &String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| campaign_usage("missing value"))
+        };
+        match args[i].as_str() {
+            "--workers" => {
+                opts.workers = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| campaign_usage("bad --workers"));
+            }
+            "--ledger" => ledger_path = Some(take(&mut i).clone()),
+            "--report" => report_path = Some(take(&mut i).clone()),
+            "--bench" => bench_path = Some(take(&mut i).clone()),
+            "--crash-dir" => opts.crash_dir = Some(PathBuf::from(take(&mut i))),
+            "--html" => html = true,
+            "--quiet" => quiet = true,
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other.to_string());
+            }
+            other => campaign_usage(&format!("unknown campaign run argument {other}")),
+        }
+        i += 1;
+    }
+    let spec_path = spec_path.unwrap_or_else(|| campaign_usage("campaign run needs a spec file"));
+    let text = std::fs::read_to_string(&spec_path)
+        .unwrap_or_else(|e| fail(format!("cannot read spec {spec_path}: {e}")));
+    let spec = CampaignSpec::from_json(&text)
+        .unwrap_or_else(|e| fail(format!("bad campaign spec {spec_path}: {e}")));
+    let jobs = spec
+        .jobs()
+        .unwrap_or_else(|e| fail(format!("cannot expand campaign: {e}")));
+    let ledger_path = ledger_path.unwrap_or_else(|| format!("{}.ledger.jsonl", spec.name));
+    let writer = LedgerWriter::create(
+        Path::new(&ledger_path),
+        &spec.name,
+        &spec.tolerances,
+        &spec.expectations,
+    )
+    .unwrap_or_else(|e| fail(format!("cannot create ledger {ledger_path}: {e}")));
+
+    eprintln!(
+        "campaign {}: {} jobs on {} workers -> {ledger_path}",
+        spec.name,
+        jobs.len(),
+        opts.workers
+    );
+    let progress = (!quiet).then(|| CampaignProgress::new(&spec.name, jobs.len()));
+    // The ledger is appended in completion order from worker threads; a
+    // write failure is recorded and reported once at the end.
+    let sink = std::sync::Mutex::new((writer, None::<std::io::Error>));
+    let results = run_campaign(jobs, &opts, |r| {
+        let entry = LedgerEntry::from_result(r);
+        let mut sink = sink.lock().unwrap();
+        if sink.1.is_none() {
+            if let Err(e) = sink.0.append(&entry) {
+                sink.1 = Some(e);
+            }
+        }
+        if let Some(p) = &progress {
+            p.job_done(&entry.job, entry.events_processed, entry.ok());
+        }
+    });
+    if let Some(p) = &progress {
+        p.finish();
+    }
+    if let Some(e) = sink.into_inner().unwrap().1 {
+        fail(format!("ledger write failed: {e}"));
+    }
+
+    let failed: Vec<_> = results.iter().filter(|r| r.run.is_err()).collect();
+    for r in &failed {
+        eprintln!(
+            "FAILED {}: {}{}",
+            r.job.name,
+            r.run.as_ref().err().unwrap(),
+            r.crash_bundle
+                .as_ref()
+                .map(|p| format!(" (replay with: ccsim replay {})", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    if let Some(path) = &bench_path {
+        let ledger = load_ledger(&ledger_path);
+        let (events, wall): (u64, f64) = ledger
+            .ok_entries()
+            .map(|e| (e.events_processed, e.wall_secs))
+            .fold((0, 0.0), |(ev, w), (e, ws)| (ev + e, w + ws));
+        let summary = format!(
+            "{{\"campaign\":\"{}\",\"jobs\":{},\"failed\":{},\"events\":{events},\
+             \"wall_secs\":{},\"events_per_sec\":{}}}",
+            spec.name,
+            results.len(),
+            failed.len(),
+            ccsim::sim::jsonfmt::json_f64(wall),
+            ccsim::sim::jsonfmt::json_f64(if wall > 0.0 {
+                events as f64 / wall
+            } else {
+                0.0
+            }),
+        );
+        std::fs::write(path, summary).unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &report_path {
+        write_campaign_report(&load_ledger(&ledger_path), path, html);
+    }
+    std::process::exit(if failed.is_empty() { 0 } else { 1 });
+}
+
+fn write_campaign_report(ledger: &ccsim::campaign::Ledger, path: &str, html: bool) {
+    let rendered = if html {
+        ccsim::campaign::report::html(ledger)
+    } else {
+        ccsim::campaign::report::markdown(ledger)
+    };
+    if path == "-" {
+        print!("{rendered}");
+    } else {
+        std::fs::write(path, rendered)
+            .unwrap_or_else(|e| fail(format!("cannot write report {path}: {e}")));
+        eprintln!("wrote {path}");
+    }
+}
+
+/// The `campaign report` subcommand.
+fn campaign_report(args: &[String]) -> ! {
+    let mut ledger_path = None;
+    let mut out = String::from("-");
+    let mut html = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .unwrap_or_else(|| campaign_usage("missing value"))
+                    .clone();
+            }
+            "--html" => html = true,
+            other if ledger_path.is_none() && !other.starts_with('-') => {
+                ledger_path = Some(other.to_string());
+            }
+            other => campaign_usage(&format!("unknown campaign report argument {other}")),
+        }
+        i += 1;
+    }
+    let ledger_path =
+        ledger_path.unwrap_or_else(|| campaign_usage("campaign report needs a ledger file"));
+    write_campaign_report(&load_ledger(&ledger_path), &out, html);
+    std::process::exit(0);
+}
+
+/// The `campaign diff` subcommand — the regression sentinel.
+fn campaign_diff(args: &[String]) -> ! {
+    let mut paths = Vec::new();
+    let mut opts = ccsim::campaign::DiffOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--eps-tol" => {
+                i += 1;
+                opts.eps_tol = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| campaign_usage("missing value"))
+                        .parse()
+                        .unwrap_or_else(|_| campaign_usage("bad --eps-tol")),
+                );
+            }
+            "--skip-eps" => opts.check_eps = false,
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => campaign_usage(&format!("unknown campaign diff argument {other}")),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        campaign_usage("campaign diff needs exactly two ledger files");
+    }
+    let baseline = load_ledger(&paths[0]);
+    let current = load_ledger(&paths[1]);
+    let report = ccsim::campaign::diff(&baseline, &current, &opts);
+    print!("{}", report.render());
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
+/// The `campaign` subcommand family: run, report, diff.
+fn campaign(args: &[String]) -> ! {
+    if args.iter().any(|a| matches!(a.as_str(), "--help" | "-h")) {
+        campaign_help();
+    }
+    match args.get(1).map(String::as_str) {
+        Some("run") => campaign_run(&args[2..]),
+        Some("report") => campaign_report(&args[2..]),
+        Some("diff") => campaign_diff(&args[2..]),
+        Some(other) => campaign_usage(&format!(
+            "unknown campaign subcommand '{other}' (want run, report, or diff)"
+        )),
+        None => campaign_usage("campaign needs a subcommand: run, report, or diff"),
+    }
+}
+
 /// The `replay` subcommand: load a crash bundle, re-run its scenario.
 fn replay(args: &[String]) -> ! {
     let mut dir = None;
@@ -418,6 +689,9 @@ fn main() {
             help();
         }
         replay(&args);
+    }
+    if args.first().map(String::as_str) == Some("campaign") {
+        campaign(&args);
     }
     let cli = parse_cli(&args);
     let scenario = &cli.scenario;

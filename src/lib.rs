@@ -19,6 +19,8 @@
 //!   reordering, rate steps) and the invariant-watchdog vocabulary.
 //! * [`experiments`] — the paper's EdgeScale/CoreScale scenarios and the
 //!   per-figure experiment functions.
+//! * [`campaign`] — parallel sweep executor, persistent run ledger,
+//!   regression sentinel (`campaign diff`), and fidelity reports.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 //! ```
 
 pub use ccsim_analysis as analysis;
+pub use ccsim_campaign as campaign;
 pub use ccsim_cca as cca;
 pub use ccsim_core as experiments;
 pub use ccsim_fault as fault;

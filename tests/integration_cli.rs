@@ -1,0 +1,190 @@
+//! CLI contract tests: exit codes and stream discipline, by shelling
+//! out to the real `ccsim` binary.
+//!
+//! Conventions under test: usage errors complain on **stderr** and exit
+//! 2; `--help` prints on **stdout** and exits 0; runtime failures exit
+//! 1; `campaign diff` exits 1 on findings and 0 when clean.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ccsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ccsim"))
+        .args(args)
+        .output()
+        .expect("spawn ccsim")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccsim-cli-itest-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn usage_errors_go_to_stderr_with_exit_2() {
+    for args in [
+        &[][..],
+        &["campaign"][..],
+        &["campaign", "frobnicate"][..],
+        &["campaign", "run"][..],
+        &["campaign", "diff", "only-one.jsonl"][..],
+        &["campaign", "run", "--workers"][..],
+    ] {
+        let out = ccsim(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            stderr(&out).contains("usage:"),
+            "args {args:?}: no usage on stderr"
+        );
+        assert!(
+            stdout(&out).is_empty(),
+            "args {args:?}: usage error leaked to stdout"
+        );
+    }
+}
+
+#[test]
+fn help_goes_to_stdout_with_exit_0() {
+    for args in [
+        &["--help"][..],
+        &["run", "--help"][..],
+        &["campaign", "--help"][..],
+        &["campaign", "run", "--help"][..],
+    ] {
+        let out = ccsim(args);
+        assert_eq!(out.status.code(), Some(0), "args {args:?}");
+        assert!(
+            stdout(&out).contains("usage:"),
+            "args {args:?}: no usage on stdout"
+        );
+        assert!(
+            stderr(&out).is_empty(),
+            "args {args:?}: help leaked to stderr"
+        );
+    }
+}
+
+/// End-to-end: run a tiny campaign twice, report it, diff the ledgers
+/// clean, then doctor the current ledger and watch the sentinel fire.
+#[test]
+fn campaign_run_report_diff_round_trip() {
+    let dir = temp_dir("campaign");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(
+        &spec_path,
+        r#"{
+            "name": "cli-itest",
+            "base": {
+                "preset": "edge", "bw_mbps": 10, "buffer_bytes": 100000,
+                "flows": [{"cca": "reno", "count": 2, "rtt_ms": 20}],
+                "fidelity": "quick", "warmup_s": 0.5, "duration_s": 2.0,
+                "jitter_s": 0.1, "convergence": false
+            },
+            "axes": [{"param": "cca", "values": ["reno", "cubic"]}],
+            "seeds": [1, 2]
+        }"#,
+    )
+    .unwrap();
+    let spec = spec_path.to_str().unwrap();
+    let base = dir.join("base.jsonl");
+    let cur = dir.join("cur.jsonl");
+
+    let out = ccsim(&[
+        "campaign",
+        "run",
+        spec,
+        "--workers",
+        "2",
+        "--ledger",
+        base.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let out = ccsim(&[
+        "campaign",
+        "run",
+        spec,
+        "--workers",
+        "1",
+        "--ledger",
+        cur.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    // Report renders to a file.
+    let report = dir.join("report.md");
+    let out = ccsim(&[
+        "campaign",
+        "report",
+        base.to_str().unwrap(),
+        "--out",
+        report.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let md = std::fs::read_to_string(&report).unwrap();
+    assert!(md.contains("# Campaign report: cli-itest"));
+    assert!(md.contains("## Jobs"));
+
+    // Same campaign, different worker counts: the sentinel is clean
+    // (skip the wall-clock-sensitive events/sec gate across runs).
+    let out = ccsim(&[
+        "campaign",
+        "diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--skip-eps",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "expected clean diff, got: {}",
+        stdout(&out)
+    );
+    assert!(stdout(&out).contains("clean"));
+
+    // Doctor one outcome digest in the current ledger: exit 1.
+    let text = std::fs::read_to_string(&cur).unwrap();
+    let doctored = text.replacen("\"outcome_digest\":\"", "\"outcome_digest\":\"f00d", 1);
+    assert_ne!(text, doctored);
+    std::fs::write(&cur, doctored).unwrap();
+    let out = ccsim(&[
+        "campaign",
+        "diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--skip-eps",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", stdout(&out));
+    assert!(stdout(&out).contains("determinism-break"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_run_fails_with_exit_1_on_missing_spec() {
+    let out = ccsim(&["campaign", "run", "/nonexistent/spec.json", "--quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot read spec"));
+}
+
+#[test]
+fn campaign_diff_fails_with_exit_1_on_missing_ledger() {
+    let out = ccsim(&[
+        "campaign",
+        "diff",
+        "/nonexistent/a.jsonl",
+        "/nonexistent/b.jsonl",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot load ledger"));
+}
