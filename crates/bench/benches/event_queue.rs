@@ -1,0 +1,188 @@
+//! Event-queue micro-benchmark: the tiered timer wheel ([`EventQueue`])
+//! against the reference binary heap ([`HeapQueue`]) it replaced, under
+//! the hold-pattern churn that dominates CoreScale runs — pop one event,
+//! schedule the next — at a realistic pending count and delay mix, plus
+//! the cancel-and-rearm pattern the TCP timers use.
+//!
+//! The wheel's win is O(1) schedule/cancel versus the heap's O(log n)
+//! sift; `BENCH_perf.json` records the end-to-end consequence.
+
+use ccsim_net::msg::{Msg, TimerToken};
+use ccsim_sim::{ComponentId, EventQueue, HeapQueue, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+/// CoreScale-like delay mix: mostly ~µs serializations and sub-ms
+/// deliveries, some RTT-scale ACK clocks, a tail of RTO-scale rearms.
+fn delay(i: u64) -> SimDuration {
+    match i % 16 {
+        0..=7 => SimDuration::from_nanos(1_200 + (i % 977)),
+        8..=12 => SimDuration::from_micros(40 + (i % 613)),
+        13..=14 => SimDuration::from_millis(1 + (i % 7)),
+        _ => SimDuration::from_millis(200 + (i % 50)),
+    }
+}
+
+const PENDING: u64 = 30_000;
+const OPS: u64 = 100_000;
+
+fn msg() -> Msg {
+    Msg::Timer(TimerToken::pack(1, 7))
+}
+
+fn seeded_wheel() -> EventQueue<Msg> {
+    let mut q = EventQueue::new();
+    for i in 0..PENDING {
+        q.schedule(SimTime::ZERO + delay(i), ComponentId::from_raw(0), msg());
+    }
+    q
+}
+
+fn seeded_heap() -> HeapQueue<Msg> {
+    let mut q = HeapQueue::new();
+    for i in 0..PENDING {
+        q.schedule(SimTime::ZERO + delay(i), ComponentId::from_raw(0), msg());
+    }
+    q
+}
+
+fn bench_hold_pattern(c: &mut Criterion) {
+    let dst = ComponentId::from_raw(0);
+    let mut g = c.benchmark_group("event_queue/hold");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("wheel_pop_push", |b| {
+        b.iter_batched(
+            seeded_wheel,
+            |mut q| {
+                for i in 0..OPS {
+                    let e = q.pop().unwrap();
+                    q.schedule(e.time + delay(i), dst, msg());
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("heap_pop_push", |b| {
+        b.iter_batched(
+            seeded_heap,
+            |mut q| {
+                for i in 0..OPS {
+                    let e = q.pop().unwrap();
+                    q.schedule(e.time + delay(i), dst, msg());
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cancel_rearm(c: &mut Criterion) {
+    // The RTO/delayed-ACK pattern: schedule cancellable, cancel, rearm —
+    // the heap can only tombstone (pop later); the wheel unlinks in O(1).
+    let dst = ComponentId::from_raw(0);
+    let mut g = c.benchmark_group("event_queue/cancel_rearm");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("wheel", |b| {
+        b.iter_batched(
+            seeded_wheel,
+            |mut q| {
+                let mut now = SimTime::ZERO;
+                let mut tok = q.schedule_cancellable(now + delay(0), dst, msg());
+                for i in 0..OPS {
+                    let e = q.pop().unwrap();
+                    now = e.time;
+                    q.cancel(tok);
+                    tok = q.schedule_cancellable(now + delay(i), dst, msg());
+                    q.schedule(now + delay(i.wrapping_mul(7)), dst, msg());
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("heap", |b| {
+        b.iter_batched(
+            seeded_heap,
+            |mut q| {
+                let mut now = SimTime::ZERO;
+                let mut tok = q.schedule_cancellable(now + delay(0), dst, msg());
+                for i in 0..OPS {
+                    let e = q.pop().unwrap();
+                    now = e.time;
+                    q.cancel(tok);
+                    tok = q.schedule_cancellable(now + delay(i), dst, msg());
+                    q.schedule(now + delay(i.wrapping_mul(7)), dst, msg());
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_batch_extraction(c: &mut Criterion) {
+    // Same-timestamp bursts (ACK fan-out, synchronized drops): the
+    // engine's dispatch loop pulls these with one batch call.
+    let dst = ComponentId::from_raw(0);
+    let seed_bursty_wheel = || {
+        let mut q: EventQueue<Msg> = EventQueue::new();
+        for i in 0..PENDING {
+            // 16-way timestamp collisions.
+            let t = SimTime::ZERO + delay(i / 16);
+            q.schedule(t, dst, msg());
+        }
+        q
+    };
+    let seed_bursty_heap = || {
+        let mut q: HeapQueue<Msg> = HeapQueue::new();
+        for i in 0..PENDING {
+            let t = SimTime::ZERO + delay(i / 16);
+            q.schedule(t, dst, msg());
+        }
+        q
+    };
+    let mut g = c.benchmark_group("event_queue/batch");
+    g.throughput(Throughput::Elements(PENDING));
+    g.bench_function("wheel_take_head_batch", |b| {
+        b.iter_batched(
+            seed_bursty_wheel,
+            |mut q| {
+                let mut out = std::collections::VecDeque::new();
+                let mut n = 0;
+                while q.take_head_batch(&mut out) > 0 {
+                    n += out.len();
+                    out.clear();
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("heap_take_head_batch", |b| {
+        b.iter_batched(
+            seed_bursty_heap,
+            |mut q| {
+                let mut out = std::collections::VecDeque::new();
+                let mut n = 0;
+                while q.take_head_batch(&mut out) > 0 {
+                    n += out.len();
+                    out.clear();
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hold_pattern,
+    bench_cancel_rearm,
+    bench_batch_extraction
+);
+criterion_main!(benches);

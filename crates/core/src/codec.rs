@@ -12,6 +12,7 @@
 use crate::scenario::{ConvergenceRule, FlowGroup, Scenario};
 use ccsim_fault::json::{escape, Json, JsonError};
 use ccsim_fault::{FaultPlan, WatchdogConfig};
+use ccsim_sim::jsonfmt::json_f64;
 use ccsim_sim::{Bandwidth, SimDuration};
 use ccsim_trace::{RetentionPolicy, TraceConfig};
 use std::fmt::Write as _;
@@ -55,8 +56,9 @@ pub fn scenario_to_json(s: &Scenario) -> String {
         Some(c) => {
             let _ = write!(
                 out,
-                ",\"convergence\":{{\"window_snapshots\":{},\"tolerance\":{:?}}}",
-                c.window_snapshots, c.tolerance
+                ",\"convergence\":{{\"window_snapshots\":{},\"tolerance\":{}}}",
+                c.window_snapshots,
+                json_f64(c.tolerance)
             );
         }
     }

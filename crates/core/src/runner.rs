@@ -46,6 +46,11 @@ pub struct Progress {
     pub fraction: f64,
     /// Engine events processed so far.
     pub events_processed: u64,
+    /// Events currently pending in the scheduler. With token-based timer
+    /// cancellation this counts only live events (no parked tombstones),
+    /// so a runaway here is real event-generation pressure, not stale
+    /// timers.
+    pub events_pending: usize,
 }
 
 impl Scenario {
@@ -163,7 +168,7 @@ pub(crate) fn run_internal(
 
     let warmup_end = SimTime::ZERO + scenario.warmup;
     let horizon = warmup_end + scenario.duration;
-    let mut report = |sim_now: SimTime, events: u64| {
+    let mut report = |sim_now: SimTime, events: u64, pending: usize| {
         let fraction = if horizon.as_nanos() == 0 {
             1.0
         } else {
@@ -174,6 +179,7 @@ pub(crate) fn run_internal(
             horizon,
             fraction,
             events_processed: events,
+            events_pending: pending,
         });
     };
 
@@ -186,7 +192,7 @@ pub(crate) fn run_internal(
             let next = (t + scenario.snapshot_interval).min(warmup_end);
             advance(&mut net, next, inst.is_some())?;
             t = next;
-            report(t, net.sim.events_processed());
+            report(t, net.sim.events_processed(), net.sim.events_pending());
             if watchdog.check(&net, scenario) {
                 return Err(SimError::Invariant {
                     trace: drain_trace(&mut net, scenario),
@@ -244,7 +250,7 @@ pub(crate) fn run_internal(
                 .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
             inst.profiler.record("measure_slice", elapsed);
         }
-        report(now, net.sim.events_processed());
+        report(now, net.sim.events_processed(), net.sim.events_pending());
         if watchdog.check(&net, scenario) {
             return Err(SimError::Invariant {
                 trace: drain_trace(&mut net, scenario),

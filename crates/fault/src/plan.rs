@@ -10,6 +10,7 @@
 //! clock.
 
 use crate::json::{Json, JsonError};
+use ccsim_sim::jsonfmt::json_f64;
 use ccsim_sim::{Bandwidth, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -267,20 +268,24 @@ impl FaultPlan {
                     match model {
                         None => s.push_str("null"),
                         Some(LossModel::Iid { rate }) => {
-                            s.push_str(&format!("{{\"iid\":{{\"rate\":{rate}}}}}"))
+                            s.push_str(&format!("{{\"iid\":{{\"rate\":{}}}}}", json_f64(rate)))
                         }
                         Some(LossModel::Burst { enter, exit }) => s.push_str(&format!(
-                            "{{\"burst\":{{\"enter\":{enter},\"exit\":{exit}}}}}"
+                            "{{\"burst\":{{\"enter\":{},\"exit\":{}}}}}",
+                            json_f64(enter),
+                            json_f64(exit)
                         )),
                     }
                 }
                 FaultKind::SetReorder { rate, extra } => s.push_str(&format!(
-                    "\"kind\":\"set_reorder\",\"rate\":{rate},\"extra_ns\":{}",
+                    "\"kind\":\"set_reorder\",\"rate\":{},\"extra_ns\":{}",
+                    json_f64(rate),
                     extra.as_nanos()
                 )),
-                FaultKind::SetDuplicate { rate } => {
-                    s.push_str(&format!("\"kind\":\"set_duplicate\",\"rate\":{rate}"))
-                }
+                FaultKind::SetDuplicate { rate } => s.push_str(&format!(
+                    "\"kind\":\"set_duplicate\",\"rate\":{}",
+                    json_f64(rate)
+                )),
             }
             s.push('}');
         }

@@ -50,13 +50,22 @@ impl DelayLine {
 
 impl Component<Msg> for DelayLine {
     fn on_event(&mut self, _now: SimTime, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
-        if let Msg::Packet(p) = msg {
-            self.forwarded += 1;
-            let dst = match self.next {
-                DelayNext::Fixed(id) => id,
-                DelayNext::ToPacketDst => p.dst,
-            };
-            ctx.schedule_in(self.delay, dst, Msg::Packet(p));
+        match msg {
+            Msg::Packet(p) => {
+                self.forwarded += 1;
+                let dst = match self.next {
+                    DelayNext::Fixed(id) => id,
+                    DelayNext::ToPacketDst => p.dst,
+                };
+                ctx.schedule_in(self.delay, dst, Msg::Packet(p));
+            }
+            // A delay line arms no timers of its own; with the token-based
+            // cancellation API a timer landing here means a mis-routed or
+            // stale event escaped its owner's cancel — fail loudly in
+            // debug instead of silently swallowing it.
+            Msg::Timer(t) => {
+                debug_assert!(false, "DelayLine received stray timer kind {}", t.kind());
+            }
         }
     }
 }

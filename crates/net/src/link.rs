@@ -152,6 +152,11 @@ pub struct Link {
     /// carries a non-empty `FaultPlan`. `None` is the fast path: no
     /// branch beyond this option check, no RNG, no timers.
     injector: Option<LinkFaultInjector>,
+    /// Serialization-time memo for a train of equal-size frames —
+    /// CoreScale traffic is almost entirely full-MSS data packets, so the
+    /// common case is one compare instead of a u128 multiply-divide per
+    /// packet. Invalidated when a fault action rewrites the rate.
+    ser_memo: Option<(u32, SimDuration)>,
 }
 
 impl Link {
@@ -180,6 +185,7 @@ impl Link {
             metrics: None,
             drop_burst: 0,
             injector: None,
+            ser_memo: None,
         }
     }
 
@@ -313,7 +319,14 @@ impl Link {
     }
 
     fn start_service(&mut self, p: Packet, ctx: &mut Ctx<'_, Msg>) {
-        let ser = self.rate.serialization_time(p.wire_bytes as u64);
+        let ser = match self.ser_memo {
+            Some((bytes, d)) if bytes == p.wire_bytes => d,
+            _ => {
+                let d = self.rate.serialization_time(p.wire_bytes as u64);
+                self.ser_memo = Some((p.wire_bytes, d));
+                d
+            }
+        };
         if let Some(m) = &self.metrics {
             m.busy_nanos.add(ser.as_nanos());
         }
@@ -419,6 +432,7 @@ impl Link {
             // Takes effect at the next serialization start; the frame on
             // the wire finishes at its old rate, as on real hardware.
             self.rate = rate;
+            self.ser_memo = None;
         }
         if let Some(at) = inj.next_action_at() {
             let self_id = ctx.self_id();

@@ -3,8 +3,13 @@
 //! Every component in a ccsim network simulation exchanges [`Msg`] values:
 //! packets in flight, or timer tokens a component scheduled for itself.
 //! Timer *meaning* is private to each component; the engine only transports
-//! the token. Components implement lazy cancellation by embedding a
-//! generation counter in the token and ignoring stale firings.
+//! the token. Cancellation is primarily real: the engine's cancellation
+//! tokens (`Ctx::schedule_cancellable` / `Ctx::cancel`) unlink a pending
+//! timer from the queue in O(1). The generation counter embedded here is
+//! the second line of defense, guarding the one window tokens cannot —
+//! an event already extracted into the current same-timestamp dispatch
+//! batch when its owner re-arms — by letting the owner ignore the stale
+//! generation on delivery.
 
 use crate::packet::Packet;
 

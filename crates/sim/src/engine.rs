@@ -10,10 +10,11 @@
 //! Components are `Any` so the harness can recover concrete types after a run
 //! (e.g. to read final flow statistics) via [`Simulator::component`].
 
-use crate::event::EventQueue;
+use crate::event::{CancelToken, Event, EventQueue};
 use crate::rng::RngFactory;
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Opaque handle addressing a component inside a [`Simulator`].
@@ -124,12 +125,71 @@ impl<'a, M> Ctx<'a, M> {
     pub fn schedule_self(&mut self, delay: SimDuration, msg: M) {
         self.queue.schedule(self.now + delay, self.self_id, msg);
     }
+
+    /// Like [`Ctx::schedule_at`], returning a token that can later
+    /// [`Ctx::cancel`] the event. The idiom for rearmable timers (RTO,
+    /// delayed ACK): cancel-and-rearm instead of leaving dead events
+    /// parked in the queue.
+    #[inline]
+    pub fn schedule_cancellable_at(
+        &mut self,
+        at: SimTime,
+        dst: ComponentId,
+        msg: M,
+    ) -> CancelToken {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        self.queue.schedule_cancellable(at, dst, msg)
+    }
+
+    /// Like [`Ctx::schedule_in`], returning a cancellation token.
+    #[inline]
+    pub fn schedule_cancellable_in(
+        &mut self,
+        delay: SimDuration,
+        dst: ComponentId,
+        msg: M,
+    ) -> CancelToken {
+        self.queue.schedule_cancellable(self.now + delay, dst, msg)
+    }
+
+    /// Like [`Ctx::schedule_self`], returning a cancellation token.
+    #[inline]
+    pub fn schedule_self_cancellable(&mut self, delay: SimDuration, msg: M) -> CancelToken {
+        self.queue
+            .schedule_cancellable(self.now + delay, self.self_id, msg)
+    }
+
+    /// Cancel a pending cancellable event. Returns `true` iff the event
+    /// was still pending (it will now never fire). Returns `false` for a
+    /// stale token — including the edge where the event shares the
+    /// current timestamp and was already extracted for dispatch, so
+    /// timer owners that may cancel same-instant events should keep a
+    /// generation guard on the message as belt-and-suspenders.
+    #[inline]
+    pub fn cancel(&mut self, tok: CancelToken) -> bool {
+        self.queue.cancel(tok)
+    }
+
+    /// True iff `tok` refers to an event that has neither fired nor been
+    /// cancelled.
+    #[inline]
+    pub fn is_pending(&self, tok: CancelToken) -> bool {
+        self.queue.is_pending(tok)
+    }
 }
 
 /// The discrete-event simulator: component arena, clock, and event loop.
 pub struct Simulator<M> {
     components: Vec<Box<dyn Component<M>>>,
     queue: EventQueue<M>,
+    /// Same-timestamp dispatch batch: `run_until_*` extracts every event
+    /// sharing the head timestamp in one queue operation and drains them
+    /// here, instead of paying the peek/pop machinery per event.
+    batch: VecDeque<Event<M>>,
     now: SimTime,
     rng: RngFactory,
     processed: u64,
@@ -149,6 +209,7 @@ impl<M: 'static> Simulator<M> {
         Simulator {
             components: Vec::new(),
             queue: EventQueue::new(),
+            batch: VecDeque::new(),
             now: SimTime::ZERO,
             rng: RngFactory::new(master_seed),
             processed: 0,
@@ -191,9 +252,10 @@ impl<M: 'static> Simulator<M> {
         self.processed
     }
 
-    /// Number of events currently pending.
+    /// Number of events currently pending (including any extracted into
+    /// the current same-timestamp dispatch batch but not yet delivered).
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.batch.len()
     }
 
     /// Install a component, returning its id.
@@ -237,10 +299,28 @@ impl<M: 'static> Simulator<M> {
         &mut self,
         classify: &mut F,
     ) -> Result<bool, EngineError> {
-        self.max_pending = self.max_pending.max(self.queue.len() as u64);
-        let Some(ev) = self.queue.pop() else {
-            return Ok(false);
+        self.max_pending = self
+            .max_pending
+            .max((self.queue.len() + self.batch.len()) as u64);
+        let ev = match self.batch.pop_front() {
+            Some(ev) => ev,
+            None => match self.queue.pop() {
+                Some(ev) => ev,
+                None => return Ok(false),
+            },
         };
+        self.dispatch(ev, classify)?;
+        Ok(true)
+    }
+
+    /// Deliver one already-extracted event: advance the clock, classify,
+    /// and run the destination component's handler.
+    #[inline(always)]
+    fn dispatch<F: FnMut(&M) -> Option<usize>>(
+        &mut self,
+        ev: Event<M>,
+        classify: &mut F,
+    ) -> Result<(), EngineError> {
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
         if let Some(k) = classify(&ev.msg) {
@@ -264,7 +344,7 @@ impl<M: 'static> Simulator<M> {
         };
         comp.on_event(ev.time, ev.msg, &mut ctx);
         self.processed += 1;
-        Ok(true)
+        Ok(())
     }
 
     /// Process the single earliest pending event. Returns `Ok(false)` if
@@ -302,19 +382,26 @@ impl<M: 'static> Simulator<M> {
         deadline: SimTime,
         mut classify: F,
     ) -> Result<(), EngineError> {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                self.now = deadline;
+        loop {
+            // Drain the current same-timestamp batch. Events a handler
+            // schedules *at* the batch timestamp carry higher seqs and are
+            // picked up by the next batch extraction, exactly where the
+            // per-event pop loop would have placed them.
+            while let Some(ev) = self.batch.pop_front() {
+                let pending = (self.queue.len() + self.batch.len()) as u64 + 1;
+                self.max_pending = self.max_pending.max(pending);
+                self.dispatch(ev, &mut classify)?;
+            }
+            if self.queue.take_head_batch_until(deadline, &mut self.batch) == 0 {
+                // Queue drained, or the next event lies past the deadline:
+                // advance the clock so callers observe a consistent
+                // "simulated through deadline" state.
+                if self.now < deadline {
+                    self.now = deadline;
+                }
                 return Ok(());
             }
-            self.step_with(&mut classify)?;
         }
-        // Queue drained before the deadline: advance the clock to it so
-        // callers observe a consistent "simulated through deadline" state.
-        if self.now < deadline {
-            self.now = deadline;
-        }
-        Ok(())
     }
 
     /// Run until the event queue drains or virtual time would pass

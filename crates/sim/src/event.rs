@@ -1,9 +1,48 @@
-//! The pending-event set: a binary heap keyed on (time, insertion sequence).
+//! The pending-event set: a hierarchical timer wheel keyed on
+//! (time, insertion sequence).
 //!
 //! The insertion-sequence tiebreak gives same-timestamp events FIFO order,
 //! which is what makes whole-simulation runs deterministic: two events
 //! scheduled for the same nanosecond always fire in the order they were
-//! scheduled, independent of heap internals.
+//! scheduled, independent of queue internals.
+//!
+//! ## Why a timer wheel
+//!
+//! A CoreScale run (10 Gbps × 5000 flows) keeps ~30 k events pending at all
+//! times: pacing releases, link serialization completions, delayed-ACK and
+//! RTO timers. A binary heap pays O(log n) comparisons **and** moves the
+//! full ~100-byte entry (`Packet` payload included) at every sift level, for
+//! both push and pop. Virtually all of these events are near-horizon and
+//! coarsely bucketable, which is the textbook timer-wheel workload
+//! (Varghese & Lauck, SOSP '87): O(1) insert into a slot keyed by the
+//! event's arrival granule, and ordering work only for the handful of
+//! events sharing one granule.
+//!
+//! [`EventQueue`] is a tiered scheduler:
+//!
+//! * **Wheel** — [`LEVELS`] levels of [`SLOTS`] slots each. Level `L` buckets
+//!   events whose delivery tick (time >> [`GRAN_BITS`]) first differs from
+//!   the wheel's current tick in bit-group `L` (the tokio-style
+//!   highest-differing-group rule). Together the levels cover the **entire**
+//!   `u64` nanosecond range (GRAN_BITS + LEVELS·SLOT_BITS = 64 bits), so no
+//!   separate far-future overflow structure is needed — `SimTime::MAX`
+//!   sentinels simply land in the top level. A per-level occupancy bitmap
+//!   finds the next nonempty slot with one `trailing_zeros`.
+//! * **Ready heap** — a small binary min-heap on (time, seq) holding only
+//!   the current granule's events (one drained slot at a time, typically a
+//!   handful of entries). All intra-granule and same-timestamp ordering is
+//!   resolved here, so the (time, seq) total order of the old global heap
+//!   is preserved *exactly* — same pops, same digests.
+//! * **Cancellation tokens** — [`EventQueue::schedule_cancellable`] returns
+//!   a [`CancelToken`]; [`EventQueue::cancel`] tombstones the entry in O(1)
+//!   via a generation table. Dead entries are dropped when their slot is
+//!   drained, so a cancel-and-rearm timer (RTO, delayed ACK) no longer
+//!   parks dead events in the queue nor burns a dispatch when they surface.
+//!
+//! The previous implementation is kept verbatim as [`HeapQueue`]: it is the
+//! ordering oracle for the equivalence property tests
+//! (`tests/queue_model.rs`, `tests/scheduler_equivalence.rs`) and the
+//! baseline for the `event_queue` criterion bench.
 
 use crate::engine::ComponentId;
 use crate::time::SimTime;
@@ -21,9 +60,486 @@ pub struct Event<M> {
     pub msg: M,
 }
 
+/// Handle for a cancellable scheduled event (see
+/// [`EventQueue::schedule_cancellable`]).
+///
+/// Tokens are single-use: once the event fires or is cancelled, the token
+/// goes stale and further [`EventQueue::cancel`] calls return `false`. The
+/// `Default` token is a null handle that never matches a live event, which
+/// gives timer owners a cheap "nothing armed" state.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct CancelToken {
+    idx: u32,
+    gen: u64,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken {
+            idx: u32::MAX,
+            gen: 0,
+        }
+    }
+}
+
+/// Sentinel for "entry has no cancellation token".
+const NO_TOKEN: u32 = u32::MAX;
+
+/// Generation table backing [`CancelToken`] liveness.
+///
+/// A token `(idx, gen)` is live iff `gens[idx] == gen`. Cancelling or
+/// firing bumps the slot's generation (so the token can never act twice)
+/// and recycles the slot through a free list; a stale entry still sitting
+/// in the wheel carries the old generation and is dropped on contact.
+#[derive(Default)]
+struct TokenTable {
+    gens: Vec<u64>,
+    free: Vec<u32>,
+}
+
+impl TokenTable {
+    fn alloc(&mut self) -> CancelToken {
+        if let Some(idx) = self.free.pop() {
+            CancelToken {
+                idx,
+                gen: self.gens[idx as usize],
+            }
+        } else {
+            let idx = u32::try_from(self.gens.len()).expect("token table exhausted");
+            assert!(idx != NO_TOKEN, "token table exhausted");
+            // Start at generation 1: the null token is (u32::MAX, 0) and a
+            // nonzero generation keeps freshly-allocated slots distinct
+            // from `CancelToken::default()` even at idx 0.
+            self.gens.push(1);
+            CancelToken { idx, gen: 1 }
+        }
+    }
+
+    #[inline]
+    fn is_live(&self, idx: u32, gen: u64) -> bool {
+        idx == NO_TOKEN || self.gens[idx as usize] == gen
+    }
+
+    /// Bump the generation and recycle the slot. Caller must know the
+    /// token is live (fire path) or has just checked it (cancel path).
+    #[inline]
+    fn retire(&mut self, idx: u32) {
+        if idx != NO_TOKEN {
+            self.gens[idx as usize] += 1;
+            self.free.push(idx);
+        }
+    }
+
+    fn cancel(&mut self, tok: CancelToken) -> bool {
+        if tok.idx == NO_TOKEN || !self.is_live(tok.idx, tok.gen) {
+            return false;
+        }
+        self.retire(tok.idx);
+        true
+    }
+}
+
+/// An entry as stored in the wheel / ready heap. Unlike the old global
+/// heap, entries move at most [`LEVELS`] times (one cascade per level),
+/// not once per sift level per push/pop.
+struct Entry<M> {
+    time: SimTime,
+    seq: u64,
+    tok: u32,
+    tok_gen: u64,
+    dst: ComponentId,
+    msg: M,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// log2 of the wheel granularity: one tick = 1024 ns ≈ 1 µs, fine enough
+/// that a drained slot holds only the events of a single microsecond-scale
+/// granule (at 10 Gbps a 1500 B frame serializes in 1.2 µs).
+const GRAN_BITS: u32 = 10;
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels. GRAN_BITS + LEVELS × SLOT_BITS = 64: the wheel spans
+/// the whole `u64` nanosecond range and nothing can overflow it.
+const LEVELS: usize = 9;
+
+/// Priority queue of pending events, earliest first, FIFO within a
+/// timestamp. See the module docs for the internal structure.
+pub struct EventQueue<M> {
+    /// The current granule's events, sorted **descending** by (time, seq):
+    /// the next event to fire is `run.last()`, so a pop is an O(1) tail
+    /// pop with no sift traffic. Filled (and sorted once) per drained
+    /// level-0 slot. Always consulted before the wheel.
+    run: Vec<Entry<M>>,
+    /// Entries scheduled at or before the current granule *after* the run
+    /// was sorted (handler `send()`s at "now", late external schedules).
+    /// Usually empty or tiny; min-ordered by (time, seq). The head of the
+    /// queue is the smaller of `run.last()` and `overlay.peek()`.
+    overlay: BinaryHeap<Entry<M>>,
+    /// `LEVELS × SLOTS` buckets, row-major by level.
+    slots: Vec<Vec<Entry<M>>>,
+    /// Per-level occupancy bitmaps (bit = slot has entries).
+    occupied: [u64; LEVELS],
+    /// The wheel's notion of "now", in ticks (ns >> GRAN_BITS). Invariant:
+    /// every wheel entry has tick > cur_tick; `ready` holds ticks
+    /// ≤ cur_tick, so `ready` is always globally earliest.
+    cur_tick: u64,
+    tokens: TokenTable,
+    /// Live (scheduled minus popped minus cancelled) entry count.
+    live: usize,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(LEVELS * SLOTS);
+        slots.resize_with(LEVELS * SLOTS, Vec::new);
+        EventQueue {
+            run: Vec::new(),
+            overlay: BinaryHeap::new(),
+            slots,
+            occupied: [0; LEVELS],
+            cur_tick: 0,
+            tokens: TokenTable::default(),
+            live: 0,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Pre-allocate capacity for `n` simultaneous pending events.
+    ///
+    /// The wheel's slot vectors grow on demand; `n` sizes the ready heap,
+    /// which is the only per-pop allocation-sensitive structure.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut q = Self::new();
+        q.run.reserve(n.min(1 << 16));
+        q
+    }
+
+    /// Schedule `msg` for delivery to `dst` at absolute instant `time`.
+    #[inline]
+    pub fn schedule(&mut self, time: SimTime, dst: ComponentId, msg: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.live += 1;
+        self.insert(Entry {
+            time,
+            seq,
+            tok: NO_TOKEN,
+            tok_gen: 0,
+            dst,
+            msg,
+        });
+    }
+
+    /// Schedule `msg` like [`EventQueue::schedule`], returning a token that
+    /// can later [`EventQueue::cancel`] the event if it has not yet fired.
+    #[inline]
+    pub fn schedule_cancellable(&mut self, time: SimTime, dst: ComponentId, msg: M) -> CancelToken {
+        let tok = self.tokens.alloc();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.live += 1;
+        self.insert(Entry {
+            time,
+            seq,
+            tok: tok.idx,
+            tok_gen: tok.gen,
+            dst,
+            msg,
+        });
+        tok
+    }
+
+    /// Cancel a pending event. Returns `true` iff the token was live (the
+    /// event had neither fired nor been cancelled); the event will then
+    /// never be delivered. O(1): the entry is tombstoned in place and
+    /// physically dropped when its slot is next touched.
+    pub fn cancel(&mut self, tok: CancelToken) -> bool {
+        if self.tokens.cancel(tok) {
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True iff `tok` still refers to a pending (not fired, not cancelled)
+    /// event.
+    pub fn is_pending(&self, tok: CancelToken) -> bool {
+        tok.idx != NO_TOKEN && self.tokens.is_live(tok.idx, tok.gen)
+    }
+
+    /// Route an entry to the ready stage or the correct wheel slot.
+    #[inline]
+    fn insert(&mut self, e: Entry<M>) {
+        let tick = e.time.as_nanos() >> GRAN_BITS;
+        if tick <= self.cur_tick {
+            // Current granule (or a causality-violating past schedule —
+            // the engine debug-asserts against those; ordering is still
+            // correct here either way): joins via the overlay heap, since
+            // the sorted run must not be disturbed.
+            self.overlay.push(e);
+            return;
+        }
+        let diff = tick ^ self.cur_tick;
+        // diff != 0 (tick > cur_tick), so the high bit index is well defined.
+        let level = ((63 - diff.leading_zeros()) / SLOT_BITS) as usize;
+        let slot = ((tick >> (level as u32 * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + slot].push(e);
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Make the globally-earliest live entry poppable from the ready stage
+    /// (tail of `run` or top of `overlay`). Returns `false` iff no live
+    /// entries remain anywhere.
+    ///
+    /// Dead (cancelled) entries encountered on the way are dropped and
+    /// never surface from `pop`.
+    fn prepare(&mut self) -> bool {
+        loop {
+            // Drop tombstones off both ready-stage heads.
+            while let Some(e) = self.run.last() {
+                if self.tokens.is_live(e.tok, e.tok_gen) {
+                    break;
+                }
+                self.run.pop();
+            }
+            while let Some(e) = self.overlay.peek() {
+                if self.tokens.is_live(e.tok, e.tok_gen) {
+                    break;
+                }
+                self.overlay.pop();
+            }
+            if !self.run.is_empty() || !self.overlay.is_empty() {
+                return true;
+            }
+            if !self.advance_wheel() {
+                return false;
+            }
+        }
+    }
+
+    /// After a successful [`EventQueue::prepare`]: true iff the next event
+    /// comes from the sorted run (vs the overlay heap).
+    #[inline]
+    fn head_in_run(&self) -> bool {
+        match (self.run.last(), self.overlay.peek()) {
+            (Some(r), Some(o)) => (r.time, r.seq) <= (o.time, o.seq),
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// After a successful [`EventQueue::prepare`]: the (time, seq) of the
+    /// next event.
+    #[inline]
+    fn head_key(&self) -> (SimTime, u64) {
+        if self.head_in_run() {
+            let e = self.run.last().expect("prepared");
+            (e.time, e.seq)
+        } else {
+            let e = self.overlay.peek().expect("prepared");
+            (e.time, e.seq)
+        }
+    }
+
+    /// After a successful [`EventQueue::prepare`]: extract the next event.
+    #[inline]
+    fn pop_prepared(&mut self) -> Entry<M> {
+        let e = if self.head_in_run() {
+            self.run.pop().expect("prepared")
+        } else {
+            self.overlay.pop().expect("prepared")
+        };
+        self.tokens.retire(e.tok);
+        self.live -= 1;
+        e
+    }
+
+    /// Advance `cur_tick` to the next occupied slot and drain it: the
+    /// lowest nonempty level always holds the earliest wheel entries
+    /// (higher levels differ from `cur_tick` in a more significant bit
+    /// group, i.e. lie further out). A level-0 slot drains straight into
+    /// the ready heap; a higher-level slot cascades its entries back
+    /// through [`EventQueue::insert`] against the advanced `cur_tick`, so
+    /// they land in lower levels (or `ready`) and the loop converges.
+    /// Returns `false` iff the whole wheel is empty.
+    fn advance_wheel(&mut self) -> bool {
+        let Some(level) = self.occupied.iter().position(|&b| b != 0) else {
+            return false;
+        };
+        let slot = self.occupied[level].trailing_zeros() as u64;
+        let shift = level as u32 * SLOT_BITS;
+        // Jump to the start of that slot's range: replace cur_tick's bit
+        // group at `level` with the slot index and zero all lower groups.
+        // Occupied slots always lie strictly ahead of cur_tick's own group
+        // (entries at or before cur_tick go to `ready` on insert), so this
+        // only moves the wheel forward.
+        debug_assert!(slot > (self.cur_tick >> shift) & (SLOTS as u64 - 1) || level > 0);
+        self.cur_tick = ((self.cur_tick >> (shift + SLOT_BITS)) << SLOT_BITS | slot) << shift;
+        self.occupied[level] &= !(1 << slot);
+        let mut bucket = std::mem::take(&mut self.slots[level * SLOTS + slot as usize]);
+        if level == 0 {
+            // Every entry in a level-0 slot shares the tick == cur_tick, so
+            // they are exactly the new current granule: sort once
+            // (descending, so pops come off the tail) instead of paying a
+            // heap sift per event. `run` is empty here (prepare only
+            // advances the wheel once the ready stage is exhausted), so
+            // swapping buffers reuses both allocations.
+            debug_assert!(self.run.is_empty());
+            std::mem::swap(&mut self.run, &mut bucket);
+            let tokens = &self.tokens;
+            self.run.retain(|e| tokens.is_live(e.tok, e.tok_gen));
+            self.run
+                .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+        } else {
+            for e in bucket.drain(..) {
+                if self.tokens.is_live(e.tok, e.tok_gen) {
+                    self.insert(e);
+                }
+            }
+        }
+        // Hand the emptied (but still allocated) bucket back for reuse.
+        self.slots[level * SLOTS + slot as usize] = bucket;
+        true
+    }
+
+    /// Remove and return the earliest pending event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        if !self.prepare() {
+            return None;
+        }
+        let e = self.pop_prepared();
+        Some(Event {
+            time: e.time,
+            dst: e.dst,
+            msg: e.msg,
+        })
+    }
+
+    /// Move **every** event sharing the earliest pending timestamp into
+    /// `out` (in seq order), returning how many were moved. The engine uses
+    /// this to dispatch same-timestamp bursts without re-running the
+    /// peek/pop machinery per event; events a handler schedules *at* that
+    /// same timestamp carry higher seqs and correctly join the next batch,
+    /// not the current one.
+    pub fn take_head_batch(&mut self, out: &mut std::collections::VecDeque<Event<M>>) -> usize {
+        self.take_head_batch_until(SimTime::MAX, out)
+    }
+
+    /// [`EventQueue::take_head_batch`], but only if the head timestamp is
+    /// at or before `deadline` (otherwise moves nothing and returns 0).
+    /// Folds the engine's per-iteration peek + batch-extract into one
+    /// queue operation.
+    pub fn take_head_batch_until(
+        &mut self,
+        deadline: SimTime,
+        out: &mut std::collections::VecDeque<Event<M>>,
+    ) -> usize {
+        if !self.prepare() {
+            return 0;
+        }
+        let head_time = self.head_key().0;
+        if head_time > deadline {
+            return 0;
+        }
+        let mut n = 0;
+        loop {
+            let e = self.pop_prepared();
+            out.push_back(Event {
+                time: e.time,
+                dst: e.dst,
+                msg: e.msg,
+            });
+            n += 1;
+            // The ready stage always holds the entire current granule, and
+            // wheel ticks beyond it cannot share head_time — so once the
+            // prepared head moves past head_time the batch is complete.
+            if !self.prepare() || self.head_key().0 != head_time {
+                return n;
+            }
+        }
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    ///
+    /// Takes `&mut self`: finding the earliest event may lazily advance the
+    /// wheel (a pure reorganization — no ordering effect, no events fire).
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.prepare() {
+            Some(self.head_key().0)
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events (cancelled events no longer count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total number of events ever scheduled (monotonic counter; useful for
+    /// engine-throughput benchmarks).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation
+// ---------------------------------------------------------------------------
+
 struct HeapEntry<M> {
     time: SimTime,
     seq: u64,
+    tok: u32,
+    tok_gen: u64,
     dst: ComponentId,
     msg: M,
 }
@@ -43,8 +559,6 @@ impl<M> PartialOrd for HeapEntry<M> {
 
 impl<M> Ord for HeapEntry<M> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
         other
             .time
             .cmp(&self.time)
@@ -52,83 +566,154 @@ impl<M> Ord for HeapEntry<M> {
     }
 }
 
-/// Priority queue of pending events, earliest first, FIFO within a timestamp.
-pub struct EventQueue<M> {
+/// The pre-timer-wheel event queue: a single global `BinaryHeap` keyed on
+/// (time, seq), with lazy tombstoning for cancellation.
+///
+/// Kept as the ordering **oracle**: `tests/scheduler_equivalence.rs` drives
+/// arbitrary schedules (same-timestamp ties, in-handler cancellations)
+/// through both implementations and asserts identical pop sequences, and
+/// the `event_queue` bench measures the wheel's speedup against it. Not
+/// used by the engine.
+pub struct HeapQueue<M> {
     heap: BinaryHeap<HeapEntry<M>>,
+    tokens: TokenTable,
+    live: usize,
     next_seq: u64,
     scheduled_total: u64,
 }
 
-impl<M> Default for EventQueue<M> {
+impl<M> Default for HeapQueue<M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> EventQueue<M> {
+impl<M> HeapQueue<M> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
+            tokens: TokenTable::default(),
+            live: 0,
             next_seq: 0,
             scheduled_total: 0,
         }
     }
 
-    /// Pre-allocate capacity for `n` simultaneous pending events.
-    pub fn with_capacity(n: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(n),
-            next_seq: 0,
-            scheduled_total: 0,
-        }
-    }
-
-    /// Schedule `msg` for delivery to `dst` at absolute instant `time`.
+    /// See [`EventQueue::schedule`].
     #[inline]
     pub fn schedule(&mut self, time: SimTime, dst: ComponentId, msg: M) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
+        self.live += 1;
         self.heap.push(HeapEntry {
             time,
             seq,
+            tok: NO_TOKEN,
+            tok_gen: 0,
             dst,
             msg,
         });
     }
 
-    /// Remove and return the earliest pending event.
-    #[inline]
+    /// See [`EventQueue::schedule_cancellable`].
+    pub fn schedule_cancellable(&mut self, time: SimTime, dst: ComponentId, msg: M) -> CancelToken {
+        let tok = self.tokens.alloc();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.live += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq,
+            tok: tok.idx,
+            tok_gen: tok.gen,
+            dst,
+            msg,
+        });
+        tok
+    }
+
+    /// See [`EventQueue::cancel`].
+    pub fn cancel(&mut self, tok: CancelToken) -> bool {
+        if self.tokens.cancel(tok) {
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// See [`EventQueue::pop`].
     pub fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop().map(|e| Event {
-            time: e.time,
-            dst: e.dst,
-            msg: e.msg,
-        })
+        loop {
+            let e = self.heap.pop()?;
+            if self.tokens.is_live(e.tok, e.tok_gen) {
+                self.tokens.retire(e.tok);
+                self.live -= 1;
+                return Some(Event {
+                    time: e.time,
+                    dst: e.dst,
+                    msg: e.msg,
+                });
+            }
+        }
     }
 
-    /// Timestamp of the earliest pending event, if any.
-    #[inline]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    /// See [`EventQueue::peek_time`] (lazily drops cancelled heads, hence
+    /// also `&mut`).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(top) = self.heap.peek() {
+            if self.tokens.is_live(top.tok, top.tok_gen) {
+                return Some(top.time);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
-    /// Number of pending events.
-    #[inline]
+    /// See [`EventQueue::is_pending`].
+    pub fn is_pending(&self, tok: CancelToken) -> bool {
+        tok.idx != NO_TOKEN && self.tokens.is_live(tok.idx, tok.gen)
+    }
+
+    /// See [`EventQueue::take_head_batch`].
+    pub fn take_head_batch(&mut self, out: &mut std::collections::VecDeque<Event<M>>) -> usize {
+        self.take_head_batch_until(SimTime::MAX, out)
+    }
+
+    /// See [`EventQueue::take_head_batch_until`].
+    pub fn take_head_batch_until(
+        &mut self,
+        deadline: SimTime,
+        out: &mut std::collections::VecDeque<Event<M>>,
+    ) -> usize {
+        let Some(head) = self.peek_time() else {
+            return 0;
+        };
+        if head > deadline {
+            return 0;
+        }
+        let mut n = 0;
+        while self.peek_time() == Some(head) {
+            out.push_back(self.pop().expect("peeked head must pop"));
+            n += 1;
+        }
+        n
+    }
+
+    /// See [`EventQueue::len`].
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
-    /// True iff no events are pending.
-    #[inline]
+    /// See [`EventQueue::is_empty`].
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 
-    /// Total number of events ever scheduled (monotonic counter; useful for
-    /// engine-throughput benchmarks).
-    #[inline]
+    /// See [`EventQueue::scheduled_total`].
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
     }
@@ -137,6 +722,7 @@ impl<M> EventQueue<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::VecDeque;
 
     fn id(i: usize) -> ComponentId {
         ComponentId::from_raw(i)
@@ -200,5 +786,185 @@ mod tests {
         assert_eq!(q.pop().unwrap().msg, 10);
         assert_eq!(q.pop().unwrap().msg, 20);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn spans_every_wheel_level() {
+        // One event per decade of delay, nanoseconds to ~18 years, plus the
+        // MAX sentinel: exercises insertion into (and cascade out of) every
+        // level of the wheel.
+        let mut q = EventQueue::new();
+        let mut times: Vec<u64> = (0..19).map(|p| 3 * 10u64.pow(p)).collect();
+        times.push(u64::MAX);
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.schedule(SimTime::from_nanos(t), id(0), i);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            let e = q.pop().unwrap();
+            assert_eq!((e.time.as_nanos(), e.msg), (t, i));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_granule_different_nanos_pop_in_time_order() {
+        // Entries within one 1024 ns granule land in one slot; the ready
+        // heap must still order them by exact nanosecond.
+        let mut q = EventQueue::new();
+        let base = 1 << 20;
+        for off in [900u64, 100, 500, 1023, 0] {
+            q.schedule(SimTime::from_nanos(base + off), id(0), off);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
+        assert_eq!(order, vec![0, 100, 500, 900, 1023]);
+    }
+
+    #[test]
+    fn cancel_removes_event_and_reports_liveness() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), id(0), 1);
+        let tok = q.schedule_cancellable(SimTime::from_millis(2), id(0), 2);
+        q.schedule(SimTime::from_millis(3), id(0), 3);
+        assert_eq!(q.len(), 3);
+        assert!(q.is_pending(tok));
+        assert!(q.cancel(tok));
+        assert!(!q.is_pending(tok));
+        assert_eq!(q.len(), 2);
+        // Second cancel is a no-op.
+        assert!(!q.cancel(tok));
+        assert_eq!(q.len(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.msg).collect();
+        assert_eq!(order, vec![1, 3]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_cancellable(SimTime::from_millis(1), id(0), 1);
+        assert_eq!(q.pop().unwrap().msg, 1);
+        assert!(!q.is_pending(tok));
+        assert!(!q.cancel(tok));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_reused_slot() {
+        let mut q = EventQueue::new();
+        let old = q.schedule_cancellable(SimTime::from_millis(1), id(0), 1);
+        assert!(q.cancel(old));
+        // The table slot is recycled for the next cancellable event; the
+        // stale token must not be able to cancel it.
+        let new = q.schedule_cancellable(SimTime::from_millis(2), id(0), 2);
+        assert!(!q.cancel(old));
+        assert!(q.is_pending(new));
+        assert_eq!(q.pop().unwrap().msg, 2);
+    }
+
+    #[test]
+    fn default_token_is_never_pending() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let tok = CancelToken::default();
+        assert!(!q.is_pending(tok));
+        assert!(!q.cancel(tok));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_order_across_wheel_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), id(0), 5);
+        // Peek forces the wheel to advance to the 5 s slot...
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        // ...but an earlier schedule arriving afterwards must still pop
+        // first (it routes through the ready heap).
+        q.schedule(SimTime::from_secs(2), id(0), 2);
+        assert_eq!(q.pop().unwrap().msg, 2);
+        assert_eq!(q.pop().unwrap().msg, 5);
+    }
+
+    #[test]
+    fn take_head_batch_moves_exactly_the_head_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(100);
+        q.schedule(t, id(0), 0);
+        q.schedule(t, id(1), 1);
+        let cancelled = q.schedule_cancellable(t, id(2), 2);
+        q.schedule(t, id(3), 3);
+        q.schedule(SimTime::from_micros(101), id(4), 4);
+        assert!(q.cancel(cancelled));
+        let mut out = VecDeque::new();
+        assert_eq!(q.take_head_batch(&mut out), 3);
+        let msgs: Vec<_> = out.iter().map(|e| e.msg).collect();
+        assert_eq!(msgs, vec![0, 1, 3]);
+        assert!(out.iter().all(|e| e.time == t));
+        assert_eq!(q.len(), 1);
+        out.clear();
+        assert_eq!(q.take_head_batch(&mut out), 1);
+        assert_eq!(out[0].msg, 4);
+        assert_eq!(q.take_head_batch(&mut out), 0);
+    }
+
+    /// Drive the wheel and the reference heap through an identical
+    /// pseudo-random op sequence (schedule / cancellable-schedule / cancel
+    /// / pop, with clustered timestamps to force ties) and require
+    /// identical observable behavior. The exhaustive version with arbitrary
+    /// inputs lives in `tests/scheduler_equivalence.rs`; this is the fast
+    /// in-crate smoke check.
+    #[test]
+    fn wheel_matches_reference_heap_smoke() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut tokens: Vec<(CancelToken, CancelToken)> = Vec::new();
+        // Deterministic LCG so the test needs no rand dependency.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut clock = 0u64; // lower bound for new schedules, like sim time
+        for i in 0..20_000u64 {
+            match rng() % 10 {
+                0..=3 => {
+                    let t = clock + rng() % 5_000_000; // cluster near "now"
+                    let t = SimTime::from_nanos(t);
+                    wheel.schedule(t, id(0), i);
+                    heap.schedule(t, id(0), i);
+                }
+                4..=5 => {
+                    let t = SimTime::from_nanos(clock + rng() % 300_000_000);
+                    let wt = wheel.schedule_cancellable(t, id(0), i);
+                    let ht = heap.schedule_cancellable(t, id(0), i);
+                    tokens.push((wt, ht));
+                }
+                6 => {
+                    if !tokens.is_empty() {
+                        let (wt, ht) = tokens.swap_remove((rng() % tokens.len() as u64) as usize);
+                        assert_eq!(wheel.cancel(wt), heap.cancel(ht));
+                    }
+                }
+                _ => {
+                    assert_eq!(wheel.peek_time(), heap.peek_time());
+                    let (we, he) = (wheel.pop(), heap.pop());
+                    match (&we, &he) {
+                        (Some(w), Some(h)) => {
+                            assert_eq!((w.time, w.msg), (h.time, h.msg));
+                            clock = w.time.as_nanos();
+                        }
+                        (None, None) => {}
+                        _ => panic!("one queue empty, the other not"),
+                    }
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        loop {
+            let (we, he) = (wheel.pop(), heap.pop());
+            match (&we, &he) {
+                (Some(w), Some(h)) => assert_eq!((w.time, w.msg), (h.time, h.msg)),
+                (None, None) => break,
+                _ => panic!("one queue drained before the other"),
+            }
+        }
     }
 }

@@ -14,8 +14,13 @@
 //!   (`ccsim_fault::json`) understands: `\"`, `\\`, and `\uXXXX` for
 //!   control characters; everything else is copied verbatim.
 //! * [`json_f64`] prints finite floats with Rust's shortest-round-trip
-//!   `Display`, so a write → parse cycle is bit-exact; non-finite values
-//!   degrade to `0` so the document stays strictly JSON.
+//!   `Debug` form (scientific notation when shorter, like `serde_json`),
+//!   so a write → parse → write cycle is a byte-level fixpoint and the
+//!   parsed value is bit-exact; non-finite values degrade to `0` so the
+//!   document stays strictly JSON. `Display` is deliberately *not* used:
+//!   it expands extreme magnitudes positionally (`1e300` becomes a
+//!   301-digit integer, the smallest subnormal a 324-decimal-place
+//!   fraction), which bloats ledgers and defeats the "shortest" claim.
 
 /// Append `s` to `out` with JSON string escaping.
 pub fn escape_into(s: &str, out: &mut String) {
@@ -38,12 +43,13 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Render a finite float with shortest-round-trip precision; non-finite
-/// values (a 0-wall-clock ratio, say) degrade to `0` so the document
-/// stays strictly JSON.
+/// Render a finite float with shortest-round-trip precision (the `Debug`
+/// form: `1e300`, `5e-324`, `-0.0` — never a positional expansion);
+/// non-finite values (a 0-wall-clock ratio, say) degrade to `0` so the
+/// document stays strictly JSON.
 pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
-        format!("{v}")
+        format!("{v:?}")
     } else {
         "0".to_string()
     }
@@ -73,6 +79,27 @@ mod tests {
         assert_eq!(json_f64(x).parse::<f64>().unwrap().to_bits(), x.to_bits());
         assert_eq!(json_f64(f64::INFINITY), "0");
         assert_eq!(json_f64(f64::NAN), "0");
+    }
+
+    #[test]
+    fn extreme_floats_stay_short_and_bit_exact() {
+        // Positional expansion of these is 300+ characters; the Debug
+        // form is shortest-round-trip scientific notation.
+        assert_eq!(json_f64(1e300), "1e300");
+        assert_eq!(json_f64(5e-324), "5e-324"); // smallest subnormal
+        assert_eq!(json_f64(-0.0), "-0.0");
+        assert_eq!(
+            json_f64(-0.0).parse::<f64>().unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(json_f64(1e16), "1e16");
+        for v in [1e300, 5e-324, -0.0, f64::MIN_POSITIVE, 1e16, -2.5e-11] {
+            let s = json_f64(v);
+            assert!(s.len() <= 25, "{s} not shortest");
+            assert_eq!(s.parse::<f64>().unwrap().to_bits(), v.to_bits());
+            // Byte-level fixpoint: format(parse(format(v))) == format(v).
+            assert_eq!(json_f64(s.parse::<f64>().unwrap()), s);
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Both are computed in `u128` to avoid intermediate overflow (e.g.
 //! `bytes * 8 * 1e9` overflows `u64` past ~2.3 GB).
 
-use crate::time::{SimDuration, NANOS_PER_SEC};
+use crate::time::{mul_u64_f64, SimDuration, F64_EXACT_LIMIT, NANOS_PER_SEC};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -84,15 +84,25 @@ impl Bandwidth {
         (bits / 8) as u64
     }
 
-    /// Scale the rate by a non-negative float (used by pacing gains).
+    /// Scale the rate by a non-negative float (used by pacing gains),
+    /// truncating to whole bits per second and saturating at `u64::MAX`.
+    ///
+    /// Above 2^53 bps the naive `u64 -> f64 -> u64` round-trip misplaces
+    /// low bits; this routes through exact 128-bit mantissa arithmetic
+    /// there (see [`mul_u64_f64`]) so e.g. `mul_f64(1.0)` is the identity
+    /// over the full range.
     #[inline]
     pub fn mul_f64(self, k: f64) -> Bandwidth {
         debug_assert!(k >= 0.0 && k.is_finite(), "negative or non-finite gain");
-        let bps = self.0 as f64 * k;
-        if bps >= u64::MAX as f64 {
-            Bandwidth(u64::MAX)
+        if self.0 < F64_EXACT_LIMIT {
+            let bps = self.0 as f64 * k;
+            if bps >= u64::MAX as f64 {
+                Bandwidth(u64::MAX)
+            } else {
+                Bandwidth(bps as u64)
+            }
         } else {
-            Bandwidth(bps as u64)
+            Bandwidth(mul_u64_f64(self.0, k, false))
         }
     }
 
@@ -188,6 +198,25 @@ mod tests {
         let bw = Bandwidth::from_mbps(100);
         assert_eq!(bw.mul_f64(1.25), Bandwidth::from_bps(125_000_000));
         assert_eq!(bw.mul_f64(0.75), Bandwidth::from_bps(75_000_000));
+    }
+
+    #[test]
+    fn gain_scaling_is_exact_above_f64_mantissa_range() {
+        // 2^53 + 1 is the first u64 the f64 round-trip corrupts: the old
+        // implementation returned 2^53 for a unity gain.
+        let bw = Bandwidth::from_bps((1 << 53) + 1);
+        assert_eq!(bw.mul_f64(1.0), bw);
+        // Power-of-two gains must be exact bit shifts over the full range.
+        let big = Bandwidth::from_bps(u64::MAX - 12345);
+        assert_eq!(big.mul_f64(0.5).as_bps(), (u64::MAX - 12345) >> 1);
+        assert_eq!(big.mul_f64(2.0), Bandwidth(u64::MAX), "must saturate");
+        // A representative BBR-style gain on a huge rate: exact rational.
+        let x = (1u64 << 60) + 977;
+        let k = 1.25f64; // == 5/4 exactly
+        assert_eq!(
+            Bandwidth::from_bps(x).mul_f64(k).as_bps(),
+            (x as u128 * 5 / 4) as u64
+        );
     }
 
     #[test]

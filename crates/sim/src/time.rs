@@ -164,11 +164,15 @@ impl SimDuration {
     #[inline]
     pub fn mul_f64(self, k: f64) -> SimDuration {
         debug_assert!(k >= 0.0 && k.is_finite(), "negative or non-finite factor");
-        let ns = self.0 as f64 * k;
-        if ns >= u64::MAX as f64 {
-            SimDuration::MAX
+        if self.0 < F64_EXACT_LIMIT {
+            let ns = self.0 as f64 * k;
+            if ns >= u64::MAX as f64 {
+                SimDuration::MAX
+            } else {
+                SimDuration(ns.round() as u64)
+            }
         } else {
-            SimDuration(ns.round() as u64)
+            SimDuration(mul_u64_f64(self.0, k, true))
         }
     }
 
@@ -183,6 +187,60 @@ impl SimDuration {
     pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_add(rhs.0))
     }
+}
+
+/// Largest `u64` magnitude below which the `u64 -> f64` cast is exact
+/// (2^53). Float-scaling helpers keep the plain f64 product below this —
+/// it is exact there and its rounding is frozen into run digests — and
+/// switch to the 128-bit integer route above it.
+pub(crate) const F64_EXACT_LIMIT: u64 = 1 << 53;
+
+/// Exact `x * k` for a non-negative finite `k`: decomposes `k` into its
+/// IEEE-754 mantissa and exponent and multiplies in 128-bit integer
+/// arithmetic, so no precision is lost for `x >= 2^53` (where the naive
+/// `(x as f64 * k) as u64` round-trip silently misplaces up to 2^11
+/// units). Truncates toward zero, or rounds to nearest (ties away from
+/// zero, matching `f64::round`) when `round_nearest` is set; saturates at
+/// `u64::MAX`.
+pub(crate) fn mul_u64_f64(x: u64, k: f64, round_nearest: bool) -> u64 {
+    debug_assert!(k >= 0.0 && k.is_finite(), "negative or non-finite factor");
+    if x == 0 || k == 0.0 {
+        return 0;
+    }
+    let bits = k.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    // k = mant * 2^exp with mant an integer below 2^53.
+    let (mant, exp) = if raw_exp == 0 {
+        (frac, -1074i64) // subnormal: no implicit leading bit
+    } else {
+        (frac | (1u64 << 52), raw_exp - 1075)
+    };
+    if mant == 0 {
+        return 0;
+    }
+    let prod = x as u128 * mant as u128; // < 2^117: cannot overflow u128
+    let val = if exp >= 0 {
+        // Left shifts only grow the value; anything shifted past the top
+        // bit is far beyond u64 range already.
+        if exp as u32 > prod.leading_zeros() {
+            u128::MAX
+        } else {
+            prod << exp as u32
+        }
+    } else if -exp >= 128 {
+        // prod < 2^117 and the shift eats >= 128 bits: the true value is
+        // below 2^-11, which rounds (either mode) to zero.
+        0
+    } else {
+        let s = (-exp) as u32;
+        if round_nearest {
+            (prod + (1u128 << (s - 1))) >> s // prod < 2^117: cannot overflow
+        } else {
+            prod >> s
+        }
+    };
+    val.min(u64::MAX as u128) as u64
 }
 
 impl Add<SimDuration> for SimTime {
@@ -345,6 +403,37 @@ mod tests {
     #[test]
     fn mul_f64_saturates() {
         assert_eq!(SimDuration::MAX.mul_f64(2.0), SimDuration::MAX);
+    }
+
+    #[test]
+    fn mul_f64_is_exact_above_f64_mantissa_range() {
+        // Unity must be the identity over the full range; the old f64
+        // round-trip returned 2^53 for 2^53 + 1.
+        let d = SimDuration::from_nanos((1 << 53) + 1);
+        assert_eq!(d.mul_f64(1.0), d);
+        assert_eq!(SimDuration::MAX.mul_f64(1.0), SimDuration::MAX);
+        // Halving a huge duration rounds to nearest, ties away from zero
+        // (odd value: true result ends in .5).
+        let odd = SimDuration::from_nanos((1 << 60) + 1);
+        assert_eq!(odd.mul_f64(0.5).as_nanos(), (1u64 << 59) + 1);
+        // RTO-style backoff on a large span stays exact.
+        let x = (1u64 << 58) + 3;
+        assert_eq!(
+            SimDuration::from_nanos(x).mul_f64(1.5).as_nanos(),
+            (x as u128 * 3 / 2 + 1) as u64 // true value ends in .5: rounds up
+        );
+    }
+
+    #[test]
+    fn mul_u64_f64_handles_subnormal_and_tiny_factors() {
+        // Smallest positive subnormal: 2^-1074. Any u64 times it rounds
+        // to zero in both modes.
+        let tiny = f64::from_bits(1);
+        assert_eq!(mul_u64_f64(u64::MAX, tiny, false), 0);
+        assert_eq!(mul_u64_f64(u64::MAX, tiny, true), 0);
+        assert_eq!(mul_u64_f64(u64::MAX, 0.0, true), 0);
+        // A factor large enough to saturate from any nonzero x.
+        assert_eq!(mul_u64_f64(1, f64::MAX, false), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Property tests for the float-scaling and rate-conversion arithmetic:
+//! `Bandwidth::mul_f64` / `SimDuration::mul_f64` must be exact over the
+//! full `u64` range (the naive `u64 -> f64 -> u64` round-trip silently
+//! corrupts values above 2^53), and the bytes/duration conversions must
+//! round-trip within their documented truncation bounds.
+
+use ccsim_sim::{Bandwidth, SimDuration};
+use proptest::prelude::*;
+
+/// The old (buggy above 2^53) formula, kept verbatim: results below 2^53
+/// are frozen into run digests, so the fixed path must match it there.
+fn legacy_trunc(x: u64, k: f64) -> u64 {
+    let v = x as f64 * k;
+    if v >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        v as u64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Unity gain is the identity everywhere — the exact bug the f64
+    /// round-trip had (2^53 + 1 came back as 2^53).
+    #[test]
+    fn unity_gain_is_identity(x in 0u64..u64::MAX) {
+        prop_assert_eq!(Bandwidth::from_bps(x).mul_f64(1.0).as_bps(), x);
+        prop_assert_eq!(SimDuration::from_nanos(x).mul_f64(1.0).as_nanos(), x);
+    }
+
+    /// Power-of-two gains are exact bit shifts over the full range
+    /// (truncating for Bandwidth; SimDuration rounds half away from zero).
+    #[test]
+    fn power_of_two_gains_are_shifts(x in 0u64..u64::MAX, shift in 1u32..10) {
+        let down = 0.5f64.powi(shift as i32);
+        prop_assert_eq!(Bandwidth::from_bps(x).mul_f64(down).as_bps(), x >> shift);
+        let up = 2.0f64.powi(shift as i32);
+        let expect = (x as u128) << shift;
+        prop_assert_eq!(
+            Bandwidth::from_bps(x).mul_f64(up).as_bps() as u128,
+            expect.min(u64::MAX as u128)
+        );
+    }
+
+    /// Small integer gains agree with exact 128-bit integer arithmetic
+    /// over the full u64 range (saturating).
+    #[test]
+    fn integer_gains_match_u128_reference(x in 0u64..u64::MAX, n in 0u64..1024) {
+        let exact = (x as u128 * n as u128).min(u64::MAX as u128) as u64;
+        prop_assert_eq!(Bandwidth::from_bps(x).mul_f64(n as f64).as_bps(), exact);
+    }
+
+    /// Below 2^53 the fixed path must be bit-identical to the historical
+    /// f64 formula: those results are baked into frozen run digests.
+    #[test]
+    fn small_values_keep_legacy_rounding(
+        x in 0u64..(1 << 53),
+        num in 0u64..(1 << 20),
+        den in 1u64..(1 << 20),
+    ) {
+        let k = num as f64 / den as f64;
+        prop_assert_eq!(Bandwidth::from_bps(x).mul_f64(k).as_bps(), legacy_trunc(x, k));
+    }
+
+    /// Scaling is monotone in x for any fixed non-negative gain.
+    #[test]
+    fn scaling_is_monotone(
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        num in 0u64..(1 << 24),
+        den in 1u64..(1 << 12),
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let k = num as f64 / den as f64;
+        prop_assert!(Bandwidth::from_bps(lo).mul_f64(k) <= Bandwidth::from_bps(hi).mul_f64(k));
+        prop_assert!(
+            SimDuration::from_nanos(lo).mul_f64(k) <= SimDuration::from_nanos(hi).mul_f64(k)
+        );
+    }
+
+    /// A delivery-rate measurement round-trips: reconstructing the byte
+    /// count over the same window truncates by at most the bits lost to
+    /// the two integer divisions (one byte plus one nanosecond's worth).
+    #[test]
+    fn from_bytes_per_round_trips(
+        bytes in 0u64..(1 << 40),
+        dur_ns in 1u64..(365 * 24 * 3600 * 1_000_000_000),
+    ) {
+        let dur = SimDuration::from_nanos(dur_ns);
+        let rate = Bandwidth::from_bytes_per(bytes, dur).unwrap();
+        let back = rate.bytes_in(dur);
+        prop_assert!(back <= bytes, "reconstruction must truncate, not invent bytes");
+        // Loss bound: < 1 byte from the bps truncation spread over the
+        // window, plus < 1 byte from the final division.
+        let max_loss = dur_ns.div_ceil(1_000_000_000) / 8 + 2;
+        prop_assert!(
+            bytes - back <= max_loss,
+            "lost {} of {} bytes (window {} ns)",
+            bytes - back,
+            bytes,
+            dur_ns
+        );
+    }
+
+    /// Serialization time is long enough: the link can move at least the
+    /// requested bytes in the returned (rounded-up) span.
+    #[test]
+    fn serialization_time_never_undershoots(
+        bytes in 1u64..(1 << 32),
+        bps in 1u64..(1 << 45),
+    ) {
+        let rate = Bandwidth::from_bps(bps);
+        let t = rate.serialization_time(bytes);
+        prop_assert!(rate.bytes_in(t) >= bytes.saturating_sub(1));
+        // And it is tight: one nanosecond less cannot carry the payload.
+        if t.as_nanos() > 1 {
+            let t_minus = SimDuration::from_nanos(t.as_nanos() - 1);
+            prop_assert!(rate.bytes_in(t_minus) <= bytes);
+        }
+    }
+}

@@ -1,48 +1,93 @@
 //! Model-based property test: the event queue must behave exactly like a
-//! sorted-by-(time, insertion-order) reference implementation.
+//! sorted-by-(time, insertion-order) reference implementation — including
+//! under cancellation, where a cancelled entry must vanish from the
+//! observable sequence without perturbing the order of survivors.
 
-use ccsim_sim::{ComponentId, EventQueue, SimTime};
+use ccsim_sim::{CancelToken, ComponentId, EventQueue, SimTime};
 use proptest::prelude::*;
+
+struct Entry {
+    time: u64,
+    seq: u64,
+    payload: u64,
+    /// Index into the test's token table for cancellable entries.
+    token: Option<usize>,
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn matches_reference_model(
-        ops in prop::collection::vec((0u8..4, 0u64..1_000), 1..400),
+        ops in prop::collection::vec((0u8..6, 0u64..1_000), 1..400),
     ) {
         let mut queue: EventQueue<u64> = EventQueue::new();
         // Reference: Vec kept sorted by (time, seq).
-        let mut model: Vec<(u64, u64, u64)> = Vec::new(); // (time, seq, payload)
+        let mut model: Vec<Entry> = Vec::new();
+        let mut tokens: Vec<CancelToken> = Vec::new();
         let mut seq = 0u64;
         let mut payload = 0u64;
         for (op, t) in ops {
-            if op == 0 && !model.is_empty() {
-                // Pop from both; compare.
-                let got = queue.pop().expect("queue non-empty");
-                let idx = model
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &(time, s, _))| (time, s))
-                    .map(|(i, _)| i)
-                    .unwrap();
-                let (mt, _, mp) = model.remove(idx);
-                prop_assert_eq!(got.time, SimTime::from_nanos(mt));
-                prop_assert_eq!(got.msg, mp);
-            } else {
-                queue.schedule(SimTime::from_nanos(t), ComponentId::from_raw(0), payload);
-                model.push((t, seq, payload));
-                seq += 1;
-                payload += 1;
+            match op {
+                0 if !model.is_empty() => {
+                    // Pop from both; compare.
+                    let got = queue.pop().expect("queue non-empty");
+                    let idx = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| (e.time, e.seq))
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    let e = model.remove(idx);
+                    prop_assert_eq!(got.time, SimTime::from_nanos(e.time));
+                    prop_assert_eq!(got.msg, e.payload);
+                    // A delivered event's token must no longer read as
+                    // pending (the in-handler cancellation guard).
+                    if let Some(ti) = e.token {
+                        prop_assert!(!queue.is_pending(tokens[ti]));
+                    }
+                }
+                1..=3 => {
+                    queue.schedule(SimTime::from_nanos(t), ComponentId::from_raw(0), payload);
+                    model.push(Entry { time: t, seq, payload, token: None });
+                    seq += 1;
+                    payload += 1;
+                }
+                4 => {
+                    let tok = queue.schedule_cancellable(
+                        SimTime::from_nanos(t),
+                        ComponentId::from_raw(0),
+                        payload,
+                    );
+                    prop_assert!(queue.is_pending(tok));
+                    model.push(Entry { time: t, seq, payload, token: Some(tokens.len()) });
+                    tokens.push(tok);
+                    seq += 1;
+                    payload += 1;
+                }
+                _ => {
+                    if tokens.is_empty() {
+                        continue;
+                    }
+                    // Cancel an arbitrary historical token; it succeeds
+                    // exactly when the entry is still in the model.
+                    let ti = t as usize % tokens.len();
+                    let live = model.iter().position(|e| e.token == Some(ti));
+                    prop_assert_eq!(queue.cancel(tokens[ti]), live.is_some());
+                    prop_assert!(!queue.is_pending(tokens[ti]));
+                    if let Some(idx) = live {
+                        model.remove(idx);
+                    }
+                }
             }
             prop_assert_eq!(queue.len(), model.len());
         }
         // Drain: remaining pops must match the model order exactly.
-        model.sort_by_key(|&(time, s, _)| (time, s));
-        for &(mt, _, mp) in &model {
+        model.sort_by_key(|e| (e.time, e.seq));
+        for e in &model {
             let got = queue.pop().unwrap();
-            prop_assert_eq!(got.time, SimTime::from_nanos(mt));
-            prop_assert_eq!(got.msg, mp);
+            prop_assert_eq!(got.time, SimTime::from_nanos(e.time));
+            prop_assert_eq!(got.msg, e.payload);
         }
         prop_assert!(queue.pop().is_none());
     }

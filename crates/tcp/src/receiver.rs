@@ -19,7 +19,7 @@
 use crate::endpoint_stats::ReceiverStats;
 use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::{FlowId, Packet, SackBlock, SackBlocks};
-use ccsim_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_sim::{CancelToken, Component, ComponentId, Ctx, SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Linux's delayed-ACK timeout floor (`TCP_DELACK_MIN`).
@@ -49,8 +49,14 @@ pub struct Receiver {
     recent_ranges: VecDeque<u64>,
     /// Full segments received since the last ACK was sent.
     unacked_segments: u32,
+    /// Live delayed-ACK timer event (null when disarmed). Sending an ACK
+    /// cancels it outright — the old lazy generation-bump scheme left the
+    /// dead 40 ms event parked in the queue (tens of thousands of them at
+    /// 5000 flows) to fire as a no-op.
+    delack_timer: CancelToken,
+    /// Generation stamped into delack timer messages; guards the
+    /// same-nanosecond dispatch-batch race `cancel` cannot cover.
     delack_generation: u64,
-    delack_armed: bool,
     stats: ReceiverStats,
 }
 
@@ -66,8 +72,8 @@ impl Receiver {
             ooo: BTreeMap::new(),
             recent_ranges: VecDeque::new(),
             unacked_segments: 0,
+            delack_timer: CancelToken::default(),
             delack_generation: 0,
-            delack_armed: false,
             stats: ReceiverStats::default(),
         }
     }
@@ -187,15 +193,16 @@ impl Receiver {
             self.stats.sack_acks_sent += 1;
         }
         self.unacked_segments = 0;
-        // Lazily cancel any pending delayed-ACK timer.
+        // Cancel any pending delayed-ACK timer outright; the generation
+        // bump guards the same-nanosecond batch race (see `on_event`).
+        ctx.cancel(self.delack_timer);
+        self.delack_timer = CancelToken::default();
         self.delack_generation += 1;
-        self.delack_armed = false;
     }
 
     fn arm_delack(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if !self.delack_armed {
-            self.delack_armed = true;
-            ctx.schedule_self(
+        if !ctx.is_pending(self.delack_timer) {
+            self.delack_timer = ctx.schedule_self_cancellable(
                 DELACK_TIMEOUT,
                 Msg::Timer(TimerToken::pack(TIMER_DELACK, self.delack_generation)),
             );
@@ -253,8 +260,8 @@ impl Component<Msg> for Receiver {
             }
             Msg::Timer(t) => {
                 debug_assert_eq!(t.kind(), TIMER_DELACK);
-                if self.delack_armed && t.generation() == self.delack_generation {
-                    self.delack_armed = false;
+                if t.generation() == self.delack_generation {
+                    self.delack_timer = CancelToken::default();
                     if self.unacked_segments > 0 {
                         self.send_ack(now, ctx);
                     }

@@ -30,7 +30,7 @@ use crate::rtt::RttEstimator;
 use crate::scoreboard::Scoreboard;
 use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::{FlowId, Packet};
-use ccsim_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_sim::{CancelToken, Component, ComponentId, Ctx, SimDuration, SimTime};
 use ccsim_telemetry::Counter;
 use ccsim_trace::{BoundedLog, CongestionKind, FlowRecorder};
 use std::sync::Arc;
@@ -114,9 +114,18 @@ pub struct Sender {
     /// Pacing: earliest instant the next segment may leave.
     pacing_next: SimTime,
     pace_pending: bool,
-    /// Lazy RTO timer: the scheduled event checks this deadline.
-    rto_deadline: SimTime,
-    rto_pending: bool,
+    /// Live RTO timer event (null when disarmed). Every rearm cancels the
+    /// previous event outright instead of leaving it parked. The old lazy
+    /// `rto_pending`/`rto_deadline` scheme could strand the flow: an
+    /// empty-flight disarm set the deadline to `SimTime::MAX` but left the
+    /// event parked with the pending flag raised, so the next transmission
+    /// skipped rearming — if that whole burst was then lost, no timer was
+    /// armed and the flow stalled forever.
+    rto_timer: CancelToken,
+    /// Generation stamped into RTO timer messages. Guards the one race
+    /// cancellation cannot cover: an event already extracted into the
+    /// current same-nanosecond dispatch batch fires despite `cancel`.
+    rto_gen: u64,
     started: bool,
     stats: SenderStats,
     /// Optional cwnd trace `(time, cwnd_bytes)`, sampled per ACK when
@@ -151,8 +160,8 @@ impl Sender {
             force_rtx: false,
             pacing_next: SimTime::ZERO,
             pace_pending: false,
-            rto_deadline: SimTime::MAX,
-            rto_pending: false,
+            rto_timer: CancelToken::default(),
+            rto_gen: 0,
             started: false,
             stats: SenderStats::default(),
             cwnd_trace: None,
@@ -234,7 +243,7 @@ impl Sender {
     /// One-line internal-state dump for diagnostics.
     pub fn debug_state(&self) -> String {
         format!(
-            "state={:?} cwnd={} ssthresh={} inflight={} lost={} sacked={} segs={} snd_nxt={} prr(d={},o={},fs={},ss={}) rto_at={:?}",
+            "state={:?} cwnd={} ssthresh={} inflight={} lost={} sacked={} segs={} snd_nxt={} prr(d={},o={},fs={},ss={}) rto_gen={}",
             self.state,
             self.cca.cwnd(),
             self.cca.ssthresh(),
@@ -247,7 +256,7 @@ impl Sender {
             self.prr_out,
             self.prr_recover_fs,
             self.prr_ssthresh,
-            self.rto_deadline,
+            self.rto_gen,
         )
     }
 
@@ -306,17 +315,21 @@ impl Sender {
         }
     }
 
-    /// Arm (or push forward) the lazy RTO deadline.
-    fn rearm_rto(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
-        self.rto_deadline = now + self.rtt.rto();
-        if !self.rto_pending {
-            self.rto_pending = true;
-            ctx.schedule_at(
-                self.rto_deadline,
-                ctx.self_id(),
-                Msg::Timer(TimerToken::pack(TIMER_RTO, 0)),
-            );
-        }
+    /// Cancel-and-rearm the RTO one full `rto()` from now.
+    fn rearm_rto(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.cancel(self.rto_timer);
+        self.rto_gen += 1;
+        self.rto_timer = ctx.schedule_self_cancellable(
+            self.rtt.rto(),
+            Msg::Timer(TimerToken::pack(TIMER_RTO, self.rto_gen)),
+        );
+    }
+
+    /// Disarm the RTO entirely (the flight has drained).
+    fn disarm_rto(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.cancel(self.rto_timer);
+        self.rto_timer = CancelToken::default();
+        self.rto_gen += 1;
     }
 
     fn send_segment(
@@ -347,8 +360,8 @@ impl Sender {
             let gap = rate.serialization_time(p.wire_bytes as u64);
             self.pacing_next = self.pacing_next.max(now) + gap;
         }
-        if !self.rto_pending {
-            self.rearm_rto(now, ctx);
+        if !ctx.is_pending(self.rto_timer) {
+            self.rearm_rto(ctx);
         }
     }
 
@@ -525,14 +538,14 @@ impl Sender {
         }
         self.record_state(now);
 
-        // RTO maintenance: push the deadline out while data is outstanding.
+        // RTO maintenance: while data is outstanding the deadline moves one
+        // full rto() past the latest ACK (cancel-and-rearm, Linux
+        // `sk_reset_timer` style); a drained flight disarms the timer
+        // outright so no dead event stays parked in the queue.
         if self.board.is_empty() {
-            self.rto_deadline = SimTime::MAX;
+            self.disarm_rto(ctx);
         } else {
-            self.rto_deadline = now + self.rtt.rto();
-            if !self.rto_pending {
-                self.rearm_rto(now, ctx);
-            }
+            self.rearm_rto(ctx);
         }
 
         self.try_transmit(now, ctx);
@@ -540,22 +553,19 @@ impl Sender {
 
     // ----- timers ---------------------------------------------------------
 
-    fn on_rto_fire(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
-        self.rto_pending = false;
-        if self.board.is_empty() || self.rto_deadline == SimTime::MAX {
-            return; // nothing outstanding
-        }
-        if now < self.rto_deadline {
-            // Deadline was pushed forward by ACK activity; re-sleep.
-            self.rto_pending = true;
-            ctx.schedule_at(
-                self.rto_deadline,
-                ctx.self_id(),
-                Msg::Timer(TimerToken::pack(TIMER_RTO, 0)),
-            );
+    fn on_rto_fire(&mut self, now: SimTime, gen: u64, ctx: &mut Ctx<'_, Msg>) {
+        if gen != self.rto_gen {
+            // Stale firing: the timer was cancelled or rearmed within the
+            // same-nanosecond dispatch batch this event was extracted in,
+            // too late for `cancel` to suppress it.
             return;
         }
-        // Genuine timeout.
+        self.rto_timer = CancelToken::default();
+        if self.board.is_empty() {
+            return; // nothing outstanding
+        }
+        // Genuine timeout: a live-token firing is at the armed deadline by
+        // construction (rearms always cancel), so no deadline re-check.
         self.stats.rtos += 1;
         self.stats.congestion_event_log.push(now);
         if let Some(m) = &self.metrics {
@@ -585,7 +595,7 @@ impl Sender {
         self.record_state(now);
         // Pacing must not gate the timeout retransmission.
         self.pacing_next = now;
-        self.rearm_rto(now, ctx);
+        self.rearm_rto(ctx);
         self.try_transmit(now, ctx);
     }
 
@@ -608,7 +618,7 @@ impl Component<Msg> for Sender {
             }
             Msg::Timer(t) => match t.kind() {
                 TIMER_START => self.on_start(now, ctx),
-                TIMER_RTO => self.on_rto_fire(now, ctx),
+                TIMER_RTO => self.on_rto_fire(now, t.generation(), ctx),
                 TIMER_PACE => {
                     self.pace_pending = false;
                     if self.started {

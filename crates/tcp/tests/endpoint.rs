@@ -4,7 +4,7 @@
 
 use ccsim_net::link::{Link, NextHop};
 use ccsim_net::msg::Msg;
-use ccsim_net::packet::FlowId;
+use ccsim_net::packet::{FlowId, Packet, PacketKind, SackBlocks};
 use ccsim_sim::{Bandwidth, Component, ComponentId, Ctx, SimDuration, SimTime, Simulator};
 use ccsim_tcp::cc::{AckSample, CongestionControl, FixedWindow};
 use ccsim_tcp::receiver::Receiver;
@@ -262,6 +262,172 @@ fn delayed_acks_halve_ack_volume_on_clean_paths() {
     // Delayed ACKs: about one ACK per two segments (plus timer stragglers).
     assert!(acks >= 500, "acks = {acks}");
     assert!(acks < 650, "acks = {acks}: delayed ACKing not effective");
+}
+
+/// Fixed window plus a fixed pacing rate: lets a test drain the flight
+/// entirely between transmissions (the pacing gate blocks new data while
+/// zero bytes are outstanding), which no pure window CCA can do.
+struct PacedWindow {
+    cwnd: u64,
+    rate: Bandwidth,
+}
+
+impl CongestionControl for PacedWindow {
+    fn name(&self) -> &'static str {
+        "paced-window"
+    }
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> u64 {
+        u64::MAX
+    }
+    fn pacing_rate(&self) -> Option<Bandwidth> {
+        Some(self.rate)
+    }
+    fn on_ack(&mut self, _s: &AckSample) {}
+    fn on_enter_recovery(&mut self, _s: &AckSample) {}
+    fn on_exit_recovery(&mut self, _s: &AckSample, _after_rto: bool) {}
+    fn on_rto(&mut self, _s: &AckSample) {}
+}
+
+/// Forwards packets to their destination after a fixed one-way delay,
+/// except the *first* transmission of the data segment starting at
+/// `drop_seq`, which it swallows (retransmissions pass).
+struct DropFirstTx {
+    drop_seq: u64,
+    delay: SimDuration,
+}
+
+impl Component<Msg> for DropFirstTx {
+    fn on_event(&mut self, _now: SimTime, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        if let Msg::Packet(p) = msg {
+            if p.kind == PacketKind::Data && p.seq == self.drop_seq && !p.retransmit {
+                return;
+            }
+            ctx.schedule_in(self.delay, p.dst, Msg::Packet(p));
+        }
+    }
+}
+
+/// Regression test for the flight-drain stall bug fixed by cancellation
+/// tokens. A paced flow drains its flight (segment 1 is ACKed long before
+/// pacing releases segment 2), which disarms the RTO. Segment 2 — the last
+/// of the transfer — is then lost. The fix arms a fresh RTO when segment 2
+/// is sent, so the loss is repaired in well under a second.
+///
+/// Under the old lazy-cancellation scheme this scenario stalled *forever*:
+/// the drain set `rto_deadline = MAX` but left the initial 1 s timer event
+/// parked in the queue (`rto_pending` still true), so the segment-2 send at
+/// t ≈ 300 ms armed nothing. The parked event then fired as a no-op
+/// (deadline was MAX), the queue went empty, and the flow hung with one
+/// segment delivered and zero timeouts.
+#[test]
+fn rto_rearms_after_flight_drain_so_tail_loss_cannot_stall() {
+    let mut sim = Simulator::new(0);
+    // One-way 5 ms; drop the first transmission of the second segment.
+    let hop = sim.add_component(DropFirstTx {
+        drop_seq: MSS as u64,
+        delay: SimDuration::from_millis(5),
+    });
+    let sender_id = ComponentId::from_raw(1);
+    let receiver_id = ComponentId::from_raw(2);
+    let cfg = SenderConfig {
+        flow: FlowId(0),
+        mss: MSS,
+        receiver: receiver_id,
+        first_hop: hop,
+        data_limit: Some(2 * MSS as u64),
+    };
+    // ~28 kbps pacing => ~300 ms between 1052-byte wire segments: segment 1
+    // is ACKed (flight drains, RTO disarmed) long before segment 2 leaves.
+    let s = sim.add_component(Sender::new(
+        cfg,
+        Box::new(PacedWindow {
+            cwnd: 10 * MSS as u64,
+            rate: Bandwidth::from_bps(28_000),
+        }),
+    ));
+    assert_eq!(s, sender_id);
+    let r = sim.add_component(Receiver::new(
+        FlowId(0),
+        sender_id,
+        SimDuration::from_millis(5),
+        MSS,
+    ));
+    assert_eq!(r, receiver_id);
+    sim.schedule(SimTime::ZERO, sender_id, start_msg());
+    sim.run();
+    let snd = sim.component::<Sender>(sender_id);
+    let rx = sim.component::<Receiver>(receiver_id);
+    assert_eq!(
+        rx.delivered_bytes(),
+        2 * MSS as u64,
+        "tail loss after a flight drain must be repaired, not stall"
+    );
+    assert_eq!(snd.stats().rtos, 1, "exactly one timeout repairs the loss");
+    assert_eq!(snd.stats().retransmits, 1);
+    assert_eq!(snd.in_flight(), 0);
+    // The RTO must fire from the deadline armed at the segment-2 send
+    // (~500 ms), not from the stale initial-RTO event parked at t = 1 s.
+    assert!(
+        sim.now() < SimTime::from_secs(1),
+        "transfer finished only at {} — timer fired late",
+        sim.now()
+    );
+}
+
+/// A backed-off RTO that is rearmed mid-recovery must fire exactly once, at
+/// the rearmed deadline — neither early (from the superseded pre-ACK timer)
+/// nor twice (superseded plus rearmed both dispatching).
+///
+/// Timeline (all exact, the sim is deterministic): two segments enter a
+/// blackhole at t = 0; the initial RTO fires at 1 s and backs off to 2 s;
+/// a straggler ACK for the head segment arrives at 1.5 s. Karn's rule
+/// takes no RTT sample from the retransmitted head, so the backoff
+/// survives and the rearm lands at 1.5 + 2 = 3.5 s. The superseded timer
+/// sat at 3.0 s; firing there would be early, firing at both would double.
+#[test]
+fn backed_off_rto_rearmed_mid_recovery_fires_once_at_new_deadline() {
+    let mut sim = Simulator::new(0);
+    let hole = sim.add_component(Blackhole);
+    let sender_id = ComponentId::from_raw(1);
+    let cfg = SenderConfig {
+        flow: FlowId(0),
+        mss: MSS,
+        receiver: hole,
+        first_hop: hole,
+        data_limit: Some(2 * MSS as u64),
+    };
+    let s = sim.add_component(Sender::new(cfg, Box::new(FixedWindow::new(2 * MSS as u64))));
+    assert_eq!(s, sender_id);
+    sim.schedule(SimTime::ZERO, sender_id, start_msg());
+    // Straggler ACK covering the head segment, injected mid-backoff.
+    let ack_at = SimTime::from_millis(1500);
+    sim.schedule(
+        ack_at,
+        sender_id,
+        Msg::Packet(Packet::ack(
+            FlowId(0),
+            sender_id,
+            MSS as u64,
+            SackBlocks::EMPTY,
+            ack_at,
+        )),
+    );
+    sim.run_until(SimTime::from_secs(4));
+    let snd = sim.component::<Sender>(sender_id);
+    let st = snd.stats();
+    assert_eq!(st.rtos, 2, "initial fire plus exactly one rearmed fire");
+    // Both segments retransmitted at 1 s, the surviving tail again at 3.5 s.
+    assert_eq!(st.retransmits, 3);
+    assert_eq!(snd.ca_state(), CaState::Loss);
+    let fires: Vec<SimTime> = st.congestion_event_log.to_vec();
+    assert_eq!(
+        fires,
+        vec![SimTime::from_secs(1), SimTime::from_millis(3500)],
+        "rearmed RTO must fire at lastACK + backed-off RTO, exactly once"
+    );
 }
 
 #[test]
