@@ -28,6 +28,15 @@ pub fn jain_fairness_index(xs: &[f64]) -> Option<f64> {
     Some(sum * sum / (xs.len() as f64 * sum_sq))
 }
 
+/// Jain's Fairness Index over the subset of `xs` selected by `indices`
+/// (out-of-range indices are ignored). The per-bottleneck fairness metric
+/// of multi-hop topologies: `xs` are all flow throughputs, `indices` the
+/// flows traversing one link. `None` when the subset is empty or all-zero.
+pub fn jain_fairness_subset(xs: &[f64], indices: &[usize]) -> Option<f64> {
+    let subset: Vec<f64> = indices.iter().filter_map(|&i| xs.get(i).copied()).collect();
+    jain_fairness_index(&subset)
+}
+
 /// Fraction of total allocation held by the group selected by `in_group`.
 /// `None` when the total is zero.
 pub fn group_share<F: Fn(usize) -> bool>(xs: &[f64], in_group: F) -> Option<f64> {
@@ -100,5 +109,20 @@ mod tests {
     fn group_share_of_zero_total_is_none() {
         assert_eq!(group_share(&[0.0, 0.0], |_| true), None);
         assert_eq!(group_share(&[], |_| true), None);
+    }
+
+    #[test]
+    fn subset_jfi_restricts_to_the_selected_flows() {
+        let xs = [1.0, 1.0, 1.0, 3.0];
+        // The full set is unfair (0.75); the equal subset is perfectly fair.
+        let all = jain_fairness_subset(&xs, &[0, 1, 2, 3]).unwrap();
+        assert!((all - 0.75).abs() < 1e-12);
+        let equal = jain_fairness_subset(&xs, &[0, 1, 2]).unwrap();
+        assert!((equal - 1.0).abs() < 1e-12);
+        // Out-of-range indices are ignored; empty subsets are undefined.
+        assert_eq!(jain_fairness_subset(&xs, &[9]), None);
+        assert_eq!(jain_fairness_subset(&xs, &[]), None);
+        let clipped = jain_fairness_subset(&xs, &[0, 1, 2, 9]).unwrap();
+        assert!((clipped - 1.0).abs() < 1e-12);
     }
 }

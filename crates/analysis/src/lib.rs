@@ -22,7 +22,7 @@ pub mod sync;
 pub mod trace;
 
 pub use burstiness::{burstiness, burstiness_of_intervals};
-pub use fairness::{group_share, jain_fairness_index};
+pub use fairness::{group_share, jain_fairness_index, jain_fairness_subset};
 pub use mathis::{
     errors_under_constant, fit_constant, mathis_throughput, FlowObservation, MathisFit,
 };

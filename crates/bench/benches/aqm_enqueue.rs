@@ -1,0 +1,74 @@
+//! AQM discipline micro-benchmark: packets through a saturated link under
+//! each queue discipline, plus the cost of the [`AqmQueue`] trait seam
+//! itself.
+//!
+//! The `droptail_inline` / `droptail_boxed` pair is the one that matters
+//! for regressions: `inline` is the link's built-in drop-tail fast path
+//! (no AQM installed — what every legacy scenario runs), `boxed` is the
+//! same discipline behind the `Box<dyn AqmQueue>` seam. The difference is
+//! the price of the substitution point; it is expected (and CI-tracked by
+//! eyeball, not assertion) to stay under ~2%.
+//!
+//! [`AqmQueue`]: ccsim_net::aqm::AqmQueue
+
+use ccsim_net::aqm::AqmKind;
+use ccsim_net::link::{Link, NextHop};
+use ccsim_net::msg::Msg;
+use ccsim_net::packet::{FlowId, Packet};
+use ccsim_sim::{Bandwidth, Component, Ctx, SimDuration, SimTime, Simulator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+/// Swallows every packet.
+struct Blackhole;
+
+impl Component<Msg> for Blackhole {
+    fn on_event(&mut self, _now: SimTime, _msg: Msg, _ctx: &mut Ctx<'_, Msg>) {}
+}
+
+const PKTS: u64 = 50_000;
+const RATE: Bandwidth = Bandwidth::from_gbps(10);
+const BUFFER: u64 = 256 * 1500; // shallow enough that admission decisions fire
+
+fn saturated_link(aqm: Option<AqmKind>) -> Simulator<Msg> {
+    let mut sim = Simulator::new(0);
+    let sink = sim.add_component(Blackhole);
+    let mut link = Link::new(RATE, SimDuration::ZERO, BUFFER, NextHop::ToPacketDst);
+    if let Some(kind) = aqm {
+        link.set_aqm(kind.build(BUFFER, RATE, false, 42));
+    }
+    let link = sim.add_component(link);
+    // A storm of packets from 100 flows, arriving faster than line rate.
+    for i in 0..PKTS {
+        let p = Packet::data(FlowId((i % 100) as u32), sink, 0, 1448, SimTime::ZERO);
+        sim.schedule(SimTime::from_nanos(i * 500), link, Msg::Packet(p));
+    }
+    sim
+}
+
+fn bench_aqm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aqm_enqueue");
+    g.throughput(Throughput::Elements(PKTS));
+    let cases: [(&str, Option<AqmKind>); 5] = [
+        ("droptail_inline", None),
+        ("droptail_boxed", Some(AqmKind::DropTail)),
+        ("red", Some(AqmKind::Red)),
+        ("codel", Some(AqmKind::Codel)),
+        ("pie", Some(AqmKind::Pie)),
+    ];
+    for (name, aqm) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || saturated_link(aqm),
+                |mut sim| {
+                    sim.run();
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_aqm);
+criterion_main!(benches);

@@ -278,6 +278,7 @@ mod tests {
                 sync_index: Some(0.5),
                 drop_burstiness: None,
                 share_a: Some(1.0),
+                bottlenecks: Vec::new(),
             }),
             manifest: None,
         }

@@ -17,7 +17,9 @@ use crate::spec::CampaignJob;
 use ccsim_analysis::mathis::fit_constant;
 use ccsim_cca::CcaKind;
 use ccsim_core::observe::scenario_digest;
-use ccsim_core::{crash, try_run_observed, ObservedRun, PInterpretation, RunOutcome, Scenario};
+use ccsim_core::{
+    crash, try_run_observed, BottleneckMetrics, ObservedRun, PInterpretation, RunOutcome, Scenario,
+};
 use ccsim_sim::SimDuration;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -69,6 +71,11 @@ pub struct Rollup {
     pub drop_burstiness: Option<f64>,
     /// Throughput share of the first flow group's CCA.
     pub share_a: Option<f64>,
+    /// Per-bottleneck utilization/fairness records. Empty for legacy
+    /// single-bottleneck drop-tail runs (the runner only populates them
+    /// for topology-subsystem configurations), so old ledger lines parse
+    /// and re-serialize byte-identically.
+    pub bottlenecks: Vec<BottleneckMetrics>,
 }
 
 impl Rollup {
@@ -91,6 +98,7 @@ impl Rollup {
                 .flow_cca
                 .first()
                 .and_then(|&cca| outcome.share_of(cca)),
+            bottlenecks: outcome.bottlenecks.clone(),
         }
     }
 
@@ -105,6 +113,13 @@ impl Rollup {
             "sync_index" => self.sync_index,
             "drop_burstiness" => self.drop_burstiness,
             "share_a" => self.share_a,
+            // Worst-case fairness across the topology's bottlenecks —
+            // lets expectations bound every congested link at once.
+            "bottleneck_jfi_min" => self
+                .bottlenecks
+                .iter()
+                .filter_map(|b| b.jfi)
+                .min_by(|a, b| a.total_cmp(b)),
             _ => None,
         }
     }

@@ -16,6 +16,7 @@
 
 use crate::executor::{JobResult, Rollup};
 use crate::spec::{parse_tolerances, Expectation, Tolerances};
+use ccsim_core::BottleneckMetrics;
 use ccsim_fault::json::{escape, Json, JsonError};
 use ccsim_sim::jsonfmt::{json_f64, json_opt_f64};
 use ccsim_telemetry::RunManifest;
@@ -141,7 +142,7 @@ impl LedgerEntry {
                     out,
                     ",\"metrics\":{{\"jfi\":{},\"utilization\":{},\"aggregate_mbps\":{},\
                      \"loss_rate\":{},\"mathis_err\":{},\"sync_index\":{},\
-                     \"drop_burstiness\":{},\"share_a\":{}}}",
+                     \"drop_burstiness\":{},\"share_a\":{}",
                     json_opt_f64(m.jfi),
                     json_f64(m.utilization),
                     json_f64(m.aggregate_mbps),
@@ -151,6 +152,30 @@ impl LedgerEntry {
                     json_opt_f64(m.drop_burstiness),
                     json_opt_f64(m.share_a),
                 );
+                // The key is absent (not `[]`) for legacy runs so old
+                // ledger lines re-serialize byte-identically.
+                if !m.bottlenecks.is_empty() {
+                    out.push_str(",\"bottlenecks\":[");
+                    for (i, b) in m.bottlenecks.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(
+                            out,
+                            "{{\"link\":{},\"label\":\"{}\",\"utilization\":{},\"jfi\":{},\
+                             \"loss_rate\":{},\"max_queue_bytes\":{},\"ce_marked\":{}}}",
+                            b.link,
+                            escape(&b.label),
+                            json_f64(b.utilization),
+                            json_opt_f64(b.jfi),
+                            json_f64(b.loss_rate),
+                            b.max_queue_bytes,
+                            b.ce_marked_pkts,
+                        );
+                    }
+                    out.push(']');
+                }
+                out.push('}');
             }
         }
         match &self.manifest {
@@ -186,6 +211,33 @@ impl LedgerEntry {
         let metrics = match v.get("metrics") {
             Some(m) if !m.is_null() => {
                 let f = |key: &str| m.get(key).and_then(Json::as_f64);
+                let mut bottlenecks = Vec::new();
+                if let Some(list) = m.get("bottlenecks").and_then(Json::as_arr) {
+                    for b in list {
+                        bottlenecks.push(BottleneckMetrics {
+                            link: b.get("link").and_then(Json::as_u64).unwrap_or(0) as u32,
+                            label: b
+                                .get("label")
+                                .and_then(Json::as_str)
+                                .unwrap_or("")
+                                .to_string(),
+                            utilization: b
+                                .get("utilization")
+                                .and_then(Json::as_f64)
+                                .ok_or_else(|| bad("bottleneck.utilization"))?,
+                            jfi: b.get("jfi").and_then(Json::as_f64),
+                            loss_rate: b
+                                .get("loss_rate")
+                                .and_then(Json::as_f64)
+                                .ok_or_else(|| bad("bottleneck.loss_rate"))?,
+                            max_queue_bytes: b
+                                .get("max_queue_bytes")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0),
+                            ce_marked_pkts: b.get("ce_marked").and_then(Json::as_u64).unwrap_or(0),
+                        });
+                    }
+                }
                 Some(Rollup {
                     jfi: f("jfi"),
                     utilization: f("utilization").ok_or_else(|| bad("metrics.utilization"))?,
@@ -196,6 +248,7 @@ impl LedgerEntry {
                     sync_index: f("sync_index"),
                     drop_burstiness: f("drop_burstiness"),
                     share_a: f("share_a"),
+                    bottlenecks,
                 })
             }
             _ => None,
@@ -468,6 +521,7 @@ mod tests {
                 sync_index: None,
                 drop_burstiness: Some(0.21),
                 share_a: Some(1.0),
+                bottlenecks: Vec::new(),
             }),
             manifest: None,
         }
@@ -506,6 +560,39 @@ mod tests {
             let back = LedgerEntry::from_value(&v).unwrap();
             assert_eq!(back, e);
         }
+    }
+
+    #[test]
+    fn bottleneck_records_round_trip_and_stay_out_of_legacy_lines() {
+        let plain = sample_entry(7, true);
+        assert!(!plain.to_json().contains("bottlenecks"));
+
+        let mut e = sample_entry(8, true);
+        e.metrics.as_mut().unwrap().bottlenecks = vec![
+            BottleneckMetrics {
+                link: 0,
+                label: "bn0".into(),
+                utilization: 0.91,
+                jfi: Some(0.88),
+                loss_rate: 0.002,
+                max_queue_bytes: 60_000,
+                ce_marked_pkts: 0,
+            },
+            BottleneckMetrics {
+                link: 2,
+                label: "bn2".into(),
+                utilization: 0.5,
+                jfi: None,
+                loss_rate: 0.0,
+                max_queue_bytes: 1_200,
+                ce_marked_pkts: 31,
+            },
+        ];
+        let json = e.to_json();
+        assert!(json.contains("\"bottlenecks\":[{\"link\":0,"));
+        let back = LedgerEntry::from_value(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

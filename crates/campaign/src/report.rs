@@ -204,6 +204,43 @@ pub fn markdown(ledger: &Ledger) -> String {
     }
     out.push('\n');
 
+    // Per-bottleneck breakdown: runs on multi-bottleneck topologies (or
+    // with AQM/ECN enabled) carry one record per congested link; group
+    // them by link so each bottleneck gets its own utilization/JFI row.
+    let mut per_link: BTreeMap<(u32, String), (Vec<f64>, Vec<f64>, Vec<f64>, u64, u64)> =
+        BTreeMap::new();
+    for e in &ok {
+        let Some(m) = e.metrics.as_ref() else { continue };
+        for b in &m.bottlenecks {
+            let slot = per_link.entry((b.link, b.label.clone())).or_default();
+            slot.0.push(b.utilization);
+            if let Some(jfi) = b.jfi {
+                slot.1.push(jfi);
+            }
+            slot.2.push(b.loss_rate);
+            slot.3 = slot.3.max(b.max_queue_bytes);
+            slot.4 += b.ce_marked_pkts;
+        }
+    }
+    if !per_link.is_empty() {
+        let _ = writeln!(out, "## Per-bottleneck (mean ± sd over runs)\n");
+        let _ = writeln!(
+            out,
+            "| link | label | utilization | jfi | loss_rate | max queue B | CE marks |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        for ((link, label), (util, jfi, loss, max_q, ce)) in &per_link {
+            let _ = writeln!(
+                out,
+                "| {link} | {label} | {} | {} | {} | {max_q} | {ce} |",
+                fmt_mean_sd(util),
+                fmt_mean_sd(jfi),
+                fmt_mean_sd(loss),
+            );
+        }
+        out.push('\n');
+    }
+
     // Expectations.
     if !ledger.expectations.is_empty() {
         let _ = writeln!(out, "## Expectations\n");
@@ -440,6 +477,7 @@ mod tests {
                 sync_index: None,
                 drop_burstiness: None,
                 share_a: Some(0.5),
+                bottlenecks: Vec::new(),
             }),
             manifest: None,
         }
@@ -505,6 +543,30 @@ mod tests {
         assert!(md.contains("c/cca=reno/seed=1"));
         assert!(md.contains("**FAIL**"));
         assert!(md.contains("Figures 7–8"));
+    }
+
+    #[test]
+    fn per_bottleneck_section_appears_only_when_records_exist() {
+        let plain = markdown(&sample_ledger());
+        assert!(!plain.contains("Per-bottleneck"));
+
+        let mut ledger = sample_ledger();
+        for (i, e) in ledger.entries.iter_mut().enumerate() {
+            e.metrics.as_mut().unwrap().bottlenecks = vec![ccsim_core::BottleneckMetrics {
+                link: 0,
+                label: "bn0".into(),
+                utilization: 0.9 + i as f64 * 0.01,
+                jfi: Some(0.8),
+                loss_rate: 0.001,
+                max_queue_bytes: 50_000 + i as u64,
+                ce_marked_pkts: 3,
+            }];
+        }
+        let md = markdown(&ledger);
+        assert!(md.contains("## Per-bottleneck"));
+        assert!(md.contains("| 0 | bn0 |"));
+        // max queue is the max over runs, CE marks the total.
+        assert!(md.contains("| 50003 | 12 |"));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 use ccsim_cca::CcaKind;
 use ccsim_core::{scenario_from_json, scenario_to_json, FlowGroup, Scenario};
 use ccsim_fault::json::{escape, Json, JsonError};
+use ccsim_net::AqmKind;
+use ccsim_topo::TopologyKind;
 use ccsim_sim::jsonfmt::{json_f64, json_opt_f64};
 use ccsim_sim::{Bandwidth, SimDuration};
 use std::fmt::Write as _;
@@ -35,6 +37,13 @@ pub enum AxisParam {
     BwMbps,
     /// Set the drop-tail buffer (values: bytes).
     BufferBytes,
+    /// Set the topology shape (values: [`TopologyKind`] names, e.g.
+    /// "single", "dumbbell", "parking_lot:3").
+    Topology,
+    /// Set the default AQM discipline (values: [`AqmKind`] names).
+    Aqm,
+    /// Enable or disable ECN (values: "on"/"off" or "true"/"false").
+    Ecn,
 }
 
 impl AxisParam {
@@ -46,6 +55,9 @@ impl AxisParam {
             AxisParam::RttMs => "rtt_ms",
             AxisParam::BwMbps => "bw_mbps",
             AxisParam::BufferBytes => "buffer_bytes",
+            AxisParam::Topology => "topology",
+            AxisParam::Aqm => "aqm",
+            AxisParam::Ecn => "ecn",
         }
     }
 
@@ -56,6 +68,9 @@ impl AxisParam {
             "rtt_ms" => AxisParam::RttMs,
             "bw_mbps" => AxisParam::BwMbps,
             "buffer_bytes" => AxisParam::BufferBytes,
+            "topology" => AxisParam::Topology,
+            "aqm" => AxisParam::Aqm,
+            "ecn" => AxisParam::Ecn,
             _ => return None,
         })
     }
@@ -97,6 +112,21 @@ impl AxisParam {
                 scenario.buffer_bytes = value
                     .parse()
                     .map_err(|_| bad(format!("axis buffer_bytes: bad value \"{value}\"")))?;
+            }
+            AxisParam::Topology => {
+                scenario.topology = TopologyKind::parse(value)
+                    .ok_or_else(|| bad(format!("axis topology: unknown shape \"{value}\"")))?;
+            }
+            AxisParam::Aqm => {
+                scenario.aqm = AqmKind::parse(value)
+                    .ok_or_else(|| bad(format!("axis aqm: unknown discipline \"{value}\"")))?;
+            }
+            AxisParam::Ecn => {
+                scenario.ecn = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    _ => return Err(bad(format!("axis ecn: bad value \"{value}\""))),
+                };
             }
         }
         Ok(())
@@ -435,6 +465,17 @@ fn base_from_preset(v: &Json) -> Result<Scenario, JsonError> {
     if v.get("convergence").and_then(Json::as_bool) == Some(false) {
         s.convergence = None;
     }
+    if let Some(name) = v.get("topology").and_then(Json::as_str) {
+        s.topology = TopologyKind::parse(name)
+            .ok_or_else(|| bad(format!("unknown topology \"{name}\"")))?;
+    }
+    if let Some(name) = v.get("aqm").and_then(Json::as_str) {
+        s.aqm =
+            AqmKind::parse(name).ok_or_else(|| bad(format!("unknown aqm \"{name}\"")))?;
+    }
+    if let Some(on) = v.get("ecn").and_then(Json::as_bool) {
+        s.ecn = on;
+    }
     if let Some(groups) = v.get("flows").and_then(Json::as_arr) {
         let mut flows = Vec::with_capacity(groups.len());
         for g in groups {
@@ -548,6 +589,46 @@ mod tests {
         let jobs = spec.jobs().unwrap();
         assert_eq!(jobs.len(), 2);
         assert_eq!(jobs[0].seed, 7);
+    }
+
+    #[test]
+    fn topology_aqm_and_ecn_axes_expand_onto_the_scenario() {
+        let mut spec = sample_spec();
+        spec.axes = vec![
+            Axis {
+                param: AxisParam::Topology,
+                values: vec!["single".into(), "parking_lot:3".into()],
+            },
+            Axis {
+                param: AxisParam::Aqm,
+                values: vec!["droptail".into(), "codel".into()],
+            },
+            Axis {
+                param: AxisParam::Ecn,
+                values: vec!["off".into(), "on".into()],
+            },
+        ];
+        spec.seeds = vec![1];
+        let jobs = spec.jobs().unwrap();
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+        let last = jobs.last().unwrap();
+        assert_eq!(
+            last.name,
+            "smoke/topology=parking_lot:3/aqm=codel/ecn=on/seed=1"
+        );
+        assert_eq!(last.scenario.topology, TopologyKind::ParkingLot(3));
+        assert_eq!(last.scenario.aqm, AqmKind::Codel);
+        assert!(last.scenario.ecn);
+        assert_eq!(jobs[0].scenario.topology, TopologyKind::SingleBottleneck);
+        assert!(!jobs[0].scenario.ecn);
+        // The names round-trip through the spec JSON form.
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back.axes, spec.axes);
+        // Bad values are rejected with the axis name.
+        let err = AxisParam::Topology
+            .apply(&mut spec.base.clone(), "torus")
+            .unwrap_err();
+        assert!(err.message.contains("topology"), "{err}");
     }
 
     #[test]

@@ -282,6 +282,14 @@ impl CongestionControl for Cubic {
         self.cwnd = self.mss;
         self.ai_bytes = 0;
     }
+
+    fn on_ecn(&mut self, _s: &AckSample) {
+        // RFC 3168 response: the CUBIC multiplicative decrease applied
+        // immediately (no loss episode to finish it at exit-recovery).
+        self.on_loss_event();
+        self.cwnd = self.ssthresh;
+        self.ai_bytes = 0;
+    }
 }
 
 #[cfg(test)]

@@ -109,6 +109,14 @@ impl CongestionControl for NewReno {
         self.cwnd = self.mss;
         self.bytes_acked = 0;
     }
+
+    fn on_ecn(&mut self, _s: &AckSample) {
+        // RFC 3168: respond to the echo as to a loss, but nothing was
+        // dropped — no recovery episode, the reduction lands immediately.
+        self.halve();
+        self.cwnd = self.ssthresh;
+        self.bytes_acked = 0;
+    }
 }
 
 #[cfg(test)]

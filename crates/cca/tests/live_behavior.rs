@@ -34,6 +34,7 @@ fn one_flow(
         receiver: receiver_id,
         first_hop: link,
         data_limit: None,
+        ecn: false,
     };
     let s = sim.add_component(Sender::new(cfg, make_cca(cca, MSS, 7)));
     assert_eq!(s, sender_id);
@@ -160,6 +161,7 @@ fn bbr_probe_rtt_triggers_under_competition() {
             receiver: receiver_id,
             first_hop: link,
             data_limit: None,
+            ecn: false,
         };
         assert_eq!(
             sim.add_component(Sender::new(

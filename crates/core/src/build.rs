@@ -1,27 +1,34 @@
-//! Topology construction: wire a [`Scenario`] into a live simulator.
+//! Network construction: wire a [`Scenario`] into a live simulator.
 //!
-//! The modeled topology is the paper's dumbbell reduced to its essential
-//! elements (DESIGN.md, decision D5): every sender feeds the shared
-//! bottleneck [`Link`] directly (the 25 Gbps access links never congest and
-//! are therefore elided by default), the link forwards to each packet's
-//! receiver, and receivers return ACKs straight to their senders delayed by
-//! the flow's base RTT (the netem substitution).
+//! The network shape comes from the scenario's [`TopologyKind`]
+//! (single-bottleneck by default — the paper's dumbbell reduced to its
+//! essential elements, DESIGN.md decision D5): `ccsim-topo` generates the
+//! [`Topology`] description, instantiates its [`Link`]s (chained directly
+//! or through per-flow routers), and this module attaches the AQM
+//! disciplines, trace recorders, and fault injector, then wires the
+//! senders and receivers. Receivers return ACKs delayed by the flow's
+//! base RTT (the netem substitution) — straight to their senders unless
+//! the topology models an explicit reverse path.
 //!
-//! Senders and receivers are interleaved in the component arena right after
-//! the bottleneck link; ids are pre-computed and cross-checked so the
-//! circular sender↔receiver references resolve without post-construction
-//! mutation.
+//! Senders and receivers are interleaved in the component arena right
+//! after the links and routers; ids are pre-computed and cross-checked so
+//! the circular sender↔receiver references resolve without
+//! post-construction mutation.
+//!
+//! [`Link`]: ccsim_net::Link
 
 use crate::scenario::{Scenario, ScenarioError};
 use ccsim_cca::{make_cca, CcaKind};
 use ccsim_fault::LinkFaultInjector;
-use ccsim_net::link::{Link, NextHop, FAULT_TICK};
+use ccsim_net::link::{Link, FAULT_TICK};
 use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::FlowId;
+use ccsim_net::AqmKind;
 use ccsim_sim::{ComponentId, SimDuration, SimTime, Simulator};
 use ccsim_tcp::receiver::Receiver;
 use ccsim_tcp::sender::{start_msg, Sender, SenderConfig};
 use ccsim_tcp::CongestionControl;
+use ccsim_topo::{instantiate, Topology};
 use ccsim_trace::{FlowRecorder, QueueRecorder};
 use rand::Rng;
 
@@ -29,8 +36,17 @@ use rand::Rng;
 pub struct BuiltNetwork {
     /// The simulator holding all components.
     pub sim: Simulator<Msg>,
-    /// The bottleneck link.
+    /// The primary bottleneck link (anchor for legacy single-link
+    /// reporting: loss rate, drop burstiness, hop-0 queue trace).
     pub link: ComponentId,
+    /// Every link, indexed like [`BuiltNetwork::topology`]`.links`.
+    pub links: Vec<ComponentId>,
+    /// Per-flow routers created for diverging links (often empty).
+    pub routers: Vec<ComponentId>,
+    /// The instantiated topology description.
+    pub topology: Topology,
+    /// Per-link trace hop number (primary bottleneck = 0).
+    pub hop_index: Vec<u32>,
     /// Per-flow sender component ids (index = flow id).
     pub senders: Vec<ComponentId>,
     /// Per-flow receiver component ids.
@@ -83,25 +99,41 @@ impl BuiltNetwork {
         let mut sim = Simulator::new(scenario.seed);
         let rng_factory = sim.rng();
 
-        let link = sim.add_component(Link::new(
-            scenario.bottleneck,
-            SimDuration::ZERO,
-            scenario.buffer_bytes,
-            NextHop::ToPacketDst,
-        ));
+        let topology = scenario.topology_description();
+        // Per-link AQM: the link spec's override, else the scenario-wide
+        // choice. Drop-tail keeps the link's built-in queue — the
+        // digest-identical legacy path.
+        let built = instantiate(&topology, &mut sim, |i, spec| {
+            let kind = spec.aqm.unwrap_or(scenario.aqm);
+            (kind != AqmKind::DropTail).then(|| {
+                kind.build(
+                    spec.buffer_bytes,
+                    spec.rate,
+                    scenario.ecn,
+                    rng_factory.derive_seed("aqm", i as u64),
+                )
+            })
+        })?;
+        let link = built.links[built.primary];
+
         if scenario.trace.enabled {
             let cfg = &scenario.trace;
-            sim.component_mut::<Link>(link)
-                .enable_trace(QueueRecorder::new(
-                    cfg.policy,
-                    cfg.queue_budget(),
-                    cfg.queue_sample_every,
-                    rng_factory.derive_seed("trace-queue", 0),
-                ));
+            for (i, &id) in built.links.iter().enumerate() {
+                sim.component_mut::<Link>(id).enable_trace(
+                    QueueRecorder::new(
+                        cfg.policy,
+                        cfg.queue_budget(),
+                        cfg.queue_sample_every,
+                        rng_factory.derive_seed("trace-queue", i as u64),
+                    )
+                    .with_hop(built.hop_index[i]),
+                );
+            }
         }
         if !scenario.fault.is_empty() {
             // Faults get their own RNG stream so the same scenario with
             // and without a plan keeps identical jitter/CCA randomness.
+            // Impairments target the primary bottleneck only.
             let injector =
                 LinkFaultInjector::new(&scenario.fault, rng_factory.derive_seed("fault", 0));
             if let Some(first) = injector.next_action_at() {
@@ -110,6 +142,7 @@ impl BuiltNetwork {
             sim.component_mut::<Link>(link).enable_faults(injector);
         }
 
+        let endpoint_base = built.links.len() + built.routers.len();
         let n = scenario.flow_count() as usize;
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -120,9 +153,10 @@ impl BuiltNetwork {
         let mut flow: u32 = 0;
         for group in &scenario.flows {
             for _ in 0..group.count {
-                // Ids are sequential: sender then receiver for each flow.
-                let sender_id = ComponentId::from_raw(1 + 2 * flow as usize);
-                let receiver_id = ComponentId::from_raw(2 + 2 * flow as usize);
+                // Ids are sequential: sender then receiver for each flow,
+                // right after the links and routers.
+                let sender_id = ComponentId::from_raw(endpoint_base + 2 * flow as usize);
+                let receiver_id = ComponentId::from_raw(endpoint_base + 1 + 2 * flow as usize);
 
                 let seed = rng_factory.derive_seed("cca", flow as u64);
                 let cca = factory(flow, group.cca, scenario.mss, seed);
@@ -130,8 +164,9 @@ impl BuiltNetwork {
                     flow: FlowId(flow),
                     mss: scenario.mss,
                     receiver: receiver_id,
-                    first_hop: link,
+                    first_hop: built.first_hop[flow as usize],
                     data_limit: None, // infinite sources, as in the paper
+                    ecn: scenario.ecn,
                 };
                 let actual_sender = sim.add_component(Sender::new(cfg, cca));
                 assert_eq!(actual_sender, sender_id, "sender id prediction");
@@ -152,6 +187,12 @@ impl BuiltNetwork {
                     scenario.mss,
                 ));
                 assert_eq!(actual_receiver, receiver_id, "receiver id prediction");
+                if let Some(hop) = built.ack_first_hop[flow as usize] {
+                    // Asymmetric topology: ACKs traverse the reverse-path
+                    // link(s) instead of being delivered directly.
+                    sim.component_mut::<Receiver>(receiver_id)
+                        .set_ack_first_hop(hop);
+                }
 
                 // Start jitter: uniform in [0, start_jitter).
                 let start = if scenario.start_jitter.is_zero() {
@@ -174,6 +215,10 @@ impl BuiltNetwork {
         Ok(BuiltNetwork {
             sim,
             link,
+            links: built.links,
+            routers: built.routers,
+            topology,
+            hop_index: built.hop_index,
             senders,
             receivers,
             flow_cca,
@@ -201,6 +246,7 @@ mod tests {
     use super::*;
     use crate::scenario::FlowGroup;
     use ccsim_sim::SimDuration;
+    use ccsim_topo::TopologyKind;
 
     fn tiny_scenario() -> Scenario {
         Scenario::edge_scale()
@@ -258,6 +304,45 @@ mod tests {
         let delivered = net.per_flow_delivered();
         for (i, &d) in delivered.iter().enumerate() {
             assert!(d > 0, "flow {i} delivered nothing");
+        }
+    }
+
+    #[test]
+    fn single_bottleneck_layout_is_unchanged_by_the_topology_layer() {
+        let net = BuiltNetwork::build(&tiny_scenario());
+        assert_eq!(net.links, vec![ComponentId::from_raw(0)]);
+        assert!(net.routers.is_empty());
+        assert_eq!(net.link, ComponentId::from_raw(0));
+        assert_eq!(net.hop_index, vec![0]);
+        assert_eq!(net.topology.kind, TopologyKind::SingleBottleneck);
+    }
+
+    #[test]
+    fn parking_lot_places_endpoints_after_links_and_routers() {
+        let net =
+            BuiltNetwork::build(&tiny_scenario().topology(TopologyKind::ParkingLot(3)));
+        assert_eq!(net.links.len(), 3);
+        assert_eq!(net.routers.len(), 2);
+        // Primary bottleneck is the first chained link.
+        assert_eq!(net.link, ComponentId::from_raw(0));
+        // Endpoints follow the 3 links + 2 routers.
+        assert_eq!(net.senders[0], ComponentId::from_raw(5));
+        assert_eq!(net.receivers[0], ComponentId::from_raw(6));
+        assert_eq!(net.senders[4], ComponentId::from_raw(13));
+    }
+
+    #[test]
+    fn every_topology_kind_transfers_data_end_to_end() {
+        for kind in [
+            TopologyKind::Dumbbell,
+            TopologyKind::ParkingLot(3),
+            TopologyKind::DumbbellAsym,
+        ] {
+            let mut net = BuiltNetwork::build(&tiny_scenario().topology(kind));
+            net.sim.run_until(SimTime::from_secs(5));
+            for (i, &d) in net.per_flow_delivered().iter().enumerate() {
+                assert!(d > 0, "{kind:?} flow {i} delivered nothing");
+            }
         }
     }
 }

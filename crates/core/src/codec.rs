@@ -12,8 +12,10 @@
 use crate::scenario::{ConvergenceRule, FlowGroup, Scenario};
 use ccsim_fault::json::{escape, Json, JsonError};
 use ccsim_fault::{FaultPlan, WatchdogConfig};
+use ccsim_net::AqmKind;
 use ccsim_sim::jsonfmt::json_f64;
 use ccsim_sim::{Bandwidth, SimDuration};
+use ccsim_topo::TopologyKind;
 use ccsim_trace::{RetentionPolicy, TraceConfig};
 use std::fmt::Write as _;
 
@@ -76,9 +78,21 @@ pub fn scenario_to_json(s: &Scenario) -> String {
     let _ = write!(out, ",\"fault\":{}", s.fault.to_json());
     let _ = write!(
         out,
-        ",\"watchdog\":{{\"enabled\":{},\"every\":{}}}}}",
+        ",\"watchdog\":{{\"enabled\":{},\"every\":{}}}",
         s.watchdog.enabled, s.watchdog.every
     );
+    // Topology / AQM / ECN: emitted only when non-default, so documents
+    // written before these fields existed re-encode byte-identically.
+    if s.topology != TopologyKind::SingleBottleneck {
+        let _ = write!(out, ",\"topology\":\"{}\"", s.topology.as_str());
+    }
+    if s.aqm != AqmKind::DropTail {
+        let _ = write!(out, ",\"aqm\":\"{}\"", s.aqm.as_str());
+    }
+    if s.ecn {
+        out.push_str(",\"ecn\":true");
+    }
+    out.push('}');
     out
 }
 
@@ -183,6 +197,26 @@ pub fn scenario_from_json(text: &str) -> Result<Scenario, JsonError> {
         None => WatchdogConfig::disabled(),
     };
 
+    let topology = match doc.get("topology") {
+        None => TopologyKind::SingleBottleneck,
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| bad("non-string \"topology\""))?;
+            TopologyKind::parse(name)
+                .ok_or_else(|| bad(format!("unknown topology \"{name}\"")))?
+        }
+    };
+    let aqm = match doc.get("aqm") {
+        None => AqmKind::DropTail,
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| bad("non-string \"aqm\""))?;
+            AqmKind::parse(name).ok_or_else(|| bad(format!("unknown AQM \"{name}\"")))?
+        }
+    };
+    let ecn = match doc.get("ecn") {
+        None => false,
+        Some(v) => v.as_bool().ok_or_else(|| bad("non-boolean \"ecn\""))?,
+    };
+
     Ok(Scenario {
         name: get_str(&doc, "name")?.to_string(),
         bottleneck: Bandwidth::from_bps(get_u64(&doc, "bottleneck_bps")?),
@@ -198,6 +232,9 @@ pub fn scenario_from_json(text: &str) -> Result<Scenario, JsonError> {
         trace,
         fault,
         watchdog,
+        topology,
+        aqm,
+        ecn,
     })
 }
 
@@ -238,6 +275,36 @@ mod tests {
         // The Debug form covers every field at full precision.
         assert_eq!(format!("{s:?}"), format!("{back:?}"));
         // Decode → encode is byte-identical.
+        assert_eq!(scenario_to_json(&back), json);
+    }
+
+    #[test]
+    fn topology_fields_round_trip_and_stay_silent_at_defaults() {
+        // Default: the three new keys are absent, so documents predating
+        // them re-encode byte-identically.
+        let s = full_scenario();
+        let json = scenario_to_json(&s);
+        assert!(!json.contains("\"topology\""));
+        assert!(!json.contains("\"aqm\""));
+        assert!(!json.contains("\"ecn\""));
+        let back = scenario_from_json(&json).unwrap();
+        assert_eq!(back.topology, TopologyKind::SingleBottleneck);
+        assert_eq!(back.aqm, AqmKind::DropTail);
+        assert!(!back.ecn);
+
+        // Non-default: all three round-trip exactly.
+        let s = full_scenario()
+            .topology(TopologyKind::ParkingLot(3))
+            .aqm(AqmKind::Codel)
+            .ecn(true);
+        let json = scenario_to_json(&s);
+        assert!(json.contains("\"topology\":\"parking_lot:3\""));
+        assert!(json.contains("\"aqm\":\"codel\""));
+        assert!(json.contains("\"ecn\":true"));
+        let back = scenario_from_json(&json).unwrap();
+        assert_eq!(back.topology, TopologyKind::ParkingLot(3));
+        assert_eq!(back.aqm, AqmKind::Codel);
+        assert!(back.ecn);
         assert_eq!(scenario_to_json(&back), json);
     }
 

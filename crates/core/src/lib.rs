@@ -37,7 +37,7 @@ pub use observe::{
     run_observed, run_observed_with_progress, try_run_observed, try_run_observed_with_progress,
     ObservedRun, RunInstruments,
 };
-pub use outcome::{PInterpretation, RunOutcome};
+pub use outcome::{BottleneckMetrics, PInterpretation, RunOutcome};
 pub use runner::{run, run_with_progress, try_run, try_run_with_progress, Progress};
 pub use scenario::{ConvergenceRule, Fidelity, FlowGroup, Scenario, ScenarioError, DEFAULT_MSS};
 

@@ -19,8 +19,34 @@ pub enum PInterpretation {
     CwndHalving,
 }
 
+/// Window-scoped measurements for one bottleneck link of a multi-hop
+/// topology (or a single link running a non-default AQM/ECN config).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckMetrics {
+    /// Link index in the scenario's topology description.
+    pub link: u32,
+    /// The link's label ("bottleneck", "bn0", …).
+    pub label: String,
+    /// Link utilization over the window (transmitted bits / capacity).
+    pub utilization: f64,
+    /// Jain's Fairness Index across the flows traversing this link, if
+    /// more than zero flows produced throughput.
+    pub jfi: Option<f64>,
+    /// Packet loss rate at this link's queue over the window.
+    pub loss_rate: f64,
+    /// Peak queue occupancy at this link in the window (bytes).
+    pub max_queue_bytes: u64,
+    /// Packets CE-marked by this link's AQM in the window.
+    pub ce_marked_pkts: u64,
+}
+
 /// The complete result of one scenario run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Debug` is hand-written because [`RunOutcome::digest`] hashes the
+/// `Debug` representation: `bottlenecks` is printed **only when
+/// non-empty**, so outcomes of configurations that predate the topology
+/// subsystem keep their exact historical digests.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// Scenario label.
     pub scenario: String,
@@ -51,6 +77,35 @@ pub struct RunOutcome {
     /// The assembled flight-recorder trace, when the scenario enabled
     /// tracing (see [`ccsim_trace::TraceConfig`]).
     pub trace: Option<RunTrace>,
+    /// Per-bottleneck measurements. Empty for the legacy configuration
+    /// (single drop-tail bottleneck, no ECN); populated for multi-link
+    /// topologies and AQM/ECN runs.
+    pub bottlenecks: Vec<BottleneckMetrics>,
+}
+
+impl std::fmt::Debug for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("RunOutcome");
+        d.field("scenario", &self.scenario)
+            .field("seed", &self.seed)
+            .field("mss", &self.mss)
+            .field("bottleneck", &self.bottleneck)
+            .field("flows", &self.flows)
+            .field("flow_cca", &self.flow_cca)
+            .field("measured_for", &self.measured_for)
+            .field("converged", &self.converged)
+            .field("ended_at", &self.ended_at)
+            .field("aggregate_loss_rate", &self.aggregate_loss_rate)
+            .field("drop_burstiness", &self.drop_burstiness)
+            .field("max_queue_bytes", &self.max_queue_bytes)
+            .field("events_processed", &self.events_processed)
+            .field("trace", &self.trace);
+        // Digest stability: present only when populated (see type docs).
+        if !self.bottlenecks.is_empty() {
+            d.field("bottlenecks", &self.bottlenecks);
+        }
+        d.finish()
+    }
 }
 
 impl RunOutcome {
@@ -186,8 +241,31 @@ impl RunOutcome {
                 )
             })
             .collect();
+        // `bottlenecks` appears only when populated, keeping the legacy
+        // document shape byte-for-byte for legacy configurations.
+        let bottlenecks = if self.bottlenecks.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = self
+                .bottlenecks
+                .iter()
+                .map(|b| {
+                    format!(
+                        "{{\"link\":{},\"label\":\"{}\",\"utilization\":{:.6},\"jfi\":{},\"loss_rate\":{:.8},\"max_queue_bytes\":{},\"ce_marked\":{}}}",
+                        b.link,
+                        b.label,
+                        b.utilization,
+                        b.jfi.map_or("null".into(), |v| format!("{v:.6}")),
+                        b.loss_rate,
+                        b.max_queue_bytes,
+                        b.ce_marked_pkts
+                    )
+                })
+                .collect();
+            format!(",\"bottlenecks\":[{}]", rows.join(","))
+        };
         format!(
-            "{{\"scenario\":\"{}\",\"seed\":{},\"aggregate_mbps\":{:.4},\"utilization\":{:.6},\"loss_rate\":{:.8},\"jfi\":{},\"burstiness\":{},\"events_processed\":{},\"max_queue_bytes\":{},\"converged\":{},\"flows\":[{}]}}",
+            "{{\"scenario\":\"{}\",\"seed\":{},\"aggregate_mbps\":{:.4},\"utilization\":{:.6},\"loss_rate\":{:.8},\"jfi\":{},\"burstiness\":{},\"events_processed\":{},\"max_queue_bytes\":{},\"converged\":{}{},\"flows\":[{}]}}",
             self.scenario,
             self.seed,
             self.aggregate_throughput_mbps(),
@@ -198,6 +276,7 @@ impl RunOutcome {
             self.events_processed,
             self.max_queue_bytes,
             self.converged,
+            bottlenecks,
             per_flow.join(",")
         )
     }
@@ -281,6 +360,7 @@ mod tests {
             max_queue_bytes: 1_000_000,
             events_processed: 12345,
             trace: None,
+            bottlenecks: Vec::new(),
         }
     }
 
@@ -328,5 +408,34 @@ mod tests {
         let o = outcome();
         // (20+20+10+10) / (5+5+2+3) = 60/15 = 4.
         assert!((o.loss_to_halving_ratio().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bottlenecks_stay_out_of_debug_and_json() {
+        // Digest stability: outcomes with no per-bottleneck records must
+        // render exactly as they did before the field existed.
+        let o = outcome();
+        assert!(!format!("{o:?}").contains("bottlenecks"));
+        assert!(!o.to_json().contains("bottlenecks"));
+
+        let mut with = outcome();
+        with.bottlenecks.push(BottleneckMetrics {
+            link: 1,
+            label: "bn1".into(),
+            utilization: 0.93,
+            jfi: Some(0.88),
+            loss_rate: 0.002,
+            max_queue_bytes: 500_000,
+            ce_marked_pkts: 42,
+        });
+        let dbg = format!("{with:?}");
+        assert!(dbg.contains("bottlenecks"));
+        assert_ne!(o.digest(), with.digest());
+        let json = with.to_json();
+        assert!(json.contains("\"bottlenecks\":[{\"link\":1,\"label\":\"bn1\""));
+        assert!(json.contains("\"ce_marked\":42"));
+        // The legacy keys keep their relative order either way.
+        let legacy = o.to_json();
+        assert!(legacy.find("\"converged\"").unwrap() < legacy.find("\"flows\"").unwrap());
     }
 }

@@ -14,11 +14,12 @@
 use crate::build::BuiltNetwork;
 use crate::error::SimError;
 use crate::observe::{classify_msg, RunInstruments, EVENT_KINDS};
-use crate::outcome::RunOutcome;
+use crate::outcome::{BottleneckMetrics, RunOutcome};
 use crate::scenario::Scenario;
 use crate::watchdog::Watchdog;
-use ccsim_analysis::jain_fairness_index;
-use ccsim_net::link::Link;
+use ccsim_analysis::{jain_fairness_index, jain_fairness_subset};
+use ccsim_net::link::{Link, LinkStats};
+use ccsim_net::AqmKind;
 use ccsim_sim::SimTime;
 use ccsim_tcp::sender::Sender;
 use ccsim_telemetry::{FlowMetrics, ThroughputTracker};
@@ -129,8 +130,10 @@ fn drain_trace(net: &mut BuiltNetwork, scenario: &Scenario) -> Option<RunTrace> 
             parts.push(rec.finish());
         }
     }
-    if let Some(rec) = net.sim.component_mut::<Link>(net.link).take_trace() {
-        parts.push(rec.finish());
+    for &id in &net.links {
+        if let Some(rec) = net.sim.component_mut::<Link>(id).take_trace() {
+            parts.push(rec.finish());
+        }
     }
     let meta = TraceMeta {
         scenario: scenario.name.clone(),
@@ -203,8 +206,12 @@ pub(crate) fn run_internal(
         drop(span);
     }
 
-    // Warm-up boundary: reset queue counters, snapshot per-flow baselines.
-    net.sim.component_mut::<Link>(net.link).reset_stats();
+    // Warm-up boundary: reset queue counters (every link), snapshot
+    // per-flow baselines.
+    for i in 0..net.links.len() {
+        let id = net.links[i];
+        net.sim.component_mut::<Link>(id).reset_stats();
+    }
     let sender_base: Vec<SenderBaseline> = net
         .senders
         .iter()
@@ -290,6 +297,20 @@ pub(crate) fn run_internal(
     let link = net.sim.component::<Link>(net.link);
     let link_stats = link.stats().clone();
     let drop_burstiness = ccsim_analysis::burstiness(link.drop_log());
+    // Per-flow queue counters are summed over every link a flow's packets
+    // crossed; for the single-bottleneck topology this is exactly the
+    // primary link's own counters.
+    let all_stats: Vec<LinkStats> = net
+        .links
+        .iter()
+        .map(|&id| net.sim.component::<Link>(id).stats().clone())
+        .collect();
+    let per_flow_summed = |per_flow: fn(&LinkStats) -> &Vec<u64>, i: usize| -> u64 {
+        all_stats
+            .iter()
+            .map(|s| per_flow(s).get(i).copied().unwrap_or(0))
+            .sum()
+    };
 
     let mut flows = Vec::with_capacity(net.flow_count());
     for i in 0..net.flow_count() {
@@ -311,9 +332,37 @@ pub(crate) fn run_internal(
             retransmits: stats.retransmits - base.retransmits,
             congestion_events: window_events,
             rtos: stats.rtos - base.rtos,
-            queue_drops: link_stats.per_flow_dropped.get(i).copied().unwrap_or(0),
-            queue_arrivals: link_stats.per_flow_arrived.get(i).copied().unwrap_or(0),
+            queue_drops: per_flow_summed(|s| &s.per_flow_dropped, i),
+            queue_arrivals: per_flow_summed(|s| &s.per_flow_arrived, i),
         });
+    }
+
+    // Per-bottleneck records: populated only for configurations the
+    // topology subsystem introduced (multi-link shapes, AQM, ECN), so
+    // legacy outcomes keep their digests (see `RunOutcome::bottlenecks`).
+    let topology_config = net.links.len() > 1
+        || scenario.ecn
+        || scenario.aqm != AqmKind::DropTail
+        || net.topology.links.iter().any(|l| l.aqm.is_some());
+    let mut bottlenecks = Vec::new();
+    if topology_config {
+        let tputs: Vec<f64> = flows.iter().map(|f| f.throughput_bytes_per_sec).collect();
+        for (i, spec) in net.topology.links.iter().enumerate() {
+            if !spec.bottleneck {
+                continue;
+            }
+            let stats = &all_stats[i];
+            bottlenecks.push(BottleneckMetrics {
+                link: i as u32,
+                label: spec.label.clone(),
+                utilization: (stats.transmitted_bytes as f64 / secs)
+                    / spec.rate.as_bytes_per_sec(),
+                jfi: jain_fairness_subset(&tputs, &net.topology.flows_on_link(i)),
+                loss_rate: stats.loss_rate(),
+                max_queue_bytes: stats.max_queue_bytes,
+                ce_marked_pkts: stats.ce_marked_pkts,
+            });
+        }
     }
 
     let trace = drain_trace(&mut net, scenario);
@@ -333,6 +382,7 @@ pub(crate) fn run_internal(
         max_queue_bytes: link_stats.max_queue_bytes,
         events_processed: net.sim.events_processed(),
         trace,
+        bottlenecks,
     };
     drop(collect_span);
     debug_assert!(!watchdog.tripped(), "tripped watchdog must abort the run");

@@ -24,7 +24,9 @@
 
 use ccsim_cca::CcaKind;
 use ccsim_fault::{FaultPlan, FaultPlanError, WatchdogConfig};
+use ccsim_net::AqmKind;
 use ccsim_sim::{Bandwidth, SimDuration, SimTime};
+use ccsim_topo::{Topology, TopologyError, TopologyKind};
 use ccsim_trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -78,7 +80,12 @@ pub enum Fidelity {
 }
 
 /// A complete experiment description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Debug` is hand-written (not derived) because the campaign layer's
+/// `config_digest` hashes the `Debug` representation: the topology / AQM /
+/// ECN fields are printed **only when non-default**, so every scenario
+/// that predates them keeps its exact historical digest.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Scenario {
     /// Human-readable label used in reports.
     pub name: String,
@@ -112,6 +119,45 @@ pub struct Scenario {
     /// Runtime invariant watchdog (disabled by default; checks are
     /// read-only, so enabling it never changes an outcome digest).
     pub watchdog: WatchdogConfig,
+    /// Network shape ([`TopologyKind::SingleBottleneck`] by default — the
+    /// paper's network, byte-identical to the pre-topology engine).
+    pub topology: TopologyKind,
+    /// Queue discipline on every link ([`AqmKind::DropTail`] by default).
+    pub aqm: AqmKind,
+    /// ECN negotiation (RFC 3168): senders mark data ECT, AQMs mark CE
+    /// instead of dropping, receivers echo ECE. Off by default.
+    pub ecn: bool,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Scenario");
+        d.field("name", &self.name)
+            .field("bottleneck", &self.bottleneck)
+            .field("buffer_bytes", &self.buffer_bytes)
+            .field("mss", &self.mss)
+            .field("flows", &self.flows)
+            .field("seed", &self.seed)
+            .field("start_jitter", &self.start_jitter)
+            .field("warmup", &self.warmup)
+            .field("duration", &self.duration)
+            .field("snapshot_interval", &self.snapshot_interval)
+            .field("convergence", &self.convergence)
+            .field("trace", &self.trace)
+            .field("fault", &self.fault)
+            .field("watchdog", &self.watchdog);
+        // Digest stability: print only when configured (see type docs).
+        if self.topology != TopologyKind::SingleBottleneck {
+            d.field("topology", &self.topology);
+        }
+        if self.aqm != AqmKind::DropTail {
+            d.field("aqm", &self.aqm);
+        }
+        if self.ecn {
+            d.field("ecn", &self.ecn);
+        }
+        d.finish()
+    }
 }
 
 /// Structured scenario-validation failure, replacing the former
@@ -130,6 +176,8 @@ pub enum ScenarioError {
     BadConvergence,
     /// The fault plan is invalid for this scenario's horizon.
     Fault(FaultPlanError),
+    /// The generated topology fails structural validation.
+    Topology(TopologyError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -145,6 +193,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::ZeroDuration => f.write_str("zero measurement duration"),
             ScenarioError::BadConvergence => f.write_str("bad convergence rule"),
             ScenarioError::Fault(e) => write!(f, "invalid fault plan: {e}"),
+            ScenarioError::Topology(e) => write!(f, "invalid topology: {e}"),
         }
     }
 }
@@ -153,6 +202,7 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Fault(e) => Some(e),
+            ScenarioError::Topology(e) => Some(e),
             _ => None,
         }
     }
@@ -161,6 +211,12 @@ impl std::error::Error for ScenarioError {
 impl From<FaultPlanError> for ScenarioError {
     fn from(e: FaultPlanError) -> Self {
         ScenarioError::Fault(e)
+    }
+}
+
+impl From<TopologyError> for ScenarioError {
+    fn from(e: TopologyError) -> Self {
+        ScenarioError::Topology(e)
     }
 }
 
@@ -190,6 +246,9 @@ impl Scenario {
             trace: TraceConfig::disabled(),
             fault: FaultPlan::none(),
             watchdog: WatchdogConfig::disabled(),
+            topology: TopologyKind::SingleBottleneck,
+            aqm: AqmKind::DropTail,
+            ecn: false,
         }
     }
 
@@ -218,6 +277,9 @@ impl Scenario {
             trace: TraceConfig::disabled(),
             fault: FaultPlan::none(),
             watchdog: WatchdogConfig::disabled(),
+            topology: TopologyKind::SingleBottleneck,
+            aqm: AqmKind::DropTail,
+            ecn: false,
         }
     }
 
@@ -286,6 +348,35 @@ impl Scenario {
         self
     }
 
+    /// Select the network shape.
+    pub fn topology(mut self, kind: TopologyKind) -> Scenario {
+        self.topology = kind;
+        self
+    }
+
+    /// Select the queue discipline applied to every link.
+    pub fn aqm(mut self, aqm: AqmKind) -> Scenario {
+        self.aqm = aqm;
+        self
+    }
+
+    /// Enable or disable ECN end-to-end.
+    pub fn ecn(mut self, on: bool) -> Scenario {
+        self.ecn = on;
+        self
+    }
+
+    /// Generate this scenario's full [`Topology`] description (route
+    /// tables included) from its kind, bottleneck, and buffer.
+    pub fn topology_description(&self) -> Topology {
+        Topology::generate(
+            self.topology,
+            self.bottleneck,
+            self.buffer_bytes,
+            self.flow_count(),
+        )
+    }
+
     /// Total number of flows.
     pub fn flow_count(&self) -> u32 {
         self.flows.iter().map(|g| g.count).sum()
@@ -323,6 +414,7 @@ impl Scenario {
             }
         }
         self.fault.validate(self.horizon_end())?;
+        self.topology_description().validate()?;
         Ok(())
     }
 
@@ -403,6 +495,51 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("cover the start-jitter"));
+    }
+
+    #[test]
+    fn debug_omits_topology_fields_at_defaults() {
+        // The campaign config digest hashes `Debug`; default scenarios
+        // must render exactly as they did before the topology fields
+        // existed (see the type docs).
+        let base = Scenario::edge_scale().flows(vec![FlowGroup::new(
+            CcaKind::Reno,
+            2,
+            SimDuration::from_millis(20),
+        )]);
+        let rendered = format!("{base:?}");
+        assert!(!rendered.contains("topology"));
+        assert!(!rendered.contains("aqm"));
+        assert!(!rendered.contains("ecn"));
+
+        let custom = base
+            .clone()
+            .topology(TopologyKind::ParkingLot(3))
+            .aqm(AqmKind::Codel)
+            .ecn(true);
+        let rendered = format!("{custom:?}");
+        assert!(rendered.contains("topology: ParkingLot(3)"));
+        assert!(rendered.contains("aqm: Codel"));
+        assert!(rendered.contains("ecn: true"));
+        // And each non-default field alone changes the digest.
+        assert_ne!(format!("{base:?}"), format!("{:?}", base.clone().ecn(true)));
+    }
+
+    #[test]
+    fn topology_scenarios_validate_and_generate() {
+        let s = Scenario::edge_scale()
+            .flows(vec![FlowGroup::new(
+                CcaKind::Reno,
+                4,
+                SimDuration::from_millis(20),
+            )])
+            .topology(TopologyKind::ParkingLot(3));
+        s.validate().unwrap();
+        let topo = s.topology_description();
+        assert_eq!(topo.links.len(), 3);
+        assert_eq!(topo.flow_count(), 4);
+        assert_eq!(topo.links[0].rate, s.bottleneck);
+        assert_eq!(topo.links[0].buffer_bytes, s.buffer_bytes);
     }
 
     #[test]

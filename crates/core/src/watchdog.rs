@@ -10,11 +10,12 @@
 //!
 //! Checked invariants (see [`InvariantKind`]):
 //!
-//! * **Conservation** — over any interval at the bottleneck,
+//! * **Conservation** — over any interval at every link of the topology,
 //!   `Δarrived = Δdropped + Δtransmitted + Δbacklog_pkts`. Fault-injected
 //!   drops count as drops and duplicates are minted *after* the
 //!   transmission counter, so the identity holds under every fault kind.
-//! * **QueueBound** — waiting bytes never exceed the configured buffer.
+//! * **QueueBound** — waiting bytes never exceed the configured buffer,
+//!   on every link.
 //! * **CwndSanity** — every started sender keeps `cwnd ≥ 1 MSS` and never
 //!   delivers more than it sent.
 //! * **TimeMonotonic** — the engine clock and event counter never move
@@ -59,7 +60,7 @@ pub(crate) struct Watchdog {
     cfg: WatchdogConfig,
     report: WatchdogReport,
     slice: u64,
-    base: LinkBaseline,
+    base: Vec<LinkBaseline>,
     last_now: SimTime,
     last_events: u64,
 }
@@ -70,19 +71,23 @@ impl Watchdog {
             cfg,
             report: WatchdogReport::default(),
             slice: 0,
-            base: LinkBaseline::default(),
+            base: Vec::new(),
             last_now: SimTime::ZERO,
             last_events: 0,
         }
     }
 
-    /// Re-anchor the conservation baseline — called right after the
+    /// Re-anchor the conservation baselines — called right after the
     /// warm-up boundary resets the link counters.
     pub(crate) fn rebaseline(&mut self, net: &BuiltNetwork) {
         if !self.cfg.enabled {
             return;
         }
-        self.base = LinkBaseline::capture(net.sim.component::<Link>(net.link));
+        self.base = net
+            .links
+            .iter()
+            .map(|&id| LinkBaseline::capture(net.sim.component::<Link>(id)))
+            .collect();
     }
 
     /// True if any check has failed so far.
@@ -131,34 +136,43 @@ impl Watchdog {
         self.last_now = now;
         self.last_events = events;
 
-        let link = net.sim.component::<Link>(net.link);
-
-        // Conservation at the bottleneck, as deltas from the baseline.
-        let cur = LinkBaseline::capture(link);
-        let d_arrived = cur.arrived as i128 - self.base.arrived as i128;
-        let d_dropped = cur.dropped as i128 - self.base.dropped as i128;
-        let d_transmitted = cur.transmitted as i128 - self.base.transmitted as i128;
-        let d_backlog = cur.backlog_pkts as i128 - self.base.backlog_pkts as i128;
-        if d_arrived != d_dropped + d_transmitted + d_backlog {
-            self.record(
-                now,
-                InvariantKind::Conservation,
-                format!(
-                    "Δarrived {d_arrived} != Δdropped {d_dropped} \
-                     + Δtransmitted {d_transmitted} + Δbacklog {d_backlog}"
-                ),
-            );
+        // Before the first rebaseline every delta is measured from zero
+        // counters, which is exactly what a fresh simulator has.
+        if self.base.len() != net.links.len() {
+            self.base.resize(net.links.len(), LinkBaseline::default());
         }
 
-        // Queue bound: waiting bytes within the configured buffer.
-        let backlog = link.backlog_bytes();
-        let buffer = link.buffer_bytes();
-        if backlog > buffer {
-            self.record(
-                now,
-                InvariantKind::QueueBound,
-                format!("backlog {backlog} B > buffer {buffer} B"),
-            );
+        for (li, &link_id) in net.links.iter().enumerate() {
+            let link = net.sim.component::<Link>(link_id);
+
+            // Conservation at this link, as deltas from the baseline.
+            let cur = LinkBaseline::capture(link);
+            let base = self.base[li];
+            let d_arrived = cur.arrived as i128 - base.arrived as i128;
+            let d_dropped = cur.dropped as i128 - base.dropped as i128;
+            let d_transmitted = cur.transmitted as i128 - base.transmitted as i128;
+            let d_backlog = cur.backlog_pkts as i128 - base.backlog_pkts as i128;
+            if d_arrived != d_dropped + d_transmitted + d_backlog {
+                self.record(
+                    now,
+                    InvariantKind::Conservation,
+                    format!(
+                        "link {li}: Δarrived {d_arrived} != Δdropped {d_dropped} \
+                         + Δtransmitted {d_transmitted} + Δbacklog {d_backlog}"
+                    ),
+                );
+            }
+
+            // Queue bound: waiting bytes within the configured buffer.
+            let backlog = link.backlog_bytes();
+            let buffer = link.buffer_bytes();
+            if backlog > buffer {
+                self.record(
+                    now,
+                    InvariantKind::QueueBound,
+                    format!("link {li}: backlog {backlog} B > buffer {buffer} B"),
+                );
+            }
         }
 
         // Sender congestion-state sanity. Flows that haven't started yet
@@ -269,7 +283,7 @@ mod tests {
         // Corrupt the baseline behind the watchdog's back: the deltas can
         // no longer balance, which is exactly the kind of counter
         // corruption the check exists to catch.
-        wd.base.arrived += 1000;
+        wd.base[0].arrived += 1000;
         assert!(wd.check(&net, &s));
         let report = wd.into_report();
         assert!(!report.is_clean());

@@ -8,6 +8,7 @@
 //! first-class hop (e.g. ablations measuring event-count overhead).
 
 use crate::msg::Msg;
+use crate::path::{deliver_after, hop_latency};
 use ccsim_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
 
 /// Where a delay line forwards packets.
@@ -57,7 +58,7 @@ impl Component<Msg> for DelayLine {
                     DelayNext::Fixed(id) => id,
                     DelayNext::ToPacketDst => p.dst,
                 };
-                ctx.schedule_in(self.delay, dst, Msg::Packet(p));
+                deliver_after(ctx, hop_latency(self.delay, SimDuration::ZERO), dst, p);
             }
             // A delay line arms no timers of its own; with the token-based
             // cancellation API a timer landing here means a mis-routed or

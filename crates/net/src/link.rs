@@ -22,13 +22,14 @@
 //! and Goh–Barabási burstiness scores. The log can be capped for very long
 //! runs; counters are always exact.
 
+use crate::aqm::{AqmQueue, Dequeued, DropTail, Enqueued};
 use crate::msg::{Msg, TimerToken};
 use crate::packet::Packet;
+use crate::path::{deliver_after, hop_latency};
 use ccsim_fault::{FaultStats, LinkFaultInjector};
 use ccsim_sim::{Bandwidth, Component, ComponentId, Ctx, SimDuration, SimTime};
 use ccsim_telemetry::{Counter, Histogram};
 use ccsim_trace::QueueRecorder;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Shared metric handles for a link, registered by the harness and
@@ -70,6 +71,12 @@ const SERIALIZATION_DONE: u16 = 1;
 /// an injector; the link re-arms itself for each subsequent action.
 pub const FAULT_TICK: u16 = 2;
 
+/// Timer kind for the AQM control-law clock (PIE's probability update).
+/// Armed lazily at the first packet arrival when the discipline reports a
+/// [`tick_interval`](crate::aqm::AqmQueue::tick_interval); disciplines
+/// without one (drop-tail, RED, CoDel) cost zero extra events.
+pub const AQM_TICK: u16 = 3;
+
 /// Aggregate and per-flow counters for a link.
 #[derive(Debug, Clone, Default)]
 pub struct LinkStats {
@@ -88,6 +95,9 @@ pub struct LinkStats {
     /// Highest queue occupancy observed, in bytes (excludes the in-service
     /// packet, matching how the buffer bound is enforced).
     pub max_queue_bytes: u64,
+    /// Packets CE-marked by the link's AQM in place of an early drop
+    /// (always 0 for drop-tail or when ECN is off).
+    pub ce_marked_pkts: u64,
     /// Per-flow arrival counts, indexed by [`FlowId`](crate::packet::FlowId).
     pub per_flow_arrived: Vec<u64>,
     /// Per-flow drop counts.
@@ -130,8 +140,12 @@ pub struct Link {
     /// has already left the buffer for the wire).
     buffer_bytes: u64,
     next: NextHop,
-    queue: VecDeque<Packet>,
-    queued_bytes: u64,
+    /// The buffering policy. Drop-tail by default (byte-identical to the
+    /// pre-trait hard-coded queue); swappable per link via
+    /// [`Link::set_aqm`].
+    aqm: Box<dyn AqmQueue>,
+    /// Whether the AQM control-law timer is armed (see [`AQM_TICK`]).
+    aqm_tick_armed: bool,
     in_service: Option<Packet>,
     /// Exact counters (always on).
     stats: LinkStats,
@@ -169,8 +183,8 @@ impl Link {
             prop_delay,
             buffer_bytes,
             next,
-            queue: VecDeque::new(),
-            queued_bytes: 0,
+            aqm: Box::new(DropTail::new(buffer_bytes)),
+            aqm_tick_armed: false,
             in_service: None,
             stats: LinkStats::default(),
             drop_log: Vec::new(),
@@ -193,6 +207,36 @@ impl Link {
     pub fn with_drop_log_cap(mut self, cap: usize) -> Link {
         self.drop_log_cap = cap;
         self
+    }
+
+    /// Replace the buffering discipline (must be done while the queue is
+    /// empty — the harness swaps AQMs at build time, before any traffic).
+    ///
+    /// Also invalidates the serialization-time memo: a discipline change
+    /// alters effective service behavior (admission, marking, dequeue-time
+    /// drops), so a memoized duration from the previous discipline's
+    /// traffic must not leak across the swap.
+    pub fn set_aqm(&mut self, queue: Box<dyn AqmQueue>) {
+        assert_eq!(
+            self.aqm.queued_pkts(),
+            0,
+            "AQM discipline swapped with packets still queued"
+        );
+        self.buffer_bytes = queue.buffer_bytes();
+        self.aqm = queue;
+        self.aqm_tick_armed = false;
+        self.ser_memo = None;
+    }
+
+    /// The active AQM discipline.
+    pub fn aqm_kind(&self) -> crate::aqm::AqmKind {
+        self.aqm.kind()
+    }
+
+    /// The serialization-time memo's current key, if populated
+    /// (diagnostics; lets tests pin the memo's invalidation paths).
+    pub fn ser_memo_bytes(&self) -> Option<u32> {
+        self.ser_memo.map(|(bytes, _)| bytes)
     }
 
     /// Suppress drop-log entries before `t` (warm-up exclusion). Counters
@@ -276,12 +320,12 @@ impl Link {
 
     /// Current backlog in bytes (waiting packets, excluding in-service).
     pub fn backlog_bytes(&self) -> u64 {
-        self.queued_bytes
+        self.aqm.queued_bytes()
     }
 
     /// Number of packets waiting in the queue (excluding in-service).
     pub fn queued_pkts(&self) -> u64 {
-        self.queue.len() as u64
+        self.aqm.queued_pkts()
     }
 
     /// 1 if a packet is currently being serialized, else 0 — so the
@@ -334,6 +378,36 @@ impl Link {
         ctx.schedule_self(ser, Msg::Timer(TimerToken::pack(SERIALIZATION_DONE, 0)));
     }
 
+    /// Account one dropped packet: counters, metrics burst, drop log, and
+    /// flight recorder. Queue-overflow, AQM early drops, fault drops, and
+    /// CoDel dequeue-time drops all flow through here so loss-rate
+    /// analysis sees total loss regardless of cause.
+    fn count_drop(&mut self, now: SimTime, p: &Packet) {
+        self.stats.dropped_pkts += 1;
+        self.stats.dropped_bytes += p.wire_bytes as u64;
+        self.stats.per_flow_dropped[p.flow.index()] += 1;
+        if self.metrics.is_some() {
+            self.drop_burst += 1;
+        }
+        if now >= self.log_from && self.drop_log.len() < self.drop_log_cap {
+            self.drop_log.push(now);
+        }
+        if let Some(rec) = &mut self.recorder {
+            rec.on_drop(now, p.flow.0, self.aqm.queued_bytes());
+        }
+    }
+
+    /// Arm the AQM control-law timer if the discipline wants one and it is
+    /// not already running (lazy: first arrival only).
+    fn maybe_arm_aqm_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.aqm_tick_armed {
+            if let Some(interval) = self.aqm.tick_interval() {
+                self.aqm_tick_armed = true;
+                ctx.schedule_self(interval, Msg::Timer(TimerToken::pack(AQM_TICK, 0)));
+            }
+        }
+    }
+
     fn on_packet(&mut self, now: SimTime, p: Packet, ctx: &mut Ctx<'_, Msg>) {
         let fi = p.flow.index();
         self.stats.grow_for(fi);
@@ -341,62 +415,45 @@ impl Link {
         self.stats.arrived_bytes += p.wire_bytes as u64;
         self.stats.per_flow_arrived[fi] += 1;
         if let Some(rec) = &mut self.recorder {
-            rec.on_arrival(now, self.queued_bytes, self.queue.len() as u64);
+            rec.on_arrival(now, self.aqm.queued_bytes(), self.aqm.queued_pkts());
         }
         if let Some(m) = &self.metrics {
-            m.queue_bytes.record(self.queued_bytes);
+            m.queue_bytes.record(self.aqm.queued_bytes());
         }
         if let Some(inj) = &mut self.injector {
             if inj.arrival_drop(now).is_some() {
-                // Fault drops (blackout / random loss) count as drops at
-                // this link — same counters and drop log as queue
-                // overflow, so loss-rate analysis sees total loss; the
-                // injector's own stats keep the breakdown by cause.
-                self.stats.dropped_pkts += 1;
-                self.stats.dropped_bytes += p.wire_bytes as u64;
-                self.stats.per_flow_dropped[fi] += 1;
-                if self.metrics.is_some() {
-                    self.drop_burst += 1;
-                }
-                if now >= self.log_from && self.drop_log.len() < self.drop_log_cap {
-                    self.drop_log.push(now);
-                }
-                if let Some(rec) = &mut self.recorder {
-                    rec.on_drop(now, p.flow.0, self.queued_bytes);
-                }
+                // Fault drops (blackout / random loss): the injector's own
+                // stats keep the breakdown by cause.
+                self.count_drop(now, &p);
                 return;
             }
         }
+        self.maybe_arm_aqm_tick(ctx);
 
         if self.in_service.is_none() {
-            debug_assert!(self.queue.is_empty());
+            debug_assert!(self.aqm.queued_pkts() == 0);
             self.end_drop_burst();
             self.start_service(p, ctx);
             return;
         }
-        if self.queued_bytes + p.wire_bytes as u64 > self.buffer_bytes {
-            // Drop-tail: the arriving packet is discarded.
-            self.stats.dropped_pkts += 1;
-            self.stats.dropped_bytes += p.wire_bytes as u64;
-            self.stats.per_flow_dropped[fi] += 1;
-            if self.metrics.is_some() {
-                self.drop_burst += 1;
+        match self.aqm.enqueue(now, p) {
+            Enqueued::Dropped(p) => self.count_drop(now, &p),
+            Enqueued::Marked => {
+                self.end_drop_burst();
+                self.stats.ce_marked_pkts += 1;
+                if let Some(rec) = &mut self.recorder {
+                    rec.on_ecn_mark(now, p.flow.0, self.aqm.queued_bytes());
+                }
+                self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.aqm.queued_bytes());
             }
-            if now >= self.log_from && self.drop_log.len() < self.drop_log_cap {
-                self.drop_log.push(now);
+            Enqueued::Queued => {
+                self.end_drop_burst();
+                self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.aqm.queued_bytes());
             }
-            if let Some(rec) = &mut self.recorder {
-                rec.on_drop(now, p.flow.0, self.queued_bytes);
-            }
-            return;
         }
-        self.end_drop_burst();
-        self.queued_bytes += p.wire_bytes as u64;
-        self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.queued_bytes);
-        self.queue.push_back(p);
     }
 
-    fn on_serialization_done(&mut self, _now: SimTime, ctx: &mut Ctx<'_, Msg>) {
+    fn on_serialization_done(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
         let p = self
             .in_service
             .take()
@@ -410,16 +467,35 @@ impl Link {
             // packet is overtaken by later deliveries — reordering
             // without any queue manipulation.
             let fate = inj.delivery_fate();
-            ctx.schedule_in(self.prop_delay + fate.extra_delay, dst, Msg::Packet(p));
+            let latency = hop_latency(self.prop_delay, fate.extra_delay);
+            deliver_after(ctx, latency, dst, p);
             if fate.duplicate {
-                ctx.schedule_in(self.prop_delay + fate.extra_delay, dst, Msg::Packet(p));
+                deliver_after(ctx, latency, dst, p);
             }
         } else {
-            ctx.schedule_in(self.prop_delay, dst, Msg::Packet(p));
+            deliver_after(ctx, hop_latency(self.prop_delay, SimDuration::ZERO), dst, p);
         }
-        if let Some(next) = self.queue.pop_front() {
-            self.queued_bytes -= next.wire_bytes as u64;
-            self.start_service(next, ctx);
+        // Pull the next packet to serialize. CoDel may drop (or CE-mark)
+        // at dequeue; account drops here and keep asking.
+        loop {
+            match self.aqm.dequeue(now) {
+                Dequeued::Deliver(next) => {
+                    self.start_service(next, ctx);
+                    break;
+                }
+                Dequeued::Marked(next) => {
+                    self.stats.ce_marked_pkts += 1;
+                    if let Some(rec) = &mut self.recorder {
+                        rec.on_ecn_mark(now, next.flow.0, self.aqm.queued_bytes());
+                    }
+                    self.start_service(next, ctx);
+                    break;
+                }
+                Dequeued::Dropped(dropped) => {
+                    self.count_drop(now, &dropped);
+                }
+                Dequeued::Empty => break,
+            }
         }
     }
 
@@ -433,6 +509,9 @@ impl Link {
             // the wire finishes at its old rate, as on real hardware.
             self.rate = rate;
             self.ser_memo = None;
+            // Delay-estimating disciplines (PIE) re-anchor on the new
+            // drain rate.
+            self.aqm.on_rate_change(rate);
         }
         if let Some(at) = inj.next_action_at() {
             let self_id = ctx.self_id();
@@ -447,6 +526,23 @@ impl Component<Msg> for Link {
             Msg::Packet(p) => self.on_packet(now, p, ctx),
             Msg::Timer(t) => match t.kind() {
                 FAULT_TICK => self.on_fault_tick(now, ctx),
+                AQM_TICK => {
+                    // Re-arm only while the discipline still wants a tick
+                    // (a build-time AQM swap may leave one parked event)
+                    // and has work to do — a quiescent discipline on an
+                    // idle link would otherwise keep the simulation alive
+                    // forever. The next arrival re-arms lazily.
+                    if let Some(interval) = self.aqm.tick_interval() {
+                        self.aqm.on_tick(now);
+                        if self.aqm.tick_needed() || self.in_service.is_some() {
+                            ctx.schedule_self(interval, Msg::Timer(TimerToken::pack(AQM_TICK, 0)));
+                        } else {
+                            self.aqm_tick_armed = false;
+                        }
+                    } else {
+                        self.aqm_tick_armed = false;
+                    }
+                }
                 kind => {
                     debug_assert_eq!(kind, SERIALIZATION_DONE);
                     self.on_serialization_done(now, ctx);
@@ -926,6 +1022,141 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn set_aqm_invalidates_ser_memo_and_resyncs_buffer() {
+        use crate::aqm::AqmKind;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            3000,
+            NextHop::ToPacketDst,
+        ));
+        sim.schedule(SimTime::ZERO, link, Msg::Packet(pkt(0, sink, 1500)));
+        sim.run();
+        let l = sim.component_mut::<Link>(link);
+        assert_eq!(l.ser_memo_bytes(), Some(1500));
+        l.set_aqm(AqmKind::Codel.build(64_000, Bandwidth::from_mbps(100), false, 1));
+        assert_eq!(l.ser_memo_bytes(), None);
+        assert_eq!(l.aqm_kind(), AqmKind::Codel);
+        assert_eq!(l.buffer_bytes(), 64_000);
+    }
+
+    #[test]
+    fn pie_link_quiesces_after_draining_so_run_to_empty_terminates() {
+        use crate::aqm::AqmKind;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let mut l = Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            64_000,
+            NextHop::ToPacketDst,
+        );
+        l.set_aqm(AqmKind::Pie.build(64_000, Bandwidth::from_mbps(100), false, 5));
+        let link = sim.add_component(l);
+        // A burst deep enough to raise PIE's probability above zero, so
+        // quiescence requires the post-drain decay to actually terminate.
+        for i in 0..200 {
+            sim.schedule(
+                SimTime::from_micros(i * 10),
+                link,
+                Msg::Packet(pkt(0, sink, 1500)),
+            );
+        }
+        // Runs to a genuinely empty event queue: with the control-law
+        // timer re-arming unconditionally this would never return.
+        sim.run();
+        let l = sim.component::<Link>(link);
+        assert!(l.stats().transmitted_pkts > 0);
+        assert_eq!(l.aqm.queued_pkts(), 0);
+        assert!(!l.aqm.tick_needed(), "PIE still ticking after drain");
+    }
+
+    #[test]
+    fn fault_rate_change_invalidates_ser_memo() {
+        use ccsim_fault::FaultPlan;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            u64::MAX,
+            NextHop::ToPacketDst,
+        ));
+        let plan = FaultPlan::none().set_bandwidth(SimTime::from_secs(1), Bandwidth::from_mbps(50));
+        arm_faults(&mut sim, link, LinkFaultInjector::new(&plan, 9));
+        // One packet long before the rate change populates the memo; no
+        // traffic afterwards, so a stale memo would survive to the end.
+        sim.schedule(SimTime::ZERO, link, Msg::Packet(pkt(0, sink, 1500)));
+        sim.run();
+        assert_eq!(sim.component::<Link>(link).ser_memo_bytes(), None);
+    }
+
+    #[test]
+    fn red_link_marks_ect_packets_instead_of_dropping_early() {
+        use crate::aqm::AqmKind;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(10),
+            SimDuration::ZERO,
+            60_000,
+            NextHop::ToPacketDst,
+        ));
+        sim.component_mut::<Link>(link)
+            .set_aqm(AqmKind::Red.build(60_000, Bandwidth::from_mbps(10), true, 7));
+        // Arrivals far faster than the 1.2 ms/pkt drain build a standing
+        // queue; the long train lets RED's slow EWMA (w = 1/512) converge
+        // past the marking thresholds.
+        for i in 0..2000u64 {
+            let mut p = pkt(0, sink, 1500);
+            p.seq = i;
+            p.set_ect();
+            sim.schedule(SimTime::from_micros(i * 100), link, Msg::Packet(p));
+        }
+        sim.run();
+        let l = sim.component::<Link>(link);
+        let stats = l.stats().clone();
+        assert!(stats.ce_marked_pkts > 0, "RED never marked: {stats:?}");
+        // Marks replace early drops, not buffer-overflow drops; everything
+        // admitted is eventually transmitted.
+        assert_eq!(stats.transmitted_pkts + stats.dropped_pkts, stats.arrived_pkts);
+        let ce_delivered = sim
+            .component::<Sink>(sink)
+            .received
+            .iter()
+            .filter(|(_, p)| p.is_ce())
+            .count() as u64;
+        assert_eq!(ce_delivered, stats.ce_marked_pkts);
+    }
+
+    #[test]
+    fn red_link_without_ecn_early_drops_instead_of_marking() {
+        use crate::aqm::AqmKind;
+        let mut sim = Simulator::new(0);
+        let sink = sim.add_component(Sink { received: vec![] });
+        let link = sim.add_component(Link::new(
+            Bandwidth::from_mbps(10),
+            SimDuration::ZERO,
+            60_000,
+            NextHop::ToPacketDst,
+        ));
+        sim.component_mut::<Link>(link)
+            .set_aqm(AqmKind::Red.build(60_000, Bandwidth::from_mbps(10), false, 7));
+        for i in 0..200u64 {
+            let mut p = pkt(0, sink, 1500);
+            p.seq = i;
+            p.set_ect();
+            sim.schedule(SimTime::from_micros(i * 100), link, Msg::Packet(p));
+        }
+        sim.run();
+        let stats = sim.component::<Link>(link).stats().clone();
+        assert_eq!(stats.ce_marked_pkts, 0);
+        assert!(stats.dropped_pkts > 0, "RED never early-dropped: {stats:?}");
     }
 
     #[test]

@@ -141,7 +141,21 @@ pub struct Packet {
     pub sent_at: SimTime,
     /// Data: true iff this is a retransmission (diagnostics/telemetry).
     pub retransmit: bool,
+    /// ECN bits (RFC 3168): IP-level ECT/CE plus the TCP-level ECE/CWR
+    /// echo flags, packed into one byte. Zero = not ECN-capable, the
+    /// paper's testbed configuration.
+    pub ecn: u8,
 }
+
+/// ECN: ECN-Capable Transport codepoint (data packets of ECN flows).
+pub const ECN_ECT: u8 = 0b0001;
+/// ECN: Congestion Experienced, set by an AQM in place of a drop.
+pub const ECN_CE: u8 = 0b0010;
+/// TCP flag: ECN-Echo, set on ACKs until the sender confirms with CWR.
+pub const ECN_ECE: u8 = 0b0100;
+/// TCP flag: Congestion Window Reduced, set on the first data packet after
+/// an ECN-triggered reduction.
+pub const ECN_CWR: u8 = 0b1000;
 
 // Referenced only by `#[serde(default = ...)]`, which the offline serde
 // stand-in (vendor/README.md) accepts but does not expand.
@@ -173,6 +187,7 @@ impl Packet {
             sack: SackBlocks::EMPTY,
             sent_at: now,
             retransmit: false,
+            ecn: 0,
         }
     }
 
@@ -195,6 +210,7 @@ impl Packet {
             sack,
             sent_at: now,
             retransmit: false,
+            ecn: 0,
         }
     }
 
@@ -208,6 +224,57 @@ impl Packet {
     #[inline]
     pub fn is_data(&self) -> bool {
         matches!(self.kind, PacketKind::Data)
+    }
+
+    // ----- ECN ----------------------------------------------------------
+
+    /// Declare the packet ECN-capable (ECT codepoint).
+    #[inline]
+    pub fn set_ect(&mut self) {
+        self.ecn |= ECN_ECT;
+    }
+
+    /// True iff the packet carries the ECT codepoint (an AQM may mark it
+    /// instead of dropping it).
+    #[inline]
+    pub fn is_ect(&self) -> bool {
+        self.ecn & ECN_ECT != 0
+    }
+
+    /// Set Congestion Experienced (an AQM's mark-instead-of-drop).
+    #[inline]
+    pub fn mark_ce(&mut self) {
+        self.ecn |= ECN_CE;
+    }
+
+    /// True iff an AQM marked this packet CE on its path.
+    #[inline]
+    pub fn is_ce(&self) -> bool {
+        self.ecn & ECN_CE != 0
+    }
+
+    /// Set ECN-Echo (receiver → sender, on ACKs).
+    #[inline]
+    pub fn set_ece(&mut self) {
+        self.ecn |= ECN_ECE;
+    }
+
+    /// True iff the ACK carries ECN-Echo.
+    #[inline]
+    pub fn has_ece(&self) -> bool {
+        self.ecn & ECN_ECE != 0
+    }
+
+    /// Set Congestion Window Reduced (sender → receiver, on data).
+    #[inline]
+    pub fn set_cwr(&mut self) {
+        self.ecn |= ECN_CWR;
+    }
+
+    /// True iff the data packet carries CWR.
+    #[inline]
+    pub fn has_cwr(&self) -> bool {
+        self.ecn & ECN_CWR != 0
     }
 }
 
@@ -278,5 +345,22 @@ mod tests {
     fn packet_is_small() {
         // The hot path copies packets by value; keep them cache-friendly.
         assert!(std::mem::size_of::<Packet>() <= 136);
+    }
+
+    #[test]
+    fn ecn_bits_are_independent() {
+        let mut p = Packet::data(FlowId(0), cid(), 0, 100, SimTime::ZERO);
+        assert_eq!(p.ecn, 0);
+        assert!(!p.is_ect() && !p.is_ce() && !p.has_ece() && !p.has_cwr());
+        p.set_ect();
+        assert!(p.is_ect() && !p.is_ce());
+        p.mark_ce();
+        assert!(p.is_ect() && p.is_ce());
+        let mut a = Packet::ack(FlowId(0), cid(), 100, SackBlocks::EMPTY, SimTime::ZERO);
+        a.set_ece();
+        assert!(a.has_ece() && !a.has_cwr());
+        let mut d = Packet::data(FlowId(0), cid(), 0, 100, SimTime::ZERO);
+        d.set_cwr();
+        assert!(d.has_cwr() && !d.has_ece());
     }
 }

@@ -1,0 +1,47 @@
+//! Shared per-hop delivery arithmetic.
+//!
+//! Both [`Link`](crate::link::Link) (after serialization) and
+//! [`DelayLine`](crate::delay::DelayLine) forward a packet "after some
+//! latency"; before this module each call site composed its own
+//! `base + extra` sum and `schedule_in` call. Centralizing the arithmetic
+//! keeps fault-injected extra delay composed identically on every path and
+//! gives per-hop latency one audited definition.
+
+use crate::msg::Msg;
+use crate::packet::Packet;
+use ccsim_sim::{ComponentId, Ctx, SimDuration};
+
+/// The one-way latency of a hop: base propagation plus any impairment
+/// extra (fault-injected delay step, reorder hold-back).
+#[inline]
+pub fn hop_latency(prop_delay: SimDuration, extra: SimDuration) -> SimDuration {
+    prop_delay + extra
+}
+
+/// Schedule `p`'s delivery to `dst` after `latency`. FIFO order among
+/// equal latencies is preserved by the engine's tie-break, so a constant
+/// latency can never reorder a hop's departures.
+#[inline]
+pub fn deliver_after(
+    ctx: &mut Ctx<'_, Msg>,
+    latency: SimDuration,
+    dst: ComponentId,
+    p: Packet,
+) {
+    ctx.schedule_in(latency, dst, Msg::Packet(p));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_latency_is_plain_composition() {
+        let base = SimDuration::from_millis(5);
+        assert_eq!(hop_latency(base, SimDuration::ZERO), base);
+        assert_eq!(
+            hop_latency(base, SimDuration::from_millis(20)),
+            SimDuration::from_millis(25)
+        );
+    }
+}

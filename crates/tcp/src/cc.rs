@@ -96,6 +96,12 @@ pub trait CongestionControl: std::any::Any {
     /// data lost and will slow-start from a minimal window.
     fn on_rto(&mut self, s: &AckSample);
 
+    /// An ECN ECE echo was accepted (at most once per window of data, RFC
+    /// 3168 §6.1.2). Classic CCAs respond as to a loss — multiplicative
+    /// decrease without retransmission; DCTCP-style algorithms apply a
+    /// fractional cut. The default ignores the signal (BBR's behaviour).
+    fn on_ecn(&mut self, _s: &AckSample) {}
+
     /// Whether the endpoint should run Proportional Rate Reduction during
     /// recovery (true for loss-based CCAs, false for BBR, which manages its
     /// own in-flight cap).

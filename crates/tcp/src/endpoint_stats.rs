@@ -34,6 +34,9 @@ pub struct SenderStats {
     pub delivered_bytes: u64,
     /// Segments declared lost by loss detection or RTO.
     pub segments_marked_lost: u64,
+    /// ECE-triggered congestion responses (RFC 3168: at most one per
+    /// window of data). Zero when ECN is off.
+    pub ecn_reductions: u64,
 }
 
 impl SenderStats {
@@ -62,6 +65,10 @@ pub struct ReceiverStats {
     pub acks_sent: u64,
     /// ACKs emitted carrying SACK blocks.
     pub sack_acks_sent: u64,
+    /// Data segments that arrived CE-marked.
+    pub ce_pkts_received: u64,
+    /// ACKs emitted with the ECE echo set.
+    pub ece_acks_sent: u64,
 }
 
 #[cfg(test)]

@@ -57,6 +57,13 @@ pub struct Receiver {
     /// Generation stamped into delack timer messages; guards the
     /// same-nanosecond dispatch-batch race `cancel` cannot cover.
     delack_generation: u64,
+    /// RFC 3168 echo state: set when a CE-marked segment arrives, held
+    /// across ACKs until the sender confirms with CWR on new data.
+    ece_pending: bool,
+    /// First hop for outgoing ACKs when the reverse path is routed through
+    /// links (asymmetric topologies). `None` = deliver straight to the
+    /// sender after `ack_delay` (the legacy netem substitution).
+    ack_first_hop: Option<ComponentId>,
     stats: ReceiverStats,
 }
 
@@ -74,8 +81,18 @@ impl Receiver {
             unacked_segments: 0,
             delack_timer: CancelToken::default(),
             delack_generation: 0,
+            ece_pending: false,
+            ack_first_hop: None,
             stats: ReceiverStats::default(),
         }
+    }
+
+    /// Route outgoing ACKs through `hop` (a reverse-path link) instead of
+    /// delivering them straight to the sender. The ACK still names the
+    /// sender as [`Packet::dst`], so the last reverse hop can forward it
+    /// with `ToPacketDst`.
+    pub fn set_ack_first_hop(&mut self, hop: ComponentId) {
+        self.ack_first_hop = Some(hop);
     }
 
     /// Total in-order bytes delivered to the application.
@@ -186,8 +203,13 @@ impl Receiver {
     fn send_ack(&mut self, now: SimTime, ctx: &mut Ctx<'_, Msg>) {
         let sack = self.sack_blocks();
         let dup = !sack.is_empty();
-        let ack = Packet::ack(self.flow, self.sender, self.rcv_nxt, sack, now);
-        ctx.schedule_in(self.ack_delay, self.sender, Msg::Packet(ack));
+        let mut ack = Packet::ack(self.flow, self.sender, self.rcv_nxt, sack, now);
+        if self.ece_pending {
+            ack.set_ece();
+            self.stats.ece_acks_sent += 1;
+        }
+        let first_hop = self.ack_first_hop.unwrap_or(self.sender);
+        ctx.schedule_in(self.ack_delay, first_hop, Msg::Packet(ack));
         self.stats.acks_sent += 1;
         if dup {
             self.stats.sack_acks_sent += 1;
@@ -214,6 +236,17 @@ impl Receiver {
         self.stats.bytes_received += p.payload_len();
         if p.retransmit {
             self.stats.retransmits_received += 1;
+        }
+        // RFC 3168 echo: CWR on incoming data acknowledges the previous
+        // echo; a CE mark (re-)arms it. CWR is processed first so a packet
+        // carrying both (CE applied after the sender set CWR) still starts
+        // a fresh echo episode.
+        if p.has_cwr() {
+            self.ece_pending = false;
+        }
+        if p.is_ce() {
+            self.stats.ce_pkts_received += 1;
+            self.ece_pending = true;
         }
 
         if p.end_seq <= self.rcv_nxt {
@@ -464,6 +497,53 @@ mod tests {
         let acks = &sim.component::<AckSink>(sink).acks;
         assert_eq!(acks.len(), 1);
         assert_eq!(acks[0].0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn ce_arrival_echoes_ece_until_cwr() {
+        let (mut sim, sink, rx) = setup(0);
+        let mut ce = data(0, 1000);
+        ce.mark_ce();
+        sim.schedule(SimTime::ZERO, rx, Msg::Packet(ce));
+        sim.schedule(SimTime::from_micros(1), rx, Msg::Packet(data(1000, 2000)));
+        // Sender responds with CWR on its next data; the echo must stop.
+        let mut cwr = data(2000, 3000);
+        cwr.set_cwr();
+        sim.schedule(SimTime::from_millis(1), rx, Msg::Packet(cwr));
+        sim.schedule(
+            SimTime::from_millis(1) + SimDuration::from_micros(1),
+            rx,
+            Msg::Packet(data(3000, 4000)),
+        );
+        sim.run();
+        let acks = &sim.component::<AckSink>(sink).acks;
+        assert_eq!(acks.len(), 2);
+        assert!(acks[0].1.has_ece(), "first ACK must echo the CE mark");
+        assert!(!acks[1].1.has_ece(), "CWR must stop the echo");
+        let s = sim.component::<Receiver>(rx).stats();
+        assert_eq!(s.ce_pkts_received, 1);
+        assert_eq!(s.ece_acks_sent, 1);
+    }
+
+    #[test]
+    fn ack_first_hop_reroutes_acks_keeping_sender_as_dst() {
+        let mut sim = Simulator::new(0);
+        let sender_sink = sim.add_component(AckSink { acks: vec![] });
+        let hop_sink = sim.add_component(AckSink { acks: vec![] });
+        let rx = sim.add_component(Receiver::new(
+            FlowId(0),
+            sender_sink,
+            SimDuration::ZERO,
+            MSS,
+        ));
+        sim.component_mut::<Receiver>(rx).set_ack_first_hop(hop_sink);
+        sim.schedule(SimTime::ZERO, rx, Msg::Packet(data(0, 100)));
+        sim.run();
+        assert!(sim.component::<AckSink>(sender_sink).acks.is_empty());
+        let hop_acks = &sim.component::<AckSink>(hop_sink).acks;
+        assert_eq!(hop_acks.len(), 1);
+        // dst still names the sender so the last hop can ToPacketDst it.
+        assert_eq!(hop_acks[0].1.dst, sender_sink);
     }
 
     #[test]

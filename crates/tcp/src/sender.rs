@@ -91,6 +91,9 @@ pub struct SenderConfig {
     /// Stop offering new data beyond this many bytes (`None` = infinite
     /// source, as in the paper).
     pub data_limit: Option<u64>,
+    /// Negotiate ECN: mark outgoing data ECT(0), respond to ECE echoes
+    /// with a once-per-window cwnd reduction, and confirm with CWR.
+    pub ecn: bool,
 }
 
 /// The sender component.
@@ -127,6 +130,12 @@ pub struct Sender {
     /// current same-nanosecond dispatch batch fires despite `cancel`.
     rto_gen: u64,
     started: bool,
+    /// RFC 3168 once-per-window gate: `snd_nxt` at the last ECE-triggered
+    /// reduction. Echoes on ACKs for data sent before that point repeat
+    /// the same congestion signal and are ignored.
+    ecn_reduce_until: u64,
+    /// Set CWR on the next new data segment to confirm the reduction.
+    ecn_cwr_pending: bool,
     stats: SenderStats,
     /// Optional cwnd trace `(time, cwnd_bytes)`, sampled per ACK when
     /// enabled (for examples/diagnostics; off in large experiments).
@@ -163,6 +172,8 @@ impl Sender {
             rto_timer: CancelToken::default(),
             rto_gen: 0,
             started: false,
+            ecn_reduce_until: 0,
+            ecn_cwr_pending: false,
             stats: SenderStats::default(),
             cwnd_trace: None,
             recorder: None,
@@ -350,6 +361,14 @@ impl Sender {
         }
         let mut p = Packet::data(self.cfg.flow, self.cfg.receiver, seq, end, now);
         p.retransmit = is_rtx;
+        if self.cfg.ecn && !is_rtx {
+            // RFC 3168 §6.1.5: retransmissions must not be ECT.
+            p.set_ect();
+            if self.ecn_cwr_pending {
+                p.set_cwr();
+                self.ecn_cwr_pending = false;
+            }
+        }
         ctx.send(self.cfg.first_hop, Msg::Packet(p));
         self.stats.data_pkts_sent += 1;
         self.stats.bytes_sent += end - seq;
@@ -522,6 +541,24 @@ impl Sender {
             sample.in_recovery = true;
             self.cca.on_enter_recovery(&sample);
             self.prr_ssthresh = self.cca.ssthresh();
+        }
+
+        // ECE echo: one reduction per window of data while Open (RFC 3168
+        // §6.1.2). Loss wins — if this ACK also entered recovery the CCA
+        // has already applied its decrease.
+        if self.cfg.ecn
+            && p.has_ece()
+            && self.state == CaState::Open
+            && p.ack_seq >= self.ecn_reduce_until
+        {
+            self.ecn_reduce_until = self.board.snd_nxt();
+            self.ecn_cwr_pending = true;
+            self.stats.ecn_reductions += 1;
+            self.stats.congestion_event_log.push(now);
+            if let Some(rec) = &mut self.recorder {
+                rec.on_congestion(now, CongestionKind::EcnReduce);
+            }
+            self.cca.on_ecn(&sample);
         }
 
         if self.state == CaState::Recovery {

@@ -102,6 +102,7 @@ fn one_flow_with(
         receiver: receiver_id,
         first_hop: link,
         data_limit,
+        ecn: false,
     };
     let s = sim.add_component(Sender::new(cfg, cca));
     assert_eq!(s, sender_id);
@@ -207,6 +208,7 @@ fn rto_fires_and_backs_off_through_a_blackhole() {
         receiver: hole,
         first_hop: hole,
         data_limit: None,
+        ecn: false,
     };
     let s = sim.add_component(Sender::new(cfg, Box::new(FixedWindow::new(10_000))));
     assert_eq!(s, sender_id);
@@ -338,6 +340,7 @@ fn rto_rearms_after_flight_drain_so_tail_loss_cannot_stall() {
         receiver: receiver_id,
         first_hop: hop,
         data_limit: Some(2 * MSS as u64),
+        ecn: false,
     };
     // ~28 kbps pacing => ~300 ms between 1052-byte wire segments: segment 1
     // is ACKed (flight drains, RTO disarmed) long before segment 2 leaves.
@@ -398,6 +401,7 @@ fn backed_off_rto_rearmed_mid_recovery_fires_once_at_new_deadline() {
         receiver: hole,
         first_hop: hole,
         data_limit: Some(2 * MSS as u64),
+        ecn: false,
     };
     let s = sim.add_component(Sender::new(cfg, Box::new(FixedWindow::new(2 * MSS as u64))));
     assert_eq!(s, sender_id);

@@ -1,0 +1,328 @@
+//! Turning a [`Topology`] description into live simulator components.
+//!
+//! [`plan_wiring`] is the pure half: from the route tables it computes,
+//! for every link, what happens to a packet after serialization —
+//! deliver to its destination endpoint, chain to one fixed next link, or
+//! go through a per-flow [`Router`]. Routers are created only for links
+//! whose flows genuinely diverge, so the single-bottleneck topology
+//! instantiates to exactly one component (the link, in
+//! [`NextHop::ToPacketDst`] mode) — byte-identical to the pre-topology
+//! engine.
+//!
+//! [`instantiate`] is the impure half: it adds the links (ids `0..L`)
+//! and routers (ids `L..L+R`) to a **fresh** simulator in deterministic
+//! order, applies per-link AQM overrides through the caller's factory
+//! closure (which keeps RNG seed derivation in `ccsim-core`), and
+//! returns a [`BuiltTopology`] with the handles the endpoint wiring
+//! needs: each flow's first forward hop, its first reverse (ACK) hop if
+//! the topology models one, and the per-link trace hop indices.
+
+use crate::router::Router;
+use crate::topology::{LinkSpec, Topology, TopologyError};
+use ccsim_net::{AqmQueue, Link, Msg, NextHop};
+use ccsim_sim::{ComponentId, Simulator};
+
+/// What a link does with a packet after serializing it, before component
+/// ids exist. Link/router indices, not `ComponentId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedNextHop {
+    /// Every flow on this link exits here: deliver to `Packet::dst`.
+    ToPacketDst,
+    /// Every flow on this link continues to the same link.
+    FixedLink(u32),
+    /// Flows diverge: go through the router with this index.
+    Router(u32),
+}
+
+/// A router to be created after a diverging link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterPlan {
+    /// The link this router sits behind.
+    pub after_link: u32,
+    /// Per-flow next link index; `None` = exit to `Packet::dst`.
+    pub routes: Vec<Option<u32>>,
+}
+
+/// The complete pre-instantiation wiring decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WiringPlan {
+    /// Per-link next-hop choice, indexed like `topology.links`.
+    pub link_next: Vec<PlannedNextHop>,
+    /// Routers to create, in creation order.
+    pub routers: Vec<RouterPlan>,
+}
+
+/// Compute the next link (or exit) for `flow` after traversing `link`,
+/// scanning both the forward and the reverse path. Validation guarantees
+/// a link appears at most once across the two.
+fn next_after(topo: &Topology, flow: usize, link: u32) -> Option<Option<u32>> {
+    for path in [&topo.forward_paths[flow], &topo.reverse_paths[flow]] {
+        if let Some(pos) = path.iter().position(|&l| l == link) {
+            return Some(path.get(pos + 1).copied());
+        }
+    }
+    None
+}
+
+/// Decide, for every link, between direct delivery, a fixed chain, and a
+/// per-flow router. Pure; the topology must already validate.
+pub fn plan_wiring(topo: &Topology) -> WiringPlan {
+    let flows = topo.forward_paths.len();
+    let mut link_next = Vec::with_capacity(topo.links.len());
+    let mut routers = Vec::new();
+    for link in 0..topo.links.len() as u32 {
+        // `None` outer = flow skips this link; `Some(None)` = exits here.
+        let nexts: Vec<Option<Option<u32>>> =
+            (0..flows).map(|f| next_after(topo, f, link)).collect();
+        let mut present = nexts.iter().flatten();
+        let first = present.next().copied();
+        let uniform = present.all(|&n| Some(n) == first);
+        link_next.push(match first {
+            None => PlannedNextHop::ToPacketDst, // no flows: inert link
+            Some(None) if uniform => PlannedNextHop::ToPacketDst,
+            Some(Some(j)) if uniform => PlannedNextHop::FixedLink(j),
+            _ => {
+                routers.push(RouterPlan {
+                    after_link: link,
+                    routes: nexts.into_iter().map(Option::flatten).collect(),
+                });
+                PlannedNextHop::Router(routers.len() as u32 - 1)
+            }
+        });
+    }
+    WiringPlan { link_next, routers }
+}
+
+/// Handles into an instantiated topology.
+#[derive(Debug, Clone)]
+pub struct BuiltTopology {
+    /// Link component ids, indexed like `topology.links`.
+    pub links: Vec<ComponentId>,
+    /// Router component ids, in [`WiringPlan::routers`] order.
+    pub routers: Vec<ComponentId>,
+    /// Per flow: the first link of its forward path (where the sender
+    /// injects data packets).
+    pub first_hop: Vec<ComponentId>,
+    /// Per flow: the first link of its reverse path, if the topology
+    /// models ACK-path queueing (`None` = deliver ACKs directly).
+    pub ack_first_hop: Vec<Option<ComponentId>>,
+    /// Index (into `links`) of the primary bottleneck — the anchor for
+    /// legacy single-link reporting.
+    pub primary: usize,
+    /// Per-link trace hop number: the primary bottleneck is hop 0 (its
+    /// queue-depth records keep the legacy shape); every other link `i`
+    /// is hop `i + 1`.
+    pub hop_index: Vec<u32>,
+}
+
+/// Instantiate `topo` into a **fresh** simulator. Links take component
+/// ids `0..L` and routers `L..L+R`, in index order — asserted, because
+/// downstream endpoint-id prediction depends on it.
+///
+/// `make_aqm(link_index, spec)` may return a queue discipline to install
+/// on that link (e.g. the scenario-wide AQM with a per-link seed);
+/// `None` keeps the link's built-in drop-tail, which is the
+/// digest-identical legacy path.
+pub fn instantiate<F>(
+    topo: &Topology,
+    sim: &mut Simulator<Msg>,
+    mut make_aqm: F,
+) -> Result<BuiltTopology, TopologyError>
+where
+    F: FnMut(usize, &LinkSpec) -> Option<Box<dyn AqmQueue>>,
+{
+    topo.validate()?;
+    let plan = plan_wiring(topo);
+    let link_count = topo.links.len();
+    let link_ids: Vec<ComponentId> = (0..link_count).map(ComponentId::from_raw).collect();
+    let router_ids: Vec<ComponentId> = (0..plan.routers.len())
+        .map(|k| ComponentId::from_raw(link_count + k))
+        .collect();
+
+    for (i, spec) in topo.links.iter().enumerate() {
+        let next = match plan.link_next[i] {
+            PlannedNextHop::ToPacketDst => NextHop::ToPacketDst,
+            PlannedNextHop::FixedLink(j) => NextHop::Fixed(link_ids[j as usize]),
+            PlannedNextHop::Router(k) => NextHop::Fixed(router_ids[k as usize]),
+        };
+        let mut link = Link::new(spec.rate, spec.prop_delay, spec.buffer_bytes, next);
+        if let Some(queue) = make_aqm(i, spec) {
+            link.set_aqm(queue);
+        }
+        let id = sim.add_component(link);
+        assert_eq!(id, link_ids[i], "instantiate requires a fresh simulator");
+    }
+    for (k, rp) in plan.routers.iter().enumerate() {
+        let routes = rp
+            .routes
+            .iter()
+            .map(|r| r.map(|j| link_ids[j as usize]))
+            .collect();
+        let id = sim.add_component(Router::new(routes));
+        assert_eq!(id, router_ids[k], "router id prediction out of sync");
+    }
+
+    let primary = topo.primary_bottleneck();
+    let hop_index = (0..link_count as u32)
+        .map(|i| if i as usize == primary { 0 } else { i + 1 })
+        .collect();
+    Ok(BuiltTopology {
+        first_hop: topo
+            .forward_paths
+            .iter()
+            .map(|p| link_ids[p[0] as usize])
+            .collect(),
+        ack_first_hop: topo
+            .reverse_paths
+            .iter()
+            .map(|p| p.first().map(|&i| link_ids[i as usize]))
+            .collect(),
+        links: link_ids,
+        routers: router_ids,
+        primary,
+        hop_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyKind;
+    use ccsim_net::{FlowId, Packet};
+    use ccsim_sim::{Bandwidth, Component, Ctx, SimDuration, SimTime};
+
+    const RATE: Bandwidth = Bandwidth::from_mbps(100);
+
+    fn no_aqm(_: usize, _: &LinkSpec) -> Option<Box<dyn AqmQueue>> {
+        None
+    }
+
+    #[test]
+    fn single_bottleneck_elides_everything() {
+        let topo = Topology::single_bottleneck(RATE, 3_000_000, 8);
+        let plan = plan_wiring(&topo);
+        assert_eq!(plan.link_next, vec![PlannedNextHop::ToPacketDst]);
+        assert!(plan.routers.is_empty());
+
+        let mut sim: Simulator<Msg> = Simulator::new(0);
+        let built = instantiate(&topo, &mut sim, no_aqm).unwrap();
+        // Exactly one component, id 0 — the legacy layout.
+        assert_eq!(built.links, vec![ComponentId::from_raw(0)]);
+        assert!(built.routers.is_empty());
+        assert_eq!(built.first_hop, vec![ComponentId::from_raw(0); 8]);
+        assert!(built.ack_first_hop.iter().all(Option::is_none));
+        assert_eq!(built.primary, 0);
+        assert_eq!(built.hop_index, vec![0]);
+        // The next component id is 1, where the first sender lands.
+        assert_eq!(
+            sim.add_component(Probe::default()),
+            ComponentId::from_raw(1)
+        );
+    }
+
+    #[test]
+    fn dumbbell_chains_without_routers() {
+        let topo = Topology::dumbbell(RATE, 3_000_000, 4);
+        let plan = plan_wiring(&topo);
+        assert_eq!(
+            plan.link_next,
+            vec![PlannedNextHop::FixedLink(1), PlannedNextHop::ToPacketDst]
+        );
+        assert!(plan.routers.is_empty());
+
+        let mut sim: Simulator<Msg> = Simulator::new(0);
+        let built = instantiate(&topo, &mut sim, no_aqm).unwrap();
+        assert_eq!(built.links.len(), 2);
+        assert!(built.routers.is_empty());
+        assert_eq!(built.primary, 1);
+        // Bottleneck (link 1) is trace hop 0; the aggregation link is hop 1.
+        assert_eq!(built.hop_index, vec![1, 0]);
+        assert_eq!(built.first_hop, vec![ComponentId::from_raw(0); 4]);
+    }
+
+    #[test]
+    fn parking_lot_creates_routers_only_where_flows_diverge() {
+        let topo = Topology::parking_lot(3, RATE, 1_000_000, 4);
+        let plan = plan_wiring(&topo);
+        // Links 0 and 1 mix the long flow (continues) with short flows
+        // (exit); link 2's flows all exit.
+        assert_eq!(
+            plan.link_next,
+            vec![
+                PlannedNextHop::Router(0),
+                PlannedNextHop::Router(1),
+                PlannedNextHop::ToPacketDst
+            ]
+        );
+        assert_eq!(plan.routers.len(), 2);
+        assert_eq!(plan.routers[0].after_link, 0);
+        // After link 0: flow 0 → link 1; flow 1 exits; flows 2,3 absent.
+        assert_eq!(plan.routers[0].routes, vec![Some(1), None, None, None]);
+        assert_eq!(plan.routers[1].routes, vec![Some(2), None, None, None]);
+
+        let mut sim: Simulator<Msg> = Simulator::new(0);
+        let built = instantiate(&topo, &mut sim, no_aqm).unwrap();
+        assert_eq!(
+            built.routers,
+            vec![ComponentId::from_raw(3), ComponentId::from_raw(4)]
+        );
+        // Primary bottleneck (link 0) is hop 0; the rest keep index + 1.
+        assert_eq!(built.hop_index, vec![0, 2, 3]);
+        // Short flows inject at their single bottleneck.
+        assert_eq!(built.first_hop[2], built.links[1]);
+    }
+
+    #[test]
+    fn asymmetric_dumbbell_exposes_the_ack_hop() {
+        let topo = Topology::dumbbell_asym(RATE, 3_000_000, 2);
+        let plan = plan_wiring(&topo);
+        // The ACK-return link's flows all exit: direct delivery.
+        assert_eq!(plan.link_next[2], PlannedNextHop::ToPacketDst);
+        assert!(plan.routers.is_empty());
+
+        let mut sim: Simulator<Msg> = Simulator::new(0);
+        let built = instantiate(&topo, &mut sim, no_aqm).unwrap();
+        assert_eq!(
+            built.ack_first_hop,
+            vec![Some(built.links[2]), Some(built.links[2])]
+        );
+    }
+
+    /// End-to-end: packets injected at each flow's first hop reach their
+    /// destination endpoint through the routed parking lot.
+    #[test]
+    fn packets_traverse_the_parking_lot_end_to_end() {
+        let topo = Topology::parking_lot(3, RATE, 1_000_000, 3);
+        let mut sim: Simulator<Msg> = Simulator::new(0);
+        let built = instantiate(&topo, &mut sim, no_aqm).unwrap();
+        let sinks: Vec<ComponentId> = (0..3).map(|_| sim.add_component(Probe::default())).collect();
+
+        for flow in 0..3u32 {
+            let p = Packet::data(FlowId(flow), sinks[flow as usize], 0, 1448, SimTime::ZERO);
+            sim.schedule(SimTime::ZERO, built.first_hop[flow as usize], Msg::Packet(p));
+        }
+        sim.run_until(SimTime::from_nanos(SimDuration::from_millis(10).as_nanos()));
+
+        for (flow, &sink) in sinks.iter().enumerate() {
+            let got = &sim.component::<Probe>(sink).got;
+            assert_eq!(got.len(), 1, "flow {flow} packet lost");
+            assert_eq!(got[0].flow, FlowId(flow as u32));
+        }
+        // Each router saw the long flow (onward) plus one short flow (exit).
+        assert_eq!(sim.component::<Router>(built.routers[0]).forwarded_pkts(), 2);
+        assert_eq!(sim.component::<Router>(built.routers[1]).forwarded_pkts(), 2);
+    }
+
+    #[derive(Default)]
+    struct Probe {
+        got: Vec<Packet>,
+    }
+
+    impl Component<Msg> for Probe {
+        fn on_event(&mut self, _now: SimTime, msg: Msg, _ctx: &mut Ctx<'_, Msg>) {
+            if let Msg::Packet(p) = msg {
+                self.got.push(p);
+            }
+        }
+    }
+}

@@ -43,11 +43,19 @@ pub enum TraceKind {
     QueueDepth = 5,
     /// Packet drop at the bottleneck: `a` = backlog bytes at drop time.
     Drop = 6,
+    /// ECN CE mark applied by an AQM: `a` = backlog bytes at mark time,
+    /// `b` = hop (link) index within the topology.
+    EcnMark = 7,
+    /// Queue-depth sample at a non-primary hop (`flow` = hop index):
+    /// `a` = backlog bytes, `b` = queued packets. The primary bottleneck
+    /// keeps emitting [`TraceKind::QueueDepth`] so legacy extractors and
+    /// baselines are untouched.
+    HopDepth = 8,
 }
 
 impl TraceKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [TraceKind; 7] = [
+    pub const ALL: [TraceKind; 9] = [
         TraceKind::Cwnd,
         TraceKind::Srtt,
         TraceKind::Pacing,
@@ -55,6 +63,8 @@ impl TraceKind {
         TraceKind::Congestion,
         TraceKind::QueueDepth,
         TraceKind::Drop,
+        TraceKind::EcnMark,
+        TraceKind::HopDepth,
     ];
 
     /// Decode a kind byte.
@@ -72,6 +82,8 @@ impl TraceKind {
             TraceKind::Congestion => "congestion",
             TraceKind::QueueDepth => "queue",
             TraceKind::Drop => "drop",
+            TraceKind::EcnMark => "ecn_mark",
+            TraceKind::HopDepth => "hop_queue",
         }
     }
 
@@ -86,7 +98,11 @@ impl TraceKind {
     pub fn is_sample(self) -> bool {
         matches!(
             self,
-            TraceKind::Cwnd | TraceKind::Srtt | TraceKind::Pacing | TraceKind::QueueDepth
+            TraceKind::Cwnd
+                | TraceKind::Srtt
+                | TraceKind::Pacing
+                | TraceKind::QueueDepth
+                | TraceKind::HopDepth
         )
     }
 }
@@ -100,6 +116,8 @@ pub enum CongestionKind {
     FastRecovery = 0,
     /// Retransmission timeout.
     Rto = 1,
+    /// ECE-triggered reduction (RFC 3168 response, no retransmission).
+    EcnReduce = 2,
 }
 
 impl CongestionKind {
@@ -108,6 +126,7 @@ impl CongestionKind {
         match v {
             0 => Some(CongestionKind::FastRecovery),
             1 => Some(CongestionKind::Rto),
+            2 => Some(CongestionKind::EcnReduce),
             _ => None,
         }
     }
@@ -117,6 +136,7 @@ impl CongestionKind {
         match self {
             CongestionKind::FastRecovery => "fast_recovery",
             CongestionKind::Rto => "rto",
+            CongestionKind::EcnReduce => "ecn_reduce",
         }
     }
 
@@ -125,6 +145,7 @@ impl CongestionKind {
         match s {
             "fast_recovery" => Some(CongestionKind::FastRecovery),
             "rto" => Some(CongestionKind::Rto),
+            "ecn_reduce" => Some(CongestionKind::EcnReduce),
             _ => None,
         }
     }
@@ -273,6 +294,28 @@ impl TraceRecord {
         }
     }
 
+    /// An ECN CE mark applied to `flow`'s packet at hop `hop`.
+    pub fn ecn_mark(time: SimTime, flow: u32, backlog_bytes: u64, hop: u64) -> TraceRecord {
+        TraceRecord {
+            time,
+            flow,
+            kind: TraceKind::EcnMark,
+            a: backlog_bytes,
+            b: hop,
+        }
+    }
+
+    /// A queue-depth sample at a non-primary hop.
+    pub fn hop_depth(time: SimTime, hop: u32, backlog_bytes: u64, queued_pkts: u64) -> TraceRecord {
+        TraceRecord {
+            time,
+            flow: hop,
+            kind: TraceKind::HopDepth,
+            a: backlog_bytes,
+            b: queued_pkts,
+        }
+    }
+
     /// The phase label, if this is a phase record.
     pub fn phase_label(&self) -> Option<PhaseLabel> {
         (self.kind == TraceKind::Phase).then(|| PhaseLabel::from_words(self.a, self.b))
@@ -303,7 +346,7 @@ mod tests {
             assert_eq!(TraceKind::from_u8(k as u8), Some(k));
             assert_eq!(TraceKind::from_str_name(k.as_str()), Some(k));
         }
-        assert_eq!(TraceKind::from_u8(7), None);
+        assert_eq!(TraceKind::from_u8(9), None);
         assert_eq!(TraceKind::from_str_name("bogus"), None);
     }
 
@@ -343,10 +386,14 @@ mod tests {
 
     #[test]
     fn congestion_kind_round_trips() {
-        for k in [CongestionKind::FastRecovery, CongestionKind::Rto] {
+        for k in [
+            CongestionKind::FastRecovery,
+            CongestionKind::Rto,
+            CongestionKind::EcnReduce,
+        ] {
             assert_eq!(CongestionKind::from_u64(k as u64), Some(k));
             assert_eq!(CongestionKind::from_str_name(k.as_str()), Some(k));
         }
-        assert_eq!(CongestionKind::from_u64(2), None);
+        assert_eq!(CongestionKind::from_u64(3), None);
     }
 }

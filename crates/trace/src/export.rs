@@ -95,6 +95,18 @@ pub fn write_jsonl<W: Write>(trace: &RunTrace, mut w: W) -> io::Result<()> {
                     r.flow, r.a
                 ));
             }
+            TraceKind::EcnMark => {
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"flow\":{},\"kind\":\"ecn_mark\",\"queue_bytes\":{},\"hop\":{}}}",
+                    r.flow, r.a, r.b
+                ));
+            }
+            TraceKind::HopDepth => {
+                line.push_str(&format!(
+                    "{{\"t\":{t},\"kind\":\"hop_queue\",\"hop\":{},\"bytes\":{},\"pkts\":{}}}",
+                    r.flow, r.a, r.b
+                ));
+            }
         }
         writeln!(w, "{line}")?;
     }
@@ -149,6 +161,7 @@ fn parse_record(line: &str) -> io::Result<TraceRecord> {
         .ok_or_else(|| bad(format!("unknown kind {kind_name:?}")))?;
     let flow = match kind {
         TraceKind::QueueDepth => QUEUE_FLOW,
+        TraceKind::HopDepth => field_u64(line, "hop").ok_or_else(|| bad("hop missing"))? as u32,
         _ => field_u64(line, "flow").ok_or_else(|| bad("record missing \"flow\""))? as u32,
     };
     let rec = match kind {
@@ -187,6 +200,18 @@ fn parse_record(line: &str) -> io::Result<TraceRecord> {
             t,
             flow,
             field_u64(line, "queue_bytes").ok_or_else(|| bad("queue_bytes missing"))?,
+        ),
+        TraceKind::EcnMark => TraceRecord::ecn_mark(
+            t,
+            flow,
+            field_u64(line, "queue_bytes").ok_or_else(|| bad("queue_bytes missing"))?,
+            field_u64(line, "hop").ok_or_else(|| bad("hop missing"))?,
+        ),
+        TraceKind::HopDepth => TraceRecord::hop_depth(
+            t,
+            flow,
+            field_u64(line, "bytes").ok_or_else(|| bad("bytes missing"))?,
+            field_u64(line, "pkts").ok_or_else(|| bad("pkts missing"))?,
         ),
     };
     Ok(rec)
@@ -243,6 +268,8 @@ mod tests {
                 TraceRecord::congestion(t(5), 0, CongestionKind::FastRecovery),
                 TraceRecord::queue_depth(t(6), 123_456, 83),
                 TraceRecord::drop(t(7), 1, 99_000),
+                TraceRecord::ecn_mark(t(8), 0, 64_000, 2),
+                TraceRecord::hop_depth(t(9), 1, 32_000, 21),
             ],
             evicted: 3,
             thinned: 17,
@@ -263,7 +290,7 @@ mod tests {
         let mut buf = Vec::new();
         write_jsonl(&sample_trace(), &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert!(text.lines().count() == 8); // header + 7 records
+        assert!(text.lines().count() == 10); // header + 9 records
         assert!(text.contains("\"kind\":\"cwnd\""));
         assert!(text.contains("\"event\":\"fast_recovery\""));
         assert!(text.contains("\"label\":\"probe_bw\""));

@@ -187,18 +187,24 @@ impl FlowRecorder {
     }
 }
 
-/// Bottleneck-link recording endpoint: queue-depth samples and drops.
+/// Link recording endpoint: queue-depth samples, drops, and ECN marks.
+///
+/// The primary bottleneck (hop 0) emits legacy [`TraceKind::QueueDepth`]
+/// samples; recorders attached to other hops of a multi-link topology emit
+/// [`TraceKind::HopDepth`] keyed by the hop index, so legacy extractors and
+/// committed baselines keep their meaning.
 #[derive(Debug)]
 pub struct QueueRecorder {
     depth: SampleRing,
     drops: SampleRing,
     every: u32,
     arrivals: u64,
+    hop: u32,
 }
 
 impl QueueRecorder {
     /// A recorder with a private `budget_bytes` bound, split between
-    /// depth samples and the (never-thinned) drop train.
+    /// depth samples and the (never-thinned) drop/mark train.
     pub fn new(policy: RetentionPolicy, budget_bytes: u64, every: u32, seed: u64) -> QueueRecorder {
         let half = budget_bytes / 2;
         QueueRecorder {
@@ -206,7 +212,20 @@ impl QueueRecorder {
             drops: SampleRing::new(RetentionPolicy::KeepAll, budget_bytes - half, seed),
             every,
             arrivals: 0,
+            hop: 0,
         }
+    }
+
+    /// Re-key this recorder to a non-primary hop: depth samples become
+    /// [`TraceKind::HopDepth`] records carrying `hop`.
+    pub fn with_hop(mut self, hop: u32) -> QueueRecorder {
+        self.hop = hop;
+        self
+    }
+
+    /// The hop index this recorder is keyed to (0 = primary bottleneck).
+    pub fn hop(&self) -> u32 {
+        self.hop
     }
 
     /// Packet-arrival hook: samples the backlog every n-th arrival.
@@ -216,14 +235,29 @@ impl QueueRecorder {
         }
         self.arrivals += 1;
         if (self.arrivals - 1).is_multiple_of(u64::from(self.every)) {
-            self.depth
-                .offer(TraceRecord::queue_depth(now, backlog_bytes, queued_pkts));
+            let rec = if self.hop == 0 {
+                TraceRecord::queue_depth(now, backlog_bytes, queued_pkts)
+            } else {
+                TraceRecord::hop_depth(now, self.hop, backlog_bytes, queued_pkts)
+            };
+            self.depth.offer(rec);
         }
     }
 
     /// Drop hook: always recorded (subject to the ring capacity).
     pub fn on_drop(&mut self, now: SimTime, flow: u32, backlog_bytes: u64) {
         self.drops.push(TraceRecord::drop(now, flow, backlog_bytes));
+    }
+
+    /// ECN CE-mark hook: always recorded, like drops — a mark is the
+    /// AQM's congestion signal and must never be thinned away.
+    pub fn on_ecn_mark(&mut self, now: SimTime, flow: u32, backlog_bytes: u64) {
+        self.drops.push(TraceRecord::ecn_mark(
+            now,
+            flow,
+            backlog_bytes,
+            u64::from(self.hop),
+        ));
     }
 
     /// Current wire bytes held across both rings.
@@ -336,6 +370,24 @@ impl RunTrace {
             .map(|r| (r.time, r.a))
             .collect()
     }
+
+    /// ECN CE-mark timestamps, time-sorted — the marking analogue of
+    /// [`RunTrace::drop_times`].
+    pub fn ecn_mark_times(&self) -> Vec<SimTime> {
+        self.of_kind(TraceKind::EcnMark).map(|r| r.time).collect()
+    }
+
+    /// One hop's queue-depth series as `(time, backlog_bytes)`
+    /// (hop 0 = the primary bottleneck's legacy series).
+    pub fn hop_depth_series(&self, hop: u32) -> Vec<(SimTime, u64)> {
+        if hop == 0 {
+            return self.queue_depth_series();
+        }
+        self.of_kind(TraceKind::HopDepth)
+            .filter(|r| r.flow == hop)
+            .map(|r| (r.time, r.a))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -412,6 +464,30 @@ mod tests {
         let drops: Vec<_> = recs.iter().filter(|r| r.kind == TraceKind::Drop).collect();
         assert_eq!(drops.len(), 1);
         assert_eq!(drops[0].flow, 3);
+    }
+
+    #[test]
+    fn queue_recorder_records_ecn_marks_and_hop_depth() {
+        let mut q = QueueRecorder::new(RetentionPolicy::KeepAll, 1 << 20, 2, 1).with_hop(3);
+        assert_eq!(q.hop(), 3);
+        for i in 0..4 {
+            q.on_arrival(t(i), i * 10, i);
+        }
+        q.on_ecn_mark(t(5), 7, 4321);
+        let (recs, _, _) = q.finish();
+        let depths: Vec<_> = recs
+            .iter()
+            .filter(|r| r.kind == TraceKind::HopDepth)
+            .collect();
+        assert_eq!(depths.len(), 2);
+        assert!(depths.iter().all(|r| r.flow == 3));
+        assert!(recs.iter().all(|r| r.kind != TraceKind::QueueDepth));
+        let marks: Vec<_> = recs
+            .iter()
+            .filter(|r| r.kind == TraceKind::EcnMark)
+            .collect();
+        assert_eq!(marks.len(), 1);
+        assert_eq!((marks[0].flow, marks[0].a, marks[0].b), (7, 4321, 3));
     }
 
     #[test]

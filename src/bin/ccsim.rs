@@ -3,6 +3,8 @@
 //! ```text
 //! ccsim run   [--setting edge|core] [--bw <mbps>] [--buffer <bytes>]
 //!             [--flows <cca>:<count>:<rtt_ms> ...] [--seed N]
+//!             [--topology single|dumbbell|parking_lot:<n>|dumbbell_asym]
+//!             [--aqm droptail|red|codel|pie] [--ecn]
 //!             [--warmup <s>] [--duration <s>] [--jitter <s>]
 //!             [--fidelity quick|standard|paper] [--json]
 //!             [--metrics <path>] [--quiet]
@@ -70,6 +72,8 @@ use ccsim::experiments::{
     Fidelity, FlowGroup, GuardOptions, RunOutcome, Scenario,
 };
 use ccsim::fault::{FaultPlan, WatchdogConfig};
+use ccsim::net::AqmKind;
+use ccsim::topo::TopologyKind;
 use ccsim::sim::{Bandwidth, SimDuration, SimTime};
 use ccsim::telemetry::{validate_exposition, RunProgress};
 use ccsim::trace::{RetentionPolicy, TraceConfig};
@@ -77,6 +81,8 @@ use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage: ccsim run [--setting edge|core] [--bw <mbps>] \
     [--buffer <bytes>] --flows <cca>:<count>:<rtt_ms> [--flows ...] \
+    [--topology single|dumbbell|parking_lot:<n>|dumbbell_asym] \
+    [--aqm droptail|red|codel|pie] [--ecn] \
     [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] \
     [--fidelity quick|standard|paper] [--json] [--metrics <path>] [--quiet] \
     [--fault <spec> ...] [--watchdog] [--crash-dir <dir>] [--force-panic <s>]\n\
@@ -242,6 +248,17 @@ fn parse_cli(args: &[String]) -> Cli {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --buffer"));
             }
+            "--topology" => {
+                let name = take(&mut i);
+                scenario.topology = TopologyKind::parse(name)
+                    .unwrap_or_else(|| usage(&format!("bad --topology {name}")));
+            }
+            "--aqm" => {
+                let name = take(&mut i);
+                scenario.aqm = AqmKind::parse(name)
+                    .unwrap_or_else(|| usage(&format!("bad --aqm {name}")));
+            }
+            "--ecn" => scenario.ecn = true,
             "--flows" => flows.push(parse_flows(take(&mut i))),
             "--seed" => {
                 scenario.seed = take(&mut i).parse().unwrap_or_else(|_| usage("bad --seed"));
@@ -826,6 +843,20 @@ fn print_human(o: &RunOutcome) {
     );
     if let Some(b) = o.drop_burstiness {
         println!("drop burstiness : {b:.3}");
+    }
+    for b in &o.bottlenecks {
+        let jfi = match b.jfi {
+            Some(j) => format!("{j:.4}"),
+            None => "n/a".to_string(),
+        };
+        println!(
+            "  bottleneck {:<2} {:<11} util {:>5.1}%  JFI {jfi}  loss {:.4}%  CE {}",
+            b.link,
+            b.label,
+            b.utilization * 100.0,
+            b.loss_rate * 100.0,
+            b.ce_marked_pkts
+        );
     }
     // Per-CCA aggregates.
     let mut kinds: Vec<CcaKind> = o.flow_cca.clone();

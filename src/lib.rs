@@ -8,7 +8,9 @@
 //! The facade re-exports the workspace crates:
 //!
 //! * [`sim`] — deterministic discrete-event engine.
-//! * [`net`] — packets, links, drop-tail queues.
+//! * [`net`] — packets, links, drop-tail and AQM queues, ECN marking.
+//! * [`topo`] — routed multi-bottleneck topology graphs (dumbbell,
+//!   parking-lot) and their component instantiation.
 //! * [`tcp`] — the TCP endpoint model (SACK, PRR, RTO, pacing).
 //! * [`cca`] — NewReno, CUBIC, BBRv1.
 //! * [`telemetry`] — flow metrics and throughput tracking.
@@ -47,4 +49,5 @@ pub use ccsim_net as net;
 pub use ccsim_sim as sim;
 pub use ccsim_tcp as tcp;
 pub use ccsim_telemetry as telemetry;
+pub use ccsim_topo as topo;
 pub use ccsim_trace as trace;
