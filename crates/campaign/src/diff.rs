@@ -248,6 +248,34 @@ fn compare_pair(
             });
         }
     }
+    // Per-kind gate: a regression confined to one event kind (say, timer
+    // dispatch got slow) can hide inside a flat aggregate when that kind
+    // is a small share of the stream. Only kinds present in both entries
+    // are compared, so unprofiled ledgers on either side are a no-op.
+    if check_eps {
+        for (kind, base_eps) in &base.eps_by_kind {
+            if *base_eps <= 0.0 {
+                continue;
+            }
+            let Some((_, cur_eps)) = cur.eps_by_kind.iter().find(|(k, _)| k == kind) else {
+                continue;
+            };
+            let frac = (base_eps - cur_eps) / base_eps;
+            if frac > eps_tol {
+                findings.push(Finding {
+                    kind: FindingKind::EpsRegression,
+                    job: cur.job.clone(),
+                    detail: format!(
+                        "{kind} events/sec fell {:.1}% ({:.0} -> {:.0}, tolerance {:.0}%)",
+                        frac * 100.0,
+                        base_eps,
+                        cur_eps,
+                        eps_tol * 100.0
+                    ),
+                });
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +297,7 @@ mod tests {
             wall_secs: 0.5,
             events_processed: 1_000_000,
             events_per_sec: 2_000_000.0,
+            eps_by_kind: Vec::new(),
             metrics: Some(Rollup {
                 jfi: Some(0.95),
                 utilization: 0.9,
@@ -345,6 +374,53 @@ mod tests {
         let mut faster = ledger(vec![entry(1)]);
         faster.entries[0].events_per_sec = 9_000_000.0;
         assert!(diff(&base, &faster, &DiffOptions::default()).is_clean());
+    }
+
+    #[test]
+    fn per_kind_eps_regression_gate() {
+        let mut b = entry(1);
+        b.eps_by_kind = vec![
+            ("data".into(), 1_000_000.0),
+            ("ack".into(), 500_000.0),
+            ("timer".into(), 100_000.0),
+        ];
+        let base = ledger(vec![b.clone()]);
+
+        // Aggregate flat, but timer dispatch fell 25%: the per-kind gate
+        // catches what the aggregate one cannot.
+        let mut doctored = b.clone();
+        doctored.eps_by_kind[2].1 = 75_000.0;
+        let cur = ledger(vec![doctored]);
+        let report = diff(&base, &cur, &DiffOptions::default());
+        assert_eq!(report.count(FindingKind::EpsRegression), 1);
+        assert!(report.render().contains("timer events/sec fell 25.0%"));
+
+        // Within tolerance (default 10%): clean.
+        let mut close = b.clone();
+        close.eps_by_kind[2].1 = 95_000.0;
+        assert!(diff(&base, &ledger(vec![close]), &DiffOptions::default()).is_clean());
+
+        // A current entry without per-kind data (unprofiled run) is not
+        // a finding, and neither is a per-kind speedup.
+        let mut bare = b.clone();
+        bare.eps_by_kind.clear();
+        assert!(diff(&base, &ledger(vec![bare]), &DiffOptions::default()).is_clean());
+        let mut faster = b.clone();
+        faster.eps_by_kind[0].1 = 9_000_000.0;
+        assert!(diff(&base, &ledger(vec![faster]), &DiffOptions::default()).is_clean());
+
+        // --skip-eps silences the per-kind gate too.
+        let mut worse = b;
+        worse.eps_by_kind[2].1 = 1.0;
+        let skipped = diff(
+            &base,
+            &ledger(vec![worse]),
+            &DiffOptions {
+                eps_tol: None,
+                check_eps: false,
+            },
+        );
+        assert!(skipped.is_clean());
     }
 
     #[test]

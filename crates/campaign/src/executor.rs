@@ -18,7 +18,8 @@ use ccsim_analysis::mathis::fit_constant;
 use ccsim_cca::CcaKind;
 use ccsim_core::observe::scenario_digest;
 use ccsim_core::{
-    crash, try_run_observed, BottleneckMetrics, ObservedRun, PInterpretation, RunOutcome, Scenario,
+    crash, try_run_observed_with, BottleneckMetrics, ObserveOptions, ObservedRun, PInterpretation,
+    RunOutcome, Scenario,
 };
 use ccsim_sim::SimDuration;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,6 +38,10 @@ pub struct ExecutorOptions {
     pub workers: usize,
     /// When set, failed jobs write a replayable crash bundle here.
     pub crash_dir: Option<PathBuf>,
+    /// Attach the `ccsim-prof` profiler to every job. Digest-inert; the
+    /// per-run [`ccsim_prof::Profile`] rides in each ledger entry's
+    /// manifest, and the sentinel gains per-event-kind events/s gates.
+    pub profile: bool,
 }
 
 impl Default for ExecutorOptions {
@@ -46,6 +51,7 @@ impl Default for ExecutorOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             crash_dir: None,
+            profile: false,
         }
     }
 }
@@ -159,7 +165,14 @@ impl JobResult {
 
 fn run_one(job: CampaignJob, opts: &ExecutorOptions) -> JobResult {
     let config_digest = scenario_digest(&job.scenario);
-    let caught = catch_unwind(AssertUnwindSafe(|| try_run_observed(&job.scenario)));
+    let observe = if opts.profile {
+        ObserveOptions::profiled()
+    } else {
+        ObserveOptions::default()
+    };
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        try_run_observed_with(&job.scenario, observe, |_| {})
+    }));
     let error = match caught {
         Ok(Ok(obs)) => {
             return JobResult {
@@ -293,7 +306,7 @@ mod tests {
         let scenarios: Vec<Scenario> = (1..=4).map(tiny).collect();
         let opts = ExecutorOptions {
             workers: 4,
-            crash_dir: None,
+            ..ExecutorOptions::default()
         };
         let results = run_scenarios(&scenarios, &opts, |_| {});
         assert_eq!(results.len(), 4);

@@ -54,6 +54,12 @@ pub struct LedgerEntry {
     pub events_processed: u64,
     /// Engine events per wall-clock second.
     pub events_per_sec: f64,
+    /// Engine events per *dispatch* second split by classified kind
+    /// (`data`/`ack`/`timer`), from the manifest's per-kind counts. The
+    /// sentinel gates per-kind throughput regressions on this. Empty (and
+    /// absent from the JSON, so legacy lines re-serialize byte-identically)
+    /// for failed or pre-profiler runs.
+    pub eps_by_kind: Vec<(String, f64)>,
     /// Paper-metric rollup; `None` for failed runs.
     pub metrics: Option<Rollup>,
     /// Full provenance manifest; `None` for failed runs.
@@ -84,6 +90,7 @@ impl LedgerEntry {
                 )
             })
             .unwrap_or((0.0, 0.0, 0, 0.0));
+        let eps_by_kind = manifest.as_ref().map_or(Vec::new(), |m| m.eps_by_kind());
         LedgerEntry {
             job: r.job.name.clone(),
             axis: r.job.axis.clone(),
@@ -96,6 +103,7 @@ impl LedgerEntry {
             wall_secs,
             events_processed,
             events_per_sec,
+            eps_by_kind,
             metrics: r.rollup(),
             manifest,
         }
@@ -135,6 +143,18 @@ impl LedgerEntry {
             self.events_processed,
             json_f64(self.events_per_sec),
         );
+        // Absent (not `{}`) for legacy and unprofiled runs so old ledger
+        // lines re-serialize byte-identically.
+        if !self.eps_by_kind.is_empty() {
+            out.push_str(",\"eps_by_kind\":{");
+            for (i, (kind, eps)) in self.eps_by_kind.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", escape(kind), json_f64(*eps));
+            }
+            out.push('}');
+        }
         match &self.metrics {
             None => out.push_str(",\"metrics\":null"),
             Some(m) => {
@@ -261,6 +281,17 @@ impl LedgerEntry {
             ),
             _ => None,
         };
+        let eps_by_kind = match v.get("eps_by_kind") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, val)| {
+                    val.as_f64()
+                        .map(|eps| (k.clone(), eps))
+                        .ok_or_else(|| bad("non-numeric eps_by_kind value"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
         Ok(LedgerEntry {
             job: get_str("job")?,
             axis,
@@ -282,6 +313,7 @@ impl LedgerEntry {
                 .get("events_per_sec")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
+            eps_by_kind,
             metrics,
             manifest,
         })
@@ -294,13 +326,23 @@ impl LedgerEntry {
         let mut e = self.clone();
         e.wall_secs = 0.0;
         e.events_per_sec = 0.0;
+        for (_, eps) in &mut e.eps_by_kind {
+            *eps = 0.0;
+        }
         if let Some(m) = &mut e.manifest {
             m.wall_secs = 0.0;
+            m.dispatch_secs = 0.0;
             m.sim_wall_ratio = 0.0;
             m.events_per_sec = 0.0;
             // The metrics dump embeds wall-clock gauges, so its byte
             // length is timing-dependent too.
             m.metric_bytes = 0;
+            // Profile event/kind counts, wheel counters, and memory
+            // gauges are deterministic; only the sampled nanos and the
+            // dispatch total are wall time.
+            if let Some(p) = &mut m.profile {
+                *p = p.normalized();
+            }
         }
         e
     }
@@ -512,6 +554,7 @@ mod tests {
             wall_secs: 0.25,
             events_processed: 120_000,
             events_per_sec: 480_000.0,
+            eps_by_kind: Vec::new(),
             metrics: ok.then_some(Rollup {
                 jfi: Some(0.987654321),
                 utilization: 0.93,
@@ -593,6 +636,29 @@ mod tests {
         let back = LedgerEntry::from_value(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, e);
         assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn eps_by_kind_round_trips_and_stays_out_of_legacy_lines() {
+        let plain = sample_entry(7, true);
+        assert!(!plain.to_json().contains("eps_by_kind"));
+
+        let mut e = sample_entry(8, true);
+        e.eps_by_kind = vec![
+            ("data".into(), 1_234_567.25),
+            ("ack".into(), 654_321.0),
+            ("timer".into(), 98_765.5),
+        ];
+        let json = e.to_json();
+        assert!(json.contains("\"eps_by_kind\":{\"data\":1234567.25,"));
+        let back = LedgerEntry::from_value(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.to_json(), json);
+        // Per-kind throughput is wall-clock-dependent; normalization
+        // zeroes the values but keeps the (deterministic) kind keys.
+        let n = e.normalized();
+        assert_eq!(n.eps_by_kind.len(), 3);
+        assert!(n.eps_by_kind.iter().all(|(_, eps)| *eps == 0.0));
     }
 
     #[test]

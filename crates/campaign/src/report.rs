@@ -48,6 +48,17 @@ fn fmt_opt(v: Option<f64>) -> String {
     }
 }
 
+/// Format a histogram quantile in engineer-friendly units (k/M suffixes
+/// above 10^3/10^6). Returns "—" for an empty histogram.
+fn fmt_quantile(hist: &Histogram, q: f64) -> String {
+    match hist.quantile(q) {
+        None => "—".to_string(),
+        Some(v) if v >= 1e6 => format!("{:.1} M", v / 1e6),
+        Some(v) if v >= 1e3 => format!("{:.1} k", v / 1e3),
+        Some(v) => format!("{v:.0}"),
+    }
+}
+
 fn fmt_mean_sd(values: &[f64]) -> String {
     match (mean(values), std_dev(values)) {
         (Some(m), Some(sd)) if values.len() > 1 => format!("{m:.4} ± {sd:.4}"),
@@ -176,10 +187,27 @@ pub fn markdown(ledger: &Ledger) -> String {
         wall_hist.record((e.wall_secs * 1e3) as u64);
     }
     let _ = writeln!(out, "## Run shape\n");
-    let _ = writeln!(out, "| distribution (log2 buckets) | sparkline |");
-    let _ = writeln!(out, "|---|---|");
-    let _ = writeln!(out, "| events/sec | `{}` |", sparkline(&eps_hist));
-    let _ = writeln!(out, "| wall ms per run | `{}` |", sparkline(&wall_hist));
+    let _ = writeln!(
+        out,
+        "| distribution (log2 buckets) | sparkline | p50 | p90 | p99 |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|");
+    let _ = writeln!(
+        out,
+        "| events/sec | `{}` | {} | {} | {} |",
+        sparkline(&eps_hist),
+        fmt_quantile(&eps_hist, 0.50),
+        fmt_quantile(&eps_hist, 0.90),
+        fmt_quantile(&eps_hist, 0.99),
+    );
+    let _ = writeln!(
+        out,
+        "| wall ms per run | `{}` | {} | {} | {} |",
+        sparkline(&wall_hist),
+        fmt_quantile(&wall_hist, 0.50),
+        fmt_quantile(&wall_hist, 0.90),
+        fmt_quantile(&wall_hist, 0.99),
+    );
     out.push('\n');
 
     // Paper fidelity metrics over the whole campaign.
@@ -207,10 +235,13 @@ pub fn markdown(ledger: &Ledger) -> String {
     // Per-bottleneck breakdown: runs on multi-bottleneck topologies (or
     // with AQM/ECN enabled) carry one record per congested link; group
     // them by link so each bottleneck gets its own utilization/JFI row.
-    let mut per_link: BTreeMap<(u32, String), (Vec<f64>, Vec<f64>, Vec<f64>, u64, u64)> =
-        BTreeMap::new();
+    // (utilizations, jfis, loss rates, max queue bytes, CE-marked packets)
+    type LinkAgg = (Vec<f64>, Vec<f64>, Vec<f64>, u64, u64);
+    let mut per_link: BTreeMap<(u32, String), LinkAgg> = BTreeMap::new();
     for e in &ok {
-        let Some(m) = e.metrics.as_ref() else { continue };
+        let Some(m) = e.metrics.as_ref() else {
+            continue;
+        };
         for b in &m.bottlenecks {
             let slot = per_link.entry((b.link, b.label.clone())).or_default();
             slot.0.push(b.utilization);
@@ -468,6 +499,7 @@ mod tests {
             wall_secs: 0.5,
             events_processed: 100_000,
             events_per_sec: 200_000.0,
+            eps_by_kind: Vec::new(),
             metrics: Some(Rollup {
                 jfi: Some(jfi),
                 utilization: 0.9,
@@ -543,6 +575,21 @@ mod tests {
         assert!(md.contains("c/cca=reno/seed=1"));
         assert!(md.contains("**FAIL**"));
         assert!(md.contains("Figures 7–8"));
+        // Run-shape rows carry percentiles next to the sparklines. Every
+        // sample entry records events_per_sec = 200k, so each eps
+        // percentile interpolates inside the [131072, 262143] bucket.
+        assert!(md.contains("| p50 | p90 | p99 |"));
+        let eps_row = md
+            .lines()
+            .find(|l| l.starts_with("| events/sec"))
+            .expect("events/sec row");
+        let p50 = eps_row
+            .split('|')
+            .nth(3)
+            .expect("p50 column")
+            .trim()
+            .to_string();
+        assert!(p50.ends_with('k'), "p50 = {p50:?}");
     }
 
     #[test]

@@ -19,9 +19,9 @@ use ccsim_cca::CcaKind;
 use ccsim_core::{scenario_from_json, scenario_to_json, FlowGroup, Scenario};
 use ccsim_fault::json::{escape, Json, JsonError};
 use ccsim_net::AqmKind;
-use ccsim_topo::TopologyKind;
 use ccsim_sim::jsonfmt::{json_f64, json_opt_f64};
 use ccsim_sim::{Bandwidth, SimDuration};
+use ccsim_topo::TopologyKind;
 use std::fmt::Write as _;
 
 /// A swept parameter: which scenario knob an axis overrides.
@@ -466,12 +466,11 @@ fn base_from_preset(v: &Json) -> Result<Scenario, JsonError> {
         s.convergence = None;
     }
     if let Some(name) = v.get("topology").and_then(Json::as_str) {
-        s.topology = TopologyKind::parse(name)
-            .ok_or_else(|| bad(format!("unknown topology \"{name}\"")))?;
+        s.topology =
+            TopologyKind::parse(name).ok_or_else(|| bad(format!("unknown topology \"{name}\"")))?;
     }
     if let Some(name) = v.get("aqm").and_then(Json::as_str) {
-        s.aqm =
-            AqmKind::parse(name).ok_or_else(|| bad(format!("unknown aqm \"{name}\"")))?;
+        s.aqm = AqmKind::parse(name).ok_or_else(|| bad(format!("unknown aqm \"{name}\"")))?;
     }
     if let Some(on) = v.get("ecn").and_then(Json::as_bool) {
         s.ecn = on;

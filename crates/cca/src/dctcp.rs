@@ -11,8 +11,8 @@
 //!
 //! [`CcaKind`]: crate::CcaKind
 
-use ccsim_tcp::{AckSample, CongestionControl, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 use ccsim_sim::Bandwidth;
+use ccsim_tcp::{AckSample, CongestionControl, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 
 /// EWMA gain for the mark-fraction estimate (RFC 8257's g = 1/16).
 const DCTCP_G: f64 = 1.0 / 16.0;

@@ -319,8 +319,7 @@ mod tests {
 
     #[test]
     fn parking_lot_places_endpoints_after_links_and_routers() {
-        let net =
-            BuiltNetwork::build(&tiny_scenario().topology(TopologyKind::ParkingLot(3)));
+        let net = BuiltNetwork::build(&tiny_scenario().topology(TopologyKind::ParkingLot(3)));
         assert_eq!(net.links.len(), 3);
         assert_eq!(net.routers.len(), 2);
         // Primary bottleneck is the first chained link.

@@ -201,8 +201,7 @@ pub fn scenario_from_json(text: &str) -> Result<Scenario, JsonError> {
         None => TopologyKind::SingleBottleneck,
         Some(v) => {
             let name = v.as_str().ok_or_else(|| bad("non-string \"topology\""))?;
-            TopologyKind::parse(name)
-                .ok_or_else(|| bad(format!("unknown topology \"{name}\"")))?
+            TopologyKind::parse(name).ok_or_else(|| bad(format!("unknown topology \"{name}\"")))?
         }
     };
     let aqm = match doc.get("aqm") {

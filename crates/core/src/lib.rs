@@ -34,8 +34,8 @@ pub use crash::{
 };
 pub use error::SimError;
 pub use observe::{
-    run_observed, run_observed_with_progress, try_run_observed, try_run_observed_with_progress,
-    ObservedRun, RunInstruments,
+    run_observed, run_observed_with_progress, try_run_observed, try_run_observed_with,
+    try_run_observed_with_progress, ObserveOptions, ObservedRun, RunInstruments,
 };
 pub use outcome::{BottleneckMetrics, PInterpretation, RunOutcome};
 pub use runner::{run, run_with_progress, try_run, try_run_with_progress, Progress};

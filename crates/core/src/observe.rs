@@ -17,7 +17,7 @@
 //! |---|---|---|
 //! | `ccsim_events_total{kind}` | counter | engine events by data/ack/timer |
 //! | `ccsim_events_pending_peak` | gauge | event-queue high-water mark |
-//! | `ccsim_events_per_sec` | gauge | engine throughput, events/wall-sec |
+//! | `ccsim_events_per_sec` | gauge | engine throughput, events/dispatch-sec |
 //! | `ccsim_sim_wall_ratio` | gauge | sim-seconds per wall-second |
 //! | `ccsim_slice_wall_nanos` | histogram | wall time per measurement slice |
 //! | `ccsim_link_queue_bytes` | histogram | queue occupancy at arrivals |
@@ -28,6 +28,11 @@
 //! | `ccsim_tcp_pacing_stalls_total` | counter | pacing-gate deferrals |
 //! | `ccsim_phase_wall_nanos_total{phase}` | counter | runner phase wall time |
 //! | `ccsim_phase_calls_total{phase}` | counter | runner phase span counts |
+//!
+//! With [`ObserveOptions::profile`] on, the `ccsim-prof` families join
+//! the dump as well (`ccsim_prof_events_total{class,kind}`, timer-wheel
+//! counters, `ccsim_mem_bytes{pool}` — see
+//! [`ccsim_telemetry::export_profile_into`]).
 
 use crate::error::SimError;
 use crate::outcome::RunOutcome;
@@ -36,7 +41,7 @@ use crate::scenario::Scenario;
 use ccsim_net::link::LinkMetrics;
 use ccsim_net::msg::Msg;
 use ccsim_tcp::sender::SenderMetrics;
-use ccsim_telemetry::manifest::{fnv1a_64, RunManifest};
+use ccsim_telemetry::manifest::{fnv1a_64, ManifestBottleneck, RunManifest};
 use ccsim_telemetry::prometheus::write_exposition;
 use ccsim_telemetry::registry::{Counter, Gauge, Histogram, Registry};
 use ccsim_telemetry::Profiler;
@@ -44,6 +49,10 @@ use std::sync::Arc;
 
 /// Event classes for `ccsim_events_total{kind=...}`.
 pub(crate) const EVENT_KINDS: [&str; 3] = ["data", "ack", "timer"];
+
+/// Component classes for the profiler's event-attribution rows, in the
+/// order the class table assigns them (see `comp_class_table`).
+pub(crate) const COMPONENT_CLASSES: [&str; 4] = ["link", "router", "sender", "receiver"];
 
 /// Classify an engine message into an [`EVENT_KINDS`] index. Installed on
 /// the engine (which cannot depend on this crate) as a plain fn pointer.
@@ -55,6 +64,39 @@ pub(crate) fn classify_msg(m: &Msg) -> usize {
     }
 }
 
+/// Opt-in knobs for an observed run, beyond the always-on instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveOptions {
+    /// Attach the `ccsim-prof` event-attribution profiler to the engine.
+    /// Digest-inert: the class-table lookup and strided `Instant` samples
+    /// never touch simulation state.
+    pub profile: bool,
+    /// Sampling stride for the profiler's wall-clock samples: one
+    /// `Instant::now()` per `stride` dispatched events. The stride is
+    /// fixed, so *which* events sample is a pure function of the event
+    /// stream.
+    pub profile_stride: u64,
+}
+
+impl Default for ObserveOptions {
+    fn default() -> ObserveOptions {
+        ObserveOptions {
+            profile: false,
+            profile_stride: ccsim_prof::DEFAULT_STRIDE,
+        }
+    }
+}
+
+impl ObserveOptions {
+    /// Options with profiling on at the default stride.
+    pub fn profiled() -> ObserveOptions {
+        ObserveOptions {
+            profile: true,
+            ..ObserveOptions::default()
+        }
+    }
+}
+
 /// Everything attached to one observed run: the registry the metrics
 /// live in, the profiler for phase spans, and the pre-registered handles
 /// the runner wires into components (handles are created up front so the
@@ -62,8 +104,11 @@ pub(crate) fn classify_msg(m: &Msg) -> usize {
 pub struct RunInstruments {
     /// The metric registry for this run.
     pub registry: Registry,
-    /// Wall-clock profiling spans (build / warmup / measure / collect).
+    /// Wall-clock profiling spans (build / warmup / measure / collect /
+    /// dispatch).
     pub profiler: Profiler,
+    /// Observation knobs this run was started with.
+    pub options: ObserveOptions,
     pub(crate) events_kind: [Arc<Counter>; 3],
     pub(crate) pending_peak: Arc<Gauge>,
     pub(crate) events_per_sec: Arc<Gauge>,
@@ -71,12 +116,20 @@ pub struct RunInstruments {
     pub(crate) slice_wall: Arc<Histogram>,
     pub(crate) link: LinkMetrics,
     pub(crate) sender: SenderMetrics,
+    /// Filled by the runner's collection phase when profiling is on
+    /// (everything except `dispatch_nanos`, stamped afterwards).
+    pub(crate) profile_out: std::cell::RefCell<Option<ccsim_prof::Profile>>,
 }
 
 impl RunInstruments {
     /// Register every metric family an observed run emits and return the
     /// handles.
     pub fn new() -> RunInstruments {
+        RunInstruments::with_options(ObserveOptions::default())
+    }
+
+    /// [`RunInstruments::new`] with explicit [`ObserveOptions`].
+    pub fn with_options(options: ObserveOptions) -> RunInstruments {
         let registry = Registry::new();
         let events_kind = EVENT_KINDS.map(|kind| {
             registry.counter_with(
@@ -132,6 +185,7 @@ impl RunInstruments {
         RunInstruments {
             registry,
             profiler: Profiler::new(),
+            options,
             events_kind,
             pending_peak,
             events_per_sec,
@@ -139,6 +193,7 @@ impl RunInstruments {
             slice_wall,
             link,
             sender,
+            profile_out: std::cell::RefCell::new(None),
         }
     }
 }
@@ -199,19 +254,43 @@ where
 /// [`try_run_observed`] with a progress callback.
 pub fn try_run_observed_with_progress<F>(
     scenario: &Scenario,
+    on_progress: F,
+) -> Result<ObservedRun, SimError>
+where
+    F: FnMut(&Progress),
+{
+    try_run_observed_with(scenario, ObserveOptions::default(), on_progress)
+}
+
+/// The full-control entry point: an observed run with explicit
+/// [`ObserveOptions`] (`ccsim perf` and the campaign executor's
+/// `--profile` path come through here with `profile: true`).
+pub fn try_run_observed_with<F>(
+    scenario: &Scenario,
+    options: ObserveOptions,
     mut on_progress: F,
 ) -> Result<ObservedRun, SimError>
 where
     F: FnMut(&Progress),
 {
-    let inst = RunInstruments::new();
+    let inst = RunInstruments::with_options(options);
     let wall_start = std::time::Instant::now();
     let outcome = run_internal(scenario, Some(&inst), &mut on_progress)?;
     let wall_secs = wall_start.elapsed().as_secs_f64();
 
     let sim_secs = outcome.ended_at.as_secs_f64();
-    let events_per_sec = if wall_secs > 0.0 {
-        outcome.events_processed as f64 / wall_secs
+    // Engine throughput over *dispatch* time only: the runner wraps every
+    // engine advance in a "dispatch" span, so build, snapshot
+    // bookkeeping, and collection no longer dilute the figure.
+    let dispatch_nanos = inst
+        .profiler
+        .stats()
+        .iter()
+        .find(|(label, _)| *label == "dispatch")
+        .map_or(0, |(_, s)| s.total_nanos);
+    let dispatch_secs = dispatch_nanos as f64 / 1e9;
+    let events_per_sec = if dispatch_secs > 0.0 {
+        outcome.events_processed as f64 / dispatch_secs
     } else {
         0.0
     };
@@ -224,7 +303,31 @@ where
     inst.sim_wall_ratio.set(sim_wall_ratio);
     inst.profiler.export_into(&inst.registry);
 
+    let mut profile = inst.profile_out.borrow_mut().take();
+    if let Some(p) = &mut profile {
+        p.dispatch_nanos = dispatch_nanos;
+        ccsim_telemetry::export_profile_into(p, &inst.registry);
+    }
+
     let prometheus = write_exposition(&inst.registry);
+    let events_by_kind = EVENT_KINDS
+        .iter()
+        .zip(&inst.events_kind)
+        .map(|(kind, counter)| (kind.to_string(), counter.get()))
+        .collect();
+    let bottlenecks = outcome
+        .bottlenecks
+        .iter()
+        .map(|b| ManifestBottleneck {
+            link: b.link,
+            label: b.label.clone(),
+            utilization: b.utilization,
+            jfi: b.jfi,
+            loss_rate: b.loss_rate,
+            max_queue_bytes: b.max_queue_bytes,
+            ce_marked_pkts: b.ce_marked_pkts,
+        })
+        .collect();
     let manifest = RunManifest {
         scenario: scenario.name.clone(),
         seed: scenario.seed,
@@ -233,6 +336,7 @@ where
         outcome_digest: format!("{:016x}", outcome.digest()),
         sim_secs,
         wall_secs,
+        dispatch_secs,
         sim_wall_ratio,
         events_processed: outcome.events_processed,
         events_per_sec,
@@ -242,6 +346,9 @@ where
         metric_bytes: prometheus.len() as u64,
         metric_series: inst.registry.len() as u64,
         converged: outcome.converged,
+        events_by_kind,
+        bottlenecks,
+        profile,
     };
     Ok(ObservedRun {
         outcome,
@@ -331,5 +438,75 @@ mod tests {
     fn config_digest_tracks_configuration() {
         assert_eq!(scenario_digest(&tiny(1)), scenario_digest(&tiny(1)));
         assert_ne!(scenario_digest(&tiny(1)), scenario_digest(&tiny(2)));
+    }
+
+    #[test]
+    fn observed_manifest_carries_per_kind_event_counts() {
+        let obs = run_observed(&tiny(8));
+        let m = &obs.manifest;
+        assert_eq!(m.events_by_kind.len(), EVENT_KINDS.len());
+        let total: u64 = m.events_by_kind.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, m.events_processed);
+        assert!(m.dispatch_secs > 0.0);
+        assert!(m.dispatch_secs <= m.wall_secs);
+        // events_per_sec is events over dispatch time, not total wall.
+        let implied = m.events_processed as f64 / m.dispatch_secs;
+        assert!((implied - m.events_per_sec).abs() / implied < 1e-9);
+        assert!(!m.eps_by_kind().is_empty());
+    }
+
+    #[test]
+    fn profiling_is_digest_inert_and_fills_the_profile() {
+        let plain = run_observed(&tiny(9));
+        let profiled = try_run_observed_with(&tiny(9), ObserveOptions::profiled(), |_| {}).unwrap();
+        // Byte-identical outcome with the profiler attached.
+        assert_eq!(plain.outcome.to_json(), profiled.outcome.to_json());
+        assert_eq!(
+            plain.manifest.outcome_digest,
+            profiled.manifest.outcome_digest
+        );
+        assert!(plain.manifest.profile.is_none());
+
+        let p = profiled.manifest.profile.as_ref().unwrap();
+        assert_eq!(p.events.total(), profiled.outcome.events_processed);
+        assert_eq!(p.flows, 2);
+        assert!(p.dispatch_nanos > 0);
+        assert!(p.memory_total_bytes() > 0);
+        let pools: Vec<&str> = p.memory.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(
+            pools,
+            ["net/link_queues", "sim/wheel", "tcp/senders", "trace/rings"]
+        );
+        // Tracing was off, so the rings pool is empty but present.
+        assert_eq!(
+            p.memory
+                .iter()
+                .find(|g| g.name == "trace/rings")
+                .unwrap()
+                .bytes,
+            0
+        );
+        // The profile's families joined the Prometheus dump.
+        assert!(profiled.prometheus.contains("ccsim_prof_events_total"));
+        assert!(profiled
+            .prometheus
+            .contains("ccsim_mem_bytes{pool=\"tcp/senders\"}"));
+        // Manifest round-trips with the profile embedded.
+        let back = RunManifest::from_json(&profiled.manifest.to_json()).unwrap();
+        assert_eq!(&back, &profiled.manifest);
+    }
+
+    #[test]
+    fn same_seed_profiles_are_identical_after_normalization() {
+        let a = try_run_observed_with(&tiny(10), ObserveOptions::profiled(), |_| {}).unwrap();
+        let b = try_run_observed_with(&tiny(10), ObserveOptions::profiled(), |_| {}).unwrap();
+        let (pa, pb) = (
+            a.manifest.profile.as_ref().unwrap().normalized(),
+            b.manifest.profile.as_ref().unwrap().normalized(),
+        );
+        // Everything but wall time — counts, sample counts, wheel
+        // internals, memory gauges — is a pure function of the event
+        // stream, so the normalized JSON is byte-identical.
+        assert_eq!(pa.to_json(), pb.to_json());
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::build::BuiltNetwork;
 use crate::error::SimError;
-use crate::observe::{classify_msg, RunInstruments, EVENT_KINDS};
+use crate::observe::{classify_msg, RunInstruments, COMPONENT_CLASSES, EVENT_KINDS};
 use crate::outcome::{BottleneckMetrics, RunOutcome};
 use crate::scenario::Scenario;
 use crate::watchdog::Watchdog;
@@ -106,14 +106,89 @@ where
 /// Advance the simulation to `until`, classifying events per kind when
 /// the run is observed. `classify_msg` is passed as a function item so it
 /// inlines into the engine's event loop; the unobserved path is the plain
-/// `run_until` with zero observability cost.
-fn advance(net: &mut BuiltNetwork, until: SimTime, observed: bool) -> Result<(), SimError> {
-    if observed {
-        net.sim.try_run_until_classified(until, classify_msg)?;
+/// `run_until` with zero observability cost. Observed advances are
+/// wrapped in a `dispatch` profiler span — the denominator of the
+/// manifest's `events_per_sec`, which deliberately excludes every
+/// harness phase (build, snapshots, collection).
+fn advance(
+    net: &mut BuiltNetwork,
+    until: SimTime,
+    inst: Option<&RunInstruments>,
+) -> Result<(), SimError> {
+    if let Some(inst) = inst {
+        let t0 = std::time::Instant::now();
+        let result = net.sim.try_run_until_classified(until, classify_msg);
+        inst.profiler.record("dispatch", t0.elapsed());
+        result?;
     } else {
         net.sim.try_run_until(until)?;
     }
     Ok(())
+}
+
+/// Component-id → profiler class-row table for `net`, indexed by raw
+/// component id. Classes follow [`COMPONENT_CLASSES`] order.
+fn comp_class_table(net: &BuiltNetwork) -> Vec<u8> {
+    let ids = |v: &[ccsim_sim::ComponentId]| v.iter().map(|id| id.as_usize()).collect::<Vec<_>>();
+    let groups = [
+        ids(&net.links),
+        ids(&net.routers),
+        ids(&net.senders),
+        ids(&net.receivers),
+    ];
+    let max = groups.iter().flatten().copied().max().unwrap_or(0);
+    let mut table = vec![0u8; max + 1];
+    for (class, group) in groups.iter().enumerate() {
+        for &id in group {
+            table[id] = class as u8;
+        }
+    }
+    table
+}
+
+/// Harvest the engine's profiling state into a [`ccsim_prof::Profile`]
+/// (collection phase, while the network is still assembled). The
+/// `dispatch_nanos` field is stamped by the observed-run wrapper, which
+/// owns the dispatch span totals.
+fn harvest_profile(net: &mut BuiltNetwork, stride: u64) -> Option<ccsim_prof::Profile> {
+    use ccsim_prof::{EventCells, MemAccounts, Profile, WheelProfile};
+    let (counts, nanos, samples) = net.sim.profile_cells()?;
+    let (counts, nanos, samples) = (counts.to_vec(), nanos.to_vec(), samples.to_vec());
+
+    let accounts = MemAccounts::new();
+    let (senders, links, rings) = (
+        accounts.account("tcp/senders"),
+        accounts.account("net/link_queues"),
+        accounts.account("trace/rings"),
+    );
+    accounts
+        .account("sim/wheel")
+        .set(net.sim.queue_memory_bytes());
+    for &id in &net.senders {
+        let s = net.sim.component::<Sender>(id);
+        senders.alloc(s.memory_bytes());
+        rings.alloc(s.trace_memory_bytes());
+    }
+    for &id in &net.links {
+        let l = net.sim.component::<Link>(id);
+        links.alloc(l.memory_bytes());
+        rings.alloc(l.trace_memory_bytes());
+    }
+
+    Some(Profile {
+        events: EventCells {
+            classes: COMPONENT_CLASSES.iter().map(|s| s.to_string()).collect(),
+            kinds: EVENT_KINDS.iter().map(|s| s.to_string()).collect(),
+            stride,
+            counts,
+            nanos,
+            samples,
+        },
+        wheel: WheelProfile::from(net.sim.wheel_stats()),
+        memory: accounts.snapshot(),
+        dispatch_nanos: 0,
+        flows: net.flow_count() as u32,
+    })
 }
 
 /// Drain the flight recorders (present only when the scenario enabled
@@ -166,6 +241,14 @@ pub(crate) fn run_internal(
                 .component_mut::<Sender>(id)
                 .enable_metrics(inst.sender.clone());
         }
+        if inst.options.profile {
+            net.sim.enable_profiling(
+                comp_class_table(&net),
+                COMPONENT_CLASSES.len(),
+                EVENT_KINDS.len(),
+                inst.options.profile_stride,
+            );
+        }
     }
     drop(build_span);
 
@@ -193,7 +276,7 @@ pub(crate) fn run_internal(
         let mut t = SimTime::ZERO;
         while t < warmup_end {
             let next = (t + scenario.snapshot_interval).min(warmup_end);
-            advance(&mut net, next, inst.is_some())?;
+            advance(&mut net, next, inst)?;
             t = next;
             report(t, net.sim.events_processed(), net.sim.events_pending());
             if watchdog.check(&net, scenario) {
@@ -248,7 +331,7 @@ pub(crate) fn run_internal(
     while now < deadline {
         let slice_start = inst.map(|_| std::time::Instant::now());
         let next = (now + scenario.snapshot_interval).min(deadline);
-        advance(&mut net, next, inst.is_some())?;
+        advance(&mut net, next, inst)?;
         now = next;
         tracker.record(now, net.per_flow_delivered());
         if let (Some(inst), Some(t0)) = (inst, slice_start) {
@@ -355,13 +438,20 @@ pub(crate) fn run_internal(
             bottlenecks.push(BottleneckMetrics {
                 link: i as u32,
                 label: spec.label.clone(),
-                utilization: (stats.transmitted_bytes as f64 / secs)
-                    / spec.rate.as_bytes_per_sec(),
+                utilization: (stats.transmitted_bytes as f64 / secs) / spec.rate.as_bytes_per_sec(),
                 jfi: jain_fairness_subset(&tputs, &net.topology.flows_on_link(i)),
                 loss_rate: stats.loss_rate(),
                 max_queue_bytes: stats.max_queue_bytes,
                 ce_marked_pkts: stats.ce_marked_pkts,
             });
+        }
+    }
+
+    // Profiling harvest runs before the trace drain so the `trace/rings`
+    // memory gauge still sees attached recorders.
+    if let Some(inst) = inst {
+        if inst.options.profile {
+            *inst.profile_out.borrow_mut() = harvest_profile(&mut net, inst.options.profile_stride);
         }
     }
 

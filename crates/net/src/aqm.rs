@@ -75,12 +75,23 @@ impl AqmKind {
     }
 
     /// All kinds, for axis expansion and exhaustive tests.
-    pub const ALL: [AqmKind; 4] = [AqmKind::DropTail, AqmKind::Red, AqmKind::Codel, AqmKind::Pie];
+    pub const ALL: [AqmKind; 4] = [
+        AqmKind::DropTail,
+        AqmKind::Red,
+        AqmKind::Codel,
+        AqmKind::Pie,
+    ];
 
     /// Build a queue of this kind for a link with the given buffer, drain
     /// rate, ECN marking flag, and RNG seed. Defaults follow the
     /// disciplines' reference parameterizations, scaled off the buffer.
-    pub fn build(self, buffer_bytes: u64, rate: Bandwidth, ecn: bool, seed: u64) -> Box<dyn AqmQueue> {
+    pub fn build(
+        self,
+        buffer_bytes: u64,
+        rate: Bandwidth,
+        ecn: bool,
+        seed: u64,
+    ) -> Box<dyn AqmQueue> {
         match self {
             AqmKind::DropTail => Box::new(DropTail::new(buffer_bytes)),
             AqmKind::Red => Box::new(Red::new(buffer_bytes, rate, ecn, seed)),
@@ -160,6 +171,13 @@ pub trait AqmQueue {
     /// The link's drain rate changed (fault injection); disciplines that
     /// estimate queueing delay from the rate must re-anchor.
     fn on_rate_change(&mut self, _rate: Bandwidth) {}
+
+    /// Approximate heap footprint of the discipline's packet storage
+    /// (capacity, not occupancy — what the allocator actually holds).
+    /// Feeds the profiler's `net/link_queues` memory account.
+    fn memory_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Uniform draw in `[0, 1)` from the top 53 bits of a `u64`, the standard
@@ -197,6 +215,10 @@ impl DropTail {
 impl AqmQueue for DropTail {
     fn kind(&self) -> AqmKind {
         AqmKind::DropTail
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.queue.capacity() * std::mem::size_of::<Packet>()) as u64
     }
 
     fn enqueue(&mut self, _now: SimTime, p: Packet) -> Enqueued {
@@ -317,7 +339,11 @@ impl Red {
         };
         self.count += 1;
         let correction = 1.0 - self.count as f64 * p_b;
-        let p_a = if correction <= 0.0 { 1.0 } else { (p_b / correction).min(1.0) };
+        let p_a = if correction <= 0.0 {
+            1.0
+        } else {
+            (p_b / correction).min(1.0)
+        };
         if uniform_f64(&mut self.rng) < p_a {
             self.count = 0;
             true
@@ -330,6 +356,10 @@ impl Red {
 impl AqmQueue for Red {
     fn kind(&self) -> AqmKind {
         AqmKind::Red
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.queue.capacity() * std::mem::size_of::<Packet>()) as u64
     }
 
     fn enqueue(&mut self, now: SimTime, mut p: Packet) -> Enqueued {
@@ -468,6 +498,11 @@ impl AqmQueue for Codel {
         AqmKind::Codel
     }
 
+    fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>()
+            + self.queue.capacity() * std::mem::size_of::<(SimTime, Packet)>()) as u64
+    }
+
     fn enqueue(&mut self, now: SimTime, p: Packet) -> Enqueued {
         if self.queued_bytes + p.wire_bytes as u64 > self.buffer_bytes {
             return Enqueued::Dropped(p);
@@ -500,8 +535,7 @@ impl AqmQueue for Codel {
             // Enter the dropping state. Resume near the previous episode's
             // rate if it ended recently (the "drop spacing memory").
             self.dropping = true;
-            self.count = if self.count > 2 && now.saturating_since(self.drop_next) < self.interval
-            {
+            self.count = if self.count > 2 && now.saturating_since(self.drop_next) < self.interval {
                 self.count - 2
             } else {
                 1
@@ -626,6 +660,10 @@ impl AqmQueue for Pie {
         AqmKind::Pie
     }
 
+    fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.queue.capacity() * std::mem::size_of::<Packet>()) as u64
+    }
+
     fn enqueue(&mut self, _now: SimTime, mut p: Packet) -> Enqueued {
         let signal = self.should_signal();
         if self.queued_bytes + p.wire_bytes as u64 > self.buffer_bytes {
@@ -694,12 +732,8 @@ impl AqmQueue for Pie {
         // Burst allowance: consume while the controller is inactive-safe,
         // re-grant once congestion has fully cleared.
         if self.burst_allowance > SimDuration::ZERO {
-            self.burst_allowance = self
-                .burst_allowance
-                .saturating_sub(PIE_TUPDATE);
-        } else if self.prob == 0.0
-            && qdelay < self.target / 2
-            && self.qdelay_old < self.target / 2
+            self.burst_allowance = self.burst_allowance.saturating_sub(PIE_TUPDATE);
+        } else if self.prob == 0.0 && qdelay < self.target / 2 && self.qdelay_old < self.target / 2
         {
             self.burst_allowance = PIE_BURST_ALLOWANCE;
         }
@@ -714,9 +748,7 @@ impl AqmQueue for Pie {
     /// exactly zero, and the burst allowance has been fully re-granted —
     /// at that point every subsequent tick would be a no-op.
     fn tick_needed(&self) -> bool {
-        self.queued_bytes > 0
-            || self.prob > 0.0
-            || self.burst_allowance < PIE_BURST_ALLOWANCE
+        self.queued_bytes > 0 || self.prob > 0.0 || self.burst_allowance < PIE_BURST_ALLOWANCE
     }
 }
 
@@ -756,8 +788,14 @@ mod tests {
     #[test]
     fn droptail_matches_legacy_admission_rule() {
         let mut q = DropTail::new(3000);
-        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(1500)), Enqueued::Queued));
-        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(1500)), Enqueued::Queued));
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(1500)),
+            Enqueued::Queued
+        ));
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(1500)),
+            Enqueued::Queued
+        ));
         // Third 1500 B arrival overflows the 3000 B buffer.
         assert!(matches!(
             q.enqueue(SimTime::ZERO, pkt(1500)),
@@ -775,7 +813,10 @@ mod tests {
     fn red_below_min_threshold_never_signals() {
         let mut q = Red::new(100_000, Bandwidth::from_mbps(100), false, 1);
         for _ in 0..10 {
-            assert!(matches!(q.enqueue(SimTime::ZERO, pkt(1500)), Enqueued::Queued));
+            assert!(matches!(
+                q.enqueue(SimTime::ZERO, pkt(1500)),
+                Enqueued::Queued
+            ));
             let _ = q.dequeue(SimTime::ZERO);
         }
     }
@@ -798,7 +839,10 @@ mod tests {
                 }
             }
         }
-        assert!(dropped > 0, "RED never produced an early drop under overload");
+        assert!(
+            dropped > 0,
+            "RED never produced an early drop under overload"
+        );
         // And some drops must be early (queue not physically full).
         assert!(q.avg_queue_bytes() > 30_000.0 / 4.0);
     }
@@ -933,11 +977,18 @@ mod tests {
         );
         let mut dropped = 0;
         for _ in 0..500 {
-            if matches!(q.enqueue(SimTime::from_secs(1), pkt(1500)), Enqueued::Dropped(_)) {
+            if matches!(
+                q.enqueue(SimTime::from_secs(1), pkt(1500)),
+                Enqueued::Dropped(_)
+            ) {
                 dropped += 1;
             }
         }
-        assert!(dropped > 0, "PIE never dropped at p={}", q.drop_probability());
+        assert!(
+            dropped > 0,
+            "PIE never dropped at p={}",
+            q.drop_probability()
+        );
     }
 
     #[test]

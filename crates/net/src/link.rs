@@ -318,6 +318,23 @@ impl Link {
         &self.drop_log
     }
 
+    /// Approximate heap footprint of this link: the struct, the AQM
+    /// discipline's packet storage, and the drop log. Feeds the
+    /// profiler's `net/link_queues` memory account; the attached queue
+    /// recorder (if tracing) is accounted under `trace/rings` via
+    /// [`Link::trace_memory_bytes`].
+    pub fn memory_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+            + self.aqm.memory_bytes()
+            + (self.drop_log.capacity() * std::mem::size_of::<SimTime>()) as u64
+    }
+
+    /// Heap bytes held by the attached queue recorder, 0 when tracing is
+    /// off.
+    pub fn trace_memory_bytes(&self) -> u64 {
+        self.recorder.as_ref().map_or(0, |rec| rec.memory_bytes())
+    }
+
     /// Current backlog in bytes (waiting packets, excluding in-service).
     pub fn backlog_bytes(&self) -> u64 {
         self.aqm.queued_bytes()
@@ -444,11 +461,13 @@ impl Link {
                 if let Some(rec) = &mut self.recorder {
                     rec.on_ecn_mark(now, p.flow.0, self.aqm.queued_bytes());
                 }
-                self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.aqm.queued_bytes());
+                self.stats.max_queue_bytes =
+                    self.stats.max_queue_bytes.max(self.aqm.queued_bytes());
             }
             Enqueued::Queued => {
                 self.end_drop_burst();
-                self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(self.aqm.queued_bytes());
+                self.stats.max_queue_bytes =
+                    self.stats.max_queue_bytes.max(self.aqm.queued_bytes());
             }
         }
     }
@@ -1107,8 +1126,12 @@ mod tests {
             60_000,
             NextHop::ToPacketDst,
         ));
-        sim.component_mut::<Link>(link)
-            .set_aqm(AqmKind::Red.build(60_000, Bandwidth::from_mbps(10), true, 7));
+        sim.component_mut::<Link>(link).set_aqm(AqmKind::Red.build(
+            60_000,
+            Bandwidth::from_mbps(10),
+            true,
+            7,
+        ));
         // Arrivals far faster than the 1.2 ms/pkt drain build a standing
         // queue; the long train lets RED's slow EWMA (w = 1/512) converge
         // past the marking thresholds.
@@ -1124,7 +1147,10 @@ mod tests {
         assert!(stats.ce_marked_pkts > 0, "RED never marked: {stats:?}");
         // Marks replace early drops, not buffer-overflow drops; everything
         // admitted is eventually transmitted.
-        assert_eq!(stats.transmitted_pkts + stats.dropped_pkts, stats.arrived_pkts);
+        assert_eq!(
+            stats.transmitted_pkts + stats.dropped_pkts,
+            stats.arrived_pkts
+        );
         let ce_delivered = sim
             .component::<Sink>(sink)
             .received
@@ -1145,8 +1171,12 @@ mod tests {
             60_000,
             NextHop::ToPacketDst,
         ));
-        sim.component_mut::<Link>(link)
-            .set_aqm(AqmKind::Red.build(60_000, Bandwidth::from_mbps(10), false, 7));
+        sim.component_mut::<Link>(link).set_aqm(AqmKind::Red.build(
+            60_000,
+            Bandwidth::from_mbps(10),
+            false,
+            7,
+        ));
         for i in 0..200u64 {
             let mut p = pkt(0, sink, 1500);
             p.seq = i;

@@ -22,12 +22,7 @@ pub fn hop_latency(prop_delay: SimDuration, extra: SimDuration) -> SimDuration {
 /// equal latencies is preserved by the engine's tie-break, so a constant
 /// latency can never reorder a hop's departures.
 #[inline]
-pub fn deliver_after(
-    ctx: &mut Ctx<'_, Msg>,
-    latency: SimDuration,
-    dst: ComponentId,
-    p: Packet,
-) {
+pub fn deliver_after(ctx: &mut Ctx<'_, Msg>, latency: SimDuration, dst: ComponentId, p: Packet) {
     ctx.schedule_in(latency, dst, Msg::Packet(p));
 }
 

@@ -1,0 +1,169 @@
+//! Subsystem memory accounting: named byte gauges with saturating
+//! alloc/free arithmetic.
+//!
+//! Two usage styles coexist:
+//!
+//! * **Pull** — the harness computes a subsystem's footprint at collection
+//!   time (e.g. summing `Sender::memory_bytes()` over all flows) and
+//!   [`MemAccount::set`]s the gauge. Zero hot-path cost; this is how the
+//!   runner populates the per-run [`crate::Profile`].
+//! * **Push** — long-lived pools [`MemAccount::alloc`]/[`MemAccount::free`]
+//!   as they grow and shrink. Frees saturate at zero (and debug-assert),
+//!   so a double-free in a subsystem can never wrap the gauge to 2^64
+//!   bytes and poison the memory-per-flow metric.
+
+use crate::profile::MemGauge;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One named byte gauge. Cheap to clone a handle to (`Arc`), safe to
+/// update from the campaign executor's worker threads.
+#[derive(Debug, Default)]
+pub struct MemAccount {
+    bytes: AtomicU64,
+}
+
+impl MemAccount {
+    /// A gauge at zero.
+    pub fn new() -> MemAccount {
+        MemAccount::default()
+    }
+
+    /// Add `n` bytes (saturating at `u64::MAX`).
+    pub fn alloc(&self, n: u64) {
+        let _ = self
+            .bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// Release `n` bytes. Saturates at zero; debug builds assert the
+    /// account actually held `n` bytes, so unbalanced frees surface in
+    /// tests without ever corrupting release-mode metrics.
+    pub fn free(&self, n: u64) {
+        let prev = self
+            .bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            })
+            .expect("fetch_update with Some never fails");
+        debug_assert!(
+            prev >= n,
+            "MemAccount underflow: freeing {n} bytes from a {prev}-byte account"
+        );
+    }
+
+    /// Overwrite the gauge (the pull-style harvest).
+    pub fn set(&self, n: u64) {
+        self.bytes.store(n, Ordering::Relaxed);
+    }
+
+    /// Current bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Registry of named [`MemAccount`]s, one per subsystem pool. Names are
+/// `subsystem/pool` by convention (`tcp/senders`, `net/link_queues`,
+/// `trace/rings`, `sim/wheel`).
+#[derive(Debug, Default)]
+pub struct MemAccounts {
+    accounts: Mutex<Vec<(String, Arc<MemAccount>)>>,
+}
+
+impl MemAccounts {
+    /// An empty registry.
+    pub fn new() -> MemAccounts {
+        MemAccounts::default()
+    }
+
+    /// The gauge named `name`, creating it at zero on first use. Repeated
+    /// calls with the same name return handles to the same gauge.
+    pub fn account(&self, name: &str) -> Arc<MemAccount> {
+        let mut accounts = self.accounts.lock().unwrap();
+        if let Some((_, a)) = accounts.iter().find(|(n, _)| n == name) {
+            return Arc::clone(a);
+        }
+        let a = Arc::new(MemAccount::new());
+        accounts.push((name.to_string(), Arc::clone(&a)));
+        a
+    }
+
+    /// Snapshot every gauge, sorted by name so exports are stable
+    /// regardless of registration order.
+    pub fn snapshot(&self) -> Vec<MemGauge> {
+        let accounts = self.accounts.lock().unwrap();
+        let mut v: Vec<MemGauge> = accounts
+            .iter()
+            .map(|(name, a)| MemGauge {
+                name: name.clone(),
+                bytes: a.bytes(),
+            })
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Sum over all gauges.
+    pub fn total_bytes(&self) -> u64 {
+        self.accounts
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(_, a)| a.bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_balance() {
+        let a = MemAccount::new();
+        a.alloc(100);
+        a.alloc(50);
+        a.free(30);
+        assert_eq!(a.bytes(), 120);
+        a.free(120);
+        assert_eq!(a.bytes(), 0);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let a = MemAccount::new();
+        a.alloc(10);
+        a.set(7);
+        assert_eq!(a.bytes(), 7);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "MemAccount underflow")]
+    fn underflow_is_debug_asserted() {
+        let a = MemAccount::new();
+        a.alloc(5);
+        a.free(6);
+    }
+
+    #[test]
+    fn registry_dedupes_by_name_and_snapshots_sorted() {
+        let reg = MemAccounts::new();
+        let a = reg.account("tcp/senders");
+        let b = reg.account("net/link_queues");
+        let a2 = reg.account("tcp/senders");
+        a.alloc(64);
+        a2.alloc(36);
+        b.alloc(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "net/link_queues");
+        assert_eq!(snap[0].bytes, 10);
+        assert_eq!(snap[1].name, "tcp/senders");
+        assert_eq!(snap[1].bytes, 100);
+        assert_eq!(reg.total_bytes(), 110);
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests for the memory-accounting gauges: arbitrary
+//! interleavings of alloc/free across logically-concurrent writers never
+//! underflow, and the gauge tracks the balanced model exactly.
+
+use ccsim_prof::{MemAccount, MemAccounts};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Arbitrary legal interleavings (frees never exceed the outstanding
+    /// balance — the invariant every subsystem pool maintains) keep the
+    /// gauge equal to the model and in particular never underflow.
+    #[test]
+    fn interleaved_alloc_free_matches_model(
+        ops in prop::collection::vec((0u64..1_000_000, 0u8..2), 1..256)
+    ) {
+        let a = MemAccount::new();
+        let mut model: u64 = 0;
+        for (n, is_alloc) in ops {
+            if is_alloc == 1 {
+                a.alloc(n);
+                model += n;
+            } else {
+                // Free at most the outstanding balance, as a correct pool
+                // does; the amount is still arbitrary within that bound.
+                let f = n.min(model);
+                a.free(f);
+                model -= f;
+            }
+            prop_assert_eq!(a.bytes(), model);
+            prop_assert!(a.bytes() <= u64::MAX / 2, "gauge wrapped");
+        }
+    }
+
+    /// Interleaving updates across several named accounts keeps each
+    /// gauge independent and the registry total equal to the sum.
+    #[test]
+    fn registry_totals_are_the_sum_of_independent_accounts(
+        ops in prop::collection::vec((0usize..4, 0u64..10_000), 1..128)
+    ) {
+        let reg = MemAccounts::new();
+        let names = ["tcp/senders", "net/link_queues", "trace/rings", "sim/wheel"];
+        let handles: Vec<Arc<MemAccount>> =
+            names.iter().map(|n| reg.account(n)).collect();
+        let mut model = [0u64; 4];
+        for (i, n) in ops {
+            handles[i].alloc(n);
+            model[i] += n;
+        }
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(reg.account(name).bytes(), model[i]);
+        }
+        prop_assert_eq!(reg.total_bytes(), model.iter().sum::<u64>());
+    }
+}

@@ -182,6 +182,54 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
+/// Per-(component-class × event-kind) attribution state for the opt-in
+/// profiler (`ccsim-prof`). Lives behind an `Option<Box<..>>` on the
+/// simulator so the disabled path pays one never-taken branch inside the
+/// classified dispatch only; the plain (unclassified) path is untouched.
+///
+/// Cell **counts** are exact and deterministic given the event stream.
+/// Wall time is attributed by strided sampling: every `stride`-th
+/// classified event takes an `Instant` and charges the elapsed time since
+/// the previous sample to its own cell. *Which* events are sampled is a
+/// pure function of the event stream, so sample counts are deterministic
+/// too — only the nanosecond values vary run to run.
+struct EngineProf {
+    /// Component arena index → class index (e.g. link/router/sender/
+    /// receiver). Indices past the table clamp to the last class.
+    comp_class: Vec<u8>,
+    n_classes: usize,
+    n_kinds: usize,
+    /// Exact event counts per cell, row-major `class × kind`.
+    cell_counts: Vec<u64>,
+    /// Sampled wall nanoseconds per cell.
+    cell_nanos: Vec<u64>,
+    /// Samples charged per cell.
+    cell_samples: Vec<u64>,
+    stride: u64,
+    tick: u64,
+    last_sample: Option<std::time::Instant>,
+}
+
+impl EngineProf {
+    #[inline]
+    fn record(&mut self, comp: usize, kind: usize) {
+        let class =
+            (self.comp_class.get(comp).copied().unwrap_or(0) as usize).min(self.n_classes - 1);
+        let cell = class * self.n_kinds + kind.min(self.n_kinds - 1);
+        self.cell_counts[cell] += 1;
+        self.tick += 1;
+        if self.tick >= self.stride {
+            self.tick = 0;
+            let now = std::time::Instant::now();
+            if let Some(prev) = self.last_sample.replace(now) {
+                let nanos = u64::try_from(now.duration_since(prev).as_nanos()).unwrap_or(u64::MAX);
+                self.cell_nanos[cell] = self.cell_nanos[cell].saturating_add(nanos);
+                self.cell_samples[cell] += 1;
+            }
+        }
+    }
+}
+
 /// The discrete-event simulator: component arena, clock, and event loop.
 pub struct Simulator<M> {
     components: Vec<Box<dyn Component<M>>>,
@@ -201,6 +249,9 @@ pub struct Simulator<M> {
     /// supplies a pure classifier `M -> class index` per run call and
     /// reads the counts back afterwards.
     class_counts: Vec<u64>,
+    /// Opt-in per-(component-class × event-kind) attribution; `None`
+    /// (the default) keeps profiling entirely off the dispatch path.
+    prof: Option<Box<EngineProf>>,
 }
 
 impl<M: 'static> Simulator<M> {
@@ -215,7 +266,61 @@ impl<M: 'static> Simulator<M> {
             processed: 0,
             max_pending: 0,
             class_counts: Vec::new(),
+            prof: None,
         }
+    }
+
+    /// Enable per-(component-class × event-kind) profiling for subsequent
+    /// [`Simulator::run_until_classified`] calls. `comp_class` maps each
+    /// component arena index to a class in `0..n_classes` (missing or
+    /// out-of-range entries clamp); `stride` is the wall-clock sampling
+    /// period in events (≥ 1). Cell counts are exact; wall time is
+    /// attributed by strided `Instant` sampling (see [`EngineProf`]).
+    pub fn enable_profiling(
+        &mut self,
+        comp_class: Vec<u8>,
+        n_classes: usize,
+        n_kinds: usize,
+        stride: u64,
+    ) {
+        assert!(n_classes > 0 && n_kinds > 0, "need at least one cell");
+        assert!(stride > 0, "sampling stride must be >= 1");
+        self.prof = Some(Box::new(EngineProf {
+            comp_class,
+            n_classes,
+            n_kinds,
+            cell_counts: vec![0; n_classes * n_kinds],
+            cell_nanos: vec![0; n_classes * n_kinds],
+            cell_samples: vec![0; n_classes * n_kinds],
+            stride,
+            tick: 0,
+            last_sample: None,
+        }));
+    }
+
+    /// True iff [`Simulator::enable_profiling`] was called.
+    pub fn profiling_enabled(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Profiling cell data as `(counts, nanos, samples)`, each row-major
+    /// `class × kind` as configured by [`Simulator::enable_profiling`].
+    /// `None` when profiling is off.
+    pub fn profile_cells(&self) -> Option<(&[u64], &[u64], &[u64])> {
+        self.prof
+            .as_ref()
+            .map(|p| (&p.cell_counts[..], &p.cell_nanos[..], &p.cell_samples[..]))
+    }
+
+    /// The always-on scheduler counters of the underlying timer wheel.
+    pub fn wheel_stats(&self) -> &crate::event::WheelStats {
+        self.queue.wheel_stats()
+    }
+
+    /// Approximate heap footprint of the event queue (see
+    /// [`EventQueue::memory_bytes`]).
+    pub fn queue_memory_bytes(&self) -> u64 {
+        self.queue.memory_bytes()
     }
 
     /// Size the per-class event counters for [`Simulator::run_until_classified`]
@@ -326,6 +431,9 @@ impl<M: 'static> Simulator<M> {
         if let Some(k) = classify(&ev.msg) {
             if let Some(last) = self.class_counts.len().checked_sub(1) {
                 self.class_counts[k.min(last)] += 1;
+            }
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.record(ev.dst.as_usize(), k);
             }
         }
         let Simulator {
@@ -447,6 +555,14 @@ impl<M: 'static> Simulator<M> {
             !self.class_counts.is_empty(),
             "set_event_classes must be called before run_until_classified"
         );
+        if let Some(p) = self.prof.as_deref_mut() {
+            // Wall time between run slices (metric collection, convergence
+            // checks) belongs to the harness, not to any event cell: drop
+            // the sampling anchor so the first sample of this slice only
+            // re-arms it. Sample *counts* stay deterministic — the anchor
+            // affects the charged nanoseconds, never which events sample.
+            p.last_sample = None;
+        }
         self.run_until_with(deadline, |m| Some(classify(m)))
     }
 }
@@ -592,6 +708,35 @@ mod tests {
         });
         assert_eq!(sim.event_class_counts(), &[3, 4]);
         assert_eq!(sim.max_pending(), 1);
+    }
+
+    #[test]
+    fn profiling_attributes_counts_per_class_and_kind() {
+        let mut sim = Simulator::new(0);
+        let pinger = sim.add_component(Pinger {
+            peer: None,
+            sent: 0,
+            max: 3,
+            log: Vec::new(),
+        });
+        let ponger = sim.add_component(Ponger);
+        sim.component_mut::<Pinger>(pinger).peer = Some(ponger);
+        sim.set_event_classes(2);
+        assert!(!sim.profiling_enabled());
+        // Component 0 (pinger) is class 0, component 1 (ponger) class 1.
+        sim.enable_profiling(vec![0, 1], 2, 2, 2);
+        sim.schedule(SimTime::ZERO, pinger, Msg::Pong(0));
+        sim.run_until_classified(SimTime::from_secs(1_000), |m| match m {
+            Msg::Ping(_) => 0,
+            Msg::Pong(_) => 1,
+        });
+        let (counts, _nanos, samples) = sim.profile_cells().unwrap();
+        // The pinger receives 4 pongs → cell (class 0, kind 1); the ponger
+        // receives 3 pings → cell (class 1, kind 0). Counts are exact.
+        assert_eq!(counts, &[0, 4, 3, 0]);
+        // 7 events at stride 2 sample at events 2, 4, 6; the first sample
+        // only arms the anchor, so exactly 2 are charged — deterministic.
+        assert_eq!(samples.iter().sum::<u64>(), 2);
     }
 
     #[test]

@@ -185,7 +185,50 @@ const SLOT_BITS: u32 = 6;
 const SLOTS: usize = 1 << SLOT_BITS;
 /// Number of levels. GRAN_BITS + LEVELS × SLOT_BITS = 64: the wheel spans
 /// the whole `u64` nanosecond range and nothing can overflow it.
-const LEVELS: usize = 9;
+pub const LEVELS: usize = 9;
+
+/// log2 buckets of the batch-size histogram in [`WheelStats`].
+pub const BATCH_BUCKETS: usize = 16;
+
+/// Always-on scheduler counters: plain integer adds on paths that already
+/// touch the same cache lines, harvested by the profiling layer
+/// (`ccsim-prof`) after a run. Counting never changes which events fire
+/// or in what order, so outcome digests are untouched by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WheelStats {
+    /// High-water mark of physically-resident entries per wheel level
+    /// (tombstoned entries count until their slot is drained).
+    pub level_high_water: [u64; LEVELS],
+    /// Slot drains at level > 0, each re-routing its entries downward.
+    pub cascades: u64,
+    /// Live entries moved by those cascades.
+    pub cascaded_entries: u64,
+    /// log2 histogram of same-timestamp dispatch batch sizes:
+    /// `batch_hist[k]` counts batches whose size has bit-length k + 1
+    /// (i.e. size in `[2^k, 2^(k+1))`); larger batches clamp into the
+    /// last bucket.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Cancellations that hit a live event.
+    pub cancels: u64,
+    /// Cancel calls that found a stale token (already fired/cancelled).
+    pub cancel_misses: u64,
+    /// Events scheduled with a cancellation token (rearmable timers).
+    pub cancellable_scheduled: u64,
+}
+
+impl Default for WheelStats {
+    fn default() -> Self {
+        WheelStats {
+            level_high_water: [0; LEVELS],
+            cascades: 0,
+            cascaded_entries: 0,
+            batch_hist: [0; BATCH_BUCKETS],
+            cancels: 0,
+            cancel_misses: 0,
+            cancellable_scheduled: 0,
+        }
+    }
+}
 
 /// Priority queue of pending events, earliest first, FIFO within a
 /// timestamp. See the module docs for the internal structure.
@@ -213,6 +256,10 @@ pub struct EventQueue<M> {
     live: usize,
     next_seq: u64,
     scheduled_total: u64,
+    /// Physically-resident entries per level (tombstones included), the
+    /// basis for the per-level high-water marks in `stats`.
+    level_live: [u64; LEVELS],
+    stats: WheelStats,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -236,6 +283,8 @@ impl<M> EventQueue<M> {
             live: 0,
             next_seq: 0,
             scheduled_total: 0,
+            level_live: [0; LEVELS],
+            stats: WheelStats::default(),
         }
     }
 
@@ -274,6 +323,7 @@ impl<M> EventQueue<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
+        self.stats.cancellable_scheduled += 1;
         self.live += 1;
         self.insert(Entry {
             time,
@@ -293,8 +343,10 @@ impl<M> EventQueue<M> {
     pub fn cancel(&mut self, tok: CancelToken) -> bool {
         if self.tokens.cancel(tok) {
             self.live -= 1;
+            self.stats.cancels += 1;
             true
         } else {
+            self.stats.cancel_misses += 1;
             false
         }
     }
@@ -323,6 +375,10 @@ impl<M> EventQueue<M> {
         let slot = ((tick >> (level as u32 * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
         self.slots[level * SLOTS + slot].push(e);
         self.occupied[level] |= 1 << slot;
+        self.level_live[level] += 1;
+        if self.level_live[level] > self.stats.level_high_water[level] {
+            self.stats.level_high_water[level] = self.level_live[level];
+        }
     }
 
     /// Make the globally-earliest live entry poppable from the ready stage
@@ -415,6 +471,10 @@ impl<M> EventQueue<M> {
         self.cur_tick = ((self.cur_tick >> (shift + SLOT_BITS)) << SLOT_BITS | slot) << shift;
         self.occupied[level] &= !(1 << slot);
         let mut bucket = std::mem::take(&mut self.slots[level * SLOTS + slot as usize]);
+        self.level_live[level] -= bucket.len() as u64;
+        if level > 0 {
+            self.stats.cascades += 1;
+        }
         if level == 0 {
             // Every entry in a level-0 slot shares the tick == cur_tick, so
             // they are exactly the new current granule: sort once
@@ -431,6 +491,7 @@ impl<M> EventQueue<M> {
         } else {
             for e in bucket.drain(..) {
                 if self.tokens.is_live(e.tok, e.tok_gen) {
+                    self.stats.cascaded_entries += 1;
                     self.insert(e);
                 }
             }
@@ -480,7 +541,7 @@ impl<M> EventQueue<M> {
         if head_time > deadline {
             return 0;
         }
-        let mut n = 0;
+        let mut n: usize = 0;
         loop {
             let e = self.pop_prepared();
             out.push_back(Event {
@@ -493,9 +554,13 @@ impl<M> EventQueue<M> {
             // wheel ticks beyond it cannot share head_time — so once the
             // prepared head moves past head_time the batch is complete.
             if !self.prepare() || self.head_key().0 != head_time {
-                return n;
+                break;
             }
         }
+        // n >= 1 here, so the bit-length bucket index is well defined.
+        let bucket = (usize::BITS - n.leading_zeros() - 1) as usize;
+        self.stats.batch_hist[bucket.min(BATCH_BUCKETS - 1)] += 1;
+        n
     }
 
     /// Timestamp of the earliest pending event, if any.
@@ -528,6 +593,30 @@ impl<M> EventQueue<M> {
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// The always-on scheduler counters (see [`WheelStats`]).
+    #[inline]
+    pub fn wheel_stats(&self) -> &WheelStats {
+        &self.stats
+    }
+
+    /// Approximate heap footprint of the queue's own structures (slot
+    /// vectors, ready stage, token table) — entry payloads included at
+    /// their in-queue size. Feeds the `MemAccount` registry's `sim/wheel`
+    /// gauge.
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let entry = size_of::<Entry<M>>() as u64;
+        let mut bytes = size_of::<Self>() as u64
+            + self.run.capacity() as u64 * entry
+            + self.overlay.capacity() as u64 * entry
+            + self.tokens.gens.capacity() as u64 * size_of::<u64>() as u64
+            + self.tokens.free.capacity() as u64 * size_of::<u32>() as u64;
+        for s in &self.slots {
+            bytes += size_of::<Vec<Entry<M>>>() as u64 + s.capacity() as u64 * entry;
+        }
+        bytes
     }
 }
 
@@ -901,6 +990,35 @@ mod tests {
         assert_eq!(q.take_head_batch(&mut out), 1);
         assert_eq!(out[0].msg, 4);
         assert_eq!(q.take_head_batch(&mut out), 0);
+    }
+
+    #[test]
+    fn wheel_stats_track_scheduler_activity() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(100);
+        for i in 0..3 {
+            q.schedule(t, id(0), i);
+        }
+        // Far-out events land in level > 0 and cascade downward on advance.
+        q.schedule(SimTime::from_secs(2), id(0), 10);
+        let tok = q.schedule_cancellable(SimTime::from_secs(3), id(0), 11);
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok));
+        let mut out = VecDeque::new();
+        assert_eq!(q.take_head_batch(&mut out), 3);
+        out.clear();
+        assert_eq!(q.take_head_batch(&mut out), 1);
+        let s = q.wheel_stats();
+        assert_eq!(s.cancellable_scheduled, 1);
+        assert_eq!(s.cancels, 1);
+        assert_eq!(s.cancel_misses, 1);
+        assert!(s.cascades >= 1);
+        assert!(s.cascaded_entries >= 1);
+        // Batch of 3 has bit-length 2 → bucket 1; batch of 1 → bucket 0.
+        assert_eq!(s.batch_hist[1], 1);
+        assert_eq!(s.batch_hist[0], 1);
+        assert!(s.level_high_water.iter().sum::<u64>() >= 4);
+        assert!(q.memory_bytes() > 0);
     }
 
     /// Drive the wheel and the reference heap through an identical

@@ -51,7 +51,7 @@ pub mod rng;
 pub mod time;
 
 pub use engine::{Component, ComponentId, Ctx, EngineError, Simulator};
-pub use event::{CancelToken, Event, EventQueue, HeapQueue};
+pub use event::{CancelToken, Event, EventQueue, HeapQueue, WheelStats};
 pub use rate::Bandwidth;
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};

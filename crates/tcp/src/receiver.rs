@@ -536,7 +536,8 @@ mod tests {
             SimDuration::ZERO,
             MSS,
         ));
-        sim.component_mut::<Receiver>(rx).set_ack_first_hop(hop_sink);
+        sim.component_mut::<Receiver>(rx)
+            .set_ack_first_hop(hop_sink);
         sim.schedule(SimTime::ZERO, rx, Msg::Packet(data(0, 100)));
         sim.run();
         assert!(sim.component::<AckSink>(sender_sink).acks.is_empty());

@@ -137,6 +137,13 @@ impl Scoreboard {
         self.segs.is_empty()
     }
 
+    /// Approximate heap footprint: the segment deque's allocated capacity
+    /// at its in-memory entry size, plus the struct itself. The dominant
+    /// per-flow cost at scale; feeds the profiler's `tcp/senders` account.
+    pub fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.segs.capacity() * std::mem::size_of::<Segment>()) as u64
+    }
+
     /// Record transmission of new data `[snd_nxt, snd_nxt + len)`.
     pub fn on_send_new(&mut self, len: u64, tx: TxRecord) {
         debug_assert!(len > 0);

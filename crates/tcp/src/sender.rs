@@ -216,6 +216,31 @@ impl Sender {
         &self.stats
     }
 
+    /// Approximate heap footprint of this flow's hot state: the sender
+    /// struct (CCA box counted at its pointer size) plus the SACK
+    /// scoreboard's segment storage. Harvested into the profiler's
+    /// `tcp/senders` memory account — the numerator of the megascale
+    /// memory-per-flow metric. Attached trace buffers are accounted
+    /// separately via [`Sender::trace_memory_bytes`].
+    pub fn memory_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64 + self.board.memory_bytes()
+    }
+
+    /// Heap bytes held by this flow's attached trace buffers (cwnd log
+    /// and flight recorder), 0 when tracing is off. Feeds the profiler's
+    /// `trace/rings` account, kept apart from `tcp/senders` so the
+    /// memory-per-flow figure reflects the always-on cost.
+    pub fn trace_memory_bytes(&self) -> u64 {
+        let mut bytes = 0;
+        if let Some(log) = &self.cwnd_trace {
+            bytes += log.memory_bytes();
+        }
+        if let Some(rec) = &self.recorder {
+            bytes += rec.memory_bytes();
+        }
+        bytes
+    }
+
     /// The congestion controller (for cwnd/pacing inspection).
     pub fn cca(&self) -> &dyn CongestionControl {
         self.cca.as_ref()

@@ -33,9 +33,9 @@ pub mod prometheus;
 pub mod registry;
 pub mod tracker;
 
-pub use manifest::{fnv1a_64, RunManifest};
+pub use manifest::{fnv1a_64, ManifestBottleneck, RunManifest};
 pub use metrics::FlowMetrics;
-pub use profile::{ProfSpan, Profiler, SpanStats};
+pub use profile::{export_profile_into, ProfSpan, Profiler, SpanStats};
 pub use progress::{CampaignProgress, RunProgress, StageTimer, SweepProgress};
 pub use prometheus::{validate_exposition, write_exposition};
 pub use registry::{Counter, Gauge, Histogram, Metric, MetricEntry, Registry};

@@ -31,6 +31,28 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Per-bottleneck metrics embedded in the manifest. A manifest-local
+/// mirror of `ccsim-core`'s `BottleneckMetrics` (this crate sits below
+/// core in the dependency DAG, so it cannot name that type directly);
+/// absent entirely for single-bottleneck legacy runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestBottleneck {
+    /// Link index in the built topology.
+    pub link: u32,
+    /// Topology label for the link.
+    pub label: String,
+    /// Delivered-bytes utilization of the link's rate over the window.
+    pub utilization: f64,
+    /// Jain fairness across the flows crossing this link, when >1 flow.
+    pub jfi: Option<f64>,
+    /// Fraction of arrivals dropped at this link.
+    pub loss_rate: f64,
+    /// Peak queue occupancy, bytes.
+    pub max_queue_bytes: u64,
+    /// ECN CE marks applied at this link.
+    pub ce_marked_pkts: u64,
+}
+
 /// Machine-readable provenance record for one simulator run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -50,11 +72,17 @@ pub struct RunManifest {
     pub sim_secs: f64,
     /// Wall-clock seconds the run took.
     pub wall_secs: f64,
+    /// Wall-clock seconds spent inside engine dispatch (`advance` calls)
+    /// only — excludes build, warm-up bookkeeping, snapshot collection,
+    /// and trace drain. `0.0` in legacy manifests that predate the field.
+    pub dispatch_secs: f64,
     /// Sim-time / wall-time ratio (how much faster than real time).
     pub sim_wall_ratio: f64,
     /// Engine events processed.
     pub events_processed: u64,
-    /// Engine events per wall-clock second.
+    /// Engine events per *dispatch* second (events_processed /
+    /// dispatch_secs): the engine's own throughput, not diluted by
+    /// harness phases. Legacy manifests divided by total wall time.
     pub events_per_sec: f64,
     /// Peak bottleneck queue occupancy, bytes.
     pub peak_queue_bytes: u64,
@@ -69,6 +97,18 @@ pub struct RunManifest {
     pub metric_series: u64,
     /// Whether the convergence rule stopped the run early.
     pub converged: bool,
+    /// Engine events by classified kind (`data`/`ack`/`timer`), in
+    /// classifier order. Empty for unobserved or legacy runs; the key is
+    /// then absent from the JSON so old manifests re-serialize
+    /// byte-identically.
+    pub events_by_kind: Vec<(String, u64)>,
+    /// Per-bottleneck metrics for multi-bottleneck topologies. Empty (and
+    /// absent from the JSON) for legacy single-bottleneck runs.
+    pub bottlenecks: Vec<ManifestBottleneck>,
+    /// Profiler output when the run was profiled (absent otherwise). The
+    /// profile's own JSON is single-line and integers-only, so it embeds
+    /// in both the pretty and inline manifest forms without float drift.
+    pub profile: Option<ccsim_prof::Profile>,
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -101,6 +141,74 @@ fn field_bool(json: &str, key: &str) -> io::Result<bool> {
         Some("false") => Ok(false),
         _ => Err(bad(format!("manifest missing/invalid \"{key}\""))),
     }
+}
+
+/// Extract the balanced `{...}` or `[...]` value for `key`, tolerating
+/// nested braces/brackets and quoted strings (with escapes). The scalar
+/// helpers above stop at the first `,`/`}`, which would truncate a nested
+/// section; every structured manifest field goes through this instead.
+fn field_section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    if !matches!(rest.chars().next(), Some('{' | '[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in rest.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split a JSON array section into its top-level `{...}` object slices.
+fn section_objects(arr: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in arr.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    out.push(&arr[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
 }
 
 fn field_str(json: &str, key: &str) -> io::Result<String> {
@@ -156,6 +264,10 @@ impl RunManifest {
         s.push_str(&format!("  \"sim_secs\": {},\n", json_f64(self.sim_secs)));
         s.push_str(&format!("  \"wall_secs\": {},\n", json_f64(self.wall_secs)));
         s.push_str(&format!(
+            "  \"dispatch_secs\": {},\n",
+            json_f64(self.dispatch_secs)
+        ));
+        s.push_str(&format!(
             "  \"sim_wall_ratio\": {},\n",
             json_f64(self.sim_wall_ratio)
         ));
@@ -178,8 +290,51 @@ impl RunManifest {
         s.push_str(&format!("  \"trace_bytes\": {},\n", self.trace_bytes));
         s.push_str(&format!("  \"metric_bytes\": {},\n", self.metric_bytes));
         s.push_str(&format!("  \"metric_series\": {},\n", self.metric_series));
-        s.push_str(&format!("  \"converged\": {}\n", self.converged));
-        s.push('}');
+        s.push_str(&format!("  \"converged\": {}", self.converged));
+        // Structured sections go last, each absent when empty so legacy
+        // manifests (and their ledger lines) re-serialize byte-identically.
+        if !self.events_by_kind.is_empty() {
+            s.push_str(",\n  \"events_by_kind\": {");
+            for (i, (kind, count)) in self.events_by_kind.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let mut k = String::new();
+                escape_into(kind, &mut k);
+                s.push_str(&format!("\"{k}\": {count}"));
+            }
+            s.push('}');
+        }
+        if !self.bottlenecks.is_empty() {
+            s.push_str(",\n  \"bottlenecks\": [");
+            for (i, b) in self.bottlenecks.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let mut label = String::new();
+                escape_into(&b.label, &mut label);
+                s.push_str(&format!(
+                    "{{\"link\": {}, \"label\": \"{label}\", \"utilization\": {}, \
+                     \"jfi\": {}, \"loss_rate\": {}, \"max_queue_bytes\": {}, \
+                     \"ce_marked\": {}}}",
+                    b.link,
+                    json_f64(b.utilization),
+                    match b.jfi {
+                        Some(j) => json_f64(j),
+                        None => "null".into(),
+                    },
+                    json_f64(b.loss_rate),
+                    b.max_queue_bytes,
+                    b.ce_marked_pkts,
+                ));
+            }
+            s.push(']');
+        }
+        if let Some(p) = &self.profile {
+            s.push_str(",\n  \"profile\": ");
+            s.push_str(&p.to_json());
+        }
+        s.push_str("\n}");
         s
     }
 
@@ -198,9 +353,27 @@ impl RunManifest {
         out
     }
 
-    /// Parse a manifest produced by [`RunManifest::to_json`] (field order
-    /// is not required; unknown fields are ignored).
+    /// Parse a manifest produced by [`RunManifest::to_json`] (scalar field
+    /// order is not required; unknown fields are ignored). The structured
+    /// sections added after the format's first release — `events_by_kind`,
+    /// `bottlenecks`, `profile`, and the `dispatch_secs` scalar — default
+    /// to empty/zero when absent, so legacy manifests still parse.
     pub fn from_json(json: &str) -> io::Result<RunManifest> {
+        let events_by_kind = match field_section(json, "events_by_kind") {
+            Some(sec) => parse_kind_counts(sec),
+            None => Vec::new(),
+        };
+        let bottlenecks = match field_section(json, "bottlenecks") {
+            Some(sec) => parse_bottlenecks(sec)?,
+            None => Vec::new(),
+        };
+        let profile = match field_section(json, "profile") {
+            Some(sec) => Some(
+                ccsim_prof::Profile::from_json(sec)
+                    .map_err(|e| bad(format!("bad embedded profile: {e}")))?,
+            ),
+            None => None,
+        };
         Ok(RunManifest {
             scenario: field_str(json, "scenario")?,
             seed: field_u64(json, "seed")?,
@@ -209,6 +382,7 @@ impl RunManifest {
             outcome_digest: field_str(json, "outcome_digest")?,
             sim_secs: field_f64(json, "sim_secs")?,
             wall_secs: field_f64(json, "wall_secs")?,
+            dispatch_secs: field_f64(json, "dispatch_secs").unwrap_or(0.0),
             sim_wall_ratio: field_f64(json, "sim_wall_ratio")?,
             events_processed: field_u64(json, "events_processed")?,
             events_per_sec: field_f64(json, "events_per_sec")?,
@@ -218,8 +392,64 @@ impl RunManifest {
             metric_bytes: field_u64(json, "metric_bytes")?,
             metric_series: field_u64(json, "metric_series")?,
             converged: field_bool(json, "converged")?,
+            events_by_kind,
+            bottlenecks,
+            profile,
         })
     }
+
+    /// Engine events per dispatch second, split by classified kind: the
+    /// quantity the campaign sentinel gates per-kind regressions on.
+    /// Empty when the run recorded no kind counts or no dispatch time.
+    pub fn eps_by_kind(&self) -> Vec<(String, f64)> {
+        if self.dispatch_secs <= 0.0 {
+            return Vec::new();
+        }
+        self.events_by_kind
+            .iter()
+            .map(|(kind, count)| (kind.clone(), *count as f64 / self.dispatch_secs))
+            .collect()
+    }
+}
+
+/// Parse an `{"kind": count, ...}` section. Kind names come from the
+/// engine classifier's fixed table, so they never contain `,`/`:`.
+fn parse_kind_counts(sec: &str) -> Vec<(String, u64)> {
+    let inner = sec.trim().trim_start_matches('{').trim_end_matches('}');
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let mut halves = part.splitn(2, ':');
+        let (Some(k), Some(v)) = (halves.next(), halves.next()) else {
+            continue;
+        };
+        let k = k.trim().trim_matches('"');
+        if let Ok(n) = v.trim().parse::<u64>() {
+            out.push((k.to_string(), n));
+        }
+    }
+    out
+}
+
+fn parse_bottlenecks(sec: &str) -> io::Result<Vec<ManifestBottleneck>> {
+    let mut out = Vec::new();
+    for obj in section_objects(sec) {
+        out.push(ManifestBottleneck {
+            link: field_u64(obj, "link")? as u32,
+            label: field_str(obj, "label")?,
+            utilization: field_f64(obj, "utilization")?,
+            jfi: match field_raw(obj, "jfi") {
+                Some("null") | None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| bad("bottleneck \"jfi\" is not a number"))?,
+                ),
+            },
+            loss_rate: field_f64(obj, "loss_rate")?,
+            max_queue_bytes: field_u64(obj, "max_queue_bytes")?,
+            ce_marked_pkts: field_u64(obj, "ce_marked")?,
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -235,6 +465,7 @@ mod tests {
             outcome_digest: format!("{:016x}", fnv1a_64(b"outcome")),
             sim_secs: 160.0,
             wall_secs: 12.345678901234567,
+            dispatch_secs: 10.5000000001,
             sim_wall_ratio: 12.960001,
             events_processed: 987_654_321,
             events_per_sec: 8.0000001e7,
@@ -244,7 +475,54 @@ mod tests {
             metric_bytes: 4096,
             metric_series: 23,
             converged: true,
+            events_by_kind: Vec::new(),
+            bottlenecks: Vec::new(),
+            profile: None,
         }
+    }
+
+    /// `sample()` with every structured section populated.
+    fn sample_full() -> RunManifest {
+        let mut m = sample();
+        m.events_by_kind = vec![
+            ("data".into(), 600_000_000),
+            ("ack".into(), 300_000_000),
+            ("timer".into(), 87_654_321),
+        ];
+        m.bottlenecks = vec![
+            ManifestBottleneck {
+                link: 0,
+                label: "core \"bn\"".into(),
+                utilization: 0.912345,
+                jfi: Some(0.87654321),
+                loss_rate: 0.00123,
+                max_queue_bytes: 250_000,
+                ce_marked_pkts: 0,
+            },
+            ManifestBottleneck {
+                link: 3,
+                label: "edge".into(),
+                utilization: 0.5,
+                jfi: None,
+                loss_rate: 0.0,
+                max_queue_bytes: 1_200,
+                ce_marked_pkts: 42,
+            },
+        ];
+        m.profile = Some(
+            ccsim_prof::Profile::from_json(
+                "{\"prof_classes\":[\"link\",\"sender\"],\"prof_kinds\":[\"data\",\"ack\"],\
+             \"prof_stride\":1024,\"prof_counts\":[5,6,7,8],\"prof_nanos\":[1,2,3,4],\
+             \"prof_samples\":[1,1,1,1],\"wheel_high_water\":[9,0,0,0,0,0,0,0,0],\
+             \"wheel_cascades\":2,\"wheel_cascaded\":3,\
+             \"wheel_batch_hist\":[1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],\"wheel_cancels\":4,\
+             \"wheel_cancel_misses\":5,\"wheel_cancellable\":6,\
+             \"mem_accounts\":[{\"pool\":\"tcp/senders\",\"pool_bytes\":4096}],\
+             \"dispatch_nanos\":1000000,\"prof_flows\":2}",
+            )
+            .unwrap(),
+        );
+        m
     }
 
     #[test]
@@ -263,6 +541,73 @@ mod tests {
         let inline = m.to_json_inline();
         assert!(!inline.contains('\n'));
         assert_eq!(RunManifest::from_json(&inline).unwrap(), m);
+    }
+
+    #[test]
+    fn structured_sections_are_absent_when_empty() {
+        let json = sample().to_json();
+        assert!(!json.contains("events_by_kind"));
+        assert!(!json.contains("bottlenecks"));
+        assert!(!json.contains("\"profile\""));
+        // dispatch_secs is a scalar and always present.
+        assert!(json.contains("\"dispatch_secs\""));
+    }
+
+    #[test]
+    fn structured_sections_round_trip_in_both_forms() {
+        let m = sample_full();
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        let inline = m.to_json_inline();
+        assert!(!inline.contains('\n'));
+        assert_eq!(RunManifest::from_json(&inline).unwrap(), m);
+        // Floats inside bottleneck records survive bit-exactly.
+        assert_eq!(
+            back.bottlenecks[0].utilization.to_bits(),
+            m.bottlenecks[0].utilization.to_bits()
+        );
+    }
+
+    #[test]
+    fn legacy_manifests_without_new_fields_still_parse() {
+        let mut m = sample_full();
+        let json = m.to_json();
+        // Strip the new sections and scalar the way a pre-profiler
+        // manifest would simply not have them.
+        let legacy: String = json
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                !(t.starts_with("\"dispatch_secs\"")
+                    || t.starts_with("\"events_by_kind\"")
+                    || t.starts_with("\"bottlenecks\"")
+                    || t.starts_with("\"profile\""))
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // `converged` is now the last field again; drop its trailing comma.
+        let legacy = legacy.replace(
+            &format!("\"converged\": {},", m.converged),
+            &format!("\"converged\": {}", m.converged),
+        );
+        let back = RunManifest::from_json(&legacy).unwrap();
+        m.dispatch_secs = 0.0;
+        m.events_by_kind.clear();
+        m.bottlenecks.clear();
+        m.profile = None;
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn eps_by_kind_divides_by_dispatch_time() {
+        let mut m = sample_full();
+        m.dispatch_secs = 2.0;
+        m.events_by_kind = vec![("data".into(), 100), ("ack".into(), 50)];
+        let eps = m.eps_by_kind();
+        assert_eq!(eps[0], ("data".to_string(), 50.0));
+        assert_eq!(eps[1], ("ack".to_string(), 25.0));
+        m.dispatch_secs = 0.0;
+        assert!(m.eps_by_kind().is_empty());
     }
 
     #[test]

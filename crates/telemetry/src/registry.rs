@@ -181,6 +181,49 @@ impl Histogram {
         let counts = self.bucket_counts();
         counts.iter().rposition(|&c| c > 0)
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the log2 bucket containing the target rank. The estimate is
+    /// exact for bucket boundaries and at worst off by the bucket width —
+    /// the usual Prometheus-style reconstruction. Returns `None` on an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q = 0 maps to rank 1.
+        let rank = (q * total as f64).max(1.0);
+        let counts = self.bucket_counts();
+        let mut seen = 0u64;
+        for (k, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = seen + c;
+            if (upto as f64) >= rank {
+                // Bucket k spans [lower, upper]: [0,0] for k = 0, else
+                // [2^(k-1), 2^k - 1].
+                let lower = if k == 0 {
+                    0.0
+                } else {
+                    (1u64 << (k - 1)) as f64
+                };
+                let upper = if k == 0 {
+                    0.0
+                } else if k >= 64 {
+                    u64::MAX as f64
+                } else {
+                    ((1u64 << k) - 1) as f64
+                };
+                let frac = (rank - seen as f64) / c as f64;
+                return Some(lower + (upper - lower) * frac.clamp(0.0, 1.0));
+            }
+            seen = upto;
+        }
+        Some(Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1) as f64)
+    }
 }
 
 /// What a registered metric is, for export purposes.
@@ -404,6 +447,30 @@ mod tests {
         assert_eq!(b[2], 2); // 2, 3
         assert_eq!(b[7], 1); // 100 in [64, 128)
         assert_eq!(h.max_bucket(), Some(7));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+
+        // 100 observations spread across buckets 4 ([8,15]) and 7 ([64,127]).
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(100);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        assert!((8.0..=15.0).contains(&p50), "p50 = {p50}");
+        let p90 = h.quantile(0.90).unwrap();
+        assert!((8.0..=15.0).contains(&p90), "p90 = {p90}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((64.0..=127.0).contains(&p99), "p99 = {p99}");
+        // Monotone in q, and the extremes land in the extreme buckets.
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(h.quantile(0.0).unwrap() <= p50);
+        assert!(h.quantile(1.0).unwrap() >= p99);
     }
 
     #[test]

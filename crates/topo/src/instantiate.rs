@@ -187,7 +187,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::TopologyKind;
     use ccsim_net::{FlowId, Packet};
     use ccsim_sim::{Bandwidth, Component, Ctx, SimDuration, SimTime};
 
@@ -295,11 +294,17 @@ mod tests {
         let topo = Topology::parking_lot(3, RATE, 1_000_000, 3);
         let mut sim: Simulator<Msg> = Simulator::new(0);
         let built = instantiate(&topo, &mut sim, no_aqm).unwrap();
-        let sinks: Vec<ComponentId> = (0..3).map(|_| sim.add_component(Probe::default())).collect();
+        let sinks: Vec<ComponentId> = (0..3)
+            .map(|_| sim.add_component(Probe::default()))
+            .collect();
 
         for flow in 0..3u32 {
             let p = Packet::data(FlowId(flow), sinks[flow as usize], 0, 1448, SimTime::ZERO);
-            sim.schedule(SimTime::ZERO, built.first_hop[flow as usize], Msg::Packet(p));
+            sim.schedule(
+                SimTime::ZERO,
+                built.first_hop[flow as usize],
+                Msg::Packet(p),
+            );
         }
         sim.run_until(SimTime::from_nanos(SimDuration::from_millis(10).as_nanos()));
 
@@ -309,8 +314,14 @@ mod tests {
             assert_eq!(got[0].flow, FlowId(flow as u32));
         }
         // Each router saw the long flow (onward) plus one short flow (exit).
-        assert_eq!(sim.component::<Router>(built.routers[0]).forwarded_pkts(), 2);
-        assert_eq!(sim.component::<Router>(built.routers[1]).forwarded_pkts(), 2);
+        assert_eq!(
+            sim.component::<Router>(built.routers[0]).forwarded_pkts(),
+            2
+        );
+        assert_eq!(
+            sim.component::<Router>(built.routers[1]).forwarded_pkts(),
+            2
+        );
     }
 
     #[derive(Default)]

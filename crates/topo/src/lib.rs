@@ -27,6 +27,8 @@ pub mod instantiate;
 pub mod router;
 pub mod topology;
 
-pub use instantiate::{instantiate, plan_wiring, BuiltTopology, PlannedNextHop, RouterPlan, WiringPlan};
+pub use instantiate::{
+    instantiate, plan_wiring, BuiltTopology, PlannedNextHop, RouterPlan, WiringPlan,
+};
 pub use router::Router;
 pub use topology::{LinkSpec, Topology, TopologyError, TopologyKind};

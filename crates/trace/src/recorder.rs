@@ -127,6 +127,14 @@ impl FlowRecorder {
         self.flow
     }
 
+    /// Approximate heap footprint of this recorder's rings (profiler
+    /// `trace/rings` account).
+    pub fn memory_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+            + self.samples.memory_bytes()
+            + self.events.memory_bytes()
+    }
+
     /// Per-ACK sampling hook: records cwnd/ssthresh, srtt, and pacing
     /// rate, each only when changed since its last stored value.
     pub fn on_ack(
@@ -226,6 +234,12 @@ impl QueueRecorder {
     /// The hop index this recorder is keyed to (0 = primary bottleneck).
     pub fn hop(&self) -> u32 {
         self.hop
+    }
+
+    /// Approximate heap footprint of this recorder's rings (profiler
+    /// `trace/rings` account).
+    pub fn memory_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64 + self.depth.memory_bytes() + self.drops.memory_bytes()
     }
 
     /// Packet-arrival hook: samples the backlog every n-th arrival.

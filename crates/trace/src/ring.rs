@@ -134,6 +134,14 @@ impl SampleRing {
         self.buf.len() as u64 * RECORD_BYTES
     }
 
+    /// Approximate heap footprint of the ring itself: the allocated buffer
+    /// at its in-memory record size (not the wire size), plus the struct.
+    /// Feeds the profiler's `trace/rings` memory account.
+    pub fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.buf.capacity() * std::mem::size_of::<TraceRecord>())
+            as u64
+    }
+
     /// Records admitted then evicted by the capacity bound.
     pub fn evicted(&self) -> u64 {
         self.evicted
@@ -224,6 +232,11 @@ impl<T> BoundedLog<T> {
     /// Remove all entries (capacity and eviction count are kept).
     pub fn clear(&mut self) {
         self.buf.clear();
+    }
+
+    /// Approximate heap footprint (allocated buffer + struct).
+    pub fn memory_bytes(&self) -> u64 {
+        (std::mem::size_of::<Self>() + self.buf.capacity() * std::mem::size_of::<T>()) as u64
     }
 }
 

@@ -12,6 +12,7 @@
 //!             [--policy keepall|decimate:N|reservoir:K]
 //!             [--trace-budget <bytes>] [--queue-every <n>]
 //!             [--sync-bin <ms>]
+//! ccsim perf  <run flags> [--folded <path>] [--stride <events>]
 //! ccsim replay <bundle-dir> [--json] [--quiet]
 //! ccsim campaign run <spec.json> [--workers N] [--ledger <path>] ...
 //! ccsim campaign report <ledger.jsonl> [--out <path>] [--html]
@@ -21,6 +22,13 @@
 //! `trace` runs the same experiment with the flight recorder enabled,
 //! writes `<prefix>.jsonl` / `<prefix>.cctr`, and reports the
 //! trace-derived loss-synchronization index and drop burstiness.
+//!
+//! `perf` runs the same experiment with the digest-inert `ccsim-prof`
+//! profiler attached and prints the per-(component class × event kind)
+//! attribution matrix, timer-wheel scheduler counters, and subsystem
+//! memory accounts; `--folded <path>` writes a folded-stack file for
+//! flamegraph tooling and `--stride` tunes the wall-clock sampling
+//! stride. The simulated outcome is bit-identical with or without it.
 //!
 //! `--metrics <path>` additionally observes the run: a Prometheus
 //! text-exposition dump is written to `<path>` and a provenance manifest
@@ -68,14 +76,14 @@
 
 use ccsim::cca::CcaKind;
 use ccsim::experiments::{
-    run_guarded_with_progress, run_observed_with_progress, run_with_progress, CrashBundle,
-    Fidelity, FlowGroup, GuardOptions, RunOutcome, Scenario,
+    run_guarded_with_progress, run_with_progress, try_run_observed_with, CrashBundle, Fidelity,
+    FlowGroup, GuardOptions, ObserveOptions, RunOutcome, Scenario,
 };
 use ccsim::fault::{FaultPlan, WatchdogConfig};
 use ccsim::net::AqmKind;
-use ccsim::topo::TopologyKind;
 use ccsim::sim::{Bandwidth, SimDuration, SimTime};
 use ccsim::telemetry::{validate_exposition, RunProgress};
+use ccsim::topo::TopologyKind;
 use ccsim::trace::{RetentionPolicy, TraceConfig};
 use std::path::{Path, PathBuf};
 
@@ -89,6 +97,7 @@ const USAGE: &str = "usage: ccsim run [--setting edge|core] [--bw <mbps>] \
     \x20      ccsim trace <run flags> [--out <prefix>] \
     [--format jsonl|bin|both] [--policy keepall|decimate:N|reservoir:K] \
     [--trace-budget <bytes>] [--queue-every <n>] [--sync-bin <ms>]\n\
+    \x20      ccsim perf <run flags> [--folded <path>] [--stride <events>]\n\
     \x20      ccsim replay <bundle-dir> [--json] [--quiet]\n\
     \x20      ccsim campaign run|report|diff ... (ccsim campaign --help)\n\
     ccas: reno, cubic, bbr, vegas\n\
@@ -108,7 +117,14 @@ fn help() -> ! {
     println!(
         "\n--metrics <path> writes a Prometheus metrics dump to <path> and a\n\
          run manifest to <path>.manifest.json; the simulated outcome is\n\
-         unchanged. --quiet suppresses the live progress line."
+         unchanged. --quiet suppresses the live progress line.\n\
+         perf runs the same experiment with the ccsim-prof event-attribution\n\
+         profiler attached (digest-inert) and prints the per-(class x kind)\n\
+         wall-time/event matrix, timer-wheel counters, and memory accounts;\n\
+         --folded <path> additionally writes a folded-stack file for\n\
+         flamegraph tooling, --stride <events> sets the wall-clock sampling\n\
+         stride (default {}).",
+        ccsim::prof::DEFAULT_STRIDE
     );
     std::process::exit(0);
 }
@@ -181,11 +197,13 @@ fn parse_fault(plan: FaultPlan, spec: &str) -> FaultPlan {
     }
 }
 
-/// Everything the flag parser produces. The `run` and `trace`
+/// Everything the flag parser produces. The `run`, `trace`, and `perf`
 /// subcommands share one parser: `trace` is `run` plus the trace-only
-/// flags, which are rejected under `run`.
+/// flags, `perf` is `run` plus the profiler flags; mode-specific flags
+/// are rejected under the other modes.
 struct Cli {
     tracing: bool,
+    perf: bool,
     scenario: Scenario,
     json: bool,
     quiet: bool,
@@ -195,6 +213,8 @@ struct Cli {
     sync_bin: SimDuration,
     crash_dir: Option<PathBuf>,
     force_panic: Option<SimTime>,
+    folded_out: Option<String>,
+    stride: u64,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -204,10 +224,11 @@ fn parse_cli(args: &[String]) -> Cli {
     {
         help();
     }
-    let tracing = match args.first().map(String::as_str) {
-        Some("run") => false,
-        Some("trace") => true,
-        _ => usage("expected subcommand 'run' or 'trace'"),
+    let (tracing, perf) = match args.first().map(String::as_str) {
+        Some("run") => (false, false),
+        Some("trace") => (true, false),
+        Some("perf") => (false, true),
+        _ => usage("expected subcommand 'run', 'trace', or 'perf'"),
     };
     let mut scenario = Scenario::edge_scale().named("cli");
     let mut flows = Vec::new();
@@ -223,6 +244,8 @@ fn parse_cli(args: &[String]) -> Cli {
     let mut watchdog = false;
     let mut crash_dir = None;
     let mut force_panic = None;
+    let mut folded_out = None;
+    let mut stride = ccsim::prof::DEFAULT_STRIDE;
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> &String {
@@ -255,8 +278,8 @@ fn parse_cli(args: &[String]) -> Cli {
             }
             "--aqm" => {
                 let name = take(&mut i);
-                scenario.aqm = AqmKind::parse(name)
-                    .unwrap_or_else(|| usage(&format!("bad --aqm {name}")));
+                scenario.aqm =
+                    AqmKind::parse(name).unwrap_or_else(|| usage(&format!("bad --aqm {name}")));
             }
             "--ecn" => scenario.ecn = true,
             "--flows" => flows.push(parse_flows(take(&mut i))),
@@ -303,6 +326,19 @@ fn parse_cli(args: &[String]) -> Cli {
                     "paper" => Fidelity::Paper,
                     other => usage(&format!("bad --fidelity {other}")),
                 });
+            }
+            // ----- perf-only flags ---------------------------------------
+            "--folded" if perf => folded_out = Some(take(&mut i).clone()),
+            "--stride" if perf => {
+                stride = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --stride"));
+                if stride == 0 {
+                    usage("--stride must be at least 1");
+                }
+            }
+            other if matches!(other, "--folded" | "--stride") => {
+                usage(&format!("{other} is only valid with the perf subcommand"))
             }
             // ----- trace-only flags --------------------------------------
             "--out" if tracing => out = take(&mut i).clone(),
@@ -370,8 +406,12 @@ fn parse_cli(args: &[String]) -> Cli {
     if metrics_out.is_some() && (crash_dir.is_some() || force_panic.is_some()) {
         usage("--metrics cannot be combined with --crash-dir/--force-panic");
     }
+    if perf && (crash_dir.is_some() || force_panic.is_some()) {
+        usage("perf cannot be combined with --crash-dir/--force-panic");
+    }
     Cli {
         tracing,
+        perf,
         scenario,
         json,
         quiet,
@@ -381,12 +421,14 @@ fn parse_cli(args: &[String]) -> Cli {
         sync_bin,
         crash_dir,
         force_panic,
+        folded_out,
+        stride,
     }
 }
 
 const CAMPAIGN_USAGE: &str = "usage: ccsim campaign run <spec.json> [--workers N] \
     [--ledger <path>] [--report <path>] [--html] [--crash-dir <dir>] \
-    [--bench <path>] [--quiet]\n\
+    [--bench <path>] [--profile] [--quiet]\n\
     \x20      ccsim campaign report <ledger.jsonl> [--out <path>] [--html]\n\
     \x20      ccsim campaign diff <baseline.jsonl> <current.jsonl> \
     [--eps-tol <frac>] [--skip-eps]";
@@ -405,7 +447,10 @@ fn campaign_help() -> ! {
          pool and appends every result to an append-only JSONL ledger\n\
          (default <campaign-name>.ledger.jsonl). Exit 0 when every job\n\
          succeeded, 1 otherwise. --report also renders the fidelity report;\n\
-         --bench writes a machine-readable run summary.\n\
+         --bench writes a machine-readable run summary. --profile attaches\n\
+         the digest-inert ccsim-prof profiler to every job, embedding a\n\
+         Profile section and per-event-kind events/s in each ledger entry\n\
+         (what the sentinel's per-kind eps gate compares).\n\
          report renders a ledger as Markdown (or --html) to --out or stdout.\n\
          diff is the regression sentinel: it compares two ledgers of the\n\
          same campaign and exits 1 on any finding — outcome-digest change\n\
@@ -457,6 +502,7 @@ fn campaign_run(args: &[String]) -> ! {
             "--report" => report_path = Some(take(&mut i).clone()),
             "--bench" => bench_path = Some(take(&mut i).clone()),
             "--crash-dir" => opts.crash_dir = Some(PathBuf::from(take(&mut i))),
+            "--profile" => opts.profile = true,
             "--html" => html = true,
             "--quiet" => quiet = true,
             other if spec_path.is_none() && !other.starts_with('-') => {
@@ -526,19 +572,32 @@ fn campaign_run(args: &[String]) -> ! {
     }
     if let Some(path) = &bench_path {
         let ledger = load_ledger(&ledger_path);
-        let (events, wall): (u64, f64) = ledger
+        // events_per_sec divides by engine dispatch time only (scenario
+        // build, warmup slicing, and export wall time excluded) so the
+        // number is comparable with the sentinel's eps gate; wall_secs
+        // stays in the summary as the end-to-end record.
+        let (events, wall, dispatch): (u64, f64, f64) = ledger
             .ok_entries()
-            .map(|e| (e.events_processed, e.wall_secs))
-            .fold((0, 0.0), |(ev, w), (e, ws)| (ev + e, w + ws));
+            .map(|e| {
+                (
+                    e.events_processed,
+                    e.wall_secs,
+                    e.manifest.as_ref().map_or(0.0, |m| m.dispatch_secs),
+                )
+            })
+            .fold((0, 0.0, 0.0), |(ev, w, d), (e, ws, ds)| {
+                (ev + e, w + ws, d + ds)
+            });
         let summary = format!(
             "{{\"campaign\":\"{}\",\"jobs\":{},\"failed\":{},\"events\":{events},\
-             \"wall_secs\":{},\"events_per_sec\":{}}}",
+             \"wall_secs\":{},\"dispatch_secs\":{},\"events_per_sec\":{}}}",
             spec.name,
             results.len(),
             failed.len(),
             ccsim::sim::jsonfmt::json_f64(wall),
-            ccsim::sim::jsonfmt::json_f64(if wall > 0.0 {
-                events as f64 / wall
+            ccsim::sim::jsonfmt::json_f64(dispatch),
+            ccsim::sim::jsonfmt::json_f64(if dispatch > 0.0 {
+                events as f64 / dispatch
             } else {
                 0.0
             }),
@@ -728,30 +787,55 @@ fn main() {
         }
     };
 
-    let outcome = if let Some(metrics_path) = &cli.metrics_out {
-        let obs = run_observed_with_progress(scenario, &mut on_progress);
-        if let Err(e) = validate_exposition(&obs.prometheus) {
-            eprintln!("internal error: metrics dump failed validation: {e}");
-            std::process::exit(1);
-        }
-        let manifest_path = Path::new(metrics_path).with_extension("manifest.json");
-        let write = |path: &Path, contents: &str| {
-            std::fs::write(path, contents).unwrap_or_else(|e| {
-                eprintln!("cannot write {}: {e}", path.display());
-                std::process::exit(1);
-            });
+    let mut perf_table = None;
+    let outcome = if cli.perf || cli.metrics_out.is_some() {
+        let options = if cli.perf {
+            ObserveOptions {
+                profile: true,
+                profile_stride: cli.stride,
+            }
+        } else {
+            ObserveOptions::default()
         };
-        write(Path::new(metrics_path), &obs.prometheus);
-        write(&manifest_path, &obs.manifest.to_json());
+        let obs = try_run_observed_with(scenario, options, &mut on_progress)
+            .unwrap_or_else(|e| fail(format!("run failed: {e}")));
         if let Some(prog) = &mut progress {
             prog.finish(obs.outcome.events_processed);
         }
-        eprintln!(
-            "wrote {metrics_path} ({} series) and {} (outcome digest {})",
-            obs.manifest.metric_series,
-            manifest_path.display(),
-            obs.manifest.outcome_digest
-        );
+        if let Some(metrics_path) = &cli.metrics_out {
+            if let Err(e) = validate_exposition(&obs.prometheus) {
+                eprintln!("internal error: metrics dump failed validation: {e}");
+                std::process::exit(1);
+            }
+            let manifest_path = Path::new(metrics_path).with_extension("manifest.json");
+            let write = |path: &Path, contents: &str| {
+                std::fs::write(path, contents).unwrap_or_else(|e| {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                });
+            };
+            write(Path::new(metrics_path), &obs.prometheus);
+            write(&manifest_path, &obs.manifest.to_json());
+            eprintln!(
+                "wrote {metrics_path} ({} series) and {} (outcome digest {})",
+                obs.manifest.metric_series,
+                manifest_path.display(),
+                obs.manifest.outcome_digest
+            );
+        }
+        if cli.perf {
+            let profile = obs
+                .manifest
+                .profile
+                .as_ref()
+                .unwrap_or_else(|| fail("internal error: profiled run produced no profile"));
+            if let Some(path) = &cli.folded_out {
+                std::fs::write(path, profile.to_folded())
+                    .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+                eprintln!("wrote {path}");
+            }
+            perf_table = Some(profile.render_table());
+        }
         obs.outcome
     } else if cli.crash_dir.is_some() || cli.force_panic.is_some() {
         let opts = GuardOptions {
@@ -788,6 +872,10 @@ fn main() {
         println!("{}", outcome.to_json());
     } else {
         print_human(&outcome);
+    }
+    if let Some(table) = &perf_table {
+        println!();
+        print!("{table}");
     }
 
     if cli.tracing {

@@ -19,6 +19,9 @@
 //!   traces, JSONL + columnar binary export).
 //! * [`fault`] — deterministic link fault plans (blackouts, loss,
 //!   reordering, rate steps) and the invariant-watchdog vocabulary.
+//! * [`prof`] — digest-inert event-attribution profiler: per-(component
+//!   class × event kind) wall-time/event matrix, timer-wheel internals,
+//!   and subsystem memory accounts (`ccsim perf`).
 //! * [`experiments`] — the paper's EdgeScale/CoreScale scenarios and the
 //!   per-figure experiment functions.
 //! * [`campaign`] — parallel sweep executor, persistent run ledger,
@@ -46,6 +49,7 @@ pub use ccsim_cca as cca;
 pub use ccsim_core as experiments;
 pub use ccsim_fault as fault;
 pub use ccsim_net as net;
+pub use ccsim_prof as prof;
 pub use ccsim_sim as sim;
 pub use ccsim_tcp as tcp;
 pub use ccsim_telemetry as telemetry;

@@ -44,7 +44,7 @@ fn run_with_workers(workers: usize) -> Vec<LedgerEntry> {
     let jobs = small_spec().jobs().unwrap();
     let opts = ExecutorOptions {
         workers,
-        crash_dir: None,
+        ..ExecutorOptions::default()
     };
     run_campaign(jobs, &opts, |_| {})
         .iter()
@@ -110,10 +110,14 @@ fn sentinel_is_clean_on_rerun_and_fires_on_doctored_regressions() {
     let to_ledger = |entries: Vec<LedgerEntry>| -> Ledger {
         let mut l = Ledger::new(spec.name.clone(), spec.tolerances);
         l.entries = entries;
-        // Pin wall-clock throughput so the eps gate is deterministic in
-        // this test; real reruns on shared hardware use --skip-eps.
+        // Pin wall-clock throughput (aggregate and per-kind) so the eps
+        // gates are deterministic in this test; real reruns on shared
+        // hardware use --skip-eps.
         for e in &mut l.entries {
             e.events_per_sec = 1_000_000.0;
+            for (_, eps) in &mut e.eps_by_kind {
+                *eps = 250_000.0;
+            }
         }
         l
     };
