@@ -293,6 +293,8 @@ mod tests {
             outcome_digest: Some(format!("{:016x}", seed * 31)),
             error: None,
             crash_bundle: None,
+            attempts: 1,
+            quarantined: false,
             sim_secs: 5.0,
             wall_secs: 0.5,
             events_processed: 1_000_000,

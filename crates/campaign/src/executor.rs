@@ -24,8 +24,10 @@ use ccsim_core::{
 use ccsim_sim::SimDuration;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// The trace bin used for the ledger's synchronization-index rollup
 /// (matches the CLI's `--sync-bin` default).
@@ -53,6 +55,73 @@ impl Default for ExecutorOptions {
             crash_dir: None,
             profile: false,
         }
+    }
+}
+
+/// Supervision policy for campaign jobs: wall-clock budgets, hang
+/// detection, bounded retries, and quarantine.
+///
+/// With neither `job_budget` nor `heartbeat_timeout` set, attempts run
+/// inline on the worker thread (zero overhead). With either set, each
+/// attempt runs on a detached thread the supervisor polls; a hung
+/// attempt is abandoned (its thread parked behind a cancel flag) rather
+/// than joined, so one wedged run can never deadlock the campaign.
+///
+/// A job that fails every attempt (`max_retries` + 1 of them) is
+/// *quarantined*: it surfaces as a failed [`JobResult`] with
+/// `quarantined = true`, the campaign keeps going, and the final report
+/// lists it.
+#[derive(Debug, Clone)]
+pub struct SupervisorOptions {
+    /// Wall-clock cap per attempt. `None` = unlimited.
+    pub job_budget: Option<Duration>,
+    /// Longest tolerated silence between progress heartbeats (the
+    /// runner's per-slice [`Progress`](ccsim_core::Progress) callbacks)
+    /// before an attempt is declared hung. `None` = no hang detection.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Retries after the first failed attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Linear backoff: the wait before retry `k` (1-based) is
+    /// `backoff * k`. Deterministic — no jitter, by design.
+    pub backoff: Duration,
+    /// Test hook: jobs whose name contains this substring panic at their
+    /// first progress report. Exercises the retry/quarantine/crash-bundle
+    /// path without a buggy scenario.
+    pub force_panic_jobs: Option<String>,
+    /// Test hook: jobs whose name contains this substring stop
+    /// heartbeating at their first progress report (until the supervisor
+    /// abandons them). Exercises hang detection.
+    pub force_hang_jobs: Option<String>,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> SupervisorOptions {
+        SupervisorOptions {
+            job_budget: None,
+            heartbeat_timeout: None,
+            max_retries: 0,
+            backoff: Duration::from_millis(50),
+            force_panic_jobs: None,
+            force_hang_jobs: None,
+        }
+    }
+}
+
+impl SupervisorOptions {
+    fn monitored(&self) -> bool {
+        self.job_budget.is_some() || self.heartbeat_timeout.is_some()
+    }
+
+    fn forces_panic(&self, job_name: &str) -> bool {
+        self.force_panic_jobs
+            .as_deref()
+            .is_some_and(|needle| job_name.contains(needle))
+    }
+
+    fn forces_hang(&self, job_name: &str) -> bool {
+        self.force_hang_jobs
+            .as_deref()
+            .is_some_and(|needle| job_name.contains(needle))
     }
 }
 
@@ -149,6 +218,11 @@ pub struct JobResult {
     /// Crash-bundle directory, when the job failed and a crash dir was
     /// configured and the bundle write succeeded.
     pub crash_bundle: Option<PathBuf>,
+    /// Attempts consumed (1 unless the supervisor retried).
+    pub attempts: u32,
+    /// The job failed every configured attempt and was quarantined
+    /// (implies `run` is `Err`; the campaign completed without it).
+    pub quarantined: bool,
 }
 
 impl JobResult {
@@ -163,44 +237,180 @@ impl JobResult {
     }
 }
 
-fn run_one(job: CampaignJob, opts: &ExecutorOptions) -> JobResult {
+/// One attempt's failure: a typed simulator error (including panics
+/// folded into [`SimError::Panic`](ccsim_core::SimError)), or a hang the
+/// supervisor detected from outside (no error value exists — the attempt
+/// thread is still wedged).
+enum AttemptError {
+    Sim(ccsim_core::SimError),
+    Hang(String),
+}
+
+impl AttemptError {
+    fn message(&self) -> String {
+        match self {
+            AttemptError::Sim(e) => e.to_string(),
+            AttemptError::Hang(msg) => msg.clone(),
+        }
+    }
+}
+
+/// Run one attempt inline, folding panics (including the forced-panic
+/// test hook) into `SimError::Panic` with the payload text preserved.
+fn attempt(
+    job: &CampaignJob,
+    observe: ObserveOptions,
+    sup: &SupervisorOptions,
+    heartbeat: &AtomicU64,
+    cancel: &AtomicBool,
+    clock: Instant,
+) -> Result<ObservedRun, ccsim_core::SimError> {
+    let force_panic = sup.forces_panic(&job.name);
+    let force_hang = sup.forces_hang(&job.name);
+    let mut hook_fired = false;
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        try_run_observed_with(&job.scenario, observe, |_| {
+            heartbeat.store(clock.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if !hook_fired {
+                hook_fired = true;
+                if force_panic {
+                    panic!("forced panic (supervisor test hook)");
+                }
+                if force_hang {
+                    // Go silent until the supervisor abandons the
+                    // attempt, then unwind so the thread actually exits
+                    // (the result channel is already closed; the send
+                    // below fails silently).
+                    while !cancel.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    panic!("forced hang (supervisor test hook): cancelled");
+                }
+            }
+        })
+    }));
+    match caught {
+        Ok(r) => r,
+        Err(payload) => Err(ccsim_core::SimError::Panic {
+            message: ccsim_core::panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Run one attempt under supervision. Unmonitored jobs run inline on the
+/// worker thread; monitored jobs run on a detached thread the supervisor
+/// polls for completion, budget overrun, and heartbeat silence.
+fn supervised_attempt(
+    job: &CampaignJob,
+    observe: ObserveOptions,
+    sup: &SupervisorOptions,
+) -> Result<ObservedRun, AttemptError> {
+    let heartbeat = Arc::new(AtomicU64::new(0));
+    let cancel = Arc::new(AtomicBool::new(false));
+    let clock = Instant::now();
+    if !sup.monitored() {
+        return attempt(job, observe, sup, &heartbeat, &cancel, clock).map_err(AttemptError::Sim);
+    }
+    let (tx, rx) = mpsc::channel();
+    let handle = {
+        let job = job.clone();
+        let sup = sup.clone();
+        let heartbeat = Arc::clone(&heartbeat);
+        let cancel = Arc::clone(&cancel);
+        std::thread::Builder::new()
+            .name(format!("ccsim-job:{}", job.name))
+            .spawn(move || {
+                let _ = tx.send(attempt(&job, observe, &sup, &heartbeat, &cancel, clock));
+            })
+            .expect("spawn job attempt thread")
+    };
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(r) => {
+                let _ = handle.join();
+                return r.map_err(AttemptError::Sim);
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // The attempt thread died without sending (it cannot
+                // panic past the catch_unwind; this is belt-and-braces).
+                let _ = handle.join();
+                return Err(AttemptError::Hang(
+                    "job thread exited without reporting a result".to_string(),
+                ));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let elapsed = clock.elapsed();
+                if let Some(budget) = sup.job_budget {
+                    if elapsed > budget {
+                        cancel.store(true, Ordering::Relaxed);
+                        return Err(AttemptError::Hang(format!(
+                            "attempt exceeded its wall-clock budget ({}ms > {}ms); abandoned",
+                            elapsed.as_millis(),
+                            budget.as_millis()
+                        )));
+                    }
+                }
+                if let Some(limit) = sup.heartbeat_timeout {
+                    let last = Duration::from_nanos(heartbeat.load(Ordering::Relaxed));
+                    let silence = elapsed.saturating_sub(last);
+                    if silence > limit {
+                        cancel.store(true, Ordering::Relaxed);
+                        return Err(AttemptError::Hang(format!(
+                            "no progress heartbeat for {}ms (limit {}ms); attempt abandoned as hung",
+                            silence.as_millis(),
+                            limit.as_millis()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_one(job: CampaignJob, opts: &ExecutorOptions, sup: &SupervisorOptions) -> JobResult {
     let config_digest = scenario_digest(&job.scenario);
     let observe = if opts.profile {
         ObserveOptions::profiled()
     } else {
         ObserveOptions::default()
     };
-    let caught = catch_unwind(AssertUnwindSafe(|| {
-        try_run_observed_with(&job.scenario, observe, |_| {})
-    }));
-    let error = match caught {
-        Ok(Ok(obs)) => {
-            return JobResult {
-                job,
-                config_digest,
-                run: Ok(obs),
-                crash_bundle: None,
+    let max_attempts = sup.max_retries.saturating_add(1);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let failure = match supervised_attempt(&job, observe, sup) {
+            Ok(obs) => {
+                return JobResult {
+                    job,
+                    config_digest,
+                    run: Ok(obs),
+                    crash_bundle: None,
+                    attempts,
+                    quarantined: false,
+                }
             }
+            Err(e) => e,
+        };
+        if attempts < max_attempts {
+            std::thread::sleep(sup.backoff.saturating_mul(attempts));
+            continue;
         }
-        Ok(Err(e)) => e,
-        Err(payload) => {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            ccsim_core::SimError::Panic { message }
-        }
-    };
-    let crash_bundle = opts
-        .crash_dir
-        .as_ref()
-        .and_then(|dir| crash::write_bundle(dir, &job.scenario, &error).ok());
-    JobResult {
-        job,
-        config_digest,
-        run: Err(error.to_string()),
-        crash_bundle,
+        // Final failure: quarantine. A crash bundle only makes sense for
+        // typed errors/panics — a hung attempt never produced one.
+        let crash_bundle = match (&opts.crash_dir, &failure) {
+            (Some(dir), AttemptError::Sim(error)) => {
+                crash::write_bundle(dir, &job.scenario, error).ok()
+            }
+            _ => None,
+        };
+        return JobResult {
+            job,
+            config_digest,
+            run: Err(failure.message()),
+            crash_bundle,
+            attempts,
+            quarantined: true,
+        };
     }
 }
 
@@ -212,12 +422,27 @@ pub fn run_campaign<F>(jobs: Vec<CampaignJob>, opts: &ExecutorOptions, on_done: 
 where
     F: Fn(&JobResult) + Sync,
 {
+    run_campaign_supervised(jobs, opts, &SupervisorOptions::default(), on_done)
+}
+
+/// [`run_campaign`] with an explicit supervision policy (budgets, hang
+/// detection, retries, quarantine). The default policy reproduces the
+/// plain executor exactly: one inline attempt, fail fast.
+pub fn run_campaign_supervised<F>(
+    jobs: Vec<CampaignJob>,
+    opts: &ExecutorOptions,
+    sup: &SupervisorOptions,
+    on_done: F,
+) -> Vec<JobResult>
+where
+    F: Fn(&JobResult) + Sync,
+{
     let workers = opts.workers.max(1).min(jobs.len().max(1));
     if workers == 1 {
         return jobs
             .into_iter()
             .map(|job| {
-                let r = run_one(job, opts);
+                let r = run_one(job, opts, sup);
                 on_done(&r);
                 r
             })
@@ -241,7 +466,7 @@ where
                     .unwrap()
                     .take()
                     .expect("each job is claimed exactly once");
-                let r = run_one(job, opts);
+                let r = run_one(job, opts, sup);
                 on_done(&r);
                 results_mutex.lock().unwrap()[i] = Some(r);
             });
@@ -332,6 +557,137 @@ mod tests {
         let err = results[0].run.as_ref().unwrap_err();
         assert!(err.contains("duration"), "{err}");
         assert!(results[0].crash_bundle.is_none());
+    }
+
+    #[test]
+    fn forced_panic_is_retried_then_quarantined() {
+        let sup = SupervisorOptions {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            force_panic_jobs: Some("victim".into()),
+            ..SupervisorOptions::default()
+        };
+        let jobs = vec![
+            CampaignJob {
+                name: "victim/seed=1".into(),
+                axis: Vec::new(),
+                seed: 1,
+                scenario: tiny(1),
+            },
+            CampaignJob {
+                name: "healthy/seed=2".into(),
+                axis: Vec::new(),
+                seed: 2,
+                scenario: tiny(2),
+            },
+        ];
+        let opts = ExecutorOptions {
+            workers: 1,
+            ..ExecutorOptions::default()
+        };
+        let results = run_campaign_supervised(jobs, &opts, &sup, |_| {});
+        // The sabotaged job burned all three attempts and was
+        // quarantined; the campaign still completed the healthy job.
+        assert_eq!(results[0].attempts, 3);
+        assert!(results[0].quarantined);
+        let err = results[0].run.as_ref().unwrap_err();
+        assert!(err.contains("forced panic"), "{err}");
+        assert_eq!(results[1].attempts, 1);
+        assert!(!results[1].quarantined);
+        assert!(results[1].run.is_ok());
+    }
+
+    #[test]
+    fn panic_payload_text_reaches_the_crash_bundle_manifest() {
+        let dir = std::env::temp_dir().join(format!("ccsim-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sup = SupervisorOptions {
+            force_panic_jobs: Some("victim".into()),
+            ..SupervisorOptions::default()
+        };
+        let jobs = vec![CampaignJob {
+            name: "victim/seed=1".into(),
+            axis: Vec::new(),
+            seed: 1,
+            scenario: tiny(1),
+        }];
+        let opts = ExecutorOptions {
+            workers: 1,
+            crash_dir: Some(dir.clone()),
+            ..ExecutorOptions::default()
+        };
+        let results = run_campaign_supervised(jobs, &opts, &sup, |_| {});
+        let bundle = results[0].crash_bundle.as_ref().expect("bundle written");
+        let manifest = std::fs::read_to_string(bundle.join("crash.json")).unwrap();
+        // The panic payload text survives into the bundle manifest.
+        assert!(manifest.contains("forced panic"), "{manifest}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hung_jobs_are_detected_and_quarantined_without_blocking() {
+        let sup = SupervisorOptions {
+            heartbeat_timeout: Some(Duration::from_millis(120)),
+            max_retries: 1,
+            backoff: Duration::from_millis(1),
+            force_hang_jobs: Some("wedged".into()),
+            ..SupervisorOptions::default()
+        };
+        let jobs = vec![
+            CampaignJob {
+                name: "wedged/seed=1".into(),
+                axis: Vec::new(),
+                seed: 1,
+                scenario: tiny(1),
+            },
+            CampaignJob {
+                name: "healthy/seed=2".into(),
+                axis: Vec::new(),
+                seed: 2,
+                scenario: tiny(2),
+            },
+        ];
+        let opts = ExecutorOptions {
+            workers: 1,
+            ..ExecutorOptions::default()
+        };
+        let start = Instant::now();
+        let results = run_campaign_supervised(jobs, &opts, &sup, |_| {});
+        assert_eq!(results[0].attempts, 2);
+        assert!(results[0].quarantined);
+        let err = results[0].run.as_ref().unwrap_err();
+        assert!(err.contains("heartbeat"), "{err}");
+        // A hang never produced a typed error, so no bundle either way.
+        assert!(results[0].crash_bundle.is_none());
+        assert!(results[1].run.is_ok());
+        // The supervisor abandoned the wedged attempts instead of
+        // waiting on them: the whole campaign finishes promptly.
+        assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn wall_clock_budget_bounds_an_attempt() {
+        let sup = SupervisorOptions {
+            job_budget: Some(Duration::from_millis(1)),
+            ..SupervisorOptions::default()
+        };
+        // Long enough that the run cannot beat the first supervisor poll.
+        let mut slow = tiny(1);
+        slow.duration = SimDuration::from_secs(120);
+        let jobs = vec![CampaignJob {
+            name: "slow/seed=1".into(),
+            axis: Vec::new(),
+            seed: 1,
+            scenario: slow,
+        }];
+        let opts = ExecutorOptions {
+            workers: 1,
+            ..ExecutorOptions::default()
+        };
+        let results = run_campaign_supervised(jobs, &opts, &sup, |_| {});
+        assert!(results[0].quarantined);
+        let err = results[0].run.as_ref().unwrap_err();
+        assert!(err.contains("budget"), "{err}");
     }
 
     #[test]

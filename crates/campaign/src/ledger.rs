@@ -20,7 +20,7 @@ use ccsim_core::BottleneckMetrics;
 use ccsim_fault::json::{escape, Json, JsonError};
 use ccsim_sim::jsonfmt::{json_f64, json_opt_f64};
 use ccsim_telemetry::RunManifest;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -46,6 +46,13 @@ pub struct LedgerEntry {
     pub error: Option<String>,
     /// Crash-bundle directory for failed runs, when one was written.
     pub crash_bundle: Option<String>,
+    /// Attempts the supervisor spent on the job. 1 (and absent from the
+    /// JSON, so legacy lines re-serialize byte-identically) when the
+    /// first attempt settled it.
+    pub attempts: u32,
+    /// The job failed every attempt and was quarantined. False (and
+    /// absent from the JSON) for successful or pre-supervisor entries.
+    pub quarantined: bool,
     /// Simulated seconds covered.
     pub sim_secs: f64,
     /// Wall-clock seconds the run took.
@@ -99,6 +106,8 @@ impl LedgerEntry {
             outcome_digest,
             error,
             crash_bundle: r.crash_bundle.as_ref().map(|p| p.display().to_string()),
+            attempts: r.attempts,
+            quarantined: r.quarantined,
             sim_secs,
             wall_secs,
             events_processed,
@@ -143,6 +152,14 @@ impl LedgerEntry {
             self.events_processed,
             json_f64(self.events_per_sec),
         );
+        // Supervisor fields are absent at their defaults so legacy lines
+        // and unsupervised runs re-serialize byte-identically.
+        if self.attempts != 1 {
+            let _ = write!(out, ",\"attempts\":{}", self.attempts);
+        }
+        if self.quarantined {
+            out.push_str(",\"quarantined\":true");
+        }
         // Absent (not `{}`) for legacy and unprofiled runs so old ledger
         // lines re-serialize byte-identically.
         if !self.eps_by_kind.is_empty() {
@@ -303,6 +320,11 @@ impl LedgerEntry {
             outcome_digest: opt_str("outcome_digest"),
             error: opt_str("error"),
             crash_bundle: opt_str("crash_bundle"),
+            attempts: v.get("attempts").and_then(Json::as_u64).unwrap_or(1) as u32,
+            quarantined: v
+                .get("quarantined")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
             sim_secs: v.get("sim_secs").and_then(Json::as_f64).unwrap_or(0.0),
             wall_secs: v.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0),
             events_processed: v
@@ -504,6 +526,12 @@ impl Ledger {
     pub fn ok_entries(&self) -> impl Iterator<Item = &LedgerEntry> {
         self.entries.iter().filter(|e| e.ok())
     }
+
+    /// Config digests of the successful entries — the set of jobs a
+    /// `campaign run --resume` skips.
+    pub fn completed_digests(&self) -> HashSet<String> {
+        self.ok_entries().map(|e| e.config_digest.clone()).collect()
+    }
 }
 
 fn invalid(msg: impl Into<String>) -> io::Error {
@@ -535,6 +563,50 @@ impl LedgerWriter {
         writeln!(self.out, "{}", entry.to_json())?;
         self.out.flush()
     }
+
+    /// Re-open an existing ledger for appending (for `--resume`). The
+    /// header is kept, not rewritten. A torn final line — the in-flight
+    /// write of a killed campaign, with or without its newline — is
+    /// truncated away first so the resumed entries never concatenate
+    /// onto partial bytes.
+    pub fn resume(path: &Path) -> io::Result<LedgerWriter> {
+        let text = std::fs::read_to_string(path)?;
+        // Validate the header and interior lines up front; from_text
+        // rejects anything worse than a single torn tail.
+        Ledger::from_text(&text)?;
+        let mut keep = 0usize;
+        for (i, seg) in text.split_inclusive('\n').enumerate() {
+            if !seg.ends_with('\n') {
+                break; // incomplete final line: drop it
+            }
+            let line = seg.trim_end();
+            let parses = if i == 0 {
+                true // header, validated above
+            } else {
+                line.is_empty()
+                    || Json::parse(line)
+                        .and_then(|v| LedgerEntry::from_value(&v))
+                        .is_ok()
+            };
+            if !parses {
+                break; // complete-but-corrupt final line: drop it too
+            }
+            keep += seg.len();
+        }
+        if keep == 0 {
+            return Err(invalid("ledger has no intact header line"));
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.set_len(keep as u64)?;
+        use std::io::Seek;
+        file.seek(io::SeekFrom::Start(keep as u64))?;
+        Ok(LedgerWriter {
+            out: BufWriter::new(file),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -550,6 +622,8 @@ mod tests {
             outcome_digest: ok.then(|| format!("{:016x}", 0xdefu64 + seed)),
             error: (!ok).then(|| "run panicked: boom \"quoted\"".to_string()),
             crash_bundle: (!ok).then(|| "/tmp/crashes/crash-1".to_string()),
+            attempts: 1,
+            quarantined: false,
             sim_secs: 5.0,
             wall_secs: 0.25,
             events_processed: 120_000,

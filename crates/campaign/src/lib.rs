@@ -25,7 +25,10 @@ pub mod report;
 pub mod spec;
 
 pub use diff::{diff, DiffOptions, DiffReport, Finding, FindingKind};
-pub use executor::{run_campaign, run_scenarios, ExecutorOptions, JobResult, Rollup};
+pub use executor::{
+    run_campaign, run_campaign_supervised, run_scenarios, ExecutorOptions, JobResult, Rollup,
+    SupervisorOptions,
+};
 pub use ledger::{Ledger, LedgerEntry, LedgerWriter};
 pub use report::{check_expectations, ExpectationResult};
 pub use spec::{Axis, AxisParam, CampaignJob, CampaignSpec, Expectation, Tolerances};

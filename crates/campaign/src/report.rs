@@ -495,6 +495,8 @@ mod tests {
             outcome_digest: Some(format!("{seed:016x}")),
             error: None,
             crash_bundle: None,
+            attempts: 1,
+            quarantined: false,
             sim_secs: 5.0,
             wall_secs: 0.5,
             events_processed: 100_000,

@@ -121,7 +121,8 @@ where
     })
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort text of a panic payload (the common `&str`/`String` cases).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -10,6 +10,7 @@
 
 use crate::scenario::ScenarioError;
 use ccsim_fault::WatchdogReport;
+use ccsim_resume::ResumeError;
 use ccsim_sim::EngineError;
 use ccsim_trace::RunTrace;
 use std::fmt;
@@ -32,6 +33,10 @@ pub enum SimError {
     },
     /// A panic caught by the crash guard ([`crate::crash::run_guarded`]).
     Panic { message: String },
+    /// A checkpoint could not be taken, loaded, or applied (bad magic,
+    /// version skew, truncation, digest mismatch, or a run that ended
+    /// before the requested checkpoint instant).
+    Resume(ResumeError),
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +48,7 @@ impl fmt::Display for SimError {
                 write!(f, "invariant violation — {report}")
             }
             SimError::Panic { message } => write!(f, "run panicked: {message}"),
+            SimError::Resume(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
@@ -52,6 +58,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Scenario(e) => Some(e),
             SimError::Engine(e) => Some(e),
+            SimError::Resume(e) => Some(e),
             _ => None,
         }
     }
@@ -69,6 +76,12 @@ impl From<EngineError> for SimError {
     }
 }
 
+impl From<ResumeError> for SimError {
+    fn from(e: ResumeError) -> Self {
+        SimError::Resume(e)
+    }
+}
+
 impl SimError {
     /// Short machine-readable class tag, used by crash-bundle manifests.
     pub fn class(&self) -> &'static str {
@@ -77,6 +90,7 @@ impl SimError {
             SimError::Engine(_) => "engine",
             SimError::Invariant { .. } => "invariant",
             SimError::Panic { .. } => "panic",
+            SimError::Resume(_) => "resume",
         }
     }
 

@@ -16,6 +16,7 @@
 //!   EXPERIMENTS.md.
 
 pub mod build;
+pub mod checkpoint;
 pub mod codec;
 pub mod crash;
 pub mod error;
@@ -28,17 +29,25 @@ pub mod scenario;
 mod watchdog;
 
 pub use build::BuiltNetwork;
+pub use ccsim_resume::{Checkpoint, ResumeError};
+pub use checkpoint::{bisect_divergence, slice_boundaries, BisectOutcome, DivergencePoint};
 pub use codec::{scenario_from_json, scenario_to_json};
 pub use crash::{
-    run_guarded, run_guarded_with_progress, BundleError, CrashBundle, GuardOptions, GuardedFailure,
+    panic_message, run_guarded, run_guarded_with_progress, BundleError, CrashBundle, GuardOptions,
+    GuardedFailure,
 };
 pub use error::SimError;
 pub use observe::{
-    run_observed, run_observed_with_progress, try_run_observed, try_run_observed_with,
-    try_run_observed_with_progress, ObserveOptions, ObservedRun, RunInstruments,
+    run_observed, run_observed_with_progress, try_run_observed, try_run_observed_checkpointed,
+    try_run_observed_with, try_run_observed_with_progress, ObserveOptions, ObservedRun,
+    RunInstruments,
 };
 pub use outcome::{BottleneckMetrics, PInterpretation, RunOutcome};
-pub use runner::{run, run_with_progress, try_run, try_run_with_progress, Progress};
+pub use runner::{
+    run, run_to_checkpoint, run_with_progress, scenario_from_checkpoint, try_resume_run,
+    try_resume_run_with_progress, try_run, try_run_with_checkpoint, try_run_with_progress,
+    Progress,
+};
 pub use scenario::{ConvergenceRule, Fidelity, FlowGroup, Scenario, ScenarioError, DEFAULT_MSS};
 
 /// Run several scenarios in parallel, preserving input order.

@@ -36,10 +36,12 @@
 
 use crate::error::SimError;
 use crate::outcome::RunOutcome;
-use crate::runner::{run_internal, Progress};
+use crate::runner::{run_internal_ctl, Progress, RunCtl};
 use crate::scenario::Scenario;
 use ccsim_net::link::LinkMetrics;
 use ccsim_net::msg::Msg;
+use ccsim_resume::Checkpoint;
+use ccsim_sim::SimTime;
 use ccsim_tcp::sender::SenderMetrics;
 use ccsim_telemetry::manifest::{fnv1a_64, ManifestBottleneck, RunManifest};
 use ccsim_telemetry::prometheus::write_exposition;
@@ -119,6 +121,10 @@ pub struct RunInstruments {
     /// Filled by the runner's collection phase when profiling is on
     /// (everything except `dispatch_nanos`, stamped afterwards).
     pub(crate) profile_out: std::cell::RefCell<Option<ccsim_prof::Profile>>,
+    /// Encoded size of the checkpoint this run captured, if any — feeds
+    /// the manifest's `checkpoint_bytes` and, under profiling, the
+    /// `resume/checkpoint` memory pool.
+    pub(crate) checkpoint_bytes: std::cell::Cell<u64>,
 }
 
 impl RunInstruments {
@@ -194,6 +200,7 @@ impl RunInstruments {
             link,
             sender,
             profile_out: std::cell::RefCell::new(None),
+            checkpoint_bytes: std::cell::Cell::new(0),
         }
     }
 }
@@ -268,14 +275,42 @@ where
 pub fn try_run_observed_with<F>(
     scenario: &Scenario,
     options: ObserveOptions,
-    mut on_progress: F,
+    on_progress: F,
 ) -> Result<ObservedRun, SimError>
+where
+    F: FnMut(&Progress),
+{
+    let (obs, _) = try_run_observed_checkpointed(scenario, options, None, on_progress)?;
+    Ok(obs)
+}
+
+/// An observed run that also captures a checkpoint at the first slice
+/// boundary at or after `checkpoint_at` (when given). The checkpoint's
+/// encoded size is stamped into the manifest and, when profiling is on,
+/// into the `resume/checkpoint` memory pool.
+pub fn try_run_observed_checkpointed<F>(
+    scenario: &Scenario,
+    options: ObserveOptions,
+    checkpoint_at: Option<SimTime>,
+    mut on_progress: F,
+) -> Result<(ObservedRun, Option<Checkpoint>), SimError>
 where
     F: FnMut(&Progress),
 {
     let inst = RunInstruments::with_options(options);
     let wall_start = std::time::Instant::now();
-    let outcome = run_internal(scenario, Some(&inst), &mut on_progress)?;
+    let mut checkpoint = None;
+    let outcome = run_internal_ctl(
+        scenario,
+        Some(&inst),
+        &mut on_progress,
+        RunCtl {
+            checkpoint_at,
+            ..RunCtl::default()
+        },
+        &mut checkpoint,
+    )?
+    .expect("non-stopping run always produces an outcome");
     let wall_secs = wall_start.elapsed().as_secs_f64();
 
     let sim_secs = outcome.ended_at.as_secs_f64();
@@ -346,15 +381,19 @@ where
         metric_bytes: prometheus.len() as u64,
         metric_series: inst.registry.len() as u64,
         converged: outcome.converged,
+        checkpoint_bytes: inst.checkpoint_bytes.get(),
         events_by_kind,
         bottlenecks,
         profile,
     };
-    Ok(ObservedRun {
-        outcome,
-        manifest,
-        prometheus,
-    })
+    Ok((
+        ObservedRun {
+            outcome,
+            manifest,
+            prometheus,
+        },
+        checkpoint,
+    ))
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //!    consecutive windows — the paper's "< 1% over 20 minutes" rule.
 
 use crate::build::BuiltNetwork;
+use crate::checkpoint::{self, HarnessRef, RestoredHarness};
 use crate::error::SimError;
 use crate::observe::{classify_msg, RunInstruments, COMPONENT_CLASSES, EVENT_KINDS};
 use crate::outcome::{BottleneckMetrics, RunOutcome};
@@ -20,18 +21,19 @@ use crate::watchdog::Watchdog;
 use ccsim_analysis::{jain_fairness_index, jain_fairness_subset};
 use ccsim_net::link::{Link, LinkStats};
 use ccsim_net::AqmKind;
+use ccsim_resume::{Checkpoint, ResumeError};
 use ccsim_sim::SimTime;
 use ccsim_tcp::sender::Sender;
 use ccsim_telemetry::{FlowMetrics, ThroughputTracker};
 use ccsim_trace::{RunTrace, TraceMeta};
 
 /// Numeric sender-counter baseline captured at the warm-up boundary.
-#[derive(Clone, Copy, Default)]
-struct SenderBaseline {
-    data_pkts_sent: u64,
-    retransmits: u64,
-    rtos: u64,
-    delivered_bytes: u64,
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SenderBaseline {
+    pub(crate) data_pkts_sent: u64,
+    pub(crate) retransmits: u64,
+    pub(crate) rtos: u64,
+    pub(crate) delivered_bytes: u64,
 }
 
 /// A progress report from inside a run, issued after every simulated
@@ -103,6 +105,109 @@ where
     run_internal(scenario, None, &mut on_progress)
 }
 
+/// Checkpoint/resume control for one run. The default is a plain
+/// start-to-finish run.
+#[derive(Default)]
+pub(crate) struct RunCtl<'a> {
+    /// Restore this checkpoint into the freshly built network instead of
+    /// starting from `t = 0`. The network must have been built from the
+    /// checkpoint's embedded scenario.
+    pub(crate) resume_from: Option<&'a Checkpoint>,
+    /// Capture a checkpoint at the first slice boundary at or after this
+    /// instant (at most one per run).
+    pub(crate) checkpoint_at: Option<SimTime>,
+    /// Return immediately after capturing instead of finishing the run.
+    pub(crate) stop_at_checkpoint: bool,
+}
+
+/// Run `scenario` just far enough to capture a checkpoint at the first
+/// slice boundary at or after `at`, then stop. Errors with
+/// [`SimError::Resume`] if the run ends (horizon or convergence) before
+/// reaching `at`.
+pub fn run_to_checkpoint(scenario: &Scenario, at: SimTime) -> Result<Checkpoint, SimError> {
+    let mut out = None;
+    let finished = run_internal_ctl(
+        scenario,
+        None,
+        &mut |_| {},
+        RunCtl {
+            checkpoint_at: Some(at),
+            stop_at_checkpoint: true,
+            ..RunCtl::default()
+        },
+        &mut out,
+    )?;
+    debug_assert!(finished.is_none() || out.is_none());
+    out.ok_or_else(|| {
+        SimError::Resume(ResumeError::Corrupt(format!(
+            "run ended at {} before the requested checkpoint instant {at}",
+            finished.map_or(SimTime::ZERO, |o| o.ended_at)
+        )))
+    })
+}
+
+/// Run `scenario` to completion, capturing a checkpoint en route at the
+/// first slice boundary at or after `at`. The checkpoint is `None` when
+/// the run ended (converged) before reaching `at`.
+pub fn try_run_with_checkpoint(
+    scenario: &Scenario,
+    at: SimTime,
+) -> Result<(RunOutcome, Option<Checkpoint>), SimError> {
+    let mut out = None;
+    let outcome = run_internal_ctl(
+        scenario,
+        None,
+        &mut |_| {},
+        RunCtl {
+            checkpoint_at: Some(at),
+            ..RunCtl::default()
+        },
+        &mut out,
+    )?
+    .expect("non-stopping run always produces an outcome");
+    Ok((outcome, out))
+}
+
+/// Resume a run from a checkpoint and drive it to completion. The
+/// scenario is rebuilt from the JSON embedded in the checkpoint, so the
+/// outcome is byte-identical to the donor run's (differential tests
+/// assert this for every CCA × topology × fault-plan combination).
+pub fn try_resume_run(cp: &Checkpoint) -> Result<RunOutcome, SimError> {
+    try_resume_run_with_progress(cp, |_| {})
+}
+
+/// [`try_resume_run`] with a progress callback.
+pub fn try_resume_run_with_progress<F>(
+    cp: &Checkpoint,
+    mut on_progress: F,
+) -> Result<RunOutcome, SimError>
+where
+    F: FnMut(&Progress),
+{
+    let scenario = scenario_from_checkpoint(cp)?;
+    let outcome = run_internal_ctl(
+        &scenario,
+        None,
+        &mut on_progress,
+        RunCtl {
+            resume_from: Some(cp),
+            ..RunCtl::default()
+        },
+        &mut None,
+    )?
+    .expect("non-stopping run always produces an outcome");
+    Ok(outcome)
+}
+
+/// Parse the scenario a checkpoint was taken from.
+pub fn scenario_from_checkpoint(cp: &Checkpoint) -> Result<Scenario, SimError> {
+    crate::codec::scenario_from_json(&cp.scenario_json).map_err(|e| {
+        SimError::Resume(ResumeError::Corrupt(format!(
+            "embedded scenario does not parse: {e}"
+        )))
+    })
+}
+
 /// Advance the simulation to `until`, classifying events per kind when
 /// the run is observed. `classify_msg` is passed as a function item so it
 /// inlines into the engine's event loop; the unobserved path is the plain
@@ -150,12 +255,21 @@ fn comp_class_table(net: &BuiltNetwork) -> Vec<u8> {
 /// (collection phase, while the network is still assembled). The
 /// `dispatch_nanos` field is stamped by the observed-run wrapper, which
 /// owns the dispatch span totals.
-fn harvest_profile(net: &mut BuiltNetwork, stride: u64) -> Option<ccsim_prof::Profile> {
+fn harvest_profile(
+    net: &mut BuiltNetwork,
+    stride: u64,
+    checkpoint_bytes: u64,
+) -> Option<ccsim_prof::Profile> {
     use ccsim_prof::{EventCells, MemAccounts, Profile, WheelProfile};
     let (counts, nanos, samples) = net.sim.profile_cells()?;
     let (counts, nanos, samples) = (counts.to_vec(), nanos.to_vec(), samples.to_vec());
 
     let accounts = MemAccounts::new();
+    // The checkpoint buffer pool exists only when a checkpoint was taken,
+    // so checkpoint-free profiles keep their exact pool list.
+    if checkpoint_bytes > 0 {
+        accounts.account("resume/checkpoint").set(checkpoint_bytes);
+    }
     let (senders, links, rings) = (
         accounts.account("tcp/senders"),
         accounts.account("net/link_queues"),
@@ -228,6 +342,20 @@ pub(crate) fn run_internal(
     inst: Option<&RunInstruments>,
     on_progress: &mut dyn FnMut(&Progress),
 ) -> Result<RunOutcome, SimError> {
+    let outcome = run_internal_ctl(scenario, inst, on_progress, RunCtl::default(), &mut None)?;
+    Ok(outcome.expect("non-stopping run always produces an outcome"))
+}
+
+/// [`run_internal`] with checkpoint/resume control. Returns `Ok(None)`
+/// iff `ctl.stop_at_checkpoint` ended the run right after capture; a
+/// captured checkpoint (if any) lands in `checkpoint_out`.
+pub(crate) fn run_internal_ctl(
+    scenario: &Scenario,
+    inst: Option<&RunInstruments>,
+    on_progress: &mut dyn FnMut(&Progress),
+    ctl: RunCtl<'_>,
+    checkpoint_out: &mut Option<Checkpoint>,
+) -> Result<Option<RunOutcome>, SimError> {
     let build_span = inst.map(|i| i.profiler.span("build"));
     let mut net = BuiltNetwork::try_build(scenario)?;
     let mut watchdog = Watchdog::new(scenario.watchdog);
@@ -252,6 +380,18 @@ pub(crate) fn run_internal(
     }
     drop(build_span);
 
+    // Overlay checkpointed state onto the freshly built arena. The build
+    // already rewound every config-derived setting; the checkpoint body
+    // holds only live state (clock, queues, windows, RNG streams, harness
+    // cursors).
+    let mut restored = None;
+    if let Some(cp) = ctl.resume_from {
+        restored = Some(
+            checkpoint::restore_into(&mut net, &mut watchdog, &cp.body)
+                .map_err(SimError::Resume)?,
+        );
+    }
+
     let warmup_end = SimTime::ZERO + scenario.warmup;
     let horizon = warmup_end + scenario.duration;
     let mut report = |sim_now: SimTime, events: u64, pending: usize| {
@@ -271,62 +411,87 @@ pub(crate) fn run_internal(
 
     // Warm-up, sliced like the measurement phase so progress reporting
     // covers it (slicing `run_until` does not change event processing).
-    {
-        let span = inst.map(|i| i.profiler.span("warmup"));
-        let mut t = SimTime::ZERO;
-        while t < warmup_end {
-            let next = (t + scenario.snapshot_interval).min(warmup_end);
-            advance(&mut net, next, inst)?;
-            t = next;
-            report(t, net.sim.events_processed(), net.sim.events_pending());
-            if watchdog.check(&net, scenario) {
-                return Err(SimError::Invariant {
-                    trace: drain_trace(&mut net, scenario),
-                    report: watchdog.into_report(),
-                });
+    // A measurement-phase resume skips it entirely — the warm-up boundary
+    // actions already happened in the donor run and their results
+    // (baselines, tracker) travel inside the checkpoint.
+    let (sender_base, mut tracker, mut now) = match restored.take() {
+        Some(RestoredHarness::Measurement {
+            sender_base,
+            tracker,
+        }) => (sender_base, tracker, net.sim.now()),
+        other => {
+            debug_assert!(matches!(other, None | Some(RestoredHarness::Warmup)));
+            {
+                let span = inst.map(|i| i.profiler.span("warmup"));
+                // Fresh runs start at zero; a warm-up-phase resume
+                // continues from the restored clock (always a slice
+                // boundary).
+                let mut t = net.sim.now();
+                while t < warmup_end {
+                    let next = (t + scenario.snapshot_interval).min(warmup_end);
+                    advance(&mut net, next, inst)?;
+                    t = next;
+                    report(t, net.sim.events_processed(), net.sim.events_pending());
+                    if watchdog.check(&net, scenario) {
+                        return Err(SimError::Invariant {
+                            trace: drain_trace(&mut net, scenario),
+                            report: watchdog.into_report(),
+                        });
+                    }
+                    if checkpoint_due(&ctl, checkpoint_out, t) {
+                        store_checkpoint(
+                            checkpoint::capture(scenario, &net, &watchdog, HarnessRef::Warmup),
+                            checkpoint_out,
+                            inst,
+                        );
+                        if ctl.stop_at_checkpoint {
+                            return Ok(None);
+                        }
+                    }
+                }
+                drop(span);
             }
+
+            // Warm-up boundary: reset queue counters (every link),
+            // snapshot per-flow baselines.
+            for i in 0..net.links.len() {
+                let id = net.links[i];
+                net.sim.component_mut::<Link>(id).reset_stats();
+            }
+            let sender_base: Vec<SenderBaseline> = net
+                .senders
+                .iter()
+                .map(|&id| {
+                    let s = net.sim.component::<Sender>(id).stats();
+                    SenderBaseline {
+                        data_pkts_sent: s.data_pkts_sent,
+                        retransmits: s.retransmits,
+                        rtos: s.rtos,
+                        delivered_bytes: 0, // filled from receivers below
+                    }
+                })
+                .collect();
+            let delivered_base = net.per_flow_delivered();
+            let sender_base: Vec<SenderBaseline> = sender_base
+                .into_iter()
+                .zip(&delivered_base)
+                .map(|(mut b, &d)| {
+                    b.delivered_bytes = d;
+                    b
+                })
+                .collect();
+
+            // The warm-up reset re-anchored the link counters; re-anchor
+            // the conservation baseline with them.
+            watchdog.rebaseline(&net);
+
+            let mut tracker = ThroughputTracker::new();
+            tracker.record(warmup_end, delivered_base.clone());
+            (sender_base, tracker, warmup_end)
         }
-        drop(span);
-    }
-
-    // Warm-up boundary: reset queue counters (every link), snapshot
-    // per-flow baselines.
-    for i in 0..net.links.len() {
-        let id = net.links[i];
-        net.sim.component_mut::<Link>(id).reset_stats();
-    }
-    let sender_base: Vec<SenderBaseline> = net
-        .senders
-        .iter()
-        .map(|&id| {
-            let s = net.sim.component::<Sender>(id).stats();
-            SenderBaseline {
-                data_pkts_sent: s.data_pkts_sent,
-                retransmits: s.retransmits,
-                rtos: s.rtos,
-                delivered_bytes: 0, // filled from receivers below
-            }
-        })
-        .collect();
-    let delivered_base = net.per_flow_delivered();
-    let sender_base: Vec<SenderBaseline> = sender_base
-        .into_iter()
-        .zip(&delivered_base)
-        .map(|(mut b, &d)| {
-            b.delivered_bytes = d;
-            b
-        })
-        .collect();
-
-    // The warm-up reset re-anchored the link counters; re-anchor the
-    // conservation baseline with them.
-    watchdog.rebaseline(&net);
-
-    let mut tracker = ThroughputTracker::new();
-    tracker.record(warmup_end, delivered_base.clone());
+    };
 
     let deadline = horizon;
-    let mut now = warmup_end;
     let mut converged = false;
     while now < deadline {
         let slice_start = inst.map(|_| std::time::Instant::now());
@@ -356,6 +521,27 @@ pub(crate) fn run_internal(
                     converged = true;
                     break;
                 }
+            }
+        }
+        // Capture *after* the convergence check: a boundary where the run
+        // stops never yields a checkpoint, so a resumed run re-evaluates
+        // convergence at exactly the boundaries the donor run did.
+        if checkpoint_due(&ctl, checkpoint_out, now) {
+            store_checkpoint(
+                checkpoint::capture(
+                    scenario,
+                    &net,
+                    &watchdog,
+                    HarnessRef::Measurement {
+                        sender_base: &sender_base,
+                        tracker: &tracker,
+                    },
+                ),
+                checkpoint_out,
+                inst,
+            );
+            if ctl.stop_at_checkpoint {
+                return Ok(None);
             }
         }
     }
@@ -451,7 +637,11 @@ pub(crate) fn run_internal(
     // memory gauge still sees attached recorders.
     if let Some(inst) = inst {
         if inst.options.profile {
-            *inst.profile_out.borrow_mut() = harvest_profile(&mut net, inst.options.profile_stride);
+            *inst.profile_out.borrow_mut() = harvest_profile(
+                &mut net,
+                inst.options.profile_stride,
+                inst.checkpoint_bytes.get(),
+            );
         }
     }
 
@@ -476,7 +666,22 @@ pub(crate) fn run_internal(
     };
     drop(collect_span);
     debug_assert!(!watchdog.tripped(), "tripped watchdog must abort the run");
-    Ok(outcome)
+    Ok(Some(outcome))
+}
+
+/// True when a requested checkpoint hasn't been taken yet and `now` has
+/// reached its instant.
+fn checkpoint_due(ctl: &RunCtl<'_>, out: &Option<Checkpoint>, now: SimTime) -> bool {
+    out.is_none() && ctl.checkpoint_at.is_some_and(|at| now >= at)
+}
+
+/// Stash a captured checkpoint, gauging its encoded size for the
+/// observed-run manifest and memory profile.
+fn store_checkpoint(cp: Checkpoint, out: &mut Option<Checkpoint>, inst: Option<&RunInstruments>) {
+    if let Some(inst) = inst {
+        inst.checkpoint_bytes.set(cp.encoded_len() as u64);
+    }
+    *out = Some(cp);
 }
 
 #[cfg(test)]

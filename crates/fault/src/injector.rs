@@ -21,7 +21,7 @@
 //! actions (blackouts, rate steps) costs zero RNG state.
 
 use crate::plan::{FaultAction, FaultKind, FaultPlan, LossModel};
-use ccsim_sim::{Bandwidth, SimDuration, SimTime};
+use ccsim_sim::{Bandwidth, SimDuration, SimTime, SnapError, SnapReader, SnapWriter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -215,6 +215,79 @@ impl LinkFaultInjector {
             self.stats.duplicated += 1;
         }
         fate
+    }
+
+    /// Serialize runtime state for a checkpoint. The action list itself
+    /// is *not* written — it is deterministic from the scenario's
+    /// `FaultPlan`, so restore rebuilds the injector from the plan and
+    /// overlays this state (cursor, RNG, active impairments, counters).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.cursor);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.opt(self.blackout_until, |w, t| w.time(t));
+        match &self.loss {
+            None => w.u8(0),
+            Some(LossState::Iid { rate }) => {
+                w.u8(1);
+                w.f64(*rate);
+            }
+            Some(LossState::Burst { enter, exit, bad }) => {
+                w.u8(2);
+                w.f64(*enter);
+                w.f64(*exit);
+                w.bool(*bad);
+            }
+        }
+        w.f64(self.reorder_rate);
+        w.duration(self.reorder_extra);
+        w.f64(self.dup_rate);
+        w.duration(self.extra_delay);
+        w.u64(self.stats.blackout_dropped);
+        w.u64(self.stats.loss_dropped);
+        w.u64(self.stats.reordered);
+        w.u64(self.stats.duplicated);
+        w.u64(self.stats.actions_applied);
+    }
+
+    /// Overlay checkpointed runtime state onto an injector freshly built
+    /// from the same `FaultPlan` (see [`LinkFaultInjector::save_state`]).
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cursor = r.usize()?;
+        if cursor > self.actions.len() {
+            return Err(SnapError::Corrupt(format!(
+                "fault cursor {cursor} past {} actions",
+                self.actions.len()
+            )));
+        }
+        self.cursor = cursor;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        self.blackout_until = r.opt(|r| r.time())?;
+        self.loss = match r.u8()? {
+            0 => None,
+            1 => Some(LossState::Iid { rate: r.f64()? }),
+            2 => Some(LossState::Burst {
+                enter: r.f64()?,
+                exit: r.f64()?,
+                bad: r.bool()?,
+            }),
+            b => return Err(SnapError::Corrupt(format!("loss-state tag {b}"))),
+        };
+        self.reorder_rate = r.f64()?;
+        self.reorder_extra = r.duration()?;
+        self.dup_rate = r.f64()?;
+        self.extra_delay = r.duration()?;
+        self.stats.blackout_dropped = r.u64()?;
+        self.stats.loss_dropped = r.u64()?;
+        self.stats.reordered = r.u64()?;
+        self.stats.duplicated = r.u64()?;
+        self.stats.actions_applied = r.u64()?;
+        Ok(())
     }
 
     /// True while the blackout window is open at `now` (read-only; used

@@ -29,7 +29,7 @@
 //! [`Link`]: crate::link::Link
 
 use crate::packet::Packet;
-use ccsim_sim::{Bandwidth, SimDuration, SimTime};
+use ccsim_sim::{Bandwidth, SimDuration, SimTime, SnapError, SnapReader, SnapWriter};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::VecDeque;
@@ -178,6 +178,38 @@ pub trait AqmQueue {
     fn memory_bytes(&self) -> u64 {
         0
     }
+
+    /// Serialize the discipline's mutable state for a checkpoint:
+    /// buffered packets plus every control-law variable (EWMAs, episode
+    /// counters, RNG state). Configuration (thresholds, buffer size, ECN
+    /// flag) is *not* written — restore rebuilds the discipline from the
+    /// scenario and then overlays this state.
+    ///
+    /// Deliberately mandatory (no default body): a new discipline that
+    /// forgot to implement it would silently break restore digests.
+    fn save_state(&self, w: &mut SnapWriter);
+
+    /// Restore state written by [`AqmQueue::save_state`] into a
+    /// freshly-built discipline of the same kind and configuration.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
+}
+
+/// Shared helper: serialize a packet FIFO.
+fn save_pkt_queue(w: &mut SnapWriter, q: &VecDeque<Packet>) {
+    w.u64(q.len() as u64);
+    for p in q {
+        p.save_state(w);
+    }
+}
+
+/// Shared helper: deserialize a packet FIFO.
+fn load_pkt_queue(r: &mut SnapReader<'_>) -> Result<VecDeque<Packet>, SnapError> {
+    let n = r.usize()?;
+    let mut q = VecDeque::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        q.push_back(Packet::load_state(r)?);
+    }
+    Ok(q)
 }
 
 /// Uniform draw in `[0, 1)` from the top 53 bits of a `u64`, the standard
@@ -250,6 +282,17 @@ impl AqmQueue for DropTail {
 
     fn buffer_bytes(&self) -> u64 {
         self.buffer_bytes
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_pkt_queue(w, &self.queue);
+        w.u64(self.queued_bytes);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.queue = load_pkt_queue(r)?;
+        self.queued_bytes = r.u64()?;
+        Ok(())
     }
 }
 
@@ -409,6 +452,32 @@ impl AqmQueue for Red {
     fn buffer_bytes(&self) -> u64 {
         self.buffer_bytes
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_pkt_queue(w, &self.queue);
+        w.u64(self.queued_bytes);
+        w.f64(self.avg);
+        w.i64(self.count);
+        w.opt(self.empty_since, |w, t| w.time(t));
+        let s = self.rng.state();
+        for word in s {
+            w.u64(word);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.queue = load_pkt_queue(r)?;
+        self.queued_bytes = r.u64()?;
+        self.avg = r.f64()?;
+        self.count = r.i64()?;
+        self.empty_since = r.opt(|r| r.time())?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -561,6 +630,37 @@ impl AqmQueue for Codel {
 
     fn buffer_bytes(&self) -> u64 {
         self.buffer_bytes
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.queue.len() as u64);
+        for (at, p) in &self.queue {
+            w.time(*at);
+            p.save_state(w);
+        }
+        w.u64(self.queued_bytes);
+        w.opt(self.first_above_at, |w, t| w.time(t));
+        w.bool(self.dropping);
+        w.time(self.drop_next);
+        w.u32(self.count);
+        w.u32(self.last_count);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        let mut queue = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let at = r.time()?;
+            queue.push_back((at, Packet::load_state(r)?));
+        }
+        self.queue = queue;
+        self.queued_bytes = r.u64()?;
+        self.first_above_at = r.opt(|r| r.time())?;
+        self.dropping = r.bool()?;
+        self.drop_next = r.time()?;
+        self.count = r.u32()?;
+        self.last_count = r.u32()?;
+        Ok(())
     }
 }
 
@@ -749,6 +849,36 @@ impl AqmQueue for Pie {
     /// at that point every subsequent tick would be a no-op.
     fn tick_needed(&self) -> bool {
         self.queued_bytes > 0 || self.prob > 0.0 || self.burst_allowance < PIE_BURST_ALLOWANCE
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        save_pkt_queue(w, &self.queue);
+        w.u64(self.queued_bytes);
+        // `rate` is mutable state: fault injection can have changed it
+        // since construction.
+        w.u64(self.rate.as_bps());
+        w.f64(self.prob);
+        w.duration(self.qdelay_old);
+        w.duration(self.burst_allowance);
+        let s = self.rng.state();
+        for word in s {
+            w.u64(word);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.queue = load_pkt_queue(r)?;
+        self.queued_bytes = r.u64()?;
+        self.rate = Bandwidth::from_bps(r.u64()?);
+        self.prob = r.f64()?;
+        self.qdelay_old = r.duration()?;
+        self.burst_allowance = r.duration()?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        self.rng = SmallRng::from_state(s);
+        Ok(())
     }
 }
 

@@ -9,7 +9,9 @@
 
 use crate::msg::Msg;
 use crate::path::{deliver_after, hop_latency};
-use ccsim_sim::{Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_sim::{
+    Component, ComponentId, Ctx, SimDuration, SimTime, SnapError, SnapReader, SnapWriter,
+};
 
 /// Where a delay line forwards packets.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -46,6 +48,18 @@ impl DelayLine {
     /// Packets forwarded so far.
     pub fn forwarded(&self) -> u64 {
         self.forwarded
+    }
+
+    /// Serialize mutable state for a checkpoint (delay and next hop are
+    /// configuration).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.forwarded);
+    }
+
+    /// Overlay checkpointed state.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.forwarded = r.u64()?;
+        Ok(())
     }
 }
 

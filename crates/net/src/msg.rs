@@ -12,6 +12,7 @@
 //! generation on delivery.
 
 use crate::packet::Packet;
+use ccsim_sim::{SnapError, SnapReader, SnapWriter};
 
 /// A timer token. The low bits conventionally encode the timer kind and the
 /// high bits a generation counter, but the engine treats it as opaque.
@@ -45,6 +46,32 @@ pub enum Msg {
     Packet(Packet),
     /// A timer the receiving component scheduled for itself.
     Timer(TimerToken),
+}
+
+impl Msg {
+    /// Serialize for a checkpoint (timer-wheel entries carry `Msg`
+    /// payloads, so the queue snapshot routes through this).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            Msg::Packet(p) => {
+                w.u8(0);
+                p.save_state(w);
+            }
+            Msg::Timer(t) => {
+                w.u8(1);
+                w.u64(t.0);
+            }
+        }
+    }
+
+    /// Deserialize a message written by [`Msg::save_state`].
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Msg, SnapError> {
+        match r.u8()? {
+            0 => Ok(Msg::Packet(Packet::load_state(r)?)),
+            1 => Ok(Msg::Timer(TimerToken(r.u64()?))),
+            b => Err(SnapError::Corrupt(format!("msg tag {b}"))),
+        }
+    }
 }
 
 #[cfg(test)]

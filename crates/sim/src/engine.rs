@@ -12,6 +12,7 @@
 
 use crate::event::{CancelToken, Event, EventQueue};
 use crate::rng::RngFactory;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
 use std::collections::VecDeque;
@@ -564,6 +565,58 @@ impl<M: 'static> Simulator<M> {
             p.last_sample = None;
         }
         self.run_until_with(deadline, |m| Some(classify(m)))
+    }
+
+    // ----- checkpoint/restore -------------------------------------------
+
+    /// Serialize the engine's replay-relevant state: clock, event counts,
+    /// and the full pending-event queue (see [`EventQueue::save_state`]).
+    /// Components are **not** serialized here — the harness owns their
+    /// concrete types and snapshots them alongside.
+    ///
+    /// Must be called between run slices (never from inside a handler):
+    /// a partially-drained same-timestamp dispatch batch cannot be
+    /// represented.
+    ///
+    /// # Panics
+    /// Panics if called mid-dispatch-batch.
+    pub fn save_state(&self, w: &mut SnapWriter, save_msg: impl FnMut(&mut SnapWriter, &M)) {
+        assert!(self.batch.is_empty(), "engine snapshot mid-dispatch-batch");
+        w.time(self.now);
+        w.u64(self.processed);
+        w.u64(self.max_pending);
+        w.seq(&self.class_counts, |w, &c| w.u64(c));
+        self.queue.save_state(w, save_msg);
+    }
+
+    /// Restore state written by [`Simulator::save_state`] into this
+    /// engine. The component arena is left untouched: the caller rebuilds
+    /// components deterministically (same ids, same wiring) and then
+    /// overwrites their mutable state, after which this call realigns the
+    /// clock and pending events.
+    ///
+    /// Saved per-class event counts only apply when the current
+    /// configuration has matching class dimensions (an unobserved
+    /// snapshot restored into an observed run keeps its zeroed counters).
+    pub fn restore_state<'a>(
+        &mut self,
+        r: &mut SnapReader<'a>,
+        load_msg: impl FnMut(&mut SnapReader<'a>) -> Result<M, SnapError>,
+    ) -> Result<(), SnapError> {
+        let now = r.time()?;
+        let processed = r.u64()?;
+        let max_pending = r.u64()?;
+        let class_counts = r.seq(|r| r.u64())?;
+        let queue = EventQueue::load_state(r, load_msg)?;
+        self.now = now;
+        self.processed = processed;
+        self.max_pending = max_pending;
+        if !class_counts.is_empty() && class_counts.len() == self.class_counts.len() {
+            self.class_counts = class_counts;
+        }
+        self.queue = queue;
+        self.batch.clear();
+        Ok(())
     }
 }
 

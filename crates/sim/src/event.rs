@@ -45,6 +45,7 @@
 //! baseline for the `event_queue` criterion bench.
 
 use crate::engine::ComponentId;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -79,6 +80,24 @@ impl Default for CancelToken {
             idx: u32::MAX,
             gen: 0,
         }
+    }
+}
+
+impl CancelToken {
+    /// Serialize the token for a checkpoint. Tokens survive a
+    /// snapshot/restore cycle because [`EventQueue::save_state`] carries
+    /// the generation table verbatim: a token live before the snapshot is
+    /// live (and cancels the same event) after restore.
+    pub fn save_state(self, w: &mut SnapWriter) {
+        w.u32(self.idx);
+        w.u64(self.gen);
+    }
+
+    /// Deserialize a token written by [`CancelToken::save_state`].
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<CancelToken, SnapError> {
+        let idx = r.u32()?;
+        let gen = r.u64()?;
+        Ok(CancelToken { idx, gen })
     }
 }
 
@@ -617,6 +636,116 @@ impl<M> EventQueue<M> {
             bytes += size_of::<Vec<Entry<M>>>() as u64 + s.capacity() as u64 * entry;
         }
         bytes
+    }
+
+    // ----- checkpoint/restore -------------------------------------------
+
+    /// Serialize the queue's live contents and ordering state.
+    ///
+    /// The encoding is canonical: live entries are written sorted by
+    /// (time, seq) — a total order, seqs are unique — so
+    /// encode → decode → encode is a byte fixpoint regardless of how
+    /// entries were physically distributed across wheel levels, the run
+    /// stage, and the overlay heap at snapshot time. Tombstoned
+    /// (cancelled) entries are skipped; their token slots were already
+    /// retired into the free list, which is carried verbatim so
+    /// post-restore token allocation replays identically. Wheel telemetry
+    /// (`WheelStats`, high-water marks) is *not* part of the state: it
+    /// never influences pop order.
+    pub fn save_state(&self, w: &mut SnapWriter, mut save_msg: impl FnMut(&mut SnapWriter, &M)) {
+        w.seq(&self.tokens.gens, |w, &g| w.u64(g));
+        w.seq(&self.tokens.free, |w, &i| w.u32(i));
+        w.u64(self.next_seq);
+        w.u64(self.scheduled_total);
+        let mut entries: Vec<&Entry<M>> = Vec::with_capacity(self.live);
+        for e in &self.run {
+            if self.tokens.is_live(e.tok, e.tok_gen) {
+                entries.push(e);
+            }
+        }
+        for e in self.overlay.iter() {
+            if self.tokens.is_live(e.tok, e.tok_gen) {
+                entries.push(e);
+            }
+        }
+        for bucket in &self.slots {
+            for e in bucket {
+                if self.tokens.is_live(e.tok, e.tok_gen) {
+                    entries.push(e);
+                }
+            }
+        }
+        debug_assert_eq!(entries.len(), self.live, "live count drifted");
+        entries.sort_by_key(|e| (e.time, e.seq));
+        w.u64(entries.len() as u64);
+        for e in entries {
+            w.time(e.time);
+            w.u64(e.seq);
+            w.u32(e.tok);
+            w.u64(e.tok_gen);
+            w.usize(e.dst.as_usize());
+            save_msg(w, &e.msg);
+        }
+    }
+
+    /// Rebuild a queue from [`EventQueue::save_state`] bytes.
+    ///
+    /// Entries re-enter the wheel with their **original** sequence
+    /// numbers, so the (time, seq) total order — and therefore every
+    /// subsequent pop — is identical to the un-snapshotted queue's. The
+    /// physical wheel layout (current tick, level distribution) need not
+    /// match: it is an implementation detail the ordering contract hides.
+    pub fn load_state<'a>(
+        r: &mut SnapReader<'a>,
+        mut load_msg: impl FnMut(&mut SnapReader<'a>) -> Result<M, SnapError>,
+    ) -> Result<EventQueue<M>, SnapError> {
+        let gens = r.seq(|r| r.u64())?;
+        let free = r.seq(|r| r.u32())?;
+        for &idx in &free {
+            if idx as usize >= gens.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "token free-list index {idx} out of range ({} slots)",
+                    gens.len()
+                )));
+            }
+        }
+        let next_seq = r.u64()?;
+        let scheduled_total = r.u64()?;
+        let mut q = EventQueue::new();
+        q.tokens = TokenTable { gens, free };
+        q.next_seq = next_seq;
+        q.scheduled_total = scheduled_total;
+        let n = r.usize()?;
+        for _ in 0..n {
+            let time = r.time()?;
+            let seq = r.u64()?;
+            let tok = r.u32()?;
+            let tok_gen = r.u64()?;
+            let dst = ComponentId::from_raw(r.usize()?);
+            let msg = load_msg(r)?;
+            if seq >= next_seq {
+                return Err(SnapError::Corrupt(format!(
+                    "entry seq {seq} >= next_seq {next_seq}"
+                )));
+            }
+            if tok != NO_TOKEN
+                && (tok as usize >= q.tokens.gens.len() || q.tokens.gens[tok as usize] != tok_gen)
+            {
+                return Err(SnapError::Corrupt(format!(
+                    "entry token ({tok}, {tok_gen}) not live in restored table"
+                )));
+            }
+            q.live += 1;
+            q.insert(Entry {
+                time,
+                seq,
+                tok,
+                tok_gen,
+                dst,
+                msg,
+            });
+        }
+        Ok(q)
     }
 }
 

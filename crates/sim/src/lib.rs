@@ -48,10 +48,12 @@ pub mod event;
 pub mod jsonfmt;
 pub mod rate;
 pub mod rng;
+pub mod snap;
 pub mod time;
 
 pub use engine::{Component, ComponentId, Ctx, EngineError, Simulator};
 pub use event::{CancelToken, Event, EventQueue, HeapQueue, WheelStats};
 pub use rate::Bandwidth;
 pub use rng::RngFactory;
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

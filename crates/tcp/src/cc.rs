@@ -10,7 +10,7 @@
 //!
 //! All window quantities are in **bytes**.
 
-use ccsim_sim::{Bandwidth, SimDuration, SimTime};
+use ccsim_sim::{Bandwidth, SimDuration, SimTime, SnapError, SnapReader, SnapWriter};
 
 /// Per-ACK information handed to the congestion controller.
 ///
@@ -116,6 +116,19 @@ pub trait CongestionControl: std::any::Any {
     fn phase(&self) -> &'static str {
         "steady"
     }
+
+    /// Serialize the algorithm's mutable state for a checkpoint.
+    ///
+    /// Deliberately mandatory (no default body), like the AQM trait's
+    /// counterpart: a new algorithm that forgot to implement it would
+    /// silently break restore digests, and that class of bug is far
+    /// cheaper to catch at compile time.
+    fn save_state(&self, w: &mut SnapWriter);
+
+    /// Overlay checkpointed state written by
+    /// [`CongestionControl::save_state`] onto a freshly constructed
+    /// instance of the same algorithm with the same configuration.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
 /// Linux's default initial congestion window: 10 segments (RFC 6928).
@@ -156,6 +169,13 @@ impl CongestionControl for FixedWindow {
     fn on_enter_recovery(&mut self, _s: &AckSample) {}
     fn on_exit_recovery(&mut self, _s: &AckSample, _after_rto: bool) {}
     fn on_rto(&mut self, _s: &AckSample) {}
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.cwnd);
+    }
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cwnd = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! recoveries and RTOs. The harness derives the "CWND halving rate" from
 //! these and the packet counts.
 
-use ccsim_sim::SimTime;
+use ccsim_sim::{SimTime, SnapError, SnapReader, SnapWriter};
 use ccsim_trace::BoundedLog;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,35 @@ impl SenderStats {
     pub fn congestion_events(&self) -> u64 {
         self.fast_recoveries + self.rtos
     }
+
+    /// Serialize for a checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.data_pkts_sent);
+        w.u64(self.bytes_sent);
+        w.u64(self.retransmits);
+        w.u64(self.acks_received);
+        w.u64(self.fast_recoveries);
+        w.u64(self.rtos);
+        self.congestion_event_log.save_state(w, |w, t| w.time(*t));
+        w.u64(self.delivered_bytes);
+        w.u64(self.segments_marked_lost);
+        w.u64(self.ecn_reductions);
+    }
+
+    /// Overlay checkpointed state.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.data_pkts_sent = r.u64()?;
+        self.bytes_sent = r.u64()?;
+        self.retransmits = r.u64()?;
+        self.acks_received = r.u64()?;
+        self.fast_recoveries = r.u64()?;
+        self.rtos = r.u64()?;
+        self.congestion_event_log.load_state(r, |r| r.time())?;
+        self.delivered_bytes = r.u64()?;
+        self.segments_marked_lost = r.u64()?;
+        self.ecn_reductions = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Receiver-side counters.
@@ -69,6 +98,35 @@ pub struct ReceiverStats {
     pub ce_pkts_received: u64,
     /// ACKs emitted with the ECE echo set.
     pub ece_acks_sent: u64,
+}
+
+impl ReceiverStats {
+    /// Serialize for a checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.data_pkts_received);
+        w.u64(self.bytes_received);
+        w.u64(self.ooo_pkts);
+        w.u64(self.duplicate_pkts);
+        w.u64(self.retransmits_received);
+        w.u64(self.acks_sent);
+        w.u64(self.sack_acks_sent);
+        w.u64(self.ce_pkts_received);
+        w.u64(self.ece_acks_sent);
+    }
+
+    /// Overlay checkpointed state.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.data_pkts_received = r.u64()?;
+        self.bytes_received = r.u64()?;
+        self.ooo_pkts = r.u64()?;
+        self.duplicate_pkts = r.u64()?;
+        self.retransmits_received = r.u64()?;
+        self.acks_sent = r.u64()?;
+        self.sack_acks_sent = r.u64()?;
+        self.ce_pkts_received = r.u64()?;
+        self.ece_acks_sent = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@
 use crate::endpoint_stats::ReceiverStats;
 use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::{FlowId, Packet, SackBlock, SackBlocks};
-use ccsim_sim::{CancelToken, Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_sim::{
+    CancelToken, Component, ComponentId, Ctx, SimDuration, SimTime, SnapError, SnapReader,
+    SnapWriter,
+};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Linux's delayed-ACK timeout floor (`TCP_DELACK_MIN`).
@@ -113,6 +116,72 @@ impl Receiver {
     /// The flow this receiver serves.
     pub fn flow(&self) -> FlowId {
         self.flow
+    }
+
+    /// Serialize the receiver's mutable state for a checkpoint (`flow`,
+    /// `sender`, `ack_delay`, `mss`, and `ack_first_hop` are wiring
+    /// configuration). The OOO map iterates in key order, a canonical
+    /// encoding; the recency list is genuine state and written verbatim.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.rcv_nxt);
+        w.usize(self.ooo.len());
+        for (&s, &e) in &self.ooo {
+            w.u64(s);
+            w.u64(e);
+        }
+        w.usize(self.recent_ranges.len());
+        for &s in &self.recent_ranges {
+            w.u64(s);
+        }
+        w.u32(self.unacked_segments);
+        self.delack_timer.save_state(w);
+        w.u64(self.delack_generation);
+        w.bool(self.ece_pending);
+        self.stats.save_state(w);
+    }
+
+    /// Overlay checkpointed state onto a receiver freshly built from the
+    /// same scenario.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rcv_nxt = r.u64()?;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(SnapError::Truncated {
+                needed: n,
+                remaining: r.remaining(),
+            });
+        }
+        let mut ooo = BTreeMap::new();
+        let mut prev_end = 0u64;
+        for _ in 0..n {
+            let s = r.u64()?;
+            let e = r.u64()?;
+            if e <= s || s < prev_end {
+                return Err(SnapError::Corrupt(format!(
+                    "receiver OOO range [{s}, {e}) invalid after end {prev_end}"
+                )));
+            }
+            prev_end = e;
+            ooo.insert(s, e);
+        }
+        self.ooo = ooo;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(SnapError::Truncated {
+                needed: n,
+                remaining: r.remaining(),
+            });
+        }
+        let mut recent = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            recent.push_back(r.u64()?);
+        }
+        self.recent_ranges = recent;
+        self.unacked_segments = r.u32()?;
+        self.delack_timer = CancelToken::load_state(r)?;
+        self.delack_generation = r.u64()?;
+        self.ece_pending = r.bool()?;
+        self.stats.load_state(r)
     }
 
     fn insert_ooo(&mut self, seq: u64, end: u64) {

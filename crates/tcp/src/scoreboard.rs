@@ -11,7 +11,7 @@
 
 use crate::rate::TxRecord;
 use ccsim_net::packet::SackBlocks;
-use ccsim_sim::{SimDuration, SimTime};
+use ccsim_sim::{SimDuration, SimTime, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// One outstanding segment.
@@ -35,6 +35,35 @@ impl Segment {
     #[inline]
     fn len(&self) -> u64 {
         self.end - self.seq
+    }
+
+    /// Serialize for a checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.seq);
+        w.u64(self.end);
+        self.tx.save_state(w);
+        w.bool(self.sacked);
+        w.bool(self.lost);
+        w.bool(self.retransmitted);
+    }
+
+    /// Deserialize a segment written by [`Segment::save_state`].
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Segment, SnapError> {
+        let seq = r.u64()?;
+        let end = r.u64()?;
+        if end <= seq {
+            return Err(SnapError::Corrupt(format!(
+                "segment range [{seq}, {end}) is empty or inverted"
+            )));
+        }
+        Ok(Segment {
+            seq,
+            end,
+            tx: TxRecord::load_state(r)?,
+            sacked: r.bool()?,
+            lost: r.bool()?,
+            retransmitted: r.bool()?,
+        })
     }
 }
 
@@ -142,6 +171,63 @@ impl Scoreboard {
     /// per-flow cost at scale; feeds the profiler's `tcp/senders` account.
     pub fn memory_bytes(&self) -> u64 {
         (std::mem::size_of::<Self>() + self.segs.capacity() * std::mem::size_of::<Segment>()) as u64
+    }
+
+    /// Serialize the full scoreboard state for a checkpoint (`mss` and
+    /// `dupthresh` are configuration). Segments are written in deque
+    /// order, which is sequence order by construction.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.segs.len());
+        for seg in &self.segs {
+            seg.save_state(w);
+        }
+        w.u64(self.snd_una);
+        w.u64(self.snd_nxt);
+        w.u64(self.sacked_bytes);
+        w.u32(self.sacked_segs);
+        w.u64(self.lost_bytes);
+        w.u64(self.high_sacked);
+        w.time(self.delivered_latest_sent);
+    }
+
+    /// Overlay checkpointed state onto a scoreboard built with the same
+    /// configuration.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(SnapError::Truncated {
+                needed: n,
+                remaining: r.remaining(),
+            });
+        }
+        let mut segs = VecDeque::with_capacity(n);
+        let mut prev_end = 0u64;
+        for _ in 0..n {
+            let seg = Segment::load_state(r)?;
+            if seg.seq < prev_end {
+                return Err(SnapError::Corrupt(format!(
+                    "scoreboard segments out of order: {} after end {}",
+                    seg.seq, prev_end
+                )));
+            }
+            prev_end = seg.end;
+            segs.push_back(seg);
+        }
+        self.segs = segs;
+        self.snd_una = r.u64()?;
+        self.snd_nxt = r.u64()?;
+        self.sacked_bytes = r.u64()?;
+        self.sacked_segs = r.u32()?;
+        self.lost_bytes = r.u64()?;
+        self.high_sacked = r.u64()?;
+        self.delivered_latest_sent = r.time()?;
+        if self.snd_una > self.snd_nxt {
+            return Err(SnapError::Corrupt(format!(
+                "snd_una {} beyond snd_nxt {}",
+                self.snd_una, self.snd_nxt
+            )));
+        }
+        Ok(())
     }
 
     /// Record transmission of new data `[snd_nxt, snd_nxt + len)`.

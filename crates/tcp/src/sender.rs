@@ -30,7 +30,10 @@ use crate::rtt::RttEstimator;
 use crate::scoreboard::Scoreboard;
 use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::{FlowId, Packet};
-use ccsim_sim::{CancelToken, Component, ComponentId, Ctx, SimDuration, SimTime};
+use ccsim_sim::{
+    CancelToken, Component, ComponentId, Ctx, SimDuration, SimTime, SnapError, SnapReader,
+    SnapWriter,
+};
 use ccsim_telemetry::Counter;
 use ccsim_trace::{BoundedLog, CongestionKind, FlowRecorder};
 use std::sync::Arc;
@@ -274,6 +277,106 @@ impl Sender {
     /// The flow this sender drives.
     pub fn flow(&self) -> FlowId {
         self.cfg.flow
+    }
+
+    /// Serialize the sender's full mutable state for a checkpoint.
+    ///
+    /// `cfg` and `metrics` are configuration/harness attachments, rebuilt
+    /// at restore; the CCA serializes last (through the mandatory trait
+    /// methods), so a restore rebuilds the same algorithm from the
+    /// scenario and overlays its state in place.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u8(match self.state {
+            CaState::Open => 0,
+            CaState::Recovery => 1,
+            CaState::Loss => 2,
+        });
+        w.u64(self.recovery_point);
+        w.u64(self.prr_delivered);
+        w.u64(self.prr_out);
+        w.u64(self.prr_recover_fs);
+        w.u64(self.prr_ssthresh);
+        w.u64(self.last_newly_acked);
+        w.bool(self.force_rtx);
+        w.time(self.pacing_next);
+        w.bool(self.pace_pending);
+        self.rto_timer.save_state(w);
+        w.u64(self.rto_gen);
+        w.bool(self.started);
+        w.u64(self.ecn_reduce_until);
+        w.bool(self.ecn_cwr_pending);
+        self.board.save_state(w);
+        self.rtt.save_state(w);
+        self.rate.save_state(w);
+        self.stats.save_state(w);
+        w.opt(self.cwnd_trace.as_ref(), |w, log| {
+            log.save_state(w, |w, &(t, c)| {
+                w.time(t);
+                w.u64(c);
+            });
+        });
+        w.opt(self.recorder.as_ref(), |w, rec| rec.save_state(w));
+        self.cca.save_state(w);
+    }
+
+    /// Overlay checkpointed state onto a sender freshly built from the
+    /// same scenario (same config, CCA kind, and trace attachments).
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.state = match r.u8()? {
+            0 => CaState::Open,
+            1 => CaState::Recovery,
+            2 => CaState::Loss,
+            t => return Err(SnapError::Corrupt(format!("sender CA-state tag {t}"))),
+        };
+        self.recovery_point = r.u64()?;
+        self.prr_delivered = r.u64()?;
+        self.prr_out = r.u64()?;
+        self.prr_recover_fs = r.u64()?;
+        self.prr_ssthresh = r.u64()?;
+        self.last_newly_acked = r.u64()?;
+        self.force_rtx = r.bool()?;
+        self.pacing_next = r.time()?;
+        self.pace_pending = r.bool()?;
+        self.rto_timer = CancelToken::load_state(r)?;
+        self.rto_gen = r.u64()?;
+        self.started = r.bool()?;
+        self.ecn_reduce_until = r.u64()?;
+        self.ecn_cwr_pending = r.bool()?;
+        self.board.load_state(r)?;
+        self.rtt.load_state(r)?;
+        self.rate.load_state(r)?;
+        self.stats.load_state(r)?;
+        let saved_trace = r.opt(|_| Ok(()))?;
+        match (&mut self.cwnd_trace, saved_trace) {
+            (Some(log), Some(())) => {
+                log.load_state(r, |r| {
+                    let t = r.time()?;
+                    let c = r.u64()?;
+                    Ok((t, c))
+                })?;
+            }
+            (None, None) => {}
+            (have, saved) => {
+                return Err(SnapError::Corrupt(format!(
+                    "cwnd-trace presence mismatch: built {}, snapshot {}",
+                    have.is_some(),
+                    saved.is_some()
+                )));
+            }
+        }
+        let saved_recorder = r.opt(|_| Ok(()))?;
+        match (&mut self.recorder, saved_recorder) {
+            (Some(rec), Some(())) => rec.load_state(r)?,
+            (None, None) => {}
+            (have, saved) => {
+                return Err(SnapError::Corrupt(format!(
+                    "flight-recorder presence mismatch: built {}, snapshot {}",
+                    have.is_some(),
+                    saved.is_some()
+                )));
+            }
+        }
+        self.cca.load_state(r)
     }
 
     /// One-line internal-state dump for diagnostics.

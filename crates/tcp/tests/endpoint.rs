@@ -59,6 +59,18 @@ impl CongestionControl for MiniAimd {
         self.ssthresh = (self.cwnd / 2).max(2 * MSS as u64);
         self.cwnd = MSS as u64;
     }
+    fn save_state(&self, w: &mut ccsim_sim::SnapWriter) {
+        w.u64(self.cwnd);
+        w.u64(self.ssthresh);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut ccsim_sim::SnapReader<'_>,
+    ) -> Result<(), ccsim_sim::SnapError> {
+        self.cwnd = r.u64()?;
+        self.ssthresh = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Wire one flow: sender -> link -> receiver; ACKs return after `rtt`.
@@ -291,6 +303,16 @@ impl CongestionControl for PacedWindow {
     fn on_enter_recovery(&mut self, _s: &AckSample) {}
     fn on_exit_recovery(&mut self, _s: &AckSample, _after_rto: bool) {}
     fn on_rto(&mut self, _s: &AckSample) {}
+    fn save_state(&self, w: &mut ccsim_sim::SnapWriter) {
+        w.u64(self.cwnd);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut ccsim_sim::SnapReader<'_>,
+    ) -> Result<(), ccsim_sim::SnapError> {
+        self.cwnd = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Forwards packets to their destination after a fixed one-way delay,

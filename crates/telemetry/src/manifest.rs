@@ -97,6 +97,10 @@ pub struct RunManifest {
     pub metric_series: u64,
     /// Whether the convergence rule stopped the run early.
     pub converged: bool,
+    /// Encoded size of the checkpoint this run captured, bytes. Zero (and
+    /// absent from the JSON) for runs that took no checkpoint, so legacy
+    /// manifests re-serialize byte-identically.
+    pub checkpoint_bytes: u64,
     /// Engine events by classified kind (`data`/`ack`/`timer`), in
     /// classifier order. Empty for unobserved or legacy runs; the key is
     /// then absent from the JSON so old manifests re-serialize
@@ -293,6 +297,12 @@ impl RunManifest {
         s.push_str(&format!("  \"converged\": {}", self.converged));
         // Structured sections go last, each absent when empty so legacy
         // manifests (and their ledger lines) re-serialize byte-identically.
+        if self.checkpoint_bytes > 0 {
+            s.push_str(&format!(
+                ",\n  \"checkpoint_bytes\": {}",
+                self.checkpoint_bytes
+            ));
+        }
         if !self.events_by_kind.is_empty() {
             s.push_str(",\n  \"events_by_kind\": {");
             for (i, (kind, count)) in self.events_by_kind.iter().enumerate() {
@@ -392,6 +402,7 @@ impl RunManifest {
             metric_bytes: field_u64(json, "metric_bytes")?,
             metric_series: field_u64(json, "metric_series")?,
             converged: field_bool(json, "converged")?,
+            checkpoint_bytes: field_u64(json, "checkpoint_bytes").unwrap_or(0),
             events_by_kind,
             bottlenecks,
             profile,
@@ -475,6 +486,7 @@ mod tests {
             metric_bytes: 4096,
             metric_series: 23,
             converged: true,
+            checkpoint_bytes: 0,
             events_by_kind: Vec::new(),
             bottlenecks: Vec::new(),
             profile: None,

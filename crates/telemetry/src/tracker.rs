@@ -7,7 +7,7 @@
 //! by less than 1% over a window* (§3.2; 20 minutes in the paper,
 //! configurable here because the harness scales time).
 
-use ccsim_sim::SimTime;
+use ccsim_sim::{SimTime, SnapError, SnapReader, SnapWriter};
 
 /// Snapshots of cumulative per-flow delivered bytes.
 #[derive(Debug, Clone, Default)]
@@ -36,6 +36,30 @@ impl ThroughputTracker {
         }
         self.times.push(time);
         self.snapshots.push(per_flow_delivered);
+    }
+
+    /// Serialize the recorded snapshots for a checkpoint.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.seq(&self.times, |w, &t| w.time(t));
+        w.seq(&self.snapshots, |w, snap| {
+            w.seq(snap, |w, &v| w.u64(v));
+        });
+    }
+
+    /// Overlay checkpointed state, replacing any recorded snapshots.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let times = r.seq(|r| r.time())?;
+        let snapshots = r.seq(|r| r.seq(|r| r.u64()))?;
+        if times.len() != snapshots.len() {
+            return Err(SnapError::Corrupt(format!(
+                "tracker has {} times but {} snapshots",
+                times.len(),
+                snapshots.len()
+            )));
+        }
+        self.times = times;
+        self.snapshots = snapshots;
+        Ok(())
     }
 
     /// Number of snapshots.

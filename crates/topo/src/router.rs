@@ -18,7 +18,7 @@
 //! [`NextHop::Fixed`]: ccsim_net::NextHop::Fixed
 
 use ccsim_net::Msg;
-use ccsim_sim::{Component, ComponentId, Ctx, SimTime};
+use ccsim_sim::{Component, ComponentId, Ctx, SimTime, SnapError, SnapReader, SnapWriter};
 
 /// A zero-delay per-flow packet forwarder.
 #[derive(Debug)]
@@ -47,6 +47,18 @@ impl Router {
     /// The route table (for diagnostics/tests).
     pub fn routes(&self) -> &[Option<ComponentId>] {
         &self.routes
+    }
+
+    /// Serialize mutable state for a checkpoint (the route table is
+    /// configuration, recomputed at instantiation).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.forwarded_pkts);
+    }
+
+    /// Overlay checkpointed state.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.forwarded_pkts = r.u64()?;
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 //! respect the capacity.
 
 use crate::event::{TraceRecord, RECORD_BYTES};
+use ccsim_sim::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -160,6 +161,43 @@ impl SampleRing {
         v.sort_by_key(|r| r.sort_key());
         v
     }
+
+    /// Serialize runtime state for a checkpoint. Capacity and policy are
+    /// configuration (rebuilt from the scenario); the buffer is written in
+    /// insertion order — reservoir replacement indexes positions, so the
+    /// order itself is state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.usize(self.buf.len());
+        for rec in &self.buf {
+            rec.save_state(w);
+        }
+        w.u64(self.seen);
+        w.u64(self.evicted);
+        w.u64(self.thinned);
+        w.u64(self.rng);
+    }
+
+    /// Overlay checkpointed state onto a ring freshly built with the same
+    /// policy/budget/seed configuration.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n > self.cap {
+            return Err(SnapError::Corrupt(format!(
+                "ring holds {n} records but capacity is {}",
+                self.cap
+            )));
+        }
+        let mut buf = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            buf.push_back(TraceRecord::load_state(r)?);
+        }
+        self.buf = buf;
+        self.seen = r.u64()?;
+        self.evicted = r.u64()?;
+        self.thinned = r.u64()?;
+        self.rng = r.u64()?;
+        Ok(())
+    }
 }
 
 /// A generic drop-oldest bounded log — the replacement for the unbounded
@@ -237,6 +275,38 @@ impl<T> BoundedLog<T> {
     /// Approximate heap footprint (allocated buffer + struct).
     pub fn memory_bytes(&self) -> u64 {
         (std::mem::size_of::<Self>() + self.buf.capacity() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Serialize runtime state for a checkpoint; `save_entry` encodes one
+    /// retained entry. Capacity is configuration and not written.
+    pub fn save_state(&self, w: &mut SnapWriter, mut save_entry: impl FnMut(&mut SnapWriter, &T)) {
+        w.usize(self.buf.len());
+        for entry in &self.buf {
+            save_entry(w, entry);
+        }
+        w.u64(self.evicted);
+    }
+
+    /// Overlay checkpointed state onto a log built with the same capacity.
+    pub fn load_state<'a>(
+        &mut self,
+        r: &mut SnapReader<'a>,
+        mut load_entry: impl FnMut(&mut SnapReader<'a>) -> Result<T, SnapError>,
+    ) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        if n > self.cap {
+            return Err(SnapError::Corrupt(format!(
+                "log holds {n} entries but capacity is {}",
+                self.cap
+            )));
+        }
+        let mut buf = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            buf.push_back(load_entry(r)?);
+        }
+        self.buf = buf;
+        self.evicted = r.u64()?;
+        Ok(())
     }
 }
 

@@ -14,6 +14,7 @@
 //!             [--sync-bin <ms>]
 //! ccsim perf  <run flags> [--folded <path>] [--stride <events>]
 //! ccsim replay <bundle-dir> [--json] [--quiet]
+//! ccsim bisect <a.json> <b.json> [--out <dir>]
 //! ccsim campaign run <spec.json> [--workers N] [--ledger <path>] ...
 //! ccsim campaign report <ledger.jsonl> [--out <path>] [--html]
 //! ccsim campaign diff <baseline.jsonl> <current.jsonl> [--skip-eps]
@@ -52,6 +53,16 @@
 //! `replay` loads a crash bundle and re-runs its exact scenario (same
 //! seed, same fault plan), reporting whether the failure reproduces.
 //!
+//! Checkpoint/restore (`run` and `perf`): `--checkpoint-at <s>` captures
+//! a versioned, digest-stamped snapshot of the full engine state at the
+//! first snapshot-slice boundary at or after `<s>` simulated seconds and
+//! writes it to `--checkpoint-out` (default `ccsim.ckpt`); the run then
+//! continues to its normal end. `ccsim run --resume-from <ckpt>`
+//! restores the snapshot (scenario included — no other flags needed) and
+//! runs to the horizon, producing an outcome byte-identical to the
+//! uninterrupted run. `ccsim bisect a.json b.json` binary-searches two
+//! scenarios' checkpoint slices for the first divergent slice.
+//!
 //! `campaign` drives whole parameter sweeps: `run` expands a JSON spec
 //! (scenario template × axes × seeds) onto a worker pool and appends
 //! every result to a JSONL ledger, `report` renders a ledger as a
@@ -76,8 +87,8 @@
 
 use ccsim::cca::CcaKind;
 use ccsim::experiments::{
-    run_guarded_with_progress, run_with_progress, try_run_observed_with, CrashBundle, Fidelity,
-    FlowGroup, GuardOptions, ObserveOptions, RunOutcome, Scenario,
+    run_guarded_with_progress, run_with_progress, CrashBundle, Fidelity, FlowGroup, GuardOptions,
+    ObserveOptions, RunOutcome, Scenario,
 };
 use ccsim::fault::{FaultPlan, WatchdogConfig};
 use ccsim::net::AqmKind;
@@ -93,12 +104,14 @@ const USAGE: &str = "usage: ccsim run [--setting edge|core] [--bw <mbps>] \
     [--aqm droptail|red|codel|pie] [--ecn] \
     [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] \
     [--fidelity quick|standard|paper] [--json] [--metrics <path>] [--quiet] \
-    [--fault <spec> ...] [--watchdog] [--crash-dir <dir>] [--force-panic <s>]\n\
+    [--fault <spec> ...] [--watchdog] [--crash-dir <dir>] [--force-panic <s>] \
+    [--checkpoint-at <s>] [--checkpoint-out <path>] [--resume-from <ckpt>]\n\
     \x20      ccsim trace <run flags> [--out <prefix>] \
     [--format jsonl|bin|both] [--policy keepall|decimate:N|reservoir:K] \
     [--trace-budget <bytes>] [--queue-every <n>] [--sync-bin <ms>]\n\
     \x20      ccsim perf <run flags> [--folded <path>] [--stride <events>]\n\
     \x20      ccsim replay <bundle-dir> [--json] [--quiet]\n\
+    \x20      ccsim bisect <a.json> <b.json> [--out <dir>]\n\
     \x20      ccsim campaign run|report|diff ... (ccsim campaign --help)\n\
     ccas: reno, cubic, bbr, vegas\n\
     fault specs: blackout:<at_s>:<dur_s>  bw:<at_s>:<mbps>  delay:<at_s>:<ms>\n\
@@ -215,6 +228,9 @@ struct Cli {
     force_panic: Option<SimTime>,
     folded_out: Option<String>,
     stride: u64,
+    checkpoint_at: Option<SimTime>,
+    checkpoint_out: PathBuf,
+    resume_from: Option<PathBuf>,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -246,6 +262,9 @@ fn parse_cli(args: &[String]) -> Cli {
     let mut force_panic = None;
     let mut folded_out = None;
     let mut stride = ccsim::prof::DEFAULT_STRIDE;
+    let mut checkpoint_at = None;
+    let mut checkpoint_out = PathBuf::from("ccsim.ckpt");
+    let mut resume_from = None;
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> &String {
@@ -319,6 +338,14 @@ fn parse_cli(args: &[String]) -> Cli {
                     .unwrap_or_else(|_| usage("bad --force-panic"));
                 force_panic = Some(SimTime::from_secs_f64(secs));
             }
+            "--checkpoint-at" => {
+                let secs: f64 = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --checkpoint-at"));
+                checkpoint_at = Some(SimTime::from_secs_f64(secs));
+            }
+            "--checkpoint-out" => checkpoint_out = PathBuf::from(take(&mut i)),
+            "--resume-from" => resume_from = Some(PathBuf::from(take(&mut i))),
             "--fidelity" => {
                 fidelity = Some(match take(&mut i).as_str() {
                     "quick" => Fidelity::Quick,
@@ -383,31 +410,49 @@ fn parse_cli(args: &[String]) -> Cli {
         }
         i += 1;
     }
-    if flows.is_empty() {
-        usage("at least one --flows group required");
-    }
-    scenario = scenario.flows(flows);
-    if let Some(f) = fidelity {
-        scenario = scenario.fidelity(f);
-    }
-    if tracing {
-        scenario = scenario.traced(trace_cfg);
-    }
-    if scenario.warmup < scenario.start_jitter {
-        scenario.start_jitter = scenario.warmup;
-    }
-    scenario = scenario.faulted(fault);
-    if watchdog {
-        scenario = scenario.watched(WatchdogConfig::every_slice());
-    }
-    if let Err(e) = scenario.validate() {
-        usage(&format!("invalid scenario: {e}"));
+    if resume_from.is_some() {
+        // The checkpoint carries its own scenario; re-specifying one (or
+        // mixing in other run modes) would silently be ignored.
+        if !flows.is_empty() || tracing || perf {
+            usage("--resume-from runs the checkpoint's own scenario (plain run only; no --flows)");
+        }
+        if metrics_out.is_some()
+            || crash_dir.is_some()
+            || force_panic.is_some()
+            || checkpoint_at.is_some()
+        {
+            usage("--resume-from cannot be combined with --metrics/--crash-dir/--force-panic/--checkpoint-at");
+        }
+    } else {
+        if flows.is_empty() {
+            usage("at least one --flows group required");
+        }
+        scenario = scenario.flows(flows);
+        if let Some(f) = fidelity {
+            scenario = scenario.fidelity(f);
+        }
+        if tracing {
+            scenario = scenario.traced(trace_cfg);
+        }
+        if scenario.warmup < scenario.start_jitter {
+            scenario.start_jitter = scenario.warmup;
+        }
+        scenario = scenario.faulted(fault);
+        if watchdog {
+            scenario = scenario.watched(WatchdogConfig::every_slice());
+        }
+        if let Err(e) = scenario.validate() {
+            usage(&format!("invalid scenario: {e}"));
+        }
     }
     if metrics_out.is_some() && (crash_dir.is_some() || force_panic.is_some()) {
         usage("--metrics cannot be combined with --crash-dir/--force-panic");
     }
     if perf && (crash_dir.is_some() || force_panic.is_some()) {
         usage("perf cannot be combined with --crash-dir/--force-panic");
+    }
+    if checkpoint_at.is_some() && (tracing || crash_dir.is_some() || force_panic.is_some()) {
+        usage("--checkpoint-at works with run and perf only (not trace/--crash-dir/--force-panic)");
     }
     Cli {
         tracing,
@@ -423,12 +468,17 @@ fn parse_cli(args: &[String]) -> Cli {
         force_panic,
         folded_out,
         stride,
+        checkpoint_at,
+        checkpoint_out,
+        resume_from,
     }
 }
 
 const CAMPAIGN_USAGE: &str = "usage: ccsim campaign run <spec.json> [--workers N] \
     [--ledger <path>] [--report <path>] [--html] [--crash-dir <dir>] \
-    [--bench <path>] [--profile] [--quiet]\n\
+    [--bench <path>] [--profile] [--quiet] [--resume <ledger>] \
+    [--job-budget <s>] [--heartbeat-timeout <s>] [--retries N] \
+    [--backoff <ms>] [--force-panic-job <substr>] [--force-hang-job <substr>]\n\
     \x20      ccsim campaign report <ledger.jsonl> [--out <path>] [--html]\n\
     \x20      ccsim campaign diff <baseline.jsonl> <current.jsonl> \
     [--eps-tol <frac>] [--skip-eps]";
@@ -457,7 +507,19 @@ fn campaign_help() -> ! {
          (determinism break), paper-metric drift beyond the baseline's\n\
          stored tolerances, or an events/sec regression beyond --eps-tol\n\
          (default from the baseline header, 10%). --skip-eps disables the\n\
-         throughput gate for cross-machine comparisons."
+         throughput gate for cross-machine comparisons.\n\
+         Supervision: --job-budget caps each attempt's wall-clock seconds;\n\
+         --heartbeat-timeout declares an attempt hung after that many\n\
+         seconds without a progress heartbeat; failed attempts retry up to\n\
+         --retries times (linear --backoff ms between attempts) before the\n\
+         job is quarantined. The campaign always runs to completion and\n\
+         reports quarantined jobs at the end.\n\
+         --resume <ledger> reloads a prior (possibly killed) campaign's\n\
+         ledger, truncates a torn final line, skips every job whose config\n\
+         digest already has a successful entry, and appends the rest to\n\
+         the same file. --force-panic-job/--force-hang-job are testing\n\
+         hooks: jobs whose name contains the substring panic or hang at\n\
+         their first progress report."
     );
     std::process::exit(0);
 }
@@ -475,14 +537,19 @@ fn load_ledger(path: &str) -> ccsim::campaign::Ledger {
 
 /// The `campaign run` subcommand.
 fn campaign_run(args: &[String]) -> ! {
-    use ccsim::campaign::{run_campaign, CampaignSpec, ExecutorOptions, LedgerEntry, LedgerWriter};
+    use ccsim::campaign::{
+        run_campaign_supervised, CampaignSpec, ExecutorOptions, Ledger, LedgerEntry, LedgerWriter,
+        SupervisorOptions,
+    };
     use ccsim::telemetry::CampaignProgress;
 
     let mut spec_path = None;
     let mut opts = ExecutorOptions::default();
+    let mut sup = SupervisorOptions::default();
     let mut ledger_path = None;
     let mut report_path = None;
     let mut bench_path = None;
+    let mut resume_path: Option<String> = None;
     let mut html = false;
     let mut quiet = false;
     let mut i = 0;
@@ -503,6 +570,32 @@ fn campaign_run(args: &[String]) -> ! {
             "--bench" => bench_path = Some(take(&mut i).clone()),
             "--crash-dir" => opts.crash_dir = Some(PathBuf::from(take(&mut i))),
             "--profile" => opts.profile = true,
+            "--resume" => resume_path = Some(take(&mut i).clone()),
+            "--job-budget" => {
+                let secs: f64 = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| campaign_usage("bad --job-budget"));
+                sup.job_budget = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--heartbeat-timeout" => {
+                let secs: f64 = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| campaign_usage("bad --heartbeat-timeout"));
+                sup.heartbeat_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                sup.max_retries = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| campaign_usage("bad --retries"));
+            }
+            "--backoff" => {
+                let ms: u64 = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| campaign_usage("bad --backoff"));
+                sup.backoff = std::time::Duration::from_millis(ms);
+            }
+            "--force-panic-job" => sup.force_panic_jobs = Some(take(&mut i).clone()),
+            "--force-hang-job" => sup.force_hang_jobs = Some(take(&mut i).clone()),
             "--html" => html = true,
             "--quiet" => quiet = true,
             other if spec_path.is_none() && !other.starts_with('-') => {
@@ -513,21 +606,60 @@ fn campaign_run(args: &[String]) -> ! {
         i += 1;
     }
     let spec_path = spec_path.unwrap_or_else(|| campaign_usage("campaign run needs a spec file"));
+    if resume_path.is_some() && ledger_path.is_some() {
+        campaign_usage("--resume appends to the given ledger; --ledger would name a second one");
+    }
     let text = std::fs::read_to_string(&spec_path)
         .unwrap_or_else(|e| fail(format!("cannot read spec {spec_path}: {e}")));
     let spec = CampaignSpec::from_json(&text)
         .unwrap_or_else(|e| fail(format!("bad campaign spec {spec_path}: {e}")));
-    let jobs = spec
+    let mut jobs = spec
         .jobs()
         .unwrap_or_else(|e| fail(format!("cannot expand campaign: {e}")));
-    let ledger_path = ledger_path.unwrap_or_else(|| format!("{}.ledger.jsonl", spec.name));
-    let writer = LedgerWriter::create(
-        Path::new(&ledger_path),
-        &spec.name,
-        &spec.tolerances,
-        &spec.expectations,
-    )
-    .unwrap_or_else(|e| fail(format!("cannot create ledger {ledger_path}: {e}")));
+    let total_jobs = jobs.len();
+    let (ledger_path, writer) = match &resume_path {
+        Some(path) => {
+            // Skip every job whose config digest already has a successful
+            // entry, then append the remainder to the same file (torn
+            // final line truncated first).
+            let prior = Ledger::load(Path::new(path))
+                .unwrap_or_else(|e| fail(format!("cannot load resume ledger {path}: {e}")));
+            if prior.campaign != spec.name {
+                fail(format!(
+                    "resume ledger {path} is for campaign \"{}\", spec is \"{}\"",
+                    prior.campaign, spec.name
+                ));
+            }
+            let done = prior.completed_digests();
+            jobs.retain(|j| {
+                let digest = format!(
+                    "{:016x}",
+                    ccsim::experiments::observe::scenario_digest(&j.scenario)
+                );
+                !done.contains(&digest)
+            });
+            eprintln!(
+                "resuming campaign {}: {} of {total_jobs} jobs already complete, {} to run",
+                spec.name,
+                total_jobs - jobs.len(),
+                jobs.len()
+            );
+            let writer = LedgerWriter::resume(Path::new(path))
+                .unwrap_or_else(|e| fail(format!("cannot reopen ledger {path}: {e}")));
+            (path.clone(), writer)
+        }
+        None => {
+            let path = ledger_path.unwrap_or_else(|| format!("{}.ledger.jsonl", spec.name));
+            let writer = LedgerWriter::create(
+                Path::new(&path),
+                &spec.name,
+                &spec.tolerances,
+                &spec.expectations,
+            )
+            .unwrap_or_else(|e| fail(format!("cannot create ledger {path}: {e}")));
+            (path, writer)
+        }
+    };
 
     eprintln!(
         "campaign {}: {} jobs on {} workers -> {ledger_path}",
@@ -539,7 +671,7 @@ fn campaign_run(args: &[String]) -> ! {
     // The ledger is appended in completion order from worker threads; a
     // write failure is recorded and reported once at the end.
     let sink = std::sync::Mutex::new((writer, None::<std::io::Error>));
-    let results = run_campaign(jobs, &opts, |r| {
+    let results = run_campaign_supervised(jobs, &opts, &sup, |r| {
         let entry = LedgerEntry::from_result(r);
         let mut sink = sink.lock().unwrap();
         if sink.1.is_none() {
@@ -561,8 +693,15 @@ fn campaign_run(args: &[String]) -> ! {
     let failed: Vec<_> = results.iter().filter(|r| r.run.is_err()).collect();
     for r in &failed {
         eprintln!(
-            "FAILED {}: {}{}",
+            "{} {} after {} attempt{}: {}{}",
+            if r.quarantined {
+                "QUARANTINED"
+            } else {
+                "FAILED"
+            },
             r.job.name,
+            r.attempts,
+            if r.attempts == 1 { "" } else { "s" },
             r.run.as_ref().err().unwrap(),
             r.crash_bundle
                 .as_ref()
@@ -703,6 +842,136 @@ fn campaign(args: &[String]) -> ! {
     }
 }
 
+/// The `run --resume-from` path: restore a checkpoint, run it out.
+fn resume_run(cli: &Cli, path: &Path) -> ! {
+    use ccsim::experiments::{scenario_from_checkpoint, try_resume_run_with_progress, Checkpoint};
+    let cp = Checkpoint::read_file(path)
+        .unwrap_or_else(|e| fail(format!("cannot load checkpoint {}: {e}", path.display())));
+    let scenario = scenario_from_checkpoint(&cp)
+        .unwrap_or_else(|e| fail(format!("bad checkpoint {}: {e}", path.display())));
+    eprintln!(
+        "resuming {} at t={} ({} snapshot bytes, state digest {:016x})...",
+        scenario.name,
+        SimTime::from_nanos(cp.taken_at_nanos),
+        cp.encoded_len(),
+        cp.state_digest(),
+    );
+    let mut progress = (!cli.quiet).then(|| RunProgress::new("resume"));
+    let outcome = try_resume_run_with_progress(&cp, |p| {
+        if let Some(prog) = &mut progress {
+            prog.update(p.fraction, p.events_processed);
+        }
+    })
+    .unwrap_or_else(|e| fail(format!("resume failed: {e}")));
+    if let Some(prog) = &mut progress {
+        prog.finish(outcome.events_processed);
+    }
+    if cli.json {
+        println!("{}", outcome.to_json());
+    } else {
+        print_human(&outcome);
+    }
+    eprintln!("outcome digest  : {:016x}", outcome.digest());
+    std::process::exit(0);
+}
+
+/// Report a captured checkpoint (or its absence) after a
+/// `--checkpoint-at` run.
+fn write_checkpoint(cp: &Option<ccsim::experiments::Checkpoint>, out: &Path, requested: SimTime) {
+    match cp {
+        Some(cp) => {
+            cp.write_file(out).unwrap_or_else(|e| {
+                fail(format!("cannot write checkpoint {}: {e}", out.display()))
+            });
+            eprintln!(
+                "wrote {} ({} bytes, t={}, state digest {:016x})",
+                out.display(),
+                cp.encoded_len(),
+                SimTime::from_nanos(cp.taken_at_nanos),
+                cp.state_digest(),
+            );
+        }
+        None => eprintln!("no checkpoint written: the run ended before t={requested}"),
+    }
+}
+
+/// The `bisect` subcommand: binary-search two scenarios' checkpoint
+/// slices for the first divergent engine state.
+fn bisect(args: &[String]) -> ! {
+    use ccsim::experiments::{bisect_divergence, scenario_from_json};
+    let mut paths = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("missing value")),
+                ));
+            }
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => usage(&format!("unknown bisect argument {other}")),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage("bisect needs exactly two scenario JSON files");
+    }
+    let load = |p: &str| -> Scenario {
+        let text =
+            std::fs::read_to_string(p).unwrap_or_else(|e| fail(format!("cannot read {p}: {e}")));
+        scenario_from_json(&text).unwrap_or_else(|e| fail(format!("bad scenario {p}: {e}")))
+    };
+    let a = load(&paths[0]);
+    let b = load(&paths[1]);
+    eprintln!("bisecting '{}' vs '{}'...", a.name, b.name);
+    let mut probes = 0usize;
+    let outcome = bisect_divergence(&a, &b, &mut |slice, at, diverged| {
+        probes += 1;
+        eprintln!(
+            "  probe {probes}: slice {slice} (t={at}) -> {}",
+            if diverged { "diverges" } else { "identical" }
+        );
+    })
+    .unwrap_or_else(|e| fail(format!("bisect failed: {e}")));
+    match outcome.first_divergence {
+        None => {
+            println!(
+                "identical: engine states agree at all {} checkpoint slices",
+                outcome.boundaries.len()
+            );
+            std::process::exit(0);
+        }
+        Some(d) => {
+            println!(
+                "first divergent slice: {} of {} (t={})",
+                d.slice,
+                outcome.boundaries.len(),
+                d.at
+            );
+            println!(
+                "state digests   : {:016x} vs {:016x}",
+                d.digest_a, d.digest_b
+            );
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dir.display())));
+                for (name, cp) in [
+                    ("diverge-a.ckpt", &d.checkpoint_a),
+                    ("diverge-b.ckpt", &d.checkpoint_b),
+                ] {
+                    let path = dir.join(name);
+                    cp.write_file(&path)
+                        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", path.display())));
+                    println!("wrote {}", path.display());
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 /// The `replay` subcommand: load a crash bundle, re-run its scenario.
 fn replay(args: &[String]) -> ! {
     let mut dir = None;
@@ -769,7 +1038,16 @@ fn main() {
     if args.first().map(String::as_str) == Some("campaign") {
         campaign(&args);
     }
+    if args.first().map(String::as_str) == Some("bisect") {
+        if args.iter().any(|a| matches!(a.as_str(), "--help" | "-h")) {
+            help();
+        }
+        bisect(&args);
+    }
     let cli = parse_cli(&args);
+    if let Some(path) = cli.resume_from.clone() {
+        resume_run(&cli, &path);
+    }
     let scenario = &cli.scenario;
 
     eprintln!(
@@ -797,10 +1075,18 @@ fn main() {
         } else {
             ObserveOptions::default()
         };
-        let obs = try_run_observed_with(scenario, options, &mut on_progress)
-            .unwrap_or_else(|e| fail(format!("run failed: {e}")));
+        let (obs, cp) = ccsim::experiments::try_run_observed_checkpointed(
+            scenario,
+            options,
+            cli.checkpoint_at,
+            &mut on_progress,
+        )
+        .unwrap_or_else(|e| fail(format!("run failed: {e}")));
         if let Some(prog) = &mut progress {
             prog.finish(obs.outcome.events_processed);
+        }
+        if let Some(at) = cli.checkpoint_at {
+            write_checkpoint(&cp, &cli.checkpoint_out, at);
         }
         if let Some(metrics_path) = &cli.metrics_out {
             if let Err(e) = validate_exposition(&obs.prometheus) {
@@ -860,6 +1146,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    } else if let Some(at) = cli.checkpoint_at {
+        let (outcome, cp) = ccsim::experiments::try_run_with_checkpoint(scenario, at)
+            .unwrap_or_else(|e| fail(format!("run failed: {e}")));
+        write_checkpoint(&cp, &cli.checkpoint_out, at);
+        outcome
     } else {
         let outcome = run_with_progress(scenario, &mut on_progress);
         if let Some(prog) = &mut progress {

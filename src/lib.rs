@@ -22,6 +22,9 @@
 //! * [`prof`] — digest-inert event-attribution profiler: per-(component
 //!   class × event kind) wall-time/event matrix, timer-wheel internals,
 //!   and subsystem memory accounts (`ccsim perf`).
+//! * [`resume`] — versioned, digest-stamped checkpoint container with
+//!   typed decode errors; the engine-state snapshots behind
+//!   `ccsim run --checkpoint-at`/`--resume-from` and `ccsim bisect`.
 //! * [`experiments`] — the paper's EdgeScale/CoreScale scenarios and the
 //!   per-figure experiment functions.
 //! * [`campaign`] — parallel sweep executor, persistent run ledger,
@@ -50,6 +53,7 @@ pub use ccsim_core as experiments;
 pub use ccsim_fault as fault;
 pub use ccsim_net as net;
 pub use ccsim_prof as prof;
+pub use ccsim_resume as resume;
 pub use ccsim_sim as sim;
 pub use ccsim_tcp as tcp;
 pub use ccsim_telemetry as telemetry;

@@ -248,6 +248,26 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words, for checkpointing. Together
+        /// with [`SmallRng::from_state`] this round-trips the generator
+        /// exactly: the restored stream continues where the saved one
+        /// stopped.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from [`SmallRng::state`] words. An all-zero
+        /// state (xoshiro's one degenerate fixpoint, unreachable from any
+        /// seed) is coerced to the same escape constant seeding uses.
+        pub fn from_state(mut s: [u64; 4]) -> SmallRng {
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> SmallRng {
             let mut st = seed;
