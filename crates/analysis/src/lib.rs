@@ -11,17 +11,27 @@
 //!   drop trains (Finding 3's corroboration).
 //! * [`sync`] — the loss-event synchronization index (the Appenzeller
 //!   desynchronization argument, quantified).
+//! * [`windows`] — the shared window-partitioning rules every windowed
+//!   diagnostic builds on.
+//! * [`convergence`] — windowed convergence diagnostics: JFI trajectory,
+//!   time-to-α-fair, windowed Mathis error / shares / sync index.
 //! * [`trace`] — the above metrics applied directly to recorded
 //!   flight-recorder traces ([`ccsim_trace::RunTrace`]).
 
 pub mod burstiness;
+pub mod convergence;
 pub mod fairness;
 pub mod mathis;
 pub mod stats;
 pub mod sync;
 pub mod trace;
+pub mod windows;
 
 pub use burstiness::{burstiness, burstiness_of_intervals};
+pub use convergence::{
+    jfi_trajectory, time_to_alpha_fair, windowed_group_share, windowed_mathis_error,
+    windowed_synchronization_index, DEFAULT_ALPHA,
+};
 pub use fairness::{group_share, jain_fairness_index, jain_fairness_subset};
 pub use mathis::{
     errors_under_constant, fit_constant, mathis_throughput, FlowObservation, MathisFit,
@@ -29,3 +39,4 @@ pub use mathis::{
 pub use stats::{mean, median, quantile, std_dev, Summary};
 pub use sync::synchronization_index;
 pub use trace::{trace_drop_burstiness, trace_synchronization_index};
+pub use windows::WindowPartition;

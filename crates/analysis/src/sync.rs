@@ -16,6 +16,7 @@
 //! * independent (Poisson-like) loss events → index ≈ per-bin event
 //!   probability, → 0 as flows desynchronize.
 
+use crate::windows::WindowPartition;
 use ccsim_sim::{SimDuration, SimTime};
 
 /// Synchronization index of per-flow event trains over `[start, end)` with
@@ -28,14 +29,11 @@ pub fn synchronization_index(
     bin: SimDuration,
 ) -> Option<f64> {
     let n_flows = per_flow_events.len();
-    if n_flows == 0 || end <= start || bin.is_zero() {
+    if n_flows == 0 {
         return None;
     }
-    let span = (end - start).as_nanos();
-    let n_bins = span.div_ceil(bin.as_nanos()) as usize;
-    if n_bins == 0 {
-        return None;
-    }
+    let part = WindowPartition::new(start, end, bin)?;
+    let n_bins = part.len();
     // flows_in_bin[b] = number of distinct flows with >= 1 event in bin b.
     let mut flows_in_bin = vec![0u32; n_bins];
     let mut total_flows_with_events = 0usize;
@@ -43,10 +41,7 @@ pub fn synchronization_index(
         let mut seen = vec![false; n_bins];
         let mut any = false;
         for &t in events {
-            if t < start || t >= end {
-                continue;
-            }
-            let b = ((t - start).as_nanos() / bin.as_nanos()) as usize;
+            let Some(b) = part.index_of(t) else { continue };
             if !seen[b] {
                 seen[b] = true;
                 flows_in_bin[b] += 1;

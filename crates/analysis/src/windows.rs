@@ -1,0 +1,168 @@
+//! Shared window partitioning for every windowed diagnostic.
+//!
+//! Several analyses slice a measurement span `[start, end)` into
+//! fixed-width bins: the synchronization index (per-RTT bins), the
+//! timeline's convergence diagnostics (per-window JFI, Mathis error,
+//! throughput shares). They must all agree on the same partition rules —
+//! how many bins a span produces, which bin an instant belongs to, and
+//! what happens at bin edges — or a sample could be lost or counted twice
+//! at a slice boundary. This module is that single source of truth.
+//!
+//! Rules:
+//!
+//! * the partition covers `[start, end)` with bins of width `bin`;
+//! * the number of bins is `ceil(span / bin)` — the last bin may be
+//!   shorter than `bin` but never empty;
+//! * an instant `t` belongs to bin `⌊(t − start) / bin⌋` iff
+//!   `start ≤ t < end`; instants outside the span belong to no bin;
+//! * bin `i` spans `[start + i·bin, min(start + (i+1)·bin, end))` — bins
+//!   tile the span exactly, so every in-span instant lands in exactly
+//!   one bin.
+
+use ccsim_sim::{SimDuration, SimTime};
+
+/// A fixed-width partition of `[start, end)` into bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPartition {
+    start: SimTime,
+    end: SimTime,
+    bin: SimDuration,
+    n_bins: usize,
+}
+
+impl WindowPartition {
+    /// Partition `[start, end)` into bins of width `bin`. `None` for a
+    /// degenerate span (`end ≤ start`) or a zero bin width.
+    pub fn new(start: SimTime, end: SimTime, bin: SimDuration) -> Option<WindowPartition> {
+        if end <= start || bin.is_zero() {
+            return None;
+        }
+        let span = (end - start).as_nanos();
+        let n_bins = span.div_ceil(bin.as_nanos()) as usize;
+        if n_bins == 0 {
+            return None;
+        }
+        Some(WindowPartition {
+            start,
+            end,
+            bin,
+            n_bins,
+        })
+    }
+
+    /// Number of bins (≥ 1).
+    pub fn len(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Always false — a partition has at least one bin.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The partitioned span's start.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// The partitioned span's (exclusive) end.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// The configured bin width (the final bin may be shorter).
+    pub fn bin(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// The bin containing `t`, or `None` when `t` lies outside
+    /// `[start, end)`.
+    pub fn index_of(&self, t: SimTime) -> Option<usize> {
+        if t < self.start || t >= self.end {
+            return None;
+        }
+        Some(((t - self.start).as_nanos() / self.bin.as_nanos()) as usize)
+    }
+
+    /// Bin `i`'s half-open span `[lo, hi)`. The final bin is clipped to
+    /// the partition end.
+    ///
+    /// # Panics
+    /// Panics when `i ≥ len()`.
+    pub fn bounds(&self, i: usize) -> (SimTime, SimTime) {
+        assert!(
+            i < self.n_bins,
+            "bin {i} out of range ({} bins)",
+            self.n_bins
+        );
+        let lo = self.start + SimDuration::from_nanos(self.bin.as_nanos() * i as u64);
+        let hi_unclipped = lo + self.bin;
+        (lo, hi_unclipped.min(self.end))
+    }
+
+    /// Iterate the bin spans in order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, SimTime)> + '_ {
+        (0..self.n_bins).map(|i| self.bounds(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn exact_division_produces_full_bins() {
+        let p = WindowPartition::new(t(0), t(100), SimDuration::from_millis(20)).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.bounds(0), (t(0), t(20)));
+        assert_eq!(p.bounds(4), (t(80), t(100)));
+    }
+
+    #[test]
+    fn ragged_tail_is_clipped_not_dropped() {
+        let p = WindowPartition::new(t(0), t(105), SimDuration::from_millis(20)).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.bounds(5), (t(100), t(105)));
+        // The tail instant still maps into the clipped bin.
+        assert_eq!(p.index_of(t(104)), Some(5));
+    }
+
+    #[test]
+    fn edges_belong_to_the_right_bin() {
+        let p = WindowPartition::new(t(0), t(100), SimDuration::from_millis(20)).unwrap();
+        assert_eq!(p.index_of(t(0)), Some(0));
+        assert_eq!(p.index_of(t(19)), Some(0));
+        assert_eq!(p.index_of(t(20)), Some(1), "bin edges are half-open");
+        assert_eq!(p.index_of(t(99)), Some(4));
+        assert_eq!(p.index_of(t(100)), None, "end is exclusive");
+    }
+
+    #[test]
+    fn out_of_span_instants_map_nowhere() {
+        let p = WindowPartition::new(t(50), t(100), SimDuration::from_millis(10)).unwrap();
+        assert_eq!(p.index_of(t(49)), None);
+        assert_eq!(p.index_of(t(200)), None);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(WindowPartition::new(t(10), t(10), SimDuration::from_millis(1)).is_none());
+        assert!(WindowPartition::new(t(10), t(5), SimDuration::from_millis(1)).is_none());
+        assert!(WindowPartition::new(t(0), t(10), SimDuration::ZERO).is_none());
+    }
+
+    #[test]
+    fn bins_tile_the_span() {
+        let p = WindowPartition::new(t(3), t(104), SimDuration::from_millis(17)).unwrap();
+        let spans: Vec<_> = p.iter().collect();
+        assert_eq!(spans.first().unwrap().0, t(3));
+        assert_eq!(spans.last().unwrap().1, t(104));
+        for w in spans.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "adjacent bins share an edge");
+        }
+    }
+}

@@ -1,17 +1,18 @@
-//! Profiler-overhead benchmark: the cost of running with the
-//! `ccsim-prof` event-attribution profiler attached versus without.
+//! Timeline-sampler overhead benchmark: the cost of running with the
+//! `ccsim-timeline` windowed sampler attached versus without.
 //!
-//! `prof_run/off` vs `prof_run/on` is the headline pair: the same
-//! quickstart-sized observed run with profiling disabled and enabled at
-//! the default stride. The enabled path adds one `u8` class-table lookup
-//! plus two array increments per dispatched event and one `Instant::now()`
-//! per stride (1024 events), so the two times must agree to under 2% —
-//! the budget the CI `profile` job gates on. `prof_run/stride64` bounds
-//! the cost of an aggressive sampling stride.
+//! `timeline_run/off` vs `timeline_run/on` is the headline pair: the
+//! same quickstart-sized observed run bare and with the default sampler
+//! (1 s windows). The sampler only reads the runner's slice snapshots —
+//! it never touches the event loop — so the cost is one fold per flow
+//! and link per slice boundary, and the two times must agree to under
+//! 2%, the budget the CI `timeline` job gates on. `timeline_run/w100ms`
+//! bounds an aggressive 100 ms window (10× the fold rate).
 
 use ccsim_cca::CcaKind;
 use ccsim_core::{try_run_observed_with, FlowGroup, ObserveOptions, Scenario};
 use ccsim_sim::SimDuration;
+use ccsim_timeline::TimelineConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -39,23 +40,25 @@ fn observed(scenario: &Scenario, options: ObserveOptions) -> u64 {
         .events_processed
 }
 
-fn bench_prof_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prof_run");
+fn bench_timeline_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timeline_run");
     g.sample_size(10);
     let s = quickstart();
     g.bench_function("off", |b| {
         b.iter(|| observed(black_box(&s), ObserveOptions::default()))
     });
     g.bench_function("on", |b| {
-        b.iter(|| observed(black_box(&s), ObserveOptions::profiled()))
+        b.iter(|| observed(black_box(&s), ObserveOptions::timelined()))
     });
-    g.bench_function("stride64", |b| {
+    g.bench_function("w100ms", |b| {
         b.iter(|| {
             observed(
                 black_box(&s),
                 ObserveOptions {
-                    profile: true,
-                    profile_stride: 64,
+                    timeline: Some(TimelineConfig {
+                        window: SimDuration::from_millis(100),
+                        ..TimelineConfig::default()
+                    }),
                     ..ObserveOptions::default()
                 },
             )
@@ -64,5 +67,5 @@ fn bench_prof_run(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_prof_run);
+criterion_group!(benches, bench_timeline_run);
 criterion_main!(benches);

@@ -231,6 +231,16 @@ fn compare_pair(
             cm.sync_index,
             tol.sync_index,
         );
+        // Fires only when both ledgers captured timelines; a baseline
+        // recorded without `--timeline` never gates convergence time.
+        drift(
+            findings,
+            &cur.job,
+            "convergence_time",
+            bm.convergence_time,
+            cm.convergence_time,
+            tol.convergence_secs,
+        );
     }
     if check_eps && base.events_per_sec > 0.0 {
         let frac = (base.events_per_sec - cur.events_per_sec) / base.events_per_sec;
@@ -309,6 +319,7 @@ mod tests {
                 sync_index: Some(0.5),
                 drop_burstiness: None,
                 share_a: Some(1.0),
+                convergence_time: Some(2.0),
                 bottlenecks: Vec::new(),
             }),
             manifest: None,
@@ -353,6 +364,25 @@ mod tests {
         let mut close = ledger(vec![entry(1)]);
         close.entries[0].metrics.as_mut().unwrap().jfi = Some(0.92);
         assert!(diff(&base, &close, &DiffOptions::default()).is_clean());
+    }
+
+    #[test]
+    fn convergence_time_drift_gate() {
+        let base = ledger(vec![entry(1)]);
+        // Drift beyond the 1.0s default tolerance fires.
+        let mut cur = ledger(vec![entry(1)]);
+        cur.entries[0].metrics.as_mut().unwrap().convergence_time = Some(3.5);
+        let report = diff(&base, &cur, &DiffOptions::default());
+        assert_eq!(report.count(FindingKind::FidelityDrift), 1);
+        assert!(report.render().contains("convergence_time"));
+        // Within tolerance: clean.
+        let mut close = ledger(vec![entry(1)]);
+        close.entries[0].metrics.as_mut().unwrap().convergence_time = Some(2.6);
+        assert!(diff(&base, &close, &DiffOptions::default()).is_clean());
+        // A baseline without timelines never gates the metric.
+        let mut legacy = ledger(vec![entry(1)]);
+        legacy.entries[0].metrics.as_mut().unwrap().convergence_time = None;
+        assert!(diff(&legacy, &cur, &DiffOptions::default()).is_clean());
     }
 
     #[test]

@@ -18,8 +18,8 @@ use ccsim_analysis::mathis::fit_constant;
 use ccsim_cca::CcaKind;
 use ccsim_core::observe::scenario_digest;
 use ccsim_core::{
-    crash, try_run_observed_with, BottleneckMetrics, ObserveOptions, ObservedRun, PInterpretation,
-    RunOutcome, Scenario,
+    crash, try_run_observed_live, BottleneckMetrics, LiveState, ObserveOptions, ObservedRun,
+    PInterpretation, RunOutcome, Scenario, TimelineConfig,
 };
 use ccsim_sim::SimDuration;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -44,6 +44,15 @@ pub struct ExecutorOptions {
     /// per-run [`ccsim_prof::Profile`] rides in each ledger entry's
     /// manifest, and the sentinel gains per-event-kind events/s gates.
     pub profile: bool,
+    /// Capture a windowed timeline on every job. Digest-inert; the
+    /// per-run [`ccsim_core::TimelineSummary`] rides in each ledger
+    /// entry's manifest, feeding the rollup's `convergence_time` and the
+    /// sentinel's convergence-drift gate.
+    pub timeline: Option<TimelineConfig>,
+    /// Shared live-endpoint state for `campaign run --serve`: every job
+    /// publishes its metrics/timeline snapshots here as it progresses
+    /// (last writer wins across workers).
+    pub live: Option<Arc<LiveState>>,
 }
 
 impl Default for ExecutorOptions {
@@ -54,6 +63,8 @@ impl Default for ExecutorOptions {
                 .unwrap_or(4),
             crash_dir: None,
             profile: false,
+            timeline: None,
+            live: None,
         }
     }
 }
@@ -146,6 +157,11 @@ pub struct Rollup {
     pub drop_burstiness: Option<f64>,
     /// Throughput share of the first flow group's CCA.
     pub share_a: Option<f64>,
+    /// Time to α-fair convergence (seconds, sim time) from the run's
+    /// timeline capture. `None` for runs without a timeline, runs that
+    /// never reached α, and legacy ledger lines (the key is absent from
+    /// their JSON, so they re-serialize byte-identically).
+    pub convergence_time: Option<f64>,
     /// Per-bottleneck utilization/fairness records. Empty for legacy
     /// single-bottleneck drop-tail runs (the runner only populates them
     /// for topology-subsystem configurations), so old ledger lines parse
@@ -173,6 +189,9 @@ impl Rollup {
                 .flow_cca
                 .first()
                 .and_then(|&cca| outcome.share_of(cca)),
+            // The outcome carries no timeline (it must stay digest-inert);
+            // JobResult::rollup injects it from the manifest.
+            convergence_time: None,
             bottlenecks: outcome.bottlenecks.clone(),
         }
     }
@@ -188,6 +207,7 @@ impl Rollup {
             "sync_index" => self.sync_index,
             "drop_burstiness" => self.drop_burstiness,
             "share_a" => self.share_a,
+            "convergence_time" => self.convergence_time,
             // Worst-case fairness across the topology's bottlenecks —
             // lets expectations bound every congested link at once.
             "bottleneck_jfi_min" => self
@@ -231,9 +251,18 @@ impl JobResult {
         self.run.as_ref().ok().map(|obs| obs.outcome.digest())
     }
 
-    /// The metric rollup, for successful runs.
+    /// The metric rollup, for successful runs. Timeline-derived fields
+    /// come from the manifest (the outcome itself stays digest-inert).
     pub fn rollup(&self) -> Option<Rollup> {
-        self.run.as_ref().ok().map(|obs| Rollup::of(&obs.outcome))
+        self.run.as_ref().ok().map(|obs| {
+            let mut r = Rollup::of(&obs.outcome);
+            r.convergence_time = obs
+                .manifest
+                .timeline
+                .as_ref()
+                .and_then(|t| t.time_to_alpha_fair);
+            r
+        })
     }
 }
 
@@ -260,6 +289,7 @@ impl AttemptError {
 fn attempt(
     job: &CampaignJob,
     observe: ObserveOptions,
+    live: Option<Arc<LiveState>>,
     sup: &SupervisorOptions,
     heartbeat: &AtomicU64,
     cancel: &AtomicBool,
@@ -269,7 +299,7 @@ fn attempt(
     let force_hang = sup.forces_hang(&job.name);
     let mut hook_fired = false;
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        try_run_observed_with(&job.scenario, observe, |_| {
+        try_run_observed_live(&job.scenario, observe, None, live, |_| {
             heartbeat.store(clock.elapsed().as_nanos() as u64, Ordering::Relaxed);
             if !hook_fired {
                 hook_fired = true;
@@ -288,6 +318,7 @@ fn attempt(
                 }
             }
         })
+        .map(|(obs, _)| obs)
     }));
     match caught {
         Ok(r) => r,
@@ -303,13 +334,15 @@ fn attempt(
 fn supervised_attempt(
     job: &CampaignJob,
     observe: ObserveOptions,
+    live: Option<Arc<LiveState>>,
     sup: &SupervisorOptions,
 ) -> Result<ObservedRun, AttemptError> {
     let heartbeat = Arc::new(AtomicU64::new(0));
     let cancel = Arc::new(AtomicBool::new(false));
     let clock = Instant::now();
     if !sup.monitored() {
-        return attempt(job, observe, sup, &heartbeat, &cancel, clock).map_err(AttemptError::Sim);
+        return attempt(job, observe, live, sup, &heartbeat, &cancel, clock)
+            .map_err(AttemptError::Sim);
     }
     let (tx, rx) = mpsc::channel();
     let handle = {
@@ -320,7 +353,9 @@ fn supervised_attempt(
         std::thread::Builder::new()
             .name(format!("ccsim-job:{}", job.name))
             .spawn(move || {
-                let _ = tx.send(attempt(&job, observe, &sup, &heartbeat, &cancel, clock));
+                let _ = tx.send(attempt(
+                    &job, observe, live, &sup, &heartbeat, &cancel, clock,
+                ));
             })
             .expect("spawn job attempt thread")
     };
@@ -369,16 +404,17 @@ fn supervised_attempt(
 
 fn run_one(job: CampaignJob, opts: &ExecutorOptions, sup: &SupervisorOptions) -> JobResult {
     let config_digest = scenario_digest(&job.scenario);
-    let observe = if opts.profile {
+    let mut observe = if opts.profile {
         ObserveOptions::profiled()
     } else {
         ObserveOptions::default()
     };
+    observe.timeline = opts.timeline;
     let max_attempts = sup.max_retries.saturating_add(1);
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        let failure = match supervised_attempt(&job, observe, sup) {
+        let failure = match supervised_attempt(&job, observe, opts.live.clone(), sup) {
             Ok(obs) => {
                 return JobResult {
                     job,
@@ -701,5 +737,28 @@ mod tests {
         assert_eq!(rollup.get("nonsense"), None);
         // No trace configured: the sync index is absent, not invented.
         assert_eq!(rollup.sync_index, None);
+        // No timeline configured: no convergence time either.
+        assert_eq!(rollup.convergence_time, None);
+    }
+
+    #[test]
+    fn timeline_option_fills_convergence_time_without_changing_digests() {
+        let plain = run_scenarios(&[tiny(3)], &ExecutorOptions::default(), |_| {});
+        let opts = ExecutorOptions {
+            timeline: Some(TimelineConfig::default()),
+            ..ExecutorOptions::default()
+        };
+        let timelined = run_scenarios(&[tiny(3)], &opts, |_| {});
+        assert_eq!(plain[0].outcome_digest(), timelined[0].outcome_digest());
+
+        let obs = timelined[0].run.as_ref().unwrap();
+        let summary = obs.manifest.timeline.as_ref().expect("timeline summary");
+        assert!(summary.rows > 0);
+        let rollup = timelined[0].rollup().unwrap();
+        assert_eq!(rollup.convergence_time, summary.time_to_alpha_fair);
+        assert_eq!(rollup.get("convergence_time"), rollup.convergence_time);
+        // Two fair Reno flows at equal RTT converge quickly: the rollup
+        // actually carries a time, it is not vacuously None.
+        assert!(rollup.convergence_time.is_some());
     }
 }

@@ -189,6 +189,11 @@ impl LedgerEntry {
                     json_opt_f64(m.drop_burstiness),
                     json_opt_f64(m.share_a),
                 );
+                // Absent (not `null`) for runs without a timeline capture
+                // so legacy ledger lines re-serialize byte-identically.
+                if let Some(ct) = m.convergence_time {
+                    let _ = write!(out, ",\"convergence_time\":{}", json_f64(ct));
+                }
                 // The key is absent (not `[]`) for legacy runs so old
                 // ledger lines re-serialize byte-identically.
                 if !m.bottlenecks.is_empty() {
@@ -285,6 +290,7 @@ impl LedgerEntry {
                     sync_index: f("sync_index"),
                     drop_burstiness: f("drop_burstiness"),
                     share_a: f("share_a"),
+                    convergence_time: f("convergence_time"),
                     bottlenecks,
                 })
             }
@@ -402,12 +408,14 @@ pub fn header_json(
     let _ = write!(
         out,
         "{{\"ledger\":\"{LEDGER_FORMAT}\",\"campaign\":\"{}\",\"tolerances\":{{\"jfi\":{},\
-         \"mathis_err\":{},\"sync_index\":{},\"events_per_sec_frac\":{}}},\"expectations\":[",
+         \"mathis_err\":{},\"sync_index\":{},\"events_per_sec_frac\":{},\
+         \"convergence_secs\":{}}},\"expectations\":[",
         escape(campaign),
         json_f64(tolerances.jfi),
         json_f64(tolerances.mathis_err),
         json_f64(tolerances.sync_index),
         json_f64(tolerances.events_per_sec_frac),
+        json_f64(tolerances.convergence_secs),
     );
     for (i, e) in expectations.iter().enumerate() {
         if i > 0 {
@@ -638,6 +646,7 @@ mod tests {
                 sync_index: None,
                 drop_burstiness: Some(0.21),
                 share_a: Some(1.0),
+                convergence_time: None,
                 bottlenecks: Vec::new(),
             }),
             manifest: None,
@@ -677,6 +686,19 @@ mod tests {
             let back = LedgerEntry::from_value(&v).unwrap();
             assert_eq!(back, e);
         }
+    }
+
+    #[test]
+    fn convergence_time_round_trips_and_stays_out_of_legacy_lines() {
+        let plain = sample_entry(7, true);
+        assert!(!plain.to_json().contains("convergence_time"));
+
+        let mut e = sample_entry(9, true);
+        e.metrics.as_mut().unwrap().convergence_time = Some(2.5);
+        let line = e.to_json();
+        assert!(line.contains("\"convergence_time\":2.5"));
+        let back = LedgerEntry::from_value(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

@@ -78,13 +78,14 @@ fn collect(entries: &[&LedgerEntry], metric: &str) -> Vec<f64> {
 }
 
 /// Metrics shown in the per-axis and fidelity tables, in column order.
-const TABLE_METRICS: [&str; 6] = [
+const TABLE_METRICS: [&str; 7] = [
     "jfi",
     "utilization",
     "loss_rate",
     "mathis_err",
     "sync_index",
     "share_a",
+    "convergence_time",
 ];
 
 /// One expectation's verdict against the mean over successful runs.
@@ -208,6 +209,23 @@ pub fn markdown(ledger: &Ledger) -> String {
         fmt_quantile(&wall_hist, 0.90),
         fmt_quantile(&wall_hist, 0.99),
     );
+    // Present only for campaigns run with `--timeline`: where in sim
+    // time each run first reached (and held) an α-fair allocation.
+    let conv: Vec<f64> = collect(&ok, "convergence_time");
+    if !conv.is_empty() {
+        let conv_hist = Histogram::new();
+        for c in &conv {
+            conv_hist.record((c * 1e3) as u64);
+        }
+        let _ = writeln!(
+            out,
+            "| convergence ms (sim) | `{}` | {} | {} | {} |",
+            sparkline(&conv_hist),
+            fmt_quantile(&conv_hist, 0.50),
+            fmt_quantile(&conv_hist, 0.90),
+            fmt_quantile(&conv_hist, 0.99),
+        );
+    }
     out.push('\n');
 
     // Paper fidelity metrics over the whole campaign.
@@ -221,6 +239,7 @@ pub fn markdown(ledger: &Ledger) -> String {
         ("mathis_err", "Figures 7–8 (model accuracy)"),
         ("sync_index", "§5 (loss synchronization)"),
         ("share_a", "Figures 5–6 (inter-CCA shares)"),
+        ("convergence_time", "§4 (time to α-fair allocation)"),
     ]);
     for metric in TABLE_METRICS {
         let _ = writeln!(
@@ -511,6 +530,7 @@ mod tests {
                 sync_index: None,
                 drop_burstiness: None,
                 share_a: Some(0.5),
+                convergence_time: None,
                 bottlenecks: Vec::new(),
             }),
             manifest: None,
@@ -592,6 +612,31 @@ mod tests {
             .trim()
             .to_string();
         assert!(p50.ends_with('k'), "p50 = {p50:?}");
+        // No run carried a timeline, so the convergence row is absent and
+        // its per-axis column shows an em-dash.
+        assert!(!md.contains("convergence ms"));
+        assert!(md.contains(" convergence_time |"));
+    }
+
+    #[test]
+    fn convergence_sparkline_appears_when_timelines_were_captured() {
+        let mut ledger = sample_ledger();
+        for (i, e) in ledger.entries.iter_mut().enumerate() {
+            e.metrics.as_mut().unwrap().convergence_time = Some(1.5 + i as f64 * 0.5);
+        }
+        let md = markdown(&ledger);
+        assert!(md.contains("| convergence ms (sim) | `"));
+        // The per-axis table now carries real numbers in the column.
+        let cubic_row = md
+            .lines()
+            .find(|l| l.starts_with("| cubic | 2 |"))
+            .expect("cubic axis row");
+        let last = cubic_row
+            .trim_end_matches(" |")
+            .rsplit("| ")
+            .next()
+            .unwrap();
+        assert!(last.contains("±"), "convergence cell = {last:?}");
     }
 
     #[test]

@@ -168,6 +168,9 @@ pub struct Tolerances {
     pub sync_index: f64,
     /// Maximum fractional events/sec regression (0.10 = 10% slower).
     pub events_per_sec_frac: f64,
+    /// Maximum absolute time-to-α-fair drift, seconds of sim time
+    /// (compared only when both ledgers carried timeline captures).
+    pub convergence_secs: f64,
 }
 
 impl Default for Tolerances {
@@ -177,6 +180,7 @@ impl Default for Tolerances {
             mathis_err: 0.10,
             sync_index: 0.10,
             events_per_sec_frac: 0.10,
+            convergence_secs: 1.0,
         }
     }
 }
@@ -314,11 +318,12 @@ impl CampaignSpec {
         let _ = write!(
             out,
             "],\"tolerances\":{{\"jfi\":{},\"mathis_err\":{},\"sync_index\":{},\
-             \"events_per_sec_frac\":{}}}}}",
+             \"events_per_sec_frac\":{},\"convergence_secs\":{}}}}}",
             json_f64(t.jfi),
             json_f64(t.mathis_err),
             json_f64(t.sync_index),
-            json_f64(t.events_per_sec_frac)
+            json_f64(t.events_per_sec_frac),
+            json_f64(t.convergence_secs)
         );
         out
     }
@@ -427,6 +432,7 @@ pub fn parse_tolerances(v: Option<&Json>) -> Tolerances {
         mathis_err: get("mathis_err", d.mathis_err),
         sync_index: get("sync_index", d.sync_index),
         events_per_sec_frac: get("events_per_sec_frac", d.events_per_sec_frac),
+        convergence_secs: get("convergence_secs", d.convergence_secs),
     }
 }
 

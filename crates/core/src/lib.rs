@@ -30,6 +30,8 @@ mod watchdog;
 
 pub use build::BuiltNetwork;
 pub use ccsim_resume::{Checkpoint, ResumeError};
+pub use ccsim_timeline::serve::{serve, LiveState, ServeHandle};
+pub use ccsim_timeline::{Timeline, TimelineConfig, TimelineSummary};
 pub use checkpoint::{bisect_divergence, slice_boundaries, BisectOutcome, DivergencePoint};
 pub use codec::{scenario_from_json, scenario_to_json};
 pub use crash::{
@@ -39,8 +41,8 @@ pub use crash::{
 pub use error::SimError;
 pub use observe::{
     run_observed, run_observed_with_progress, try_run_observed, try_run_observed_checkpointed,
-    try_run_observed_with, try_run_observed_with_progress, ObserveOptions, ObservedRun,
-    RunInstruments,
+    try_run_observed_live, try_run_observed_with, try_run_observed_with_progress, ObserveOptions,
+    ObservedRun, RunInstruments,
 };
 pub use outcome::{BottleneckMetrics, PInterpretation, RunOutcome};
 pub use runner::{

@@ -43,10 +43,13 @@ use ccsim_net::msg::Msg;
 use ccsim_resume::Checkpoint;
 use ccsim_sim::SimTime;
 use ccsim_tcp::sender::SenderMetrics;
-use ccsim_telemetry::manifest::{fnv1a_64, ManifestBottleneck, RunManifest};
+use ccsim_telemetry::manifest::{fnv1a_64, ManifestBottleneck, ManifestTimeline, RunManifest};
 use ccsim_telemetry::prometheus::write_exposition;
 use ccsim_telemetry::registry::{Counter, Gauge, Histogram, Registry};
 use ccsim_telemetry::Profiler;
+use ccsim_timeline::export::to_jsonl;
+use ccsim_timeline::serve::LiveState;
+use ccsim_timeline::{Timeline, TimelineConfig};
 use std::sync::Arc;
 
 /// Event classes for `ccsim_events_total{kind=...}`.
@@ -78,6 +81,10 @@ pub struct ObserveOptions {
     /// fixed, so *which* events sample is a pure function of the event
     /// stream.
     pub profile_stride: u64,
+    /// Capture a windowed timeline (per-flow / per-link / aggregate
+    /// series at the configured window granularity). Digest-inert: the
+    /// sampler only reads component state at slice boundaries.
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl Default for ObserveOptions {
@@ -85,6 +92,7 @@ impl Default for ObserveOptions {
         ObserveOptions {
             profile: false,
             profile_stride: ccsim_prof::DEFAULT_STRIDE,
+            timeline: None,
         }
     }
 }
@@ -94,6 +102,14 @@ impl ObserveOptions {
     pub fn profiled() -> ObserveOptions {
         ObserveOptions {
             profile: true,
+            ..ObserveOptions::default()
+        }
+    }
+
+    /// Options with timeline capture on at the default window/budget.
+    pub fn timelined() -> ObserveOptions {
+        ObserveOptions {
+            timeline: Some(TimelineConfig::default()),
             ..ObserveOptions::default()
         }
     }
@@ -125,6 +141,10 @@ pub struct RunInstruments {
     /// the manifest's `checkpoint_bytes` and, under profiling, the
     /// `resume/checkpoint` memory pool.
     pub(crate) checkpoint_bytes: std::cell::Cell<u64>,
+    /// The windowed sampler, created by the runner once the network is
+    /// built (it needs the flow/link counts) when
+    /// [`ObserveOptions::timeline`] is set.
+    pub(crate) timeline: std::cell::RefCell<Option<Timeline>>,
 }
 
 impl RunInstruments {
@@ -201,6 +221,7 @@ impl RunInstruments {
             sender,
             profile_out: std::cell::RefCell::new(None),
             checkpoint_bytes: std::cell::Cell::new(0),
+            timeline: std::cell::RefCell::new(None),
         }
     }
 }
@@ -221,6 +242,9 @@ pub struct ObservedRun {
     pub manifest: RunManifest,
     /// Prometheus text-exposition dump of every metric.
     pub prometheus: String,
+    /// The captured timeline when [`ObserveOptions::timeline`] was set
+    /// (its summary is also embedded in the manifest).
+    pub timeline: Option<Timeline>,
 }
 
 /// FNV-1a digest of a scenario's full configuration (over its `Debug`
@@ -292,6 +316,25 @@ pub fn try_run_observed_checkpointed<F>(
     scenario: &Scenario,
     options: ObserveOptions,
     checkpoint_at: Option<SimTime>,
+    on_progress: F,
+) -> Result<(ObservedRun, Option<Checkpoint>), SimError>
+where
+    F: FnMut(&Progress),
+{
+    try_run_observed_live(scenario, options, checkpoint_at, None, on_progress)
+}
+
+/// [`try_run_observed_checkpointed`] that additionally publishes live
+/// snapshots into `live` as the run progresses: the Prometheus exposition
+/// of the run's registry and (when timeline capture is on) the timeline
+/// JSONL, both re-rendered at most ~4×/sec of wall time. The publisher
+/// only *reads* instruments that are updated anyway, so serving is
+/// digest-inert like every other observation layer.
+pub fn try_run_observed_live<F>(
+    scenario: &Scenario,
+    options: ObserveOptions,
+    checkpoint_at: Option<SimTime>,
+    live: Option<Arc<LiveState>>,
     mut on_progress: F,
 ) -> Result<(ObservedRun, Option<Checkpoint>), SimError>
 where
@@ -300,17 +343,37 @@ where
     let inst = RunInstruments::with_options(options);
     let wall_start = std::time::Instant::now();
     let mut checkpoint = None;
-    let outcome = run_internal_ctl(
-        scenario,
-        Some(&inst),
-        &mut on_progress,
-        RunCtl {
-            checkpoint_at,
-            ..RunCtl::default()
-        },
-        &mut checkpoint,
-    )?
-    .expect("non-stopping run always produces an outcome");
+    let outcome = {
+        let inst_ref = &inst;
+        let live_ref = live.as_deref();
+        let mut last_publish: Option<std::time::Instant> = None;
+        let mut wrapped = |p: &Progress| {
+            on_progress(p);
+            if let Some(state) = live_ref {
+                let wall_now = std::time::Instant::now();
+                let due = last_publish
+                    .is_none_or(|t| wall_now - t >= std::time::Duration::from_millis(250));
+                if due {
+                    last_publish = Some(wall_now);
+                    state.publish_metrics(write_exposition(&inst_ref.registry));
+                    if let Some(tl) = inst_ref.timeline.borrow().as_ref() {
+                        state.publish_timeline(to_jsonl(tl));
+                    }
+                }
+            }
+        };
+        run_internal_ctl(
+            scenario,
+            Some(&inst),
+            &mut wrapped,
+            RunCtl {
+                checkpoint_at,
+                ..RunCtl::default()
+            },
+            &mut checkpoint,
+        )?
+        .expect("non-stopping run always produces an outcome")
+    };
     let wall_secs = wall_start.elapsed().as_secs_f64();
 
     let sim_secs = outcome.ended_at.as_secs_f64();
@@ -345,6 +408,29 @@ where
     }
 
     let prometheus = write_exposition(&inst.registry);
+    let timeline = inst.timeline.borrow_mut().take();
+    let timeline_summary = timeline.as_ref().map(|tl| {
+        let s = tl.summary();
+        ManifestTimeline {
+            window_secs: s.window_secs,
+            rows: s.rows,
+            retained: s.retained,
+            evicted: s.evicted,
+            flows_sampled: s.flows_sampled,
+            series: s.series,
+            alpha: s.alpha,
+            time_to_alpha_fair: s.time_to_alpha_fair,
+            final_jfi: s.final_jfi,
+        }
+    });
+    if let Some(state) = &live {
+        // Final publish so the endpoints show the completed run, not the
+        // last throttled snapshot.
+        state.publish_metrics(prometheus.clone());
+        if let Some(tl) = &timeline {
+            state.publish_timeline(to_jsonl(tl));
+        }
+    }
     let events_by_kind = EVENT_KINDS
         .iter()
         .zip(&inst.events_kind)
@@ -385,12 +471,14 @@ where
         events_by_kind,
         bottlenecks,
         profile,
+        timeline: timeline_summary,
     };
     Ok((
         ObservedRun {
             outcome,
             manifest,
             prometheus,
+            timeline,
         },
         checkpoint,
     ))
@@ -533,6 +621,61 @@ mod tests {
         // Manifest round-trips with the profile embedded.
         let back = RunManifest::from_json(&profiled.manifest.to_json()).unwrap();
         assert_eq!(&back, &profiled.manifest);
+    }
+
+    #[test]
+    fn timeline_is_digest_inert_and_fills_the_summary() {
+        let plain = run_observed(&tiny(11));
+        let timelined =
+            try_run_observed_with(&tiny(11), ObserveOptions::timelined(), |_| {}).unwrap();
+        // Byte-identical outcome with the sampler attached.
+        assert_eq!(plain.outcome.to_json(), timelined.outcome.to_json());
+        assert_eq!(
+            plain.manifest.outcome_digest,
+            timelined.manifest.outcome_digest
+        );
+        assert!(plain.timeline.is_none());
+        assert!(plain.manifest.timeline.is_none());
+
+        let tl = timelined.timeline.as_ref().unwrap();
+        // 1 s warm-up + 4 s duration at the default 1 s window: one
+        // warm-up row plus four measurement rows.
+        assert_eq!(tl.rows().pushed(), 5);
+        assert_eq!(tl.sampled_flows(), 2);
+        let s = timelined.manifest.timeline.as_ref().unwrap();
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.retained, 5);
+        assert_eq!(s.flows_sampled, 2);
+        assert_eq!(s.series as usize, tl.columns().len());
+        // Manifest round-trips with the timeline section embedded.
+        let back = RunManifest::from_json(&timelined.manifest.to_json()).unwrap();
+        assert_eq!(&back, &timelined.manifest);
+        // The spans tile the run exactly: measurement rows (after the
+        // warm-up close at 1 s) sum to the 4 s measurement phase.
+        let spans: f64 = tl.rows().spans().skip(1).sum();
+        assert!((spans - 4.0).abs() < 1e-9, "spans {spans}");
+    }
+
+    #[test]
+    fn live_serving_publishes_both_endpoints() {
+        use std::sync::Arc;
+        let live = Arc::new(LiveState::new());
+        let (obs, _) = try_run_observed_live(
+            &tiny(12),
+            ObserveOptions::timelined(),
+            None,
+            Some(live.clone()),
+            |_| {},
+        )
+        .unwrap();
+        // The final publish leaves the completed artifacts behind.
+        assert_eq!(live.metrics_snapshot(), obs.prometheus);
+        let jsonl = live.timeline_snapshot();
+        assert!(jsonl.starts_with("{\"timeline\":"), "{jsonl}");
+        assert_eq!(
+            jsonl.lines().count() as u64,
+            1 + obs.timeline.as_ref().unwrap().rows().len() as u64
+        );
     }
 
     #[test]

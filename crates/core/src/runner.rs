@@ -25,6 +25,7 @@ use ccsim_resume::{Checkpoint, ResumeError};
 use ccsim_sim::SimTime;
 use ccsim_tcp::sender::Sender;
 use ccsim_telemetry::{FlowMetrics, ThroughputTracker};
+use ccsim_timeline::{FlowPoint, LinkPoint, Timeline};
 use ccsim_trace::{RunTrace, TraceMeta};
 
 /// Numeric sender-counter baseline captured at the warm-up boundary.
@@ -305,6 +306,65 @@ fn harvest_profile(
     })
 }
 
+/// Snapshot the sampler inputs: one [`FlowPoint`] per sampled flow and
+/// one [`LinkPoint`] per link, all read-only simulator state.
+fn timeline_points(net: &BuiltNetwork, sampled_flows: usize) -> (Vec<FlowPoint>, Vec<LinkPoint>) {
+    let flows = net.senders[..sampled_flows]
+        .iter()
+        .map(|&id| {
+            let s = net.sim.component::<Sender>(id);
+            FlowPoint {
+                retransmits: s.stats().retransmits,
+                cwnd_bytes: s.cca().cwnd(),
+                srtt_secs: s.srtt().as_secs_f64(),
+                inflight_bytes: s.in_flight(),
+            }
+        })
+        .collect();
+    let links = net
+        .links
+        .iter()
+        .map(|&id| {
+            let l = net.sim.component::<Link>(id);
+            let st = l.stats();
+            LinkPoint {
+                transmitted_bytes: st.transmitted_bytes,
+                dropped_pkts: st.dropped_pkts,
+                ce_marked_pkts: st.ce_marked_pkts,
+                queue_bytes: l.backlog_bytes(),
+                rate_bytes_per_sec: l.rate().as_bytes_per_sec(),
+            }
+        })
+        .collect();
+    (flows, links)
+}
+
+/// Feed the timeline sampler at a slice boundary. `delivered` lets the
+/// measurement loop reuse the vector it already gathered for the tracker;
+/// other call sites pass `None` and the helper reads the receivers itself
+/// — but only once a row is actually due, so off-grid slices cost one
+/// comparison. `force` closes a possibly-short row regardless of the
+/// window grid (warm-up boundary, end of run).
+fn sample_timeline(
+    net: &BuiltNetwork,
+    inst: Option<&RunInstruments>,
+    now: SimTime,
+    delivered: Option<&[u64]>,
+    force: bool,
+) {
+    let Some(inst) = inst else { return };
+    let mut slot = inst.timeline.borrow_mut();
+    let Some(tl) = slot.as_mut() else { return };
+    if !force && !tl.wants_row(now) {
+        return;
+    }
+    let (flows, links) = timeline_points(net, tl.sampled_flows());
+    match delivered {
+        Some(d) => tl.push_row(now, d, &flows, &links),
+        None => tl.push_row(now, &net.per_flow_delivered(), &flows, &links),
+    }
+}
+
 /// Drain the flight recorders (present only when the scenario enabled
 /// tracing) into one time-sorted trace. Factored out of collection so an
 /// aborting run (watchdog violation) can still salvage the trace tail
@@ -392,6 +452,20 @@ pub(crate) fn run_internal_ctl(
         );
     }
 
+    // Arm the windowed sampler once the network exists (it needs the
+    // flow/link counts). On a checkpoint resume the clock is non-zero:
+    // the window grid starts from the restored instant, and priming
+    // anchors the delta baselines at the current cumulative counters so
+    // the pre-resume history is not attributed to the first window.
+    if let Some(inst) = inst {
+        if let Some(cfg) = inst.options.timeline {
+            let mut tl = Timeline::new(cfg, net.flow_count(), net.links.len(), net.sim.now());
+            let (flows, links) = timeline_points(&net, tl.sampled_flows());
+            tl.prime(&net.per_flow_delivered(), &flows, &links);
+            *inst.timeline.borrow_mut() = Some(tl);
+        }
+    }
+
     let warmup_end = SimTime::ZERO + scenario.warmup;
     let horizon = warmup_end + scenario.duration;
     let mut report = |sim_now: SimTime, events: u64, pending: usize| {
@@ -431,6 +505,7 @@ pub(crate) fn run_internal_ctl(
                     let next = (t + scenario.snapshot_interval).min(warmup_end);
                     advance(&mut net, next, inst)?;
                     t = next;
+                    sample_timeline(&net, inst, t, None, false);
                     report(t, net.sim.events_processed(), net.sim.events_pending());
                     if watchdog.check(&net, scenario) {
                         return Err(SimError::Invariant {
@@ -452,11 +527,18 @@ pub(crate) fn run_internal_ctl(
                 drop(span);
             }
 
-            // Warm-up boundary: reset queue counters (every link),
-            // snapshot per-flow baselines.
+            // Warm-up boundary: close the warm-up's tail row *before* the
+            // counter reset so no timeline delta straddles it, then reset
+            // queue counters (every link) and snapshot per-flow baselines.
+            sample_timeline(&net, inst, warmup_end, None, true);
             for i in 0..net.links.len() {
                 let id = net.links[i];
                 net.sim.component_mut::<Link>(id).reset_stats();
+            }
+            if let Some(inst) = inst {
+                if let Some(tl) = inst.timeline.borrow_mut().as_mut() {
+                    tl.note_link_reset();
+                }
             }
             let sender_base: Vec<SenderBaseline> = net
                 .senders
@@ -498,7 +580,9 @@ pub(crate) fn run_internal_ctl(
         let next = (now + scenario.snapshot_interval).min(deadline);
         advance(&mut net, next, inst)?;
         now = next;
-        tracker.record(now, net.per_flow_delivered());
+        let delivered = net.per_flow_delivered();
+        sample_timeline(&net, inst, now, Some(&delivered), false);
+        tracker.record(now, delivered);
         if let (Some(inst), Some(t0)) = (inst, slice_start) {
             let elapsed = t0.elapsed();
             inst.slice_wall
@@ -562,6 +646,9 @@ pub(crate) fn run_internal_ctl(
     let secs = measured_for.as_secs_f64();
     assert!(secs > 0.0, "empty measurement window");
     let delivered_end = net.per_flow_delivered();
+    // Close the run's tail row (zero-span no-op when the last slice
+    // already closed one on the grid).
+    sample_timeline(&net, inst, now, Some(&delivered_end), true);
 
     let link = net.sim.component::<Link>(net.link);
     let link_stats = link.stats().clone();

@@ -53,6 +53,35 @@ pub struct ManifestBottleneck {
     pub ce_marked_pkts: u64,
 }
 
+/// Timeline capture summary embedded in the manifest — the sim-
+/// deterministic facts about a run's windowed time-series capture. A
+/// manifest-local mirror of `ccsim-timeline`'s `TimelineSummary` (same
+/// layering rule as [`ManifestBottleneck`]); absent entirely for runs
+/// that did not sample a timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestTimeline {
+    /// Configured window width, seconds.
+    pub window_secs: f64,
+    /// Rows ever closed by the sampler.
+    pub rows: u64,
+    /// Rows still retained under the byte budget.
+    pub retained: u64,
+    /// Rows evicted to stay under budget.
+    pub evicted: u64,
+    /// Flows with per-flow series (aggregates always cover all flows).
+    pub flows_sampled: u32,
+    /// Total series columns captured.
+    pub series: u32,
+    /// α used for time-to-α-fair.
+    pub alpha: f64,
+    /// End time (seconds) of the first measurement window after which the
+    /// JFI trajectory stayed ≥ α; `null`/`None` when the run never
+    /// converged to α-fairness.
+    pub time_to_alpha_fair: Option<f64>,
+    /// JFI of the last retained window.
+    pub final_jfi: Option<f64>,
+}
+
 /// Machine-readable provenance record for one simulator run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -113,6 +142,9 @@ pub struct RunManifest {
     /// profile's own JSON is single-line and integers-only, so it embeds
     /// in both the pretty and inline manifest forms without float drift.
     pub profile: Option<ccsim_prof::Profile>,
+    /// Timeline capture summary when the run sampled a windowed timeline
+    /// (absent otherwise, so legacy manifests re-serialize byte-identically).
+    pub timeline: Option<ManifestTimeline>,
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -344,6 +376,29 @@ impl RunManifest {
             s.push_str(",\n  \"profile\": ");
             s.push_str(&p.to_json());
         }
+        if let Some(t) = &self.timeline {
+            s.push_str(&format!(
+                ",\n  \"timeline\": {{\"window_secs\": {}, \"rows\": {}, \
+                 \"retained\": {}, \"evicted\": {}, \"flows_sampled\": {}, \
+                 \"series\": {}, \"alpha\": {}, \"time_to_alpha_fair\": {}, \
+                 \"final_jfi\": {}}}",
+                json_f64(t.window_secs),
+                t.rows,
+                t.retained,
+                t.evicted,
+                t.flows_sampled,
+                t.series,
+                json_f64(t.alpha),
+                match t.time_to_alpha_fair {
+                    Some(v) => json_f64(v),
+                    None => "null".into(),
+                },
+                match t.final_jfi {
+                    Some(v) => json_f64(v),
+                    None => "null".into(),
+                },
+            ));
+        }
         s.push_str("\n}");
         s
     }
@@ -384,6 +439,10 @@ impl RunManifest {
             ),
             None => None,
         };
+        let timeline = match field_section(json, "timeline") {
+            Some(sec) => Some(parse_timeline(sec)?),
+            None => None,
+        };
         Ok(RunManifest {
             scenario: field_str(json, "scenario")?,
             seed: field_u64(json, "seed")?,
@@ -406,6 +465,7 @@ impl RunManifest {
             events_by_kind,
             bottlenecks,
             profile,
+            timeline,
         })
     }
 
@@ -439,6 +499,29 @@ fn parse_kind_counts(sec: &str) -> Vec<(String, u64)> {
         }
     }
     out
+}
+
+fn parse_timeline(sec: &str) -> io::Result<ManifestTimeline> {
+    let opt_f64 = |key: &str| -> io::Result<Option<f64>> {
+        match field_raw(sec, key) {
+            Some("null") | None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| bad(format!("timeline \"{key}\" is not a number"))),
+        }
+    };
+    Ok(ManifestTimeline {
+        window_secs: field_f64(sec, "window_secs")?,
+        rows: field_u64(sec, "rows")?,
+        retained: field_u64(sec, "retained")?,
+        evicted: field_u64(sec, "evicted")?,
+        flows_sampled: field_u64(sec, "flows_sampled")? as u32,
+        series: field_u64(sec, "series")? as u32,
+        alpha: field_f64(sec, "alpha")?,
+        time_to_alpha_fair: opt_f64("time_to_alpha_fair")?,
+        final_jfi: opt_f64("final_jfi")?,
+    })
 }
 
 fn parse_bottlenecks(sec: &str) -> io::Result<Vec<ManifestBottleneck>> {
@@ -490,6 +573,7 @@ mod tests {
             events_by_kind: Vec::new(),
             bottlenecks: Vec::new(),
             profile: None,
+            timeline: None,
         }
     }
 
@@ -534,6 +618,17 @@ mod tests {
             )
             .unwrap(),
         );
+        m.timeline = Some(ManifestTimeline {
+            window_secs: 2.0,
+            rows: 80,
+            retained: 64,
+            evicted: 16,
+            flows_sampled: 64,
+            series: 326,
+            alpha: 0.9,
+            time_to_alpha_fair: Some(41.5000000003),
+            final_jfi: Some(0.98765),
+        });
         m
     }
 
@@ -561,6 +656,7 @@ mod tests {
         assert!(!json.contains("events_by_kind"));
         assert!(!json.contains("bottlenecks"));
         assert!(!json.contains("\"profile\""));
+        assert!(!json.contains("\"timeline\""));
         // dispatch_secs is a scalar and always present.
         assert!(json.contains("\"dispatch_secs\""));
     }
@@ -593,7 +689,8 @@ mod tests {
                 !(t.starts_with("\"dispatch_secs\"")
                     || t.starts_with("\"events_by_kind\"")
                     || t.starts_with("\"bottlenecks\"")
-                    || t.starts_with("\"profile\""))
+                    || t.starts_with("\"profile\"")
+                    || t.starts_with("\"timeline\""))
             })
             .collect::<Vec<_>>()
             .join("\n");
@@ -607,7 +704,28 @@ mod tests {
         m.events_by_kind.clear();
         m.bottlenecks.clear();
         m.profile = None;
+        m.timeline = None;
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn unconverged_timeline_round_trips_its_nulls() {
+        let mut m = sample();
+        m.timeline = Some(ManifestTimeline {
+            window_secs: 1.0,
+            rows: 3,
+            retained: 3,
+            evicted: 0,
+            flows_sampled: 2,
+            series: 12,
+            alpha: 0.95,
+            time_to_alpha_fair: None,
+            final_jfi: None,
+        });
+        let json = m.to_json();
+        assert!(json.contains("\"time_to_alpha_fair\": null"));
+        assert_eq!(RunManifest::from_json(&json).unwrap(), m);
+        assert_eq!(RunManifest::from_json(&m.to_json_inline()).unwrap(), m);
     }
 
     #[test]

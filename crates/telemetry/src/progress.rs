@@ -67,6 +67,7 @@ pub struct RunProgress {
     last_draw: Option<Instant>,
     last_events: u64,
     last_events_at: Instant,
+    last_sim_secs: f64,
     last_fraction_drawn: f64,
     needs_clear: bool,
 }
@@ -82,6 +83,7 @@ impl RunProgress {
             last_draw: None,
             last_events: 0,
             last_events_at: now,
+            last_sim_secs: 0.0,
             last_fraction_drawn: -1.0,
             needs_clear: false,
         }
@@ -91,6 +93,18 @@ impl RunProgress {
     /// engine events processed so far. Draws at most ~4×/sec on a TTY,
     /// once per 10% otherwise.
     pub fn update(&mut self, fraction: f64, events_processed: u64) {
+        self.draw(fraction, events_processed, None);
+    }
+
+    /// Like [`RunProgress::update`], additionally reporting the current
+    /// sim-time position (seconds) so the line shows the *instantaneous*
+    /// sim-time/wall-time ratio — how much faster than real time the
+    /// engine is moving right now, not averaged over the whole run.
+    pub fn update_sim(&mut self, fraction: f64, events_processed: u64, sim_secs: f64) {
+        self.draw(fraction, events_processed, Some(sim_secs));
+    }
+
+    fn draw(&mut self, fraction: f64, events_processed: u64, sim_secs: Option<f64>) {
         let now = Instant::now();
         let due = if self.tty {
             self.last_draw
@@ -101,14 +115,23 @@ impl RunProgress {
         if !due || fraction >= 1.0 {
             return;
         }
-        let rate = {
-            let dt = (now - self.last_events_at).as_secs_f64();
+        let dt = (now - self.last_events_at).as_secs_f64();
+        let rate = if dt > 0.0 {
+            (events_processed.saturating_sub(self.last_events)) as f64 / dt
+        } else {
+            0.0
+        };
+        // Instantaneous Δsim/Δwall over the same interval as the rate.
+        let ratio = sim_secs.map(|sim| {
             if dt > 0.0 {
-                (events_processed.saturating_sub(self.last_events)) as f64 / dt
+                (sim - self.last_sim_secs).max(0.0) / dt
             } else {
                 0.0
             }
-        };
+        });
+        if let Some(sim) = sim_secs {
+            self.last_sim_secs = sim;
+        }
         self.last_events = events_processed;
         self.last_events_at = now;
         self.last_draw = Some(now);
@@ -123,13 +146,16 @@ impl RunProgress {
         } else {
             "?".to_string()
         };
-        let line = format!(
+        let mut line = format!(
             "[{}] {:5.1}% | ETA {} | {} ev/s",
             self.label,
             fraction * 100.0,
             eta,
             fmt_si(rate)
         );
+        if let Some(r) = ratio {
+            line.push_str(&format!(" | {r:.1}x rt"));
+        }
         let mut err = std::io::stderr().lock();
         if self.tty {
             // Pad to clear any longer previous line.
@@ -428,5 +454,16 @@ mod tests {
         p.update(0.5, 1000);
         p.update(1.0, 2000);
         p.finish(2000);
+    }
+
+    #[test]
+    fn run_progress_with_sim_ratio_smoke() {
+        let mut p = RunProgress::new("test");
+        p.update_sim(0.0, 0, 0.0);
+        p.update_sim(0.3, 1000, 21.0);
+        // Mixing the plain form in keeps working (ratio just disappears).
+        p.update(0.6, 2000);
+        p.update_sim(0.9, 3000, 63.0);
+        p.finish(3000);
     }
 }

@@ -1,0 +1,166 @@
+//! Bounded columnar storage for windowed series.
+//!
+//! A [`ColumnSet`] is a set of lockstep ring buffers: one row per closed
+//! window, one column per series, plus the row's end instant and span.
+//! Like `ccsim-trace`'s `SampleRing`, capacity derives from a byte budget
+//! and the oldest rows are evicted first — a multi-hour run keeps the
+//! most recent history rather than OOMing or stopping capture.
+
+use std::collections::VecDeque;
+
+/// One value cell is an `f64`; a row costs `8 * (2 + n_cols)` bytes
+/// (time + span + one cell per column).
+const CELL_BYTES: usize = std::mem::size_of::<f64>();
+
+/// Lockstep columnar rings under a shared byte budget.
+#[derive(Debug, Clone)]
+pub struct ColumnSet {
+    times: VecDeque<f64>,
+    spans: VecDeque<f64>,
+    cols: Vec<VecDeque<f64>>,
+    cap_rows: usize,
+    pushed: u64,
+    evicted: u64,
+}
+
+impl ColumnSet {
+    /// A column set with `n_cols` series whose retained rows fit in
+    /// `budget_bytes`. At least one row is always retained.
+    pub fn new(n_cols: usize, budget_bytes: u64) -> ColumnSet {
+        let row_bytes = (CELL_BYTES * (2 + n_cols)) as u64;
+        let cap_rows = (budget_bytes / row_bytes.max(1)).max(1) as usize;
+        ColumnSet {
+            times: VecDeque::new(),
+            spans: VecDeque::new(),
+            cols: vec![VecDeque::new(); n_cols],
+            cap_rows,
+            pushed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Number of series columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Retained row count.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no rows are retained.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Total rows ever pushed (retained + evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Rows dropped to stay under budget.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Retention cap in rows (derived from the byte budget).
+    pub fn cap_rows(&self) -> usize {
+        self.cap_rows
+    }
+
+    /// Append one row; evicts the oldest row when at capacity.
+    ///
+    /// # Panics
+    /// Panics when `values.len() != n_cols()`.
+    pub fn push(&mut self, t_secs: f64, span_secs: f64, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.cols.len(),
+            "row arity must match column count"
+        );
+        if self.times.len() == self.cap_rows {
+            self.times.pop_front();
+            self.spans.pop_front();
+            for col in &mut self.cols {
+                col.pop_front();
+            }
+            self.evicted += 1;
+        }
+        self.times.push_back(t_secs);
+        self.spans.push_back(span_secs);
+        for (col, &v) in self.cols.iter_mut().zip(values) {
+            col.push_back(v);
+        }
+        self.pushed += 1;
+    }
+
+    /// Row end instants (seconds), oldest first.
+    pub fn times(&self) -> impl Iterator<Item = f64> + '_ {
+        self.times.iter().copied()
+    }
+
+    /// Row spans (seconds), oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = f64> + '_ {
+        self.spans.iter().copied()
+    }
+
+    /// Column `c`'s retained values, oldest first.
+    ///
+    /// # Panics
+    /// Panics when `c >= n_cols()`.
+    pub fn column(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
+        self.cols[c].iter().copied()
+    }
+
+    /// Row `r` as `(t_secs, span_secs, values)` with `r = 0` the oldest
+    /// retained row. `None` past the end.
+    pub fn row(&self, r: usize) -> Option<(f64, f64, Vec<f64>)> {
+        let t = *self.times.get(r)?;
+        let span = *self.spans.get(r)?;
+        let values = self.cols.iter().map(|c| c[r]).collect();
+        Some((t, span, values))
+    }
+
+    /// Approximate resident bytes (buffers + header).
+    pub fn memory_bytes(&self) -> usize {
+        let buf = |d: &VecDeque<f64>| d.capacity() * CELL_BYTES;
+        std::mem::size_of::<ColumnSet>()
+            + buf(&self.times)
+            + buf(&self.spans)
+            + self.cols.iter().map(buf).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_derives_capacity_and_floors_at_one() {
+        // 3 cols -> 40 bytes/row; 200-byte budget -> 5 rows.
+        assert_eq!(ColumnSet::new(3, 200).cap_rows(), 5);
+        assert_eq!(ColumnSet::new(1000, 1).cap_rows(), 1);
+    }
+
+    #[test]
+    fn push_beyond_capacity_drops_oldest_in_lockstep() {
+        let mut cs = ColumnSet::new(2, 2 * 8 * 4); // cap = 2 rows
+        cs.push(1.0, 1.0, &[10.0, 100.0]);
+        cs.push(2.0, 1.0, &[20.0, 200.0]);
+        cs.push(3.0, 1.0, &[30.0, 300.0]);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.pushed(), 3);
+        assert_eq!(cs.evicted(), 1);
+        assert_eq!(cs.times().collect::<Vec<_>>(), vec![2.0, 3.0]);
+        assert_eq!(cs.column(1).collect::<Vec<_>>(), vec![200.0, 300.0]);
+        assert_eq!(cs.row(0), Some((2.0, 1.0, vec![20.0, 200.0])));
+        assert_eq!(cs.row(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn wrong_arity_panics() {
+        ColumnSet::new(2, 1024).push(1.0, 1.0, &[1.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests of the row semantics at slice edges: for ANY slice
+//! boundary pattern and ANY window width, the rows closed by the sampler
+//! tile the run — spans chain with no gap or overlap, and the per-row
+//! deltas telescope exactly back to the cumulative counters, so no sample
+//! is lost or double-counted where a slice meets a window boundary.
+
+use ccsim_sim::{SimDuration, SimTime};
+use ccsim_timeline::{FlowPoint, LinkPoint, Timeline, TimelineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rows_tile_and_deltas_telescope(
+        window_ms in 1u64..500,
+        slice_ms in prop::collection::vec(1u64..200, 1..60),
+        increments in prop::collection::vec((0u64..10_000, 0u64..5, 0u64..20_000), 1..60),
+    ) {
+        let cfg = TimelineConfig {
+            window: SimDuration::from_millis(window_ms),
+            ..TimelineConfig::default()
+        };
+        let mut tl = Timeline::new(cfg, 1, 1, SimTime::ZERO);
+
+        let mut now_ms = 0u64;
+        let mut delivered = 0u64;
+        let mut retrans = 0u64;
+        let mut link_tx = 0u64;
+        let mut pushed_at = Vec::new();
+        for (i, dt) in slice_ms.iter().enumerate() {
+            now_ms += dt;
+            let (d, r, tx) = increments[i % increments.len()];
+            delivered += d;
+            retrans += r;
+            link_tx += tx;
+            let now = SimTime::from_millis(now_ms);
+            if tl.wants_row(now) {
+                let fp = FlowPoint {
+                    retransmits: retrans,
+                    cwnd_bytes: 1,
+                    srtt_secs: 0.01,
+                    inflight_bytes: 0,
+                };
+                let lp = LinkPoint {
+                    transmitted_bytes: link_tx,
+                    dropped_pkts: 0,
+                    ce_marked_pkts: 0,
+                    queue_bytes: 0,
+                    rate_bytes_per_sec: 125_000.0,
+                };
+                tl.push_row(now, &[delivered], &[fp], &[lp]);
+                pushed_at.push(now_ms);
+            }
+        }
+        let rows = tl.rows();
+        prop_assert_eq!(rows.pushed() as usize, pushed_at.len());
+        prop_assert_eq!(rows.evicted(), 0, "tiny run must not evict");
+
+        // Spans tile: each row's end minus its span is the previous end.
+        let times: Vec<f64> = rows.times().collect();
+        let spans: Vec<f64> = rows.spans().collect();
+        let mut prev_end = 0.0;
+        for (t, span) in times.iter().zip(&spans) {
+            prop_assert!((t - span - prev_end).abs() < 1e-9,
+                "gap/overlap at row ending {t}: span {span}, prev end {prev_end}");
+            prop_assert!(*span > 0.0);
+            prev_end = *t;
+        }
+
+        // Each row closed at the first slice boundary at/after a window
+        // boundary: the previous row's window index is strictly smaller.
+        for w in pushed_at.windows(2) {
+            prop_assert!(w[0] / window_ms < w[1] / window_ms,
+                "two rows inside one window: {} and {} (w={window_ms})", w[0], w[1]);
+        }
+
+        // Deltas telescope exactly: summing goodput*span (and retrans /
+        // link-tx deltas) over all rows reproduces the cumulative totals
+        // up to the last closed row — nothing lost, nothing double-counted.
+        if !times.is_empty() {
+            let goodput: f64 = rows.column(2).zip(&spans).map(|(g, s)| g * s).sum();
+            let retrans_total: f64 = rows.column(6).sum();
+            let util_bytes: f64 = rows
+                .column(7)
+                .zip(&spans)
+                .map(|(u, s)| u * 125_000.0 * s)
+                .sum();
+
+            // Cumulative totals as of the last pushed row.
+            let last = *pushed_at.last().unwrap();
+            let mut cum_d = 0u64;
+            let mut cum_r = 0u64;
+            let mut cum_tx = 0u64;
+            let mut ms = 0u64;
+            for (i, dt) in slice_ms.iter().enumerate() {
+                ms += dt;
+                if ms > last {
+                    break;
+                }
+                let (d, r, tx) = increments[i % increments.len()];
+                cum_d += d;
+                cum_r += r;
+                cum_tx += tx;
+            }
+            prop_assert!((goodput - cum_d as f64).abs() < 1e-6 * (1.0 + cum_d as f64),
+                "goodput·span sum {goodput} != delivered {cum_d}");
+            prop_assert!((retrans_total - cum_r as f64).abs() < 1e-9);
+            prop_assert!((util_bytes - cum_tx as f64).abs() < 1e-6 * (1.0 + cum_tx as f64),
+                "utilization-implied bytes {util_bytes} != transmitted {cum_tx}");
+        }
+    }
+
+    /// A forced mid-window close (the warm-up boundary) composes with grid
+    /// closes: tiling and telescoping still hold around the reset.
+    #[test]
+    fn forced_close_and_link_reset_never_corrupt_deltas(
+        window_ms in 5u64..100,
+        warmup_ms in 1u64..150,
+        steps in prop::collection::vec((1u64..40, 0u64..1_000), 2..40),
+    ) {
+        let cfg = TimelineConfig {
+            window: SimDuration::from_millis(window_ms),
+            ..TimelineConfig::default()
+        };
+        let mut tl = Timeline::new(cfg, 1, 1, SimTime::ZERO);
+        let mut now_ms = 0u64;
+        let mut tx_total = 0u64;   // what the wire actually carried
+        let mut tx_counter = 0u64; // the resettable link counter
+        let mut reset_done = false;
+        let fp = FlowPoint { retransmits: 0, cwnd_bytes: 1, srtt_secs: 0.01, inflight_bytes: 0 };
+        let lp = |tx| LinkPoint {
+            transmitted_bytes: tx,
+            dropped_pkts: 0,
+            ce_marked_pkts: 0,
+            queue_bytes: 0,
+            rate_bytes_per_sec: 1_000.0,
+        };
+        for &(dt, tx) in &steps {
+            now_ms += dt;
+            tx_total += tx;
+            tx_counter += tx;
+            let now = SimTime::from_millis(now_ms);
+            if !reset_done && now_ms >= warmup_ms {
+                // Forced close before the counter reset, as the runner does.
+                tl.push_row(now, &[0], &[fp], &[lp(tx_counter)]);
+                tx_counter = 0;
+                tl.note_link_reset();
+                reset_done = true;
+            } else if tl.wants_row(now) {
+                tl.push_row(now, &[0], &[fp], &[lp(tx_counter)]);
+            }
+        }
+        // Close out whatever remains so the totals are comparable.
+        let end = SimTime::from_millis(now_ms + 1);
+        tl.push_row(end, &[0], &[fp], &[lp(tx_counter)]);
+
+        let rows = tl.rows();
+        let spans: Vec<f64> = rows.spans().collect();
+        let wire_bytes: f64 = rows
+            .column(7)
+            .zip(&spans)
+            .map(|(u, s)| u * 1_000.0 * s)
+            .sum();
+        prop_assert!((wire_bytes - tx_total as f64).abs() < 1e-6 * (1.0 + tx_total as f64),
+            "reset lost or double-counted bytes: {wire_bytes} != {tx_total}");
+    }
+}

@@ -8,11 +8,16 @@
 //!             [--warmup <s>] [--duration <s>] [--jitter <s>]
 //!             [--fidelity quick|standard|paper] [--json]
 //!             [--metrics <path>] [--quiet]
+//!             [--timeline] [--timeline-window <ms>] [--timeline-out <path>]
+//!             [--serve <port>]
 //! ccsim trace <run flags> [--out <prefix>] [--format jsonl|bin|both]
 //!             [--policy keepall|decimate:N|reservoir:K]
 //!             [--trace-budget <bytes>] [--queue-every <n>]
 //!             [--sync-bin <ms>]
 //! ccsim perf  <run flags> [--folded <path>] [--stride <events>]
+//! ccsim timeline <run flags> [--window <ms>] [--budget <bytes>]
+//!             [--max-flows <n>] [--out <path>] [--format jsonl|cctl]
+//!             [--serve <port>]
 //! ccsim replay <bundle-dir> [--json] [--quiet]
 //! ccsim bisect <a.json> <b.json> [--out <dir>]
 //! ccsim campaign run <spec.json> [--workers N] [--ledger <path>] ...
@@ -35,6 +40,17 @@
 //! text-exposition dump is written to `<path>` and a provenance manifest
 //! to `<path with extension .manifest.json>`. Observation is inert — the
 //! simulated outcome is bit-identical with or without it.
+//!
+//! `timeline` runs the experiment with the windowed time-series sampler
+//! attached (also digest-inert) and prints the capture summary — rows,
+//! eviction, time-to-α-fair — plus a unicode JFI trajectory; `--out`
+//! exports the retained rows as JSONL or columnar `.cctl`. The same
+//! sampler rides along on a plain `run` via `--timeline`
+//! (`--timeline-window` tunes the window, `--timeline-out` exports; a
+//! `.cctl` extension selects the binary form). `--serve <port>` binds
+//! `127.0.0.1:<port>` for the duration of the run and serves the live
+//! Prometheus exposition at `/metrics` and the rolling timeline at
+//! `/timeline.jsonl`, refreshed at every progress slice.
 //!
 //! Robustness flags (shared by `run` and `trace`):
 //!
@@ -88,7 +104,7 @@
 use ccsim::cca::CcaKind;
 use ccsim::experiments::{
     run_guarded_with_progress, run_with_progress, CrashBundle, Fidelity, FlowGroup, GuardOptions,
-    ObserveOptions, RunOutcome, Scenario,
+    LiveState, ObserveOptions, RunOutcome, Scenario, Timeline, TimelineConfig,
 };
 use ccsim::fault::{FaultPlan, WatchdogConfig};
 use ccsim::net::AqmKind;
@@ -104,12 +120,16 @@ const USAGE: &str = "usage: ccsim run [--setting edge|core] [--bw <mbps>] \
     [--aqm droptail|red|codel|pie] [--ecn] \
     [--seed N] [--warmup <s>] [--duration <s>] [--jitter <s>] \
     [--fidelity quick|standard|paper] [--json] [--metrics <path>] [--quiet] \
+    [--timeline] [--timeline-window <ms>] [--timeline-out <path>] \
+    [--serve <port>] \
     [--fault <spec> ...] [--watchdog] [--crash-dir <dir>] [--force-panic <s>] \
     [--checkpoint-at <s>] [--checkpoint-out <path>] [--resume-from <ckpt>]\n\
     \x20      ccsim trace <run flags> [--out <prefix>] \
     [--format jsonl|bin|both] [--policy keepall|decimate:N|reservoir:K] \
     [--trace-budget <bytes>] [--queue-every <n>] [--sync-bin <ms>]\n\
     \x20      ccsim perf <run flags> [--folded <path>] [--stride <events>]\n\
+    \x20      ccsim timeline <run flags> [--window <ms>] [--budget <bytes>] \
+    [--max-flows <n>] [--out <path>] [--format jsonl|cctl] [--serve <port>]\n\
     \x20      ccsim replay <bundle-dir> [--json] [--quiet]\n\
     \x20      ccsim bisect <a.json> <b.json> [--out <dir>]\n\
     \x20      ccsim campaign run|report|diff ... (ccsim campaign --help)\n\
@@ -131,6 +151,13 @@ fn help() -> ! {
         "\n--metrics <path> writes a Prometheus metrics dump to <path> and a\n\
          run manifest to <path>.manifest.json; the simulated outcome is\n\
          unchanged. --quiet suppresses the live progress line.\n\
+         timeline attaches the windowed time-series sampler (digest-inert)\n\
+         and prints the capture summary plus a unicode JFI trajectory;\n\
+         --out exports the retained rows (--format jsonl|cctl). The same\n\
+         sampler rides on run via --timeline/--timeline-window/--timeline-out\n\
+         (a .cctl extension selects the binary form). --serve <port> serves\n\
+         the live run at http://127.0.0.1:<port>/metrics and\n\
+         /timeline.jsonl until the run completes.\n\
          perf runs the same experiment with the ccsim-prof event-attribution\n\
          profiler attached (digest-inert) and prints the per-(class x kind)\n\
          wall-time/event matrix, timer-wheel counters, and memory accounts;\n\
@@ -210,13 +237,15 @@ fn parse_fault(plan: FaultPlan, spec: &str) -> FaultPlan {
     }
 }
 
-/// Everything the flag parser produces. The `run`, `trace`, and `perf`
-/// subcommands share one parser: `trace` is `run` plus the trace-only
-/// flags, `perf` is `run` plus the profiler flags; mode-specific flags
-/// are rejected under the other modes.
+/// Everything the flag parser produces. The `run`, `trace`, `perf`, and
+/// `timeline` subcommands share one parser: `trace` is `run` plus the
+/// trace-only flags, `perf` is `run` plus the profiler flags, `timeline`
+/// is `run` plus the sampler flags; mode-specific flags are rejected
+/// under the other modes.
 struct Cli {
     tracing: bool,
     perf: bool,
+    timeline_cmd: bool,
     scenario: Scenario,
     json: bool,
     quiet: bool,
@@ -231,6 +260,10 @@ struct Cli {
     checkpoint_at: Option<SimTime>,
     checkpoint_out: PathBuf,
     resume_from: Option<PathBuf>,
+    timeline: Option<TimelineConfig>,
+    timeline_out: Option<String>,
+    timeline_format: String,
+    serve_port: Option<u16>,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
@@ -240,11 +273,12 @@ fn parse_cli(args: &[String]) -> Cli {
     {
         help();
     }
-    let (tracing, perf) = match args.first().map(String::as_str) {
-        Some("run") => (false, false),
-        Some("trace") => (true, false),
-        Some("perf") => (false, true),
-        _ => usage("expected subcommand 'run', 'trace', or 'perf'"),
+    let (tracing, perf, timeline_cmd) = match args.first().map(String::as_str) {
+        Some("run") => (false, false, false),
+        Some("trace") => (true, false, false),
+        Some("perf") => (false, true, false),
+        Some("timeline") => (false, false, true),
+        _ => usage("expected subcommand 'run', 'trace', 'perf', or 'timeline'"),
     };
     let mut scenario = Scenario::edge_scale().named("cli");
     let mut flows = Vec::new();
@@ -265,6 +299,12 @@ fn parse_cli(args: &[String]) -> Cli {
     let mut checkpoint_at = None;
     let mut checkpoint_out = PathBuf::from("ccsim.ckpt");
     let mut resume_from = None;
+    // The sampler is always on under the timeline subcommand; `run` opts
+    // in with --timeline (or any --timeline-* flag).
+    let mut timeline = timeline_cmd.then(TimelineConfig::default);
+    let mut timeline_out = None;
+    let mut timeline_format = String::from("jsonl");
+    let mut serve_port = None;
     let mut i = 1;
     while i < args.len() {
         let take = |i: &mut usize| -> &String {
@@ -329,6 +369,34 @@ fn parse_cli(args: &[String]) -> Cli {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--metrics" => metrics_out = Some(take(&mut i).clone()),
+            "--timeline" => {
+                timeline.get_or_insert_with(TimelineConfig::default);
+            }
+            "--timeline-window" => {
+                let ms: u64 = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --timeline-window"));
+                if ms == 0 {
+                    usage("--timeline-window must be at least 1 ms");
+                }
+                timeline.get_or_insert_with(TimelineConfig::default).window =
+                    SimDuration::from_millis(ms);
+            }
+            "--timeline-out" => {
+                let path = take(&mut i).clone();
+                if path.ends_with(".cctl") {
+                    timeline_format = String::from("cctl");
+                }
+                timeline_out = Some(path);
+                timeline.get_or_insert_with(TimelineConfig::default);
+            }
+            "--serve" => {
+                serve_port = Some(
+                    take(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --serve port")),
+                );
+            }
             "--fault" => fault = parse_fault(fault, take(&mut i)),
             "--watchdog" => watchdog = true,
             "--crash-dir" => crash_dir = Some(PathBuf::from(take(&mut i))),
@@ -367,6 +435,47 @@ fn parse_cli(args: &[String]) -> Cli {
             other if matches!(other, "--folded" | "--stride") => {
                 usage(&format!("{other} is only valid with the perf subcommand"))
             }
+            // ----- timeline-only flags -----------------------------------
+            "--window" if timeline_cmd => {
+                let ms: u64 = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --window"));
+                if ms == 0 {
+                    usage("--window must be at least 1 ms");
+                }
+                timeline.get_or_insert_with(TimelineConfig::default).window =
+                    SimDuration::from_millis(ms);
+            }
+            "--budget" if timeline_cmd => {
+                timeline
+                    .get_or_insert_with(TimelineConfig::default)
+                    .budget_bytes = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --budget"));
+            }
+            "--max-flows" if timeline_cmd => {
+                timeline
+                    .get_or_insert_with(TimelineConfig::default)
+                    .max_flows = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --max-flows"));
+            }
+            "--out" if timeline_cmd => {
+                let path = take(&mut i).clone();
+                if path.ends_with(".cctl") {
+                    timeline_format = String::from("cctl");
+                }
+                timeline_out = Some(path);
+            }
+            "--format" if timeline_cmd => {
+                timeline_format = take(&mut i).clone();
+                if !matches!(timeline_format.as_str(), "jsonl" | "cctl") {
+                    usage(&format!("bad --format {timeline_format} (want jsonl|cctl)"));
+                }
+            }
+            other if matches!(other, "--window" | "--budget" | "--max-flows") => usage(&format!(
+                "{other} is only valid with the timeline subcommand"
+            )),
             // ----- trace-only flags --------------------------------------
             "--out" if tracing => out = take(&mut i).clone(),
             "--format" if tracing => {
@@ -404,7 +513,9 @@ fn parse_cli(args: &[String]) -> Cli {
                         | "--sync-bin"
                 ) =>
             {
-                usage(&format!("{other} is only valid with the trace subcommand"))
+                usage(&format!(
+                    "{other} is only valid with the trace (or timeline) subcommand"
+                ))
             }
             other => usage(&format!("unknown argument {other}")),
         }
@@ -413,15 +524,17 @@ fn parse_cli(args: &[String]) -> Cli {
     if resume_from.is_some() {
         // The checkpoint carries its own scenario; re-specifying one (or
         // mixing in other run modes) would silently be ignored.
-        if !flows.is_empty() || tracing || perf {
+        if !flows.is_empty() || tracing || perf || timeline_cmd {
             usage("--resume-from runs the checkpoint's own scenario (plain run only; no --flows)");
         }
         if metrics_out.is_some()
             || crash_dir.is_some()
             || force_panic.is_some()
             || checkpoint_at.is_some()
+            || timeline.is_some()
+            || serve_port.is_some()
         {
-            usage("--resume-from cannot be combined with --metrics/--crash-dir/--force-panic/--checkpoint-at");
+            usage("--resume-from cannot be combined with --metrics/--crash-dir/--force-panic/--checkpoint-at/--timeline/--serve");
         }
     } else {
         if flows.is_empty() {
@@ -451,12 +564,18 @@ fn parse_cli(args: &[String]) -> Cli {
     if perf && (crash_dir.is_some() || force_panic.is_some()) {
         usage("perf cannot be combined with --crash-dir/--force-panic");
     }
+    if (timeline.is_some() || serve_port.is_some())
+        && (crash_dir.is_some() || force_panic.is_some())
+    {
+        usage("--timeline/--serve cannot be combined with --crash-dir/--force-panic");
+    }
     if checkpoint_at.is_some() && (tracing || crash_dir.is_some() || force_panic.is_some()) {
         usage("--checkpoint-at works with run and perf only (not trace/--crash-dir/--force-panic)");
     }
     Cli {
         tracing,
         perf,
+        timeline_cmd,
         scenario,
         json,
         quiet,
@@ -471,12 +590,17 @@ fn parse_cli(args: &[String]) -> Cli {
         checkpoint_at,
         checkpoint_out,
         resume_from,
+        timeline,
+        timeline_out,
+        timeline_format,
+        serve_port,
     }
 }
 
 const CAMPAIGN_USAGE: &str = "usage: ccsim campaign run <spec.json> [--workers N] \
     [--ledger <path>] [--report <path>] [--html] [--crash-dir <dir>] \
     [--bench <path>] [--profile] [--quiet] [--resume <ledger>] \
+    [--timeline] [--timeline-window <ms>] [--serve <port>] \
     [--job-budget <s>] [--heartbeat-timeout <s>] [--retries N] \
     [--backoff <ms>] [--force-panic-job <substr>] [--force-hang-job <substr>]\n\
     \x20      ccsim campaign report <ledger.jsonl> [--out <path>] [--html]\n\
@@ -500,7 +624,13 @@ fn campaign_help() -> ! {
          --bench writes a machine-readable run summary. --profile attaches\n\
          the digest-inert ccsim-prof profiler to every job, embedding a\n\
          Profile section and per-event-kind events/s in each ledger entry\n\
-         (what the sentinel's per-kind eps gate compares).\n\
+         (what the sentinel's per-kind eps gate compares). --timeline\n\
+         attaches the digest-inert windowed sampler to every job, filling\n\
+         each entry's convergence_time (time-to-α-fair) — what the\n\
+         sentinel's convergence gate and the report's convergence columns\n\
+         read; --timeline-window tunes the window. --serve <port> serves\n\
+         the campaign live at http://127.0.0.1:<port>/metrics and\n\
+         /timeline.jsonl (the most recently progressing job wins).\n\
          report renders a ledger as Markdown (or --html) to --out or stdout.\n\
          diff is the regression sentinel: it compares two ledgers of the\n\
          same campaign and exits 1 on any finding — outcome-digest change\n\
@@ -550,6 +680,7 @@ fn campaign_run(args: &[String]) -> ! {
     let mut report_path = None;
     let mut bench_path = None;
     let mut resume_path: Option<String> = None;
+    let mut serve_port: Option<u16> = None;
     let mut html = false;
     let mut quiet = false;
     let mut i = 0;
@@ -570,6 +701,27 @@ fn campaign_run(args: &[String]) -> ! {
             "--bench" => bench_path = Some(take(&mut i).clone()),
             "--crash-dir" => opts.crash_dir = Some(PathBuf::from(take(&mut i))),
             "--profile" => opts.profile = true,
+            "--timeline" => {
+                opts.timeline.get_or_insert_with(TimelineConfig::default);
+            }
+            "--timeline-window" => {
+                let ms: u64 = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| campaign_usage("bad --timeline-window"));
+                if ms == 0 {
+                    campaign_usage("--timeline-window must be at least 1 ms");
+                }
+                opts.timeline
+                    .get_or_insert_with(TimelineConfig::default)
+                    .window = SimDuration::from_millis(ms);
+            }
+            "--serve" => {
+                serve_port = Some(
+                    take(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| campaign_usage("bad --serve port")),
+                );
+            }
             "--resume" => resume_path = Some(take(&mut i).clone()),
             "--job-budget" => {
                 let secs: f64 = take(&mut i)
@@ -667,6 +819,19 @@ fn campaign_run(args: &[String]) -> ! {
         jobs.len(),
         opts.workers
     );
+    // Bind before dispatching jobs so the endpoint is up for the whole
+    // campaign; every worker publishes through the shared state.
+    let serve_handle = serve_port.map(|port| {
+        let state = std::sync::Arc::new(LiveState::new());
+        opts.live = Some(std::sync::Arc::clone(&state));
+        let handle = ccsim::experiments::serve(port, std::sync::Arc::clone(&state))
+            .unwrap_or_else(|e| fail(format!("cannot bind --serve port {port}: {e}")));
+        eprintln!(
+            "serving http://{0}/metrics and http://{0}/timeline.jsonl for the campaign",
+            handle.addr()
+        );
+        (state, handle)
+    });
     let progress = (!quiet).then(|| CampaignProgress::new(&spec.name, jobs.len()));
     // The ledger is appended in completion order from worker threads; a
     // write failure is recorded and reported once at the end.
@@ -685,6 +850,13 @@ fn campaign_run(args: &[String]) -> ! {
     });
     if let Some(p) = &progress {
         p.finish();
+    }
+    if let Some((state, handle)) = serve_handle {
+        eprintln!(
+            "live endpoint served {} request(s); shutting down",
+            state.hits()
+        );
+        handle.stop();
     }
     if let Some(e) = sink.into_inner().unwrap().1 {
         fail(format!("ledger write failed: {e}"));
@@ -1066,22 +1238,43 @@ fn main() {
     };
 
     let mut perf_table = None;
-    let outcome = if cli.perf || cli.metrics_out.is_some() {
-        let options = if cli.perf {
-            ObserveOptions {
-                profile: true,
-                profile_stride: cli.stride,
-            }
-        } else {
-            ObserveOptions::default()
+    let mut timeline_capture: Option<Timeline> = None;
+    let observed =
+        cli.perf || cli.metrics_out.is_some() || cli.timeline.is_some() || cli.serve_port.is_some();
+    let outcome = if observed {
+        let options = ObserveOptions {
+            profile: cli.perf,
+            profile_stride: cli.stride,
+            timeline: cli.timeline,
         };
-        let (obs, cp) = ccsim::experiments::try_run_observed_checkpointed(
+        // The endpoint binds before the run and serves snapshots the
+        // progress hook publishes; it never touches simulator state.
+        let live = cli.serve_port.map(|port| {
+            let state = std::sync::Arc::new(LiveState::new());
+            let handle = ccsim::experiments::serve(port, std::sync::Arc::clone(&state))
+                .unwrap_or_else(|e| fail(format!("cannot bind --serve port {port}: {e}")));
+            eprintln!(
+                "serving http://{0}/metrics and http://{0}/timeline.jsonl for the run",
+                handle.addr()
+            );
+            (state, handle)
+        });
+        let (mut obs, cp) = ccsim::experiments::try_run_observed_live(
             scenario,
             options,
             cli.checkpoint_at,
+            live.as_ref().map(|(state, _)| std::sync::Arc::clone(state)),
             &mut on_progress,
         )
         .unwrap_or_else(|e| fail(format!("run failed: {e}")));
+        if let Some((state, handle)) = live {
+            eprintln!(
+                "live endpoint served {} request(s); shutting down",
+                state.hits()
+            );
+            handle.stop();
+        }
+        timeline_capture = obs.timeline.take();
         if let Some(prog) = &mut progress {
             prog.finish(obs.outcome.events_processed);
         }
@@ -1168,6 +1361,22 @@ fn main() {
         println!();
         print!("{table}");
     }
+    if let Some(tl) = &timeline_capture {
+        if cli.timeline_cmd {
+            println!();
+            print_timeline_summary(tl);
+        }
+        if let Some(path) = &cli.timeline_out {
+            let bytes = if cli.timeline_format == "cctl" {
+                ccsim::timeline::export::to_binary(tl)
+            } else {
+                ccsim::timeline::export::to_jsonl(tl).into_bytes()
+            };
+            std::fs::write(path, bytes)
+                .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+            eprintln!("wrote {path} ({})", cli.timeline_format);
+        }
+    }
 
     if cli.tracing {
         let written = outcome
@@ -1185,6 +1394,57 @@ fn main() {
             println!("wrote {}", path.display());
         }
     }
+}
+
+/// The `ccsim timeline` capture summary: row accounting, convergence,
+/// and a unicode JFI trajectory over the retained measurement windows.
+fn print_timeline_summary(tl: &Timeline) {
+    let s = tl.summary();
+    println!(
+        "timeline        : {} rows ({} retained, {} evicted), window {} s",
+        s.rows, s.retained, s.evicted, s.window_secs
+    );
+    println!(
+        "  flows sampled : {} of the run's flows ({} series, {:.1} KB retained)",
+        s.flows_sampled,
+        s.series,
+        tl.memory_bytes() as f64 / 1e3
+    );
+    match s.time_to_alpha_fair {
+        Some(t) => println!("  {}-fair after : {t:.2} s of measurement", s.alpha),
+        None => println!("  {}-fair after : never (JFI never reached α)", s.alpha),
+    }
+    if let Some(j) = s.final_jfi {
+        println!("  final JFI     : {j:.4}");
+    }
+    let (times, jfi) = tl.jfi_series();
+    if !jfi.is_empty() {
+        println!(
+            "  JFI trajectory: `{}` ({} windows from t={:.1} s)",
+            jfi_sparkline(&jfi),
+            jfi.len(),
+            times.first().copied().unwrap_or(0.0)
+        );
+    }
+}
+
+/// Scale the per-window JFI series onto eight block glyphs; idle windows
+/// (no delivery, JFI undefined) render as `·`.
+fn jfi_sparkline(jfi: &[Option<f64>]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let vals: Vec<f64> = jfi.iter().copied().flatten().collect();
+    let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    jfi.iter()
+        .map(|v| match v {
+            None => '·',
+            Some(x) => {
+                let f = if span > 0.0 { (x - lo) / span } else { 1.0 };
+                GLYPHS[((f * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
 }
 
 fn print_trace_summary(o: &RunOutcome, sync_bin: SimDuration) {

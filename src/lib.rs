@@ -14,6 +14,10 @@
 //! * [`tcp`] — the TCP endpoint model (SACK, PRR, RTO, pacing).
 //! * [`cca`] — NewReno, CUBIC, BBRv1.
 //! * [`telemetry`] — flow metrics and throughput tracking.
+//! * [`timeline`] — digest-inert windowed time-series sampler (per-flow
+//!   / per-link / aggregate series in bounded columnar rings), JSONL and
+//!   `.cctl` exporters, and the zero-dependency live metrics endpoint
+//!   behind `ccsim run --serve`.
 //! * [`analysis`] — Mathis fitting, JFI, burstiness, statistics.
 //! * [`trace`] — the memory-bounded flight recorder (cwnd/srtt/queue
 //!   traces, JSONL + columnar binary export).
@@ -57,5 +61,6 @@ pub use ccsim_resume as resume;
 pub use ccsim_sim as sim;
 pub use ccsim_tcp as tcp;
 pub use ccsim_telemetry as telemetry;
+pub use ccsim_timeline as timeline;
 pub use ccsim_topo as topo;
 pub use ccsim_trace as trace;

@@ -122,6 +122,7 @@ fn run_to_ledger(jobs: Vec<CampaignJob>, writer: LedgerWriter) {
         workers: 1,
         crash_dir: None,
         profile: false,
+        ..ExecutorOptions::default()
     };
     let sink = Mutex::new(writer);
     run_campaign_supervised(jobs, &opts, &SupervisorOptions::default(), |r| {
