@@ -88,6 +88,22 @@ mod tests {
     }
 
     #[test]
+    fn all_zero_vectors_never_yield_nan() {
+        // Regression: `sum_sq == 0` must short-circuit to `None` in both
+        // the full-vector and subset forms — a NaN here would otherwise
+        // propagate into campaign rollups and the convergence gate.
+        for n in 1..8 {
+            let zeros = vec![0.0; n];
+            assert_eq!(jain_fairness_index(&zeros), None);
+            let all: Vec<usize> = (0..n).collect();
+            assert_eq!(jain_fairness_subset(&zeros, &all), None);
+        }
+        // A subset that selects only the zero entries of a mixed vector is
+        // just as undefined as an all-zero vector.
+        assert_eq!(jain_fairness_subset(&[0.0, 5.0, 0.0], &[0, 2]), None);
+    }
+
+    #[test]
     fn jfi_is_scale_invariant() {
         let a = [1.0, 2.0, 3.0, 4.0];
         let b = [10.0, 20.0, 30.0, 40.0];

@@ -9,7 +9,7 @@
 //! a decode–encode cycle is byte-identical and a replayed scenario is
 //! bit-for-bit the one that crashed.
 
-use crate::scenario::{ConvergenceRule, FlowGroup, Scenario};
+use crate::scenario::{ConvergenceRule, FlowGroup, Scenario, Tuning};
 use ccsim_fault::json::{escape, Json, JsonError};
 use ccsim_fault::{FaultPlan, WatchdogConfig};
 use ccsim_net::AqmKind;
@@ -91,6 +91,13 @@ pub fn scenario_to_json(s: &Scenario) -> String {
     }
     if s.ecn {
         out.push_str(",\"ecn\":true");
+    }
+    if !s.tuning.is_default() {
+        let _ = write!(
+            out,
+            ",\"tuning\":{{\"delack_segments\":{},\"tx_burst\":{}}}",
+            s.tuning.delack_segments, s.tuning.tx_burst
+        );
     }
     out.push('}');
     out
@@ -215,6 +222,13 @@ pub fn scenario_from_json(text: &str) -> Result<Scenario, JsonError> {
         None => false,
         Some(v) => v.as_bool().ok_or_else(|| bad("non-boolean \"ecn\""))?,
     };
+    let tuning = match doc.get("tuning") {
+        None => Tuning::default(),
+        Some(v) => Tuning {
+            delack_segments: get_u32(v, "delack_segments")?,
+            tx_burst: get_u32(v, "tx_burst")?,
+        },
+    };
 
     Ok(Scenario {
         name: get_str(&doc, "name")?.to_string(),
@@ -234,6 +248,7 @@ pub fn scenario_from_json(text: &str) -> Result<Scenario, JsonError> {
         topology,
         aqm,
         ecn,
+        tuning,
     })
 }
 
@@ -304,6 +319,27 @@ mod tests {
         assert_eq!(back.topology, TopologyKind::ParkingLot(3));
         assert_eq!(back.aqm, AqmKind::Codel);
         assert!(back.ecn);
+        assert_eq!(scenario_to_json(&back), json);
+    }
+
+    #[test]
+    fn tuning_round_trips_and_stays_silent_at_default() {
+        // Default tuning emits no key, so pre-tuning documents re-encode
+        // byte-identically.
+        let s = full_scenario();
+        let json = scenario_to_json(&s);
+        assert!(!json.contains("\"tuning\""));
+        let back = scenario_from_json(&json).unwrap();
+        assert!(back.tuning.is_default());
+
+        let s = full_scenario().tuned(Tuning {
+            delack_segments: 4,
+            tx_burst: 8,
+        });
+        let json = scenario_to_json(&s);
+        assert!(json.contains("\"tuning\":{\"delack_segments\":4,\"tx_burst\":8}"));
+        let back = scenario_from_json(&json).unwrap();
+        assert_eq!(back.tuning, s.tuning);
         assert_eq!(scenario_to_json(&back), json);
     }
 

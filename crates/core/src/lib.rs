@@ -50,7 +50,9 @@ pub use runner::{
     try_resume_run_with_progress, try_run, try_run_with_checkpoint, try_run_with_progress,
     Progress,
 };
-pub use scenario::{ConvergenceRule, Fidelity, FlowGroup, Scenario, ScenarioError, DEFAULT_MSS};
+pub use scenario::{
+    ConvergenceRule, Fidelity, FlowGroup, Scenario, ScenarioError, Tuning, DEFAULT_MSS,
+};
 
 /// Run several scenarios in parallel, preserving input order.
 ///

@@ -41,6 +41,7 @@ use crate::scenario::Scenario;
 use ccsim_net::link::LinkMetrics;
 use ccsim_net::msg::Msg;
 use ccsim_resume::Checkpoint;
+use ccsim_sim::jsonfmt::safe_rate;
 use ccsim_sim::SimTime;
 use ccsim_tcp::sender::SenderMetrics;
 use ccsim_telemetry::manifest::{fnv1a_64, ManifestBottleneck, ManifestTimeline, RunManifest};
@@ -387,16 +388,10 @@ where
         .find(|(label, _)| *label == "dispatch")
         .map_or(0, |(_, s)| s.total_nanos);
     let dispatch_secs = dispatch_nanos as f64 / 1e9;
-    let events_per_sec = if dispatch_secs > 0.0 {
-        outcome.events_processed as f64 / dispatch_secs
-    } else {
-        0.0
-    };
-    let sim_wall_ratio = if wall_secs > 0.0 {
-        sim_secs / wall_secs
-    } else {
-        0.0
-    };
+    // `safe_rate` keeps both figures finite on zero-event or
+    // sub-microsecond runs (dispatch span rounds to 0 ns).
+    let events_per_sec = safe_rate(outcome.events_processed as f64, dispatch_secs);
+    let sim_wall_ratio = safe_rate(sim_secs, wall_secs);
     inst.events_per_sec.set(events_per_sec);
     inst.sim_wall_ratio.set(sim_wall_ratio);
     inst.profiler.export_into(&inst.registry);
@@ -602,7 +597,24 @@ mod tests {
         let pools: Vec<&str> = p.memory.iter().map(|g| g.name.as_str()).collect();
         assert_eq!(
             pools,
-            ["net/link_queues", "sim/wheel", "tcp/senders", "trace/rings"]
+            [
+                "net/link_queues",
+                "sim/scratch",
+                "sim/wheel",
+                "tcp/senders",
+                "tcp/slab",
+                "trace/rings"
+            ]
+        );
+        // The slab gauge tracks the dense flow-state columns.
+        assert!(
+            p.memory
+                .iter()
+                .find(|g| g.name == "tcp/slab")
+                .unwrap()
+                .bytes
+                > 0,
+            "slab is attached on every runner build"
         );
         // Tracing was off, so the rings pool is empty but present.
         assert_eq!(

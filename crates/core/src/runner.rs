@@ -22,7 +22,7 @@ use ccsim_analysis::{jain_fairness_index, jain_fairness_subset};
 use ccsim_net::link::{Link, LinkStats};
 use ccsim_net::AqmKind;
 use ccsim_resume::{Checkpoint, ResumeError};
-use ccsim_sim::SimTime;
+use ccsim_sim::{SimTime, VecPool};
 use ccsim_tcp::sender::Sender;
 use ccsim_telemetry::{FlowMetrics, ThroughputTracker};
 use ccsim_timeline::{FlowPoint, LinkPoint, Timeline};
@@ -258,6 +258,7 @@ fn comp_class_table(net: &BuiltNetwork) -> Vec<u8> {
 /// owns the dispatch span totals.
 fn harvest_profile(
     net: &mut BuiltNetwork,
+    scratch: &VecPool<u64>,
     stride: u64,
     checkpoint_bytes: u64,
 ) -> Option<ccsim_prof::Profile> {
@@ -279,6 +280,12 @@ fn harvest_profile(
     accounts
         .account("sim/wheel")
         .set(net.sim.queue_memory_bytes());
+    accounts.account("sim/scratch").set(scratch.memory_bytes());
+    if let Some(slab) = &net.slab {
+        accounts
+            .account("tcp/slab")
+            .set(slab.borrow().memory_bytes());
+    }
     for &id in &net.senders {
         let s = net.sim.component::<Sender>(id);
         senders.alloc(s.memory_bytes());
@@ -308,19 +315,40 @@ fn harvest_profile(
 
 /// Snapshot the sampler inputs: one [`FlowPoint`] per sampled flow and
 /// one [`LinkPoint`] per link, all read-only simulator state.
+///
+/// With the flow slab attached the per-flow columns are read straight
+/// out of the dense arrays (slot `i` == flow `i`) — senders write their
+/// row back at the end of every handled event, so between events the
+/// columns hold exactly what a component walk would read, at a fraction
+/// of the cache traffic. Detached builds fall back to the walk.
 fn timeline_points(net: &BuiltNetwork, sampled_flows: usize) -> (Vec<FlowPoint>, Vec<LinkPoint>) {
-    let flows = net.senders[..sampled_flows]
-        .iter()
-        .map(|&id| {
-            let s = net.sim.component::<Sender>(id);
-            FlowPoint {
-                retransmits: s.stats().retransmits,
-                cwnd_bytes: s.cca().cwnd(),
-                srtt_secs: s.srtt().as_secs_f64(),
-                inflight_bytes: s.in_flight(),
-            }
-        })
-        .collect();
+    let flows = if let Some(slab) = &net.slab {
+        let slab = slab.borrow();
+        (0..sampled_flows)
+            .map(|i| {
+                let (cwnd_bytes, inflight_bytes, srtt_nanos, retransmits) = slab.sender_row(i);
+                FlowPoint {
+                    retransmits,
+                    cwnd_bytes,
+                    srtt_secs: srtt_nanos as f64 / 1e9,
+                    inflight_bytes,
+                }
+            })
+            .collect()
+    } else {
+        net.senders[..sampled_flows]
+            .iter()
+            .map(|&id| {
+                let s = net.sim.component::<Sender>(id);
+                FlowPoint {
+                    retransmits: s.stats().retransmits,
+                    cwnd_bytes: s.cca().cwnd(),
+                    srtt_secs: s.srtt().as_secs_f64(),
+                    inflight_bytes: s.in_flight(),
+                }
+            })
+            .collect()
+    };
     let links = net
         .links
         .iter()
@@ -341,13 +369,14 @@ fn timeline_points(net: &BuiltNetwork, sampled_flows: usize) -> (Vec<FlowPoint>,
 
 /// Feed the timeline sampler at a slice boundary. `delivered` lets the
 /// measurement loop reuse the vector it already gathered for the tracker;
-/// other call sites pass `None` and the helper reads the receivers itself
-/// — but only once a row is actually due, so off-grid slices cost one
-/// comparison. `force` closes a possibly-short row regardless of the
-/// window grid (warm-up boundary, end of run).
+/// other call sites pass `None` and the helper snapshots the flows itself
+/// into a pooled buffer — but only once a row is actually due, so
+/// off-grid slices cost one comparison. `force` closes a possibly-short
+/// row regardless of the window grid (warm-up boundary, end of run).
 fn sample_timeline(
     net: &BuiltNetwork,
     inst: Option<&RunInstruments>,
+    scratch: &mut VecPool<u64>,
     now: SimTime,
     delivered: Option<&[u64]>,
     force: bool,
@@ -361,7 +390,12 @@ fn sample_timeline(
     let (flows, links) = timeline_points(net, tl.sampled_flows());
     match delivered {
         Some(d) => tl.push_row(now, d, &flows, &links),
-        None => tl.push_row(now, &net.per_flow_delivered(), &flows, &links),
+        None => {
+            let mut buf = scratch.acquire();
+            net.per_flow_delivered_into(&mut buf);
+            tl.push_row(now, &buf, &flows, &links);
+            scratch.release(buf);
+        }
     }
 }
 
@@ -419,6 +453,9 @@ pub(crate) fn run_internal_ctl(
     let build_span = inst.map(|i| i.profiler.span("build"));
     let mut net = BuiltNetwork::try_build(scenario)?;
     let mut watchdog = Watchdog::new(scenario.watchdog);
+    // Free-listed scratch for per-flow snapshot gathers: after the first
+    // slice primes its capacity, the steady-state loop allocates nothing.
+    let mut scratch: VecPool<u64> = VecPool::new();
     if let Some(inst) = inst {
         net.sim.set_event_classes(EVENT_KINDS.len());
         net.sim
@@ -461,7 +498,10 @@ pub(crate) fn run_internal_ctl(
         if let Some(cfg) = inst.options.timeline {
             let mut tl = Timeline::new(cfg, net.flow_count(), net.links.len(), net.sim.now());
             let (flows, links) = timeline_points(&net, tl.sampled_flows());
-            tl.prime(&net.per_flow_delivered(), &flows, &links);
+            let mut buf = scratch.acquire();
+            net.per_flow_delivered_into(&mut buf);
+            tl.prime(&buf, &flows, &links);
+            scratch.release(buf);
             *inst.timeline.borrow_mut() = Some(tl);
         }
     }
@@ -505,7 +545,7 @@ pub(crate) fn run_internal_ctl(
                     let next = (t + scenario.snapshot_interval).min(warmup_end);
                     advance(&mut net, next, inst)?;
                     t = next;
-                    sample_timeline(&net, inst, t, None, false);
+                    sample_timeline(&net, inst, &mut scratch, t, None, false);
                     report(t, net.sim.events_processed(), net.sim.events_pending());
                     if watchdog.check(&net, scenario) {
                         return Err(SimError::Invariant {
@@ -530,7 +570,7 @@ pub(crate) fn run_internal_ctl(
             // Warm-up boundary: close the warm-up's tail row *before* the
             // counter reset so no timeline delta straddles it, then reset
             // queue counters (every link) and snapshot per-flow baselines.
-            sample_timeline(&net, inst, warmup_end, None, true);
+            sample_timeline(&net, inst, &mut scratch, warmup_end, None, true);
             for i in 0..net.links.len() {
                 let id = net.links[i];
                 net.sim.component_mut::<Link>(id).reset_stats();
@@ -581,7 +621,7 @@ pub(crate) fn run_internal_ctl(
         advance(&mut net, next, inst)?;
         now = next;
         let delivered = net.per_flow_delivered();
-        sample_timeline(&net, inst, now, Some(&delivered), false);
+        sample_timeline(&net, inst, &mut scratch, now, Some(&delivered), false);
         tracker.record(now, delivered);
         if let (Some(inst), Some(t0)) = (inst, slice_start) {
             let elapsed = t0.elapsed();
@@ -648,7 +688,7 @@ pub(crate) fn run_internal_ctl(
     let delivered_end = net.per_flow_delivered();
     // Close the run's tail row (zero-span no-op when the last slice
     // already closed one on the grid).
-    sample_timeline(&net, inst, now, Some(&delivered_end), true);
+    sample_timeline(&net, inst, &mut scratch, now, Some(&delivered_end), true);
 
     let link = net.sim.component::<Link>(net.link);
     let link_stats = link.stats().clone();
@@ -726,6 +766,7 @@ pub(crate) fn run_internal_ctl(
         if inst.options.profile {
             *inst.profile_out.borrow_mut() = harvest_profile(
                 &mut net,
+                &scratch,
                 inst.options.profile_stride,
                 inst.checkpoint_bytes.get(),
             );

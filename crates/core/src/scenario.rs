@@ -67,6 +67,41 @@ pub struct ConvergenceRule {
     pub tolerance: f64,
 }
 
+/// Event-economy tuning: the batching knobs of the megascale overhaul.
+///
+/// Every non-default value changes packet/ACK timing and therefore the
+/// outcome digest, so the knobs live in the scenario (hashed into the
+/// config digest, printed in `Debug` only when non-default) rather than
+/// being ambient engine settings. The defaults reproduce the legacy
+/// per-segment behavior byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuning {
+    /// Receiver ACK decimation: one ACK per this many full-size segments
+    /// (RFC 5681 delayed ACK, generalized). The legacy value is 2.
+    pub delack_segments: u32,
+    /// Link-side transmit batching: serialize up to this many queued
+    /// packets under one timer event. 1 = one SERIALIZATION_DONE per
+    /// packet (legacy).
+    pub tx_burst: u32,
+}
+
+impl Default for Tuning {
+    fn default() -> Tuning {
+        Tuning {
+            delack_segments: ccsim_tcp::receiver::DELACK_SEGMENTS,
+            tx_burst: 1,
+        }
+    }
+}
+
+impl Tuning {
+    /// True when every knob is at its legacy default (the digest-inert
+    /// configuration).
+    pub fn is_default(&self) -> bool {
+        *self == Tuning::default()
+    }
+}
+
 /// Time-parameter presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fidelity {
@@ -127,6 +162,9 @@ pub struct Scenario {
     /// ECN negotiation (RFC 3168): senders mark data ECT, AQMs mark CE
     /// instead of dropping, receivers echo ECE. Off by default.
     pub ecn: bool,
+    /// Event-economy knobs (ACK decimation, transmit batching). Default
+    /// values are digest-inert; see [`Tuning`].
+    pub tuning: Tuning,
 }
 
 impl fmt::Debug for Scenario {
@@ -156,6 +194,9 @@ impl fmt::Debug for Scenario {
         if self.ecn {
             d.field("ecn", &self.ecn);
         }
+        if !self.tuning.is_default() {
+            d.field("tuning", &self.tuning);
+        }
         d.finish()
     }
 }
@@ -174,6 +215,8 @@ pub enum ScenarioError {
     ZeroSnapshotInterval,
     ZeroDuration,
     BadConvergence,
+    /// A [`Tuning`] knob is zero (both are batch sizes; minimum 1).
+    BadTuning,
     /// The fault plan is invalid for this scenario's horizon.
     Fault(FaultPlanError),
     /// The generated topology fails structural validation.
@@ -192,6 +235,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::ZeroSnapshotInterval => f.write_str("zero snapshot interval"),
             ScenarioError::ZeroDuration => f.write_str("zero measurement duration"),
             ScenarioError::BadConvergence => f.write_str("bad convergence rule"),
+            ScenarioError::BadTuning => f.write_str("tuning batch sizes must be at least 1"),
             ScenarioError::Fault(e) => write!(f, "invalid fault plan: {e}"),
             ScenarioError::Topology(e) => write!(f, "invalid topology: {e}"),
         }
@@ -249,6 +293,7 @@ impl Scenario {
             topology: TopologyKind::SingleBottleneck,
             aqm: AqmKind::DropTail,
             ecn: false,
+            tuning: Tuning::default(),
         }
     }
 
@@ -280,6 +325,41 @@ impl Scenario {
             topology: TopologyKind::SingleBottleneck,
             aqm: AqmKind::DropTail,
             ecn: false,
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// MegaScale preset: 100 Gbps bottleneck, 1 BDP (at 200 ms) drop-tail
+    /// buffer, and a deliberately short horizon — with ~1 M flows each
+    /// flow's fair share is ~12 kbps (≈1 MSS per second), so per-flow
+    /// dynamics are RTO-dominated and stationary metrics emerge within a
+    /// couple of simulated seconds. Batching knobs are on (`delack 4`,
+    /// `tx_burst 8`): at this scale the preset trades per-segment event
+    /// fidelity for event economy, which is the point of the regime.
+    pub fn mega_scale() -> Scenario {
+        Scenario {
+            name: "MegaScale".into(),
+            bottleneck: Bandwidth::from_gbps(100),
+            // 100 Gbps × 200 ms = 2.5 GB (the 1-BDP rule of §3.1).
+            buffer_bytes: 2_500_000_000,
+            mss: DEFAULT_MSS,
+            flows: Vec::new(),
+            seed: 0,
+            start_jitter: SimDuration::from_secs(1),
+            warmup: SimDuration::from_millis(1500),
+            duration: SimDuration::from_secs(1),
+            snapshot_interval: SimDuration::from_millis(250),
+            convergence: None,
+            trace: TraceConfig::disabled(),
+            fault: FaultPlan::none(),
+            watchdog: WatchdogConfig::disabled(),
+            topology: TopologyKind::SingleBottleneck,
+            aqm: AqmKind::DropTail,
+            ecn: false,
+            tuning: Tuning {
+                delack_segments: 4,
+                tx_burst: 8,
+            },
         }
     }
 
@@ -366,6 +446,12 @@ impl Scenario {
         self
     }
 
+    /// Override the event-economy tuning knobs.
+    pub fn tuned(mut self, tuning: Tuning) -> Scenario {
+        self.tuning = tuning;
+        self
+    }
+
     /// Generate this scenario's full [`Topology`] description (route
     /// tables included) from its kind, bottleneck, and buffer.
     pub fn topology_description(&self) -> Topology {
@@ -412,6 +498,9 @@ impl Scenario {
             if c.window_snapshots == 0 || c.tolerance <= 0.0 {
                 return Err(ScenarioError::BadConvergence);
             }
+        }
+        if self.tuning.delack_segments == 0 || self.tuning.tx_burst == 0 {
+            return Err(ScenarioError::BadTuning);
         }
         self.fault.validate(self.horizon_end())?;
         self.topology_description().validate()?;
@@ -511,18 +600,74 @@ mod tests {
         assert!(!rendered.contains("topology"));
         assert!(!rendered.contains("aqm"));
         assert!(!rendered.contains("ecn"));
+        assert!(!rendered.contains("tuning"));
 
         let custom = base
             .clone()
             .topology(TopologyKind::ParkingLot(3))
             .aqm(AqmKind::Codel)
-            .ecn(true);
+            .ecn(true)
+            .tuned(Tuning {
+                delack_segments: 4,
+                tx_burst: 8,
+            });
         let rendered = format!("{custom:?}");
         assert!(rendered.contains("topology: ParkingLot(3)"));
         assert!(rendered.contains("aqm: Codel"));
         assert!(rendered.contains("ecn: true"));
+        assert!(rendered.contains("tuning: Tuning { delack_segments: 4, tx_burst: 8 }"));
         // And each non-default field alone changes the digest.
         assert_ne!(format!("{base:?}"), format!("{:?}", base.clone().ecn(true)));
+        assert_ne!(
+            format!("{base:?}"),
+            format!(
+                "{:?}",
+                base.clone().tuned(Tuning {
+                    delack_segments: 2,
+                    tx_burst: 2,
+                })
+            )
+        );
+    }
+
+    #[test]
+    fn mega_scale_preset_is_batched_and_short() {
+        let m = Scenario::mega_scale();
+        assert_eq!(m.bottleneck, Bandwidth::from_gbps(100));
+        assert_eq!(m.buffer_bytes, 2_500_000_000);
+        let ratio = m.buffer_in_bdp(SimDuration::from_millis(200));
+        assert!((0.9..=1.1).contains(&ratio), "MegaScale ratio {ratio}");
+        assert_eq!(m.tuning.delack_segments, 4);
+        assert_eq!(m.tuning.tx_burst, 8);
+        assert!(!m.tuning.is_default());
+        assert!(m.horizon_end() <= SimTime::from_secs(3));
+        m.clone()
+            .flows(vec![FlowGroup::new(
+                CcaKind::Reno,
+                2,
+                SimDuration::from_millis(20),
+            )])
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn zero_tuning_knobs_fail_validation() {
+        let base = Scenario::edge_scale().flows(vec![FlowGroup::new(
+            CcaKind::Reno,
+            1,
+            SimDuration::from_millis(20),
+        )]);
+        let bad = base.clone().tuned(Tuning {
+            delack_segments: 0,
+            tx_burst: 1,
+        });
+        assert_eq!(bad.validate(), Err(ScenarioError::BadTuning));
+        let bad = base.tuned(Tuning {
+            delack_segments: 2,
+            tx_burst: 0,
+        });
+        assert_eq!(bad.validate(), Err(ScenarioError::BadTuning));
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl Profile {
         self.events
             .per_kind_counts()
             .into_iter()
-            .map(|(k, n)| (k, n as f64 / secs))
+            .map(|(k, n)| (k, ccsim_sim::jsonfmt::safe_rate(n as f64, secs)))
             .collect()
     }
 

@@ -209,6 +209,14 @@ pub const LEVELS: usize = 9;
 /// log2 buckets of the batch-size histogram in [`WheelStats`].
 pub const BATCH_BUCKETS: usize = 16;
 
+/// Entries of retained capacity below which a drained slot buffer is
+/// never trimmed. Buffers at or under this ride the swap-recycle path
+/// untouched, so ordinary workloads keep their zero-allocation steady
+/// state; only burst-inflated buffers (start-of-run transients at
+/// megascale flow counts grew slots far beyond any later rotation's
+/// refill) pay a shrink. See [`EventQueue::advance_wheel`].
+const SLOT_TRIM_FLOOR: usize = 512;
+
 /// Always-on scheduler counters: plain integer adds on paths that already
 /// touch the same cache lines, harvested by the profiling layer
 /// (`ccsim-prof`) after a run. Counting never changes which events fire
@@ -515,7 +523,20 @@ impl<M> EventQueue<M> {
                 }
             }
         }
-        // Hand the emptied (but still allocated) bucket back for reuse.
+        // Hand the emptied (but still allocated) bucket back for reuse,
+        // deflating outsized capacity first. Coarse-level slots ride a
+        // traveling wave of rearm tombstones (every RTO reset parks a
+        // dead entry until its slot drains), so each slot's capacity
+        // climbs to the wave's crest and, untrimmed, LEVELS x SLOTS
+        // crest-sized buffers dominated megascale memory. Post-drain the
+        // buffer is empty and its slot won't refill until the wheel laps
+        // it, so regrowth costs a handful of doublings per (rare) coarse
+        // drain. Buffers at or under the floor — every fine-level slot in
+        // a steady workload — keep the zero-allocation swap path.
+        // Trimming never touches pop order, so digests are unaffected.
+        if bucket.capacity() > SLOT_TRIM_FLOOR {
+            bucket.shrink_to(SLOT_TRIM_FLOOR);
+        }
         self.slots[level * SLOTS + slot as usize] = bucket;
         true
     }

@@ -63,6 +63,27 @@ pub fn json_opt_f64(v: Option<f64>) -> String {
     }
 }
 
+/// `num / den` with a degenerate-denominator guard: `0.0` when `den` is
+/// zero, negative, or non-finite (a zero-event run, a sub-microsecond
+/// dispatch span), and `0.0` when the quotient itself is non-finite.
+///
+/// Rates written to ledgers and manifests must go through this rather
+/// than relying on [`json_f64`]'s non-finite fallback: that fallback
+/// keeps the *document* parseable but the in-memory value would still be
+/// `inf`/NaN, poisoning comparisons, histograms, and rollup arithmetic
+/// before serialization ever happens.
+pub fn safe_rate(num: f64, den: f64) -> f64 {
+    if den <= 0.0 || !den.is_finite() {
+        return 0.0;
+    }
+    let q = num / den;
+    if q.is_finite() {
+        q
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +127,17 @@ mod tests {
     fn optional_floats_use_null() {
         assert_eq!(json_opt_f64(None), "null");
         assert_eq!(json_opt_f64(Some(2.5)), "2.5");
+    }
+
+    #[test]
+    fn safe_rate_is_finite_for_every_degenerate_denominator() {
+        assert_eq!(safe_rate(100.0, 0.0), 0.0);
+        assert_eq!(safe_rate(100.0, -1.0), 0.0);
+        assert_eq!(safe_rate(100.0, f64::NAN), 0.0);
+        assert_eq!(safe_rate(100.0, f64::INFINITY), 0.0);
+        assert_eq!(safe_rate(0.0, 0.0), 0.0);
+        // Overflowing quotients degrade to zero rather than inf.
+        assert_eq!(safe_rate(f64::MAX, f64::MIN_POSITIVE), 0.0);
+        assert_eq!(safe_rate(9.0, 2.0), 4.5);
     }
 }

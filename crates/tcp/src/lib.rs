@@ -22,6 +22,7 @@ pub mod receiver;
 pub mod rtt;
 pub mod scoreboard;
 pub mod sender;
+pub mod slab;
 
 pub use cc::{AckSample, CongestionControl, FixedWindow, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 pub use endpoint_stats::{ReceiverStats, SenderStats};
@@ -30,3 +31,4 @@ pub use receiver::Receiver;
 pub use rtt::RttEstimator;
 pub use scoreboard::{AckResult, Scoreboard, Segment};
 pub use sender::{start_msg, CaState, Sender, SenderConfig, SenderMetrics};
+pub use slab::{FlowKey, FlowSlab, HotRow, SharedFlowSlab};

@@ -17,6 +17,7 @@
 //! the study measures: senders see base RTT + queueing delay either way.
 
 use crate::endpoint_stats::ReceiverStats;
+use crate::slab::{FlowKey, SharedFlowSlab};
 use ccsim_net::msg::{Msg, TimerToken};
 use ccsim_net::packet::{FlowId, Packet, SackBlock, SackBlocks};
 use ccsim_sim::{
@@ -67,6 +68,15 @@ pub struct Receiver {
     /// links (asymmetric topologies). `None` = deliver straight to the
     /// sender after `ack_delay` (the legacy netem substitution).
     ack_first_hop: Option<ComponentId>,
+    /// ACK decimation threshold: one ACK per this many full-size segments
+    /// (RFC 5681 delayed ACK generalized). [`DELACK_SEGMENTS`] is the
+    /// legacy default; the megascale preset raises it to coalesce ACK
+    /// events — every non-default value changes digests, so the knob is
+    /// scenario-gated and defaulted everywhere else.
+    delack_segments: u32,
+    /// Dense hot-state mirror (see [`crate::slab`]): the receiver owns the
+    /// `delivered_bytes` column. Derived state, not checkpointed.
+    slab: Option<(SharedFlowSlab, FlowKey)>,
     stats: ReceiverStats,
 }
 
@@ -86,7 +96,30 @@ impl Receiver {
             delack_generation: 0,
             ece_pending: false,
             ack_first_hop: None,
+            delack_segments: DELACK_SEGMENTS,
+            slab: None,
             stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Override the delayed-ACK segment threshold (ACK decimation). Values
+    /// above [`DELACK_SEGMENTS`] coalesce ACK-path events at the cost of
+    /// burstier cwnd growth; 0 is clamped to 1 (ACK every segment).
+    pub fn set_delack_segments(&mut self, segments: u32) {
+        self.delack_segments = segments.max(1);
+    }
+
+    /// Attach this receiver's row in the shared hot-state slab and publish
+    /// the current delivered count into it.
+    pub fn attach_slab(&mut self, slab: SharedFlowSlab, key: FlowKey) {
+        self.slab = Some((slab, key));
+        self.sync_slab();
+    }
+
+    /// Write `delivered_bytes` back into the slab (no-op when detached).
+    fn sync_slab(&self) {
+        if let Some((slab, key)) = &self.slab {
+            slab.borrow_mut().write_delivered(*key, self.rcv_nxt);
         }
     }
 
@@ -181,7 +214,10 @@ impl Receiver {
         self.delack_timer = CancelToken::load_state(r)?;
         self.delack_generation = r.u64()?;
         self.ece_pending = r.bool()?;
-        self.stats.load_state(r)
+        self.stats.load_state(r)?;
+        // Derived state: refresh the slab mirror from the overlaid values.
+        self.sync_slab();
+        Ok(())
     }
 
     fn insert_ooo(&mut self, seq: u64, end: u64) {
@@ -337,7 +373,7 @@ impl Receiver {
                 return;
             }
             self.unacked_segments += 1;
-            if self.unacked_segments >= DELACK_SEGMENTS || p.payload_len() < self.mss as u64 {
+            if self.unacked_segments >= self.delack_segments || p.payload_len() < self.mss as u64 {
                 self.send_ack(now, ctx);
             } else {
                 self.arm_delack(ctx);
@@ -370,6 +406,7 @@ impl Component<Msg> for Receiver {
                 }
             }
         }
+        self.sync_slab();
     }
 }
 
@@ -425,6 +462,50 @@ mod tests {
         assert_eq!(acks.len(), 1, "one ACK for two segments");
         assert_eq!(acks[0].1.ack_seq, 2000);
         assert!(acks[0].1.sack.is_empty());
+    }
+
+    #[test]
+    fn raised_delack_stride_decimates_acks() {
+        // delack_segments = 4: a burst of 8 in-order full segments is
+        // acknowledged by exactly 2 cumulative ACKs instead of 4.
+        let (mut sim, sink, rx) = setup(0);
+        sim.component_mut::<Receiver>(rx).set_delack_segments(4);
+        for i in 0..8u64 {
+            sim.schedule(
+                SimTime::from_micros(i),
+                rx,
+                Msg::Packet(data(i * 1000, (i + 1) * 1000)),
+            );
+        }
+        sim.run();
+        let acks = &sim.component::<AckSink>(sink).acks;
+        assert_eq!(acks.len(), 2, "8 segments / stride 4");
+        assert_eq!(acks[0].1.ack_seq, 4000);
+        assert_eq!(acks[1].1.ack_seq, 8000);
+        // A straggler below the stride still falls back to the 40 ms
+        // delayed-ACK timer, so nothing is acknowledged late or never.
+        sim.schedule(sim.now(), rx, Msg::Packet(data(8000, 9000)));
+        let resume = sim.now();
+        sim.run();
+        let acks = &sim.component::<AckSink>(sink).acks;
+        assert_eq!(acks.len(), 3);
+        assert_eq!(acks[2].1.ack_seq, 9000);
+        assert_eq!(acks[2].0, resume + DELACK_TIMEOUT);
+    }
+
+    #[test]
+    fn zero_delack_stride_clamps_to_every_segment() {
+        let (mut sim, sink, rx) = setup(0);
+        sim.component_mut::<Receiver>(rx).set_delack_segments(0);
+        for i in 0..3u64 {
+            sim.schedule(
+                SimTime::from_micros(i),
+                rx,
+                Msg::Packet(data(i * 1000, (i + 1) * 1000)),
+            );
+        }
+        sim.run();
+        assert_eq!(sim.component::<AckSink>(sink).acks.len(), 3);
     }
 
     #[test]

@@ -285,6 +285,14 @@ impl Scoreboard {
                 "cumulative ACK inside a segment"
             );
             self.snd_una = ack_seq;
+            // Deflate stranded capacity after a window collapse. AIMD
+            // halving never gets near the 8x threshold, so the sawtooth
+            // steady state keeps its buffer; only an RTO-style collapse
+            // (megascale flows park at 1-2 segments after the start-up
+            // overshoot) pays one shrink, bounding the per-flow footprint.
+            if self.segs.capacity() > 8 && self.segs.capacity() / 8 >= self.segs.len().max(1) {
+                self.segs.shrink_to(self.segs.len().max(4) * 2);
+            }
         }
 
         // 2. SACK blocks: mark newly covered segments.

@@ -1,0 +1,345 @@
+//! Dense per-flow hot-state storage: a generational slab with
+//! struct-of-arrays columns.
+//!
+//! At megascale (10⁶ flows) the runner's sampling paths dominated by
+//! pointer-chasing: every slice boundary downcast each flow's boxed
+//! component out of the simulator arena just to read four or five words
+//! (cwnd, in-flight, srtt, delivered). This module keeps those
+//! ACK-frequency fields in dense `u32`-indexed columns — one cache line
+//! serves eight flows instead of one — mirroring the slab-based
+//! per-connection recovery layout of s2n-quic.
+//!
+//! Ownership model: the slab is *derived* state. Each [`crate::sender::Sender`]
+//! and [`crate::receiver::Receiver`] owns its authoritative fields exactly as
+//! before (so unit tests, checkpoints, and the event pipeline are untouched)
+//! and writes its row back after every event it handles. Readers — the
+//! runner's timeline sampler, the convergence tracker, the memory profiler —
+//! then scan columns instead of downcasting components. Because rows are
+//! only written at event boundaries and only read between events, a slab
+//! scan observes exactly the values a component walk would, and attaching
+//! the slab cannot perturb scheduling: outcome digests are byte-identical
+//! with the slab on or off (proven by the differential test in
+//! `tests/integration_megascale.rs`).
+//!
+//! Slots are recycled through a free list with a generation stamp per slot,
+//! so a stale [`FlowKey`] held across remove/insert can never alias the new
+//! occupant (property-tested in `tests/proptest_slab.rs`). Long-lived bulk
+//! flows never churn today, but ROADMAP item 5 (flow churn) will.
+
+use ccsim_sim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A generational handle into a [`FlowSlab`]. Stale keys (their slot was
+/// removed, and possibly reused) fail validation instead of aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    slot: u32,
+    gen: u32,
+}
+
+impl FlowKey {
+    /// The dense slot index (= flow id under the builder's insertion
+    /// order; stable for the flow's lifetime).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+}
+
+/// One flow's hot row, as read from / written to the columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HotRow {
+    /// Congestion window, bytes.
+    pub cwnd_bytes: u64,
+    /// Bytes in flight.
+    pub inflight_bytes: u64,
+    /// Smoothed RTT, nanoseconds (0 when unmeasured).
+    pub srtt_nanos: u64,
+    /// Earliest instant the next segment may leave (pacing gate).
+    pub pacing_next: SimTime,
+    /// Cumulative retransmissions.
+    pub retransmits: u64,
+    /// Cumulative in-order bytes delivered at the receiver.
+    pub delivered_bytes: u64,
+}
+
+/// Struct-of-arrays slab of per-flow hot state. See the module docs for
+/// the ownership model.
+#[derive(Debug, Default)]
+pub struct FlowSlab {
+    // One entry per slot, parallel arrays. `gens` is bumped on every
+    // remove so freed keys go stale; `live` distinguishes occupancy.
+    gens: Vec<u32>,
+    live: Vec<bool>,
+    free: Vec<u32>,
+    live_count: usize,
+    // Hot columns, indexed by slot.
+    cwnd: Vec<u64>,
+    inflight: Vec<u64>,
+    srtt_nanos: Vec<u64>,
+    pacing_next: Vec<SimTime>,
+    retransmits: Vec<u64>,
+    delivered: Vec<u64>,
+}
+
+impl FlowSlab {
+    /// An empty slab.
+    pub fn new() -> FlowSlab {
+        FlowSlab::default()
+    }
+
+    /// An empty slab with room for `n` flows before reallocating.
+    pub fn with_capacity(n: usize) -> FlowSlab {
+        FlowSlab {
+            gens: Vec::with_capacity(n),
+            live: Vec::with_capacity(n),
+            free: Vec::new(),
+            live_count: 0,
+            cwnd: Vec::with_capacity(n),
+            inflight: Vec::with_capacity(n),
+            srtt_nanos: Vec::with_capacity(n),
+            pacing_next: Vec::with_capacity(n),
+            retransmits: Vec::with_capacity(n),
+            delivered: Vec::with_capacity(n),
+        }
+    }
+
+    /// Insert a row, reusing a freed slot when one exists. The returned
+    /// key is the only valid handle to the new occupant.
+    pub fn insert(&mut self, row: HotRow) -> FlowKey {
+        self.live_count += 1;
+        if let Some(slot) = self.free.pop() {
+            let i = slot as usize;
+            debug_assert!(!self.live[i], "free list slot still live");
+            self.live[i] = true;
+            self.cwnd[i] = row.cwnd_bytes;
+            self.inflight[i] = row.inflight_bytes;
+            self.srtt_nanos[i] = row.srtt_nanos;
+            self.pacing_next[i] = row.pacing_next;
+            self.retransmits[i] = row.retransmits;
+            self.delivered[i] = row.delivered_bytes;
+            return FlowKey {
+                slot,
+                gen: self.gens[i],
+            };
+        }
+        let slot = u32::try_from(self.gens.len()).expect("slab capped at u32 slots");
+        self.gens.push(0);
+        self.live.push(true);
+        self.cwnd.push(row.cwnd_bytes);
+        self.inflight.push(row.inflight_bytes);
+        self.srtt_nanos.push(row.srtt_nanos);
+        self.pacing_next.push(row.pacing_next);
+        self.retransmits.push(row.retransmits);
+        self.delivered.push(row.delivered_bytes);
+        FlowKey { slot, gen: 0 }
+    }
+
+    /// Remove the row behind `key`. Returns `false` (and changes nothing)
+    /// when the key is stale or was never issued.
+    pub fn remove(&mut self, key: FlowKey) -> bool {
+        if !self.contains(key) {
+            return false;
+        }
+        let i = key.slot as usize;
+        self.live[i] = false;
+        // Go stale *now*, not at reuse: a dangling key must not read the
+        // freed slot either.
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        self.free.push(key.slot);
+        self.live_count -= 1;
+        true
+    }
+
+    /// Whether `key` addresses a live row.
+    pub fn contains(&self, key: FlowKey) -> bool {
+        let i = key.slot as usize;
+        i < self.gens.len() && self.live[i] && self.gens[i] == key.gen
+    }
+
+    /// Live rows.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// True when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Slots ever allocated (live + free).
+    pub fn capacity(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Read the full row behind `key`; `None` for stale keys.
+    pub fn get(&self, key: FlowKey) -> Option<HotRow> {
+        if !self.contains(key) {
+            return None;
+        }
+        let i = key.slot as usize;
+        Some(HotRow {
+            cwnd_bytes: self.cwnd[i],
+            inflight_bytes: self.inflight[i],
+            srtt_nanos: self.srtt_nanos[i],
+            pacing_next: self.pacing_next[i],
+            retransmits: self.retransmits[i],
+            delivered_bytes: self.delivered[i],
+        })
+    }
+
+    /// Overwrite the sender-owned columns of `key`'s row (everything but
+    /// `delivered_bytes`). No-op on stale keys.
+    pub fn write_sender(
+        &mut self,
+        key: FlowKey,
+        cwnd_bytes: u64,
+        inflight_bytes: u64,
+        srtt_nanos: u64,
+        pacing_next: SimTime,
+        retransmits: u64,
+    ) {
+        if !self.contains(key) {
+            return;
+        }
+        let i = key.slot as usize;
+        self.cwnd[i] = cwnd_bytes;
+        self.inflight[i] = inflight_bytes;
+        self.srtt_nanos[i] = srtt_nanos;
+        self.pacing_next[i] = pacing_next;
+        self.retransmits[i] = retransmits;
+    }
+
+    /// Overwrite the receiver-owned column (`delivered_bytes`). No-op on
+    /// stale keys.
+    pub fn write_delivered(&mut self, key: FlowKey, delivered_bytes: u64) {
+        if !self.contains(key) {
+            return;
+        }
+        self.delivered[key.slot as usize] = delivered_bytes;
+    }
+
+    /// The `delivered_bytes` column over slots `0..n` (all live in the
+    /// builder's dense layout). The megascale replacement for walking
+    /// every receiver component per slice.
+    pub fn delivered_prefix(&self, n: usize) -> &[u64] {
+        &self.delivered[..n]
+    }
+
+    /// Dense per-slot readout of the sender columns for slot `i`,
+    /// liveness unchecked (the runner iterates `0..flow_count` where
+    /// every slot is live by construction).
+    pub fn sender_row(&self, i: usize) -> (u64, u64, u64, u64) {
+        (
+            self.cwnd[i],
+            self.inflight[i],
+            self.srtt_nanos[i],
+            self.retransmits[i],
+        )
+    }
+
+    /// Resident bytes of all columns and bookkeeping (for the profiler's
+    /// `tcp/slab` memory account).
+    pub fn memory_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (size_of::<Self>()
+            + self.gens.capacity() * size_of::<u32>()
+            + self.live.capacity()
+            + self.free.capacity() * size_of::<u32>()
+            + self.cwnd.capacity() * size_of::<u64>()
+            + self.inflight.capacity() * size_of::<u64>()
+            + self.srtt_nanos.capacity() * size_of::<u64>()
+            + self.pacing_next.capacity() * size_of::<SimTime>()
+            + self.retransmits.capacity() * size_of::<u64>()
+            + self.delivered.capacity() * size_of::<u64>()) as u64
+    }
+}
+
+/// The slab as shared by every endpoint of one simulation. Simulations are
+/// single-threaded (parallelism lives at the campaign layer, one run per
+/// worker), so `Rc<RefCell<..>>` is sufficient and keeps the per-event
+/// write-back to a refcount-free borrow.
+pub type SharedFlowSlab = Rc<RefCell<FlowSlab>>;
+
+/// A fresh shared slab with room for `n` flows.
+pub fn shared_with_capacity(n: usize) -> SharedFlowSlab {
+    Rc::new(RefCell::new(FlowSlab::with_capacity(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cwnd: u64) -> HotRow {
+        HotRow {
+            cwnd_bytes: cwnd,
+            ..HotRow::default()
+        }
+    }
+
+    #[test]
+    fn insert_read_write_round_trip() {
+        let mut slab = FlowSlab::new();
+        let k = slab.insert(row(14600));
+        assert_eq!(k.slot(), 0);
+        assert_eq!(slab.get(k).unwrap().cwnd_bytes, 14600);
+        slab.write_sender(k, 29200, 7300, 20_000_000, SimTime::from_millis(1), 3);
+        slab.write_delivered(k, 1_000_000);
+        let r = slab.get(k).unwrap();
+        assert_eq!(r.cwnd_bytes, 29200);
+        assert_eq!(r.inflight_bytes, 7300);
+        assert_eq!(r.srtt_nanos, 20_000_000);
+        assert_eq!(r.pacing_next, SimTime::from_millis(1));
+        assert_eq!(r.retransmits, 3);
+        assert_eq!(r.delivered_bytes, 1_000_000);
+    }
+
+    #[test]
+    fn dense_insertion_order_matches_flow_ids() {
+        let mut slab = FlowSlab::with_capacity(4);
+        for i in 0..4u64 {
+            let k = slab.insert(row(i));
+            assert_eq!(k.slot() as u64, i);
+        }
+        assert_eq!(slab.len(), 4);
+        assert_eq!(slab.capacity(), 4);
+        assert_eq!(slab.sender_row(2).0, 2);
+    }
+
+    #[test]
+    fn removed_keys_go_stale_and_slots_recycle() {
+        let mut slab = FlowSlab::new();
+        let a = slab.insert(row(1));
+        let b = slab.insert(row(2));
+        assert!(slab.remove(a));
+        assert!(!slab.remove(a), "double remove refused");
+        assert!(!slab.contains(a));
+        assert_eq!(slab.get(a), None);
+        // Writes through the stale key must not touch the freed slot.
+        slab.write_sender(a, 999, 0, 0, SimTime::ZERO, 0);
+        let c = slab.insert(row(3));
+        assert_eq!(c.slot(), a.slot(), "slot recycled through the free list");
+        assert_ne!(c, a, "but under a fresh generation");
+        assert_eq!(slab.get(c).unwrap().cwnd_bytes, 3);
+        assert!(!slab.contains(a), "old key stays dead after reuse");
+        assert_eq!(slab.get(b).unwrap().cwnd_bytes, 2);
+        assert_eq!(slab.len(), 2);
+    }
+
+    #[test]
+    fn delivered_prefix_reads_the_dense_column() {
+        let mut slab = FlowSlab::new();
+        let keys: Vec<FlowKey> = (0..3).map(|_| slab.insert(HotRow::default())).collect();
+        slab.write_delivered(keys[1], 500);
+        assert_eq!(slab.delivered_prefix(3), &[0, 500, 0]);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_columns() {
+        let slab = FlowSlab::with_capacity(1000);
+        // 6 u64-ish columns + u32 gens + bool live ≈ 53 B/slot.
+        let b = slab.memory_bytes();
+        assert!(b >= 1000 * 53, "{b}");
+        assert!(b < 1000 * 80, "{b}");
+    }
+}

@@ -478,7 +478,10 @@ impl RunManifest {
         }
         self.events_by_kind
             .iter()
-            .map(|(kind, count)| (kind.clone(), *count as f64 / self.dispatch_secs))
+            .map(|(kind, count)| {
+                let eps = ccsim_sim::jsonfmt::safe_rate(*count as f64, self.dispatch_secs);
+                (kind.clone(), eps)
+            })
             .collect()
     }
 }
@@ -630,6 +633,29 @@ mod tests {
             final_jfi: Some(0.98765),
         });
         m
+    }
+
+    #[test]
+    fn zero_dispatch_manifests_stay_finite_end_to_end() {
+        // Regression: a zero-event (or sub-microsecond) run must never put
+        // inf/NaN into the manifest, its eps split, or the rendered JSON.
+        let mut m = sample_full();
+        m.dispatch_secs = 0.0;
+        m.wall_secs = 0.0;
+        m.events_per_sec = ccsim_sim::jsonfmt::safe_rate(m.events_processed as f64, 0.0);
+        m.sim_wall_ratio = ccsim_sim::jsonfmt::safe_rate(m.sim_secs, 0.0);
+        assert_eq!(m.events_per_sec, 0.0);
+        assert_eq!(m.sim_wall_ratio, 0.0);
+        assert!(m.eps_by_kind().is_empty(), "no rate without a denominator");
+        let json = m.to_json();
+        // Field *names* legitimately contain "nanos"; only value-position
+        // tokens (`:inf`, `:NaN`, ...) would mean a non-finite leaked out.
+        for tok in [":inf", ":-inf", ":NaN", ":-NaN", ":nan"] {
+            assert!(!json.contains(tok), "non-finite value in manifest JSON");
+        }
+        let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back.events_per_sec, 0.0);
+        assert!(back.eps_by_kind().is_empty());
     }
 
     #[test]

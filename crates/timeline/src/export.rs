@@ -46,7 +46,14 @@ pub fn to_jsonl(tl: &Timeline) -> String {
             if i > 0 {
                 out.push(',');
             }
-            let cell = if v.is_nan() { None } else { Some(*v) };
+            // Every recorded series is non-negative when defined, so a
+            // negative cell is the idle-window sentinel ([`crate::IDLE_JFI`]);
+            // the non-finite arm is defensive against legacy captures.
+            let cell = if *v < 0.0 || !v.is_finite() {
+                None
+            } else {
+                Some(*v)
+            };
             out.push_str(&json_opt_f64(cell));
         }
         out.push_str("]}\n");
@@ -182,7 +189,8 @@ mod tests {
         let got = &dump.rows[1].2;
         assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(&want) {
-            assert!(g == w || (g.is_nan() && w.is_nan()));
+            assert!(w.is_finite(), "rows must never store non-finite cells");
+            assert_eq!(g, w);
         }
     }
 

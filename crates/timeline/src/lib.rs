@@ -46,6 +46,17 @@ pub const LINK_SERIES: [&str; 4] = ["utilization", "queue_bytes", "drops", "ce_m
 /// column order. These lead the column list.
 pub const AGG_SERIES: [&str; 2] = ["jfi", "goodput_bps"];
 
+/// Finite sentinel stored in the JFI column for an idle window (no flow
+/// delivered a byte, so [`jain_fairness_index`] is undefined). JFI is
+/// strictly positive whenever defined, so any negative cell means "idle".
+///
+/// Earlier versions stored `NaN` here; that leaked non-finite floats to
+/// every raw-row consumer (the `.cctl` dump, Prometheus republishers,
+/// ad-hoc column readers) and made row equality checks lie. Readers that
+/// want the optional view should use [`Timeline::jfi_series`] or compare
+/// against zero, never `is_nan`.
+pub const IDLE_JFI: f64 = -1.0;
+
 /// Timeline capture configuration.
 ///
 /// All-integer so the containing observe options stay `Copy + Eq`; α is
@@ -248,7 +259,7 @@ impl Timeline {
             .zip(&self.prev_delivered)
             .map(|(&cur, &prev)| cur.saturating_sub(prev) as f64)
             .collect();
-        values.push(jain_fairness_index(&deltas).unwrap_or(f64::NAN));
+        values.push(jain_fairness_index(&deltas).unwrap_or(IDLE_JFI));
         values.push(deltas.iter().sum::<f64>() / span);
 
         for (f, point) in flows.iter().enumerate() {
@@ -324,7 +335,15 @@ impl Timeline {
             .rows
             .column(0)
             .skip(skip)
-            .map(|v| if v.is_nan() { None } else { Some(v) })
+            // `< 0.0` catches [`IDLE_JFI`]; the non-finite arm is defensive
+            // only (rows have stored no NaN since the sentinel went finite).
+            .map(|v| {
+                if v < 0.0 || !v.is_finite() {
+                    None
+                } else {
+                    Some(v)
+                }
+            })
             .collect();
         (times, jfi)
     }
@@ -493,5 +512,30 @@ mod tests {
         let (_, jfi) = tl.jfi_series();
         assert_eq!(jfi, vec![None]);
         assert_eq!(tl.summary().final_jfi, None);
+    }
+
+    #[test]
+    fn idle_windows_store_a_finite_sentinel_never_nan() {
+        // Regression: all-zero delta windows used to store NaN in the JFI
+        // column, which leaked into raw-row consumers and broke equality.
+        let mut tl = Timeline::new(TimelineConfig::default(), 2, 0, SimTime::ZERO);
+        tl.push_row(t(1000), &[0, 0], &flows(&[(0, 1), (0, 1)]), &[]);
+        tl.push_row(t(2000), &[500, 500], &flows(&[(0, 1), (0, 1)]), &[]);
+        tl.push_row(t(3000), &[500, 500], &flows(&[(0, 1), (0, 1)]), &[]);
+        for r in 0..tl.rows().len() {
+            let (_, _, v) = tl.rows().row(r).unwrap();
+            assert!(
+                v.iter().all(|c| c.is_finite()),
+                "row {r} carries a non-finite cell: {v:?}"
+            );
+        }
+        let (_, _, idle) = tl.rows().row(0).unwrap();
+        assert_eq!(idle[0], IDLE_JFI);
+        // The optional view still reports idle windows as absent, and the
+        // summary ignores them on both ends.
+        let (_, jfi) = tl.jfi_series();
+        assert_eq!(jfi[0], None);
+        assert!((jfi[1].unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(tl.summary().final_jfi, None, "trailing idle window");
     }
 }

@@ -27,6 +27,16 @@ pub struct LiveState {
     hits: AtomicU64,
 }
 
+/// Lock a snapshot mutex, recovering from poisoning.
+///
+/// A publisher that panics while holding the lock poisons it; the payload
+/// is a fully-replaced `String`, so the last-good snapshot inside is still
+/// coherent. Serving stale-but-valid data (and letting the next publish
+/// heal the state) beats a permanently dead `/metrics`.
+fn lock_recover(m: &Mutex<String>) -> std::sync::MutexGuard<'_, String> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl LiveState {
     /// Fresh, empty state.
     pub fn new() -> LiveState {
@@ -35,12 +45,12 @@ impl LiveState {
 
     /// Replace the `/metrics` payload.
     pub fn publish_metrics(&self, exposition: String) {
-        *self.metrics.lock().unwrap() = exposition;
+        *lock_recover(&self.metrics) = exposition;
     }
 
     /// Replace the `/timeline.jsonl` payload.
     pub fn publish_timeline(&self, jsonl: String) {
-        *self.timeline.lock().unwrap() = jsonl;
+        *lock_recover(&self.timeline) = jsonl;
     }
 
     /// Requests served so far (any route).
@@ -50,12 +60,12 @@ impl LiveState {
 
     /// Current `/metrics` payload.
     pub fn metrics_snapshot(&self) -> String {
-        self.metrics.lock().unwrap().clone()
+        lock_recover(&self.metrics).clone()
     }
 
     /// Current `/timeline.jsonl` payload.
     pub fn timeline_snapshot(&self) -> String {
-        self.timeline.lock().unwrap().clone()
+        lock_recover(&self.timeline).clone()
     }
 }
 
@@ -213,6 +223,47 @@ mod tests {
         assert_eq!(body, "ccsim_up 2\n");
 
         assert!(state.hits() >= 5);
+        handle.stop();
+    }
+
+    #[test]
+    fn endpoint_survives_a_poisoned_publisher() {
+        let state = Arc::new(LiveState::new());
+        state.publish_metrics("ccsim_up 1\n".to_string());
+        state.publish_timeline("{\"t\":1.0}\n".to_string());
+
+        // Poison both mutexes: a publisher panics while holding the guard.
+        for _ in 0..2 {
+            let poisoner = Arc::clone(&state);
+            let _ = std::thread::spawn(move || {
+                let _m = poisoner.metrics.lock().unwrap();
+                panic!("publisher died mid-publish");
+            })
+            .join();
+            let poisoner = Arc::clone(&state);
+            let _ = std::thread::spawn(move || {
+                let _t = poisoner.timeline.lock().unwrap();
+                panic!("publisher died mid-publish");
+            })
+            .join();
+        }
+        assert!(state.metrics.is_poisoned());
+        assert!(state.timeline.is_poisoned());
+
+        // The endpoint still serves the last-good snapshots.
+        let handle = serve(0, Arc::clone(&state)).unwrap();
+        let addr = handle.addr();
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "ccsim_up 1\n");
+        let (head, body) = get(addr, "/timeline.jsonl");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "{\"t\":1.0}\n");
+
+        // And a later publish heals the state rather than panicking.
+        state.publish_metrics("ccsim_up 2\n".to_string());
+        let (_, body) = get(addr, "/metrics");
+        assert_eq!(body, "ccsim_up 2\n");
         handle.stop();
     }
 

@@ -1,0 +1,103 @@
+//! Property-based tests for the dense flow-state slab: generation-keyed
+//! slot reuse must never alias a live flow, whatever interleaving of
+//! inserts and removes a workload produces.
+
+use ccsim::tcp::slab::{FlowKey, FlowSlab, HotRow};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random slab workload: `true` inserts a new row, `false` removes the
+/// oldest live key (no-op when empty).
+fn ops() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(proptest::bool::ANY, 1..200)
+}
+
+fn row(tag: u64) -> HotRow {
+    HotRow {
+        cwnd_bytes: tag,
+        inflight_bytes: tag.wrapping_mul(3),
+        delivered_bytes: tag.wrapping_mul(7),
+        ..HotRow::default()
+    }
+}
+
+proptest! {
+    /// Freed slots are recycled, but a stale key can never read or write a
+    /// slot its flow no longer owns: every live key round-trips its own
+    /// row, every removed key goes dead forever.
+    #[test]
+    fn slot_reuse_never_aliases_live_flows(plan in ops()) {
+        let mut slab = FlowSlab::new();
+        let mut live: Vec<(FlowKey, u64)> = Vec::new();
+        let mut dead: Vec<FlowKey> = Vec::new();
+        let mut tag = 0u64;
+
+        for &insert in &plan {
+            if insert {
+                tag += 1;
+                let key = slab.insert(row(tag));
+                // A recycled slot must come back under a fresh generation.
+                for (k, _) in &live {
+                    prop_assert!(*k != key, "slab handed out a live key twice");
+                }
+                for k in &dead {
+                    prop_assert!(*k != key, "recycled slot kept its dead generation");
+                }
+                live.push((key, tag));
+            } else if !live.is_empty() {
+                let (key, _) = live.remove(0);
+                prop_assert!(slab.remove(key));
+                prop_assert!(!slab.remove(key), "double remove must be a no-op");
+                dead.push(key);
+            }
+        }
+
+        prop_assert_eq!(slab.len(), live.len());
+        // Live keys still read exactly what their flow wrote.
+        for (key, tag) in &live {
+            let got = slab.get(*key).expect("live key must resolve");
+            prop_assert_eq!(got.cwnd_bytes, *tag);
+            prop_assert_eq!(got.inflight_bytes, tag.wrapping_mul(3));
+            prop_assert_eq!(got.delivered_bytes, tag.wrapping_mul(7));
+        }
+        // Dead keys stay dead: reads miss and writes are dropped rather
+        // than landing in a recycled slot.
+        for key in &dead {
+            prop_assert!(!slab.contains(*key));
+            prop_assert!(slab.get(*key).is_none());
+            slab.write_sender(*key, u64::MAX, u64::MAX, u64::MAX, Default::default(), u64::MAX);
+            slab.write_delivered(*key, u64::MAX);
+        }
+        for (key, tag) in &live {
+            let got = slab.get(*key).expect("live key must resolve");
+            prop_assert_eq!(got.cwnd_bytes, *tag, "stale write leaked into a live row");
+            prop_assert_eq!(got.delivered_bytes, tag.wrapping_mul(7));
+        }
+    }
+
+    /// Slots are dense and reused: the slab never holds more slots than
+    /// the workload's concurrent-liveness high-water mark, and each live
+    /// slot is owned by exactly one key.
+    #[test]
+    fn slot_count_tracks_the_liveness_high_water(plan in ops()) {
+        let mut slab = FlowSlab::new();
+        let mut live: Vec<FlowKey> = Vec::new();
+        let mut high_water = 0usize;
+        for &insert in &plan {
+            if insert {
+                live.push(slab.insert(HotRow::default()));
+                high_water = high_water.max(live.len());
+            } else if !live.is_empty() {
+                let key = live.remove(0);
+                slab.remove(key);
+            }
+        }
+        prop_assert!(slab.capacity() <= high_water,
+            "capacity {} exceeds liveness high-water {}", slab.capacity(), high_water);
+        let mut owners: HashMap<u32, FlowKey> = HashMap::new();
+        for key in &live {
+            prop_assert!(owners.insert(key.slot(), *key).is_none(),
+                "two live keys share slot {}", key.slot());
+        }
+    }
+}
